@@ -1,0 +1,78 @@
+"""Shared helpers for the benchmark suite.
+
+Every module in this directory regenerates one table or figure from the
+paper (see DESIGN.md's experiment index). Benchmarks print the paper-style
+rows/series they reproduce, so ``pytest benchmarks/ --benchmark-only -s``
+shows both the timing data and the reproduced tables.
+
+Scale is controlled with ``REPRO_BENCH_ROWS`` (rows per suite table before
+per-dataset multipliers, default 16384). The paper's datasets are orders of
+magnitude larger; ratios and relative speeds stabilise well below that.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from functools import lru_cache
+
+from repro.core.relation import Relation
+from repro.datagen.publicbi import generate_suite, largest_five
+from repro.datagen.tpch import generate_tpch
+
+
+def bench_rows() -> int:
+    return int(os.environ.get("REPRO_BENCH_ROWS", "16384"))
+
+
+@lru_cache(maxsize=None)
+def publicbi_suite() -> tuple[Relation, ...]:
+    return tuple(generate_suite(rows=bench_rows()))
+
+
+@lru_cache(maxsize=None)
+def publicbi_largest_five() -> tuple[Relation, ...]:
+    return tuple(largest_five(rows=bench_rows()))
+
+
+@lru_cache(maxsize=None)
+def tpch_suite() -> tuple[Relation, ...]:
+    return tuple(generate_tpch(rows=bench_rows() * 2))
+
+
+def measure_decompress_seconds(adapter, relations) -> tuple[int, int, float]:
+    """(uncompressed_bytes, compressed_bytes, decompress_seconds) for a format."""
+    uncompressed = sum(r.nbytes for r in relations)
+    compressed = 0
+    seconds = 0.0
+    for relation in relations:
+        artifact = adapter.compress(relation)
+        compressed += adapter.size(artifact)
+        started = time.perf_counter()
+        adapter.decompress(artifact)
+        seconds += time.perf_counter() - started
+    return uncompressed, compressed, seconds
+
+
+def print_table(title: str, headers: list[str], rows: list[list]) -> None:
+    """Print an aligned table resembling the paper's layout."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    print(f"\n=== {title} ===")
+    print("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    print("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        print("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell >= 100:
+            return f"{cell:.0f}"
+        if cell >= 10:
+            return f"{cell:.1f}"
+        return f"{cell:.2f}"
+    return str(cell)

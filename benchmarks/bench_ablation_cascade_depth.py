@@ -1,0 +1,53 @@
+"""Ablation — cascade depth (DESIGN.md design decision #2).
+
+The paper sets the maximum recursion depth to 3 by default (Section 3.2).
+This ablation sweeps depth 0..4 over the Public-BI-like suite and reports
+compression ratio, compression time and decompression time. Expected shape:
+ratio grows sharply from 0 to 2, saturates by 3 (the default), and deeper
+cascades only add compression-time cost.
+"""
+
+import time
+
+import pytest
+
+from _harness import print_table, publicbi_suite
+from repro.core.compressor import compress_relation
+from repro.core.config import BtrBlocksConfig
+from repro.core.decompressor import decompress_relation
+
+
+def test_ablation_cascade_depth(benchmark):
+    relations = publicbi_suite()[:6]
+    total = sum(r.nbytes for r in relations)
+
+    def run():
+        rows = []
+        for depth in range(5):
+            config = BtrBlocksConfig(max_cascade_depth=depth)
+            started = time.perf_counter()
+            compressed = [compress_relation(r, config) for r in relations]
+            compress_seconds = time.perf_counter() - started
+            size = sum(c.nbytes for c in compressed)
+            started = time.perf_counter()
+            for c in compressed:
+                decompress_relation(c)
+            decompress_seconds = time.perf_counter() - started
+            rows.append((depth, total / size, compress_seconds, decompress_seconds))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Ablation: cascade depth",
+        ["Depth", "Compression ratio", "Compress [s]", "Decompress [s]"],
+        [list(row) for row in rows],
+    )
+    ratios = {depth: ratio for depth, ratio, _, _ in rows}
+    assert ratios[1] > ratios[0]  # one scheme level beats raw storage
+    assert ratios[2] > ratios[1] * 1.05  # cascading children pays
+    assert ratios[3] >= ratios[2] * 0.99  # depth 3 does not regress
+    # Returns diminish: whatever depth 4 adds must be smaller than the jump
+    # from enabling cascading in the first place (depth 1 -> 2).
+    early_gain = ratios[2] / ratios[1]
+    late_gain = ratios[4] / ratios[3]
+    assert late_gain < early_gain

@@ -1,0 +1,44 @@
+"""Figure 1 — S3 scan cost vs throughput on the 5 largest workbooks.
+
+The paper's headline figure: BtrBlocks reaches ~86 Gbit/s compressed scan
+throughput at ~1/1.8th the cost of Parquet+Snappy and ~1/2.6th of plain
+Parquet. This bench reproduces the (throughput, cost) points.
+"""
+
+import pytest
+
+from _harness import measure_decompress_seconds, print_table, publicbi_largest_five
+from repro.cloud import ScanCostModel
+from repro.formats import parquet_family
+
+
+def test_fig1_cost_vs_throughput(benchmark):
+    model = ScanCostModel()
+    adapters = parquet_family()
+
+    def run():
+        points = []
+        for adapter in adapters:
+            uncompressed, compressed, seconds = measure_decompress_seconds(
+                adapter, publicbi_largest_five()
+            )
+            metrics = model.simulate(adapter.label, uncompressed, compressed, seconds)
+            points.append((metrics.label, metrics.t_c_gbit, model.cost_usd(metrics)))
+        return points
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    base_cost = points[0][2]
+    print_table(
+        "Figure 1: S3 scan cost and throughput",
+        ["Format", "Scan throughput [Gbit/s]", "Relative cost"],
+        [[label, gbit, cost / base_cost] for label, gbit, cost in points],
+    )
+    by_label = {label: (gbit, cost) for label, gbit, cost in points}
+    # BtrBlocks: fastest scan, lowest cost (the figure's bottom-right point).
+    assert by_label["btrblocks"][0] == max(g for g, _ in by_label.values())
+    assert by_label["btrblocks"][1] == min(c for _, c in by_label.values())
+    # Paper: 2.6x cheaper than plain Parquet. Part of that factor comes
+    # from Arrow's plain decode being CPU-bound on the testbed; our Python
+    # plain-Parquet decode has no such penalty, so the reproducible margin
+    # is the transferred-bytes ratio (>1.2x at these ratios).
+    assert by_label["parquet"][1] / by_label["btrblocks"][1] > 1.2

@@ -1,0 +1,113 @@
+"""Figure 4 — pool ablation: ratio & decompression speed as schemes are added.
+
+The paper successively enables techniques per data type and reports the
+average compression ratio and single-thread decompression throughput.
+Expected shapes:
+
+* doubles: Dictionary gives the largest ratio jump (+95%), Pseudodecimal
+  adds ~20% on top;
+* strings: Dictionary dominates (~7x), FSST-on-dictionary adds ~51%;
+* integers: RLE and the bit-packers carry most of the ratio;
+* One Value barely moves the average but is the fastest decoder.
+"""
+
+import time
+
+import pytest
+
+from _harness import print_table, publicbi_suite
+from repro.core.compressor import compress_column
+from repro.core.config import BtrBlocksConfig
+from repro.core.decompressor import decompress_column
+from repro.encodings.base import SchemeId as S
+from repro.types import ColumnType
+
+_UNCOMPRESSED = {S.UNCOMPRESSED_INT, S.UNCOMPRESSED_DOUBLE, S.UNCOMPRESSED_STRING}
+
+#: Successive pool configurations per data type, mirroring Figure 4's x-axes.
+STEPS = {
+    ColumnType.DOUBLE: [
+        ("uncompressed", _UNCOMPRESSED),
+        ("+onevalue", _UNCOMPRESSED | {S.ONE_VALUE_DOUBLE}),
+        ("+rle", _UNCOMPRESSED | {S.ONE_VALUE_DOUBLE, S.RLE_DOUBLE, S.FAST_BP128}),
+        ("+dict", _UNCOMPRESSED | {S.ONE_VALUE_DOUBLE, S.RLE_DOUBLE, S.FAST_BP128, S.DICT_DOUBLE}),
+        ("+frequency", _UNCOMPRESSED | {S.ONE_VALUE_DOUBLE, S.RLE_DOUBLE, S.FAST_BP128, S.DICT_DOUBLE, S.FREQUENCY_DOUBLE}),
+        ("+pseudodecimal", _UNCOMPRESSED | {S.ONE_VALUE_DOUBLE, S.RLE_DOUBLE, S.FAST_BP128, S.DICT_DOUBLE, S.FREQUENCY_DOUBLE, S.PSEUDODECIMAL, S.FAST_PFOR}),
+    ],
+    ColumnType.INTEGER: [
+        ("uncompressed", _UNCOMPRESSED),
+        ("+onevalue", _UNCOMPRESSED | {S.ONE_VALUE_INT}),
+        ("+bitpack", _UNCOMPRESSED | {S.ONE_VALUE_INT, S.FAST_BP128}),
+        ("+rle", _UNCOMPRESSED | {S.ONE_VALUE_INT, S.FAST_BP128, S.RLE_INT}),
+        ("+dict", _UNCOMPRESSED | {S.ONE_VALUE_INT, S.FAST_BP128, S.RLE_INT, S.DICT_INT}),
+        ("+pfor", _UNCOMPRESSED | {S.ONE_VALUE_INT, S.FAST_BP128, S.RLE_INT, S.DICT_INT, S.FAST_PFOR, S.FREQUENCY_INT}),
+    ],
+    ColumnType.STRING: [
+        ("uncompressed", _UNCOMPRESSED),
+        ("+onevalue", _UNCOMPRESSED | {S.ONE_VALUE_STRING}),
+        ("+dict", _UNCOMPRESSED | {S.ONE_VALUE_STRING, S.DICT_STRING, S.FAST_BP128, S.RLE_INT}),
+        ("+fsst", _UNCOMPRESSED | {S.ONE_VALUE_STRING, S.DICT_STRING, S.FAST_BP128, S.RLE_INT, S.FSST}),
+        ("+frequency", _UNCOMPRESSED | {S.ONE_VALUE_STRING, S.DICT_STRING, S.FAST_BP128, S.RLE_INT, S.FSST, S.FREQUENCY_STRING}),
+    ],
+}
+
+
+def _columns_of_type(ctype):
+    return [
+        column
+        for relation in publicbi_suite()
+        for column in relation.columns
+        if column.ctype is ctype
+    ]
+
+
+def _measure(pool, columns):
+    """Mean per-column ratio and aggregate decompression throughput.
+
+    The geometric mean is used for ratios so one extreme column (e.g. a
+    5000x One Value column) cannot mask the contribution of later schemes.
+    """
+    import math
+
+    config = BtrBlocksConfig(allowed_schemes=frozenset(pool))
+    log_ratios = []
+    total_bytes = 0
+    total_seconds = 0.0
+    compress_seconds = 0.0
+    for column in columns:
+        started = time.perf_counter()
+        compressed = compress_column(column, config)
+        compress_seconds += time.perf_counter() - started
+        log_ratios.append(math.log(column.nbytes / max(compressed.nbytes, 1)))
+        started = time.perf_counter()
+        decompress_column(compressed)
+        total_seconds += time.perf_counter() - started
+        total_bytes += column.nbytes
+    avg_ratio = math.exp(sum(log_ratios) / len(log_ratios))
+    throughput = total_bytes / total_seconds / 1e9
+    return avg_ratio, throughput, total_bytes / compress_seconds / 1e6
+
+
+@pytest.mark.parametrize("ctype", [ColumnType.DOUBLE, ColumnType.INTEGER, ColumnType.STRING])
+def test_fig4_pool_ablation(benchmark, ctype):
+    columns = _columns_of_type(ctype)
+
+    def run():
+        return [(label, *_measure(pool, columns)) for label, pool in STEPS[ctype]]
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        f"Figure 4 ({ctype.value}): pool ablation (+ Section 6.2 trade-off)",
+        ["Pool", "Avg compression ratio", "Decompression [GB/s]", "Compression [MB/s]"],
+        [[label, ratio, speed, comp] for label, ratio, speed, comp in results],
+    )
+    ratios = [ratio for _, ratio, _, _ in results]
+    # Ratio must be monotone non-decreasing as schemes are added (each step
+    # only widens the choice), and the full pool must beat uncompressed.
+    for earlier, later in zip(ratios, ratios[1:]):
+        assert later >= earlier * 0.90  # tolerate sample-estimation noise
+    assert ratios[-1] > ratios[0]
+    if ctype is ColumnType.STRING:
+        # Dictionary must provide the dominant jump for strings (paper: 7x).
+        dict_step = ratios[2] / max(ratios[1], 1e-9)
+        assert dict_step > 2.0

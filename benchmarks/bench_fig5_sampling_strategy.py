@@ -1,0 +1,103 @@
+"""Figure 5 + Section 6.3 — sampling strategy quality (N = 640 tuples).
+
+The paper scores each strategy by the share of blocks where the
+sample-chosen scheme compresses within 2% of the exhaustively-found optimum.
+Expected shape: random single tuples and one contiguous range perform worst
+(~55-65%), multi-run strategies with runs >= 16 tuples all land close
+together near the top (~75-85%), with 10x64 the default.
+
+Section 6.3's headline numbers are printed too: scheme selection consumes
+~1.2% of compression time and the default lands within a few percent of the
+optimal cascade size.
+"""
+
+import time
+
+import pytest
+
+from _harness import print_table, publicbi_suite
+from repro.core.compressor import compress_block
+from repro.core.sampling import FIGURE5_STRATEGIES
+from repro.core.selector import SchemeSelector
+from repro.types import ColumnType
+
+
+def _first_blocks(max_columns=None):
+    """The first 64k-value block of every suite column (paper methodology)."""
+    blocks = []
+    for relation in publicbi_suite():
+        for column in relation.columns:
+            block = column.slice(0, min(len(column), 64_000))
+            blocks.append((block.data, block.ctype))
+    return blocks[:max_columns] if max_columns else blocks
+
+
+def _optimal_sizes(blocks):
+    """Best achievable compressed size per block: compress with a huge sample.
+
+    Sampling the entire block makes the estimate exact up to tie-breaking,
+    which is the paper's 'compress with every scheme' oracle.
+    """
+    from repro.core.sampling import SamplingStrategy
+
+    oracle = SchemeSelector(strategy=SamplingStrategy(1, 10**9))
+    return [len(compress_block(data, ctype, selector=oracle)) for data, ctype in blocks]
+
+
+@pytest.fixture(scope="module")
+def blocks_and_optimum():
+    blocks = _first_blocks()
+    return blocks, _optimal_sizes(blocks)
+
+
+def test_fig5_strategy_accuracy(benchmark, blocks_and_optimum):
+    blocks, optimum = blocks_and_optimum
+
+    def run():
+        scores = []
+        for strategy in FIGURE5_STRATEGIES:
+            correct = 0
+            for (data, ctype), best in zip(blocks, optimum):
+                selector = SchemeSelector(strategy=strategy)
+                size = len(compress_block(data, ctype, selector=selector))
+                if size <= best * 1.02:  # within 2% counts as correct
+                    correct += 1
+            scores.append((strategy.label, 100.0 * correct / len(blocks)))
+        return scores
+
+    scores = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Figure 5: correct scheme choices per sampling strategy (640 tuples)",
+        ["Strategy", "Correct choices [%]"],
+        [[label, pct] for label, pct in scores],
+    )
+    by_label = dict(scores)
+    multi_run_best = max(by_label[k] for k in ("80x8", "40x16", "10x64", "5x128"))
+    # The paper's takeaway: spread-out multi-tuple runs beat both extremes.
+    assert multi_run_best >= by_label["Single"]
+    assert multi_run_best >= by_label["Range"]
+
+
+def test_sec63_selection_overhead(benchmark, blocks_and_optimum):
+    """Section 6.3: selection takes ~1.2% of compression time; the default
+    strategy compresses only a few % worse than the optimum overall."""
+    blocks, optimum = blocks_and_optimum
+
+    def run():
+        selector = SchemeSelector()
+        started = time.perf_counter()
+        sizes = [len(compress_block(data, ctype, selector=selector)) for data, ctype in blocks]
+        total = time.perf_counter() - started
+        return sizes, selector.selection_seconds, total
+
+    sizes, selection_seconds, total_seconds = benchmark.pedantic(run, rounds=1, iterations=1)
+    overhead_pct = 100.0 * selection_seconds / total_seconds
+    loss_pct = 100.0 * (sum(sizes) / sum(optimum) - 1.0)
+    print(f"\nSection 6.3: selection overhead {overhead_pct:.1f}% of compression time "
+          f"(paper: 1.2%); compressed size {loss_pct:.1f}% above optimum (paper: 3.3%)")
+    # The paper's 1.2% is a C++ constant factor: per-scheme estimation there
+    # costs microseconds. In Python every sample compression pays interpreter
+    # dispatch, so the share is orders of magnitude higher; the *benefit*
+    # side of the trade-off (near-optimal size) is what must reproduce.
+    assert overhead_pct < 80.0
+    assert loss_pct < 10.0

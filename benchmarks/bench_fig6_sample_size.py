@@ -1,0 +1,60 @@
+"""Figure 6 — compressed-size penalty vs sample size.
+
+The paper sweeps the sample size from 10x8 tuples to the entire block and
+plots the total compressed size of the suite relative to the best possible
+cascade. Expected shape: the penalty decreases monotonically with sample
+size, and the default 10x64 (1% of a block) sits within a few percent of
+the optimum while tiny samples (10x8) pay noticeably more.
+"""
+
+import pytest
+
+from _harness import print_table, publicbi_suite
+from repro.core.compressor import compress_block
+from repro.core.sampling import SamplingStrategy
+from repro.core.selector import SchemeSelector
+
+SIZES = [
+    SamplingStrategy(10, 8),
+    SamplingStrategy(10, 16),
+    SamplingStrategy(10, 32),
+    SamplingStrategy(10, 64),
+    SamplingStrategy(10, 128),
+    SamplingStrategy(10, 256),
+    SamplingStrategy(10, 512),
+]
+
+
+def _blocks():
+    return [
+        (column.slice(0, min(len(column), 64_000)).data, column.ctype)
+        for relation in publicbi_suite()
+        for column in relation.columns
+    ]
+
+
+def test_fig6_sample_size_sweep(benchmark):
+    blocks = _blocks()
+
+    def run():
+        oracle = SchemeSelector(strategy=SamplingStrategy(1, 10**9))
+        optimum = sum(len(compress_block(d, t, selector=oracle)) for d, t in blocks)
+        rows = []
+        for strategy in SIZES:
+            selector = SchemeSelector(strategy=strategy)
+            total = sum(len(compress_block(d, t, selector=selector)) for d, t in blocks)
+            sampled_pct = 100.0 * strategy.sample_size / 64_000
+            rows.append((strategy.label, sampled_pct, 100.0 * (total / optimum - 1.0)))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Figure 6: compressed size above optimum vs sample size",
+        ["Sample", "Sampled tuples [%]", "Size above optimum [%]"],
+        [[label, pct, penalty] for label, pct, penalty in rows],
+    )
+    penalties = {label: penalty for label, _, penalty in rows}
+    # Larger samples must not be (much) worse than tiny ones, and the
+    # default 10x64 should sit within single-digit percent of the optimum.
+    assert penalties["10x512"] <= penalties["10x8"] + 1.0
+    assert penalties["10x64"] < 15.0

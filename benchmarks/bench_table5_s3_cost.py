@@ -1,0 +1,69 @@
+"""Table 5 — S3 scan cost on the largest 5 Public-BI-like workbooks.
+
+Paper values (c5n.18xlarge, real S3):
+
+    Format           S3 T_r   S3 T_c    Normalized cost
+    BtrBlocks        174.6GB/s  86.2Gbit  1.00
+    Parquet           56.1      52.6      2.61
+    +Snappy           77.6      33.2      1.84
+    +Zstd             78.6      24.8      1.77
+
+Reproduced here with the simulated object store and the calibrated cost
+model; the shape to check is BtrBlocks nearly saturating the link while
+every Parquet variant stays CPU-bound and 1.7-2.7x more expensive.
+"""
+
+import pytest
+
+from _harness import measure_decompress_seconds, print_table, publicbi_largest_five
+from repro.cloud import ScanCostModel
+from repro.formats import parquet_family
+
+
+@pytest.fixture(scope="module")
+def scan_metrics():
+    model = ScanCostModel()
+    metrics = []
+    for adapter in parquet_family():
+        uncompressed, compressed, seconds = measure_decompress_seconds(
+            adapter, publicbi_largest_five()
+        )
+        metrics.append(model.simulate(adapter.label, uncompressed, compressed, seconds))
+    return model, metrics
+
+
+def test_table5_s3_scan_cost(benchmark, scan_metrics):
+    model, metrics = scan_metrics
+
+    def run():
+        return [model.cost_usd(m) for m in metrics]
+
+    costs = benchmark.pedantic(run, rounds=3, iterations=1)
+    base = costs[0]
+    rows = [
+        [m.label, m.t_r_gbit / 8, m.t_c_gbit, model.cost_usd(m) * 1e6, model.cost_usd(m) / base]
+        for m in metrics
+    ]
+    print_table(
+        "Table 5: S3 scan cost (largest 5 workbooks)",
+        ["Format", "S3 T_r [GB/s]", "S3 T_c [Gbit/s]", "Cost/scan [u$]", "Normalized"],
+        rows,
+    )
+    # Shape assertions from the paper: BtrBlocks is the cheapest and close
+    # to the link rate; plain Parquet is the most expensive.
+    by_label = {m.label: model.cost_usd(m) for m in metrics}
+    assert by_label["btrblocks"] <= min(by_label.values()) * 1.001
+    # See bench_fig1_s3_scan.py on why the plain-Parquet margin is smaller
+    # than the paper's 2.61x in this reproduction.
+    assert by_label["parquet"] / by_label["btrblocks"] > 1.2
+    btr = next(m for m in metrics if m.label == "btrblocks")
+    assert btr.t_c_gbit > 60.0  # near the 91 Gbit/s link, as in the paper
+
+
+def test_table5_btrblocks_decompression(benchmark):
+    """Time the BtrBlocks leg by itself (the dominant term of its cost)."""
+    from repro.formats import btrblocks_adapter
+
+    adapter = btrblocks_adapter()
+    artifacts = [adapter.compress(r) for r in publicbi_largest_five()]
+    benchmark(lambda: [adapter.decompress(a) for a in artifacts])

@@ -1,0 +1,23 @@
+"""Baseline formats the paper compares against.
+
+* :mod:`repro.baselines.codecs` — general-purpose page codecs (the
+  Snappy / LZ4 / Zstd stand-ins, see DESIGN.md for the substitution map).
+* :mod:`repro.baselines.parquet_like` — a Parquet-style columnar format with
+  rowgroups, dictionary-or-plain encoding and optional page compression.
+* :mod:`repro.baselines.orc_like` — an ORC-style format with stripes and
+  a dictionary-threshold rule.
+* :mod:`repro.baselines.proprietary` — four anonymous "System A-D" pipelines
+  standing in for the proprietary column stores of Figure 7.
+"""
+
+from repro.baselines.codecs import CODECS, Codec, get_codec
+from repro.baselines.orc_like import OrcLikeFormat
+from repro.baselines.parquet_like import ParquetLikeFormat
+
+__all__ = [
+    "CODECS",
+    "Codec",
+    "get_codec",
+    "OrcLikeFormat",
+    "ParquetLikeFormat",
+]

@@ -1,0 +1,65 @@
+"""General-purpose page codecs used by the baseline formats.
+
+The paper compresses Parquet/ORC pages with Snappy, LZ4, Zstd (and mentions
+Brotli, Gzip, LZO and BZip2). None of those libraries is available offline,
+so we substitute the from-scratch Python LZ codec in
+:mod:`repro.baselines.lzb` at three effort levels (see DESIGN.md):
+
+=============  ==========================  ===============================
+Paper codec    Stand-in                    Preserved property
+=============  ==========================  ===============================
+Snappy         LZB level 1                 fast, modest ratio
+LZ4            LZB level 2                 Snappy-like (paper: "LZ4
+                                           behaved very similar to Snappy")
+Zstd           LZB level 9                 best ratio of the tested set
+                                           (hash chains, 16 MB window)
+BZip2          ``bz2`` level 9             heavyweight C reference the
+                                           paper used while building the
+                                           pool (ratio comparisons only)
+=============  ==========================  ===============================
+
+Using a Python codec (not stdlib ``zlib``) is deliberate: BtrBlocks kernels
+run at Python/NumPy speed, so the page codecs must too, or the baselines'
+decompression would be unrealistically fast relative to BtrBlocks and the
+paper's central speed relationship would invert.
+"""
+
+from __future__ import annotations
+
+import bz2
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.baselines import lzb
+
+
+@dataclass(frozen=True)
+class Codec:
+    """A named page codec: ``compress`` / ``decompress`` over raw bytes."""
+
+    name: str
+    compress: Callable[[bytes], bytes]
+    decompress: Callable[[bytes], bytes]
+
+
+def _identity(data: bytes) -> bytes:
+    return data
+
+
+NONE = Codec("none", _identity, _identity)
+SNAPPY_LIKE = Codec("snappy", lambda d: lzb.compress(d, 1), lzb.decompress)
+LZ4_LIKE = Codec("lz4", lambda d: lzb.compress(d, 2), lzb.decompress)
+ZSTD_LIKE = Codec("zstd", lambda d: lzb.compress(d, 9), lzb.decompress)
+BZIP2 = Codec("bzip2", lambda d: bz2.compress(d, 9), bz2.decompress)
+
+CODECS: dict[str, Codec] = {
+    codec.name: codec for codec in (NONE, SNAPPY_LIKE, LZ4_LIKE, ZSTD_LIKE, BZIP2)
+}
+
+
+def get_codec(name: str) -> Codec:
+    """Look up a codec by its paper-facing name (``none``/``snappy``/...)."""
+    try:
+        return CODECS[name]
+    except KeyError:
+        raise KeyError(f"unknown codec {name!r}; available: {sorted(CODECS)}") from None

@@ -1,0 +1,322 @@
+"""A from-scratch Roaring bitmap.
+
+Roaring bitmaps partition the 32-bit integer universe into 2^16 chunks keyed
+by the high 16 bits of each value. Each chunk stores its low 16 bits in one
+of three container kinds, chosen by local density:
+
+* ``array``  -- a sorted ``uint16`` array, used for sparse chunks
+  (at most ``ARRAY_MAX`` entries).
+* ``bitmap`` -- a fixed 8 KiB bitset (1024 ``uint64`` words), used for dense
+  chunks.
+* ``run``    -- sorted ``(start, length-1)`` pairs, used when the chunk is
+  dominated by long runs (the common case for NULL columns that are almost
+  entirely NULL or entirely non-NULL).
+
+The public surface mirrors what BtrBlocks needs from CRoaring: bulk
+construction from positions, membership tests, iteration, cardinality,
+set algebra, and a compact serialization that rides inside compressed blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.exceptions import CorruptBlockError
+
+ARRAY_MAX = 4096
+BITMAP_WORDS = 1024
+
+_KIND_ARRAY = 0
+_KIND_BITMAP = 1
+_KIND_RUN = 2
+
+_MAGIC = b"RB01"
+
+
+def _bitmap_from_values(low: np.ndarray) -> np.ndarray:
+    """Build a 1024-word uint64 bitset from uint16 values."""
+    words = np.zeros(BITMAP_WORDS, dtype=np.uint64)
+    idx = low >> 6
+    bit = np.uint64(1) << (low.astype(np.uint64) & np.uint64(63))
+    np.bitwise_or.at(words, idx, bit)
+    return words
+
+
+def _bitmap_to_values(words: np.ndarray) -> np.ndarray:
+    """Expand a 1024-word uint64 bitset back to sorted uint16 values."""
+    bits = np.unpackbits(words.view(np.uint8), bitorder="little")
+    return np.nonzero(bits)[0].astype(np.uint16)
+
+
+def _runs_from_sorted(low: np.ndarray) -> np.ndarray:
+    """Convert sorted unique uint16 values to (start, length-1) run pairs."""
+    if low.size == 0:
+        return np.empty((0, 2), dtype=np.uint16)
+    as32 = low.astype(np.int32)
+    breaks = np.nonzero(np.diff(as32) != 1)[0]
+    starts = np.concatenate(([0], breaks + 1))
+    ends = np.concatenate((breaks, [low.size - 1]))
+    pairs = np.empty((starts.size, 2), dtype=np.uint16)
+    pairs[:, 0] = low[starts]
+    pairs[:, 1] = (as32[ends] - as32[starts]).astype(np.uint16)
+    return pairs
+
+
+def _runs_to_values(pairs: np.ndarray) -> np.ndarray:
+    """Expand (start, length-1) run pairs to sorted uint16 values."""
+    if pairs.shape[0] == 0:
+        return np.empty(0, dtype=np.uint16)
+    lengths = pairs[:, 1].astype(np.int64) + 1
+    total = int(lengths.sum())
+    out = np.empty(total, dtype=np.int64)
+    pos = 0
+    for start, extent in zip(pairs[:, 0].astype(np.int64), lengths):
+        out[pos : pos + extent] = np.arange(start, start + extent)
+        pos += extent
+    return out.astype(np.uint16)
+
+
+class _Container:
+    """One Roaring container: the low 16 bits of values in a 64 Ki chunk."""
+
+    __slots__ = ("kind", "payload", "cardinality")
+
+    def __init__(self, kind: int, payload: np.ndarray, cardinality: int):
+        self.kind = kind
+        self.payload = payload
+        self.cardinality = cardinality
+
+    @classmethod
+    def from_sorted(cls, low: np.ndarray) -> "_Container":
+        """Pick the cheapest container kind for sorted unique uint16 values."""
+        card = int(low.size)
+        runs = _runs_from_sorted(low)
+        run_bytes = 4 * runs.shape[0]
+        array_bytes = 2 * card
+        bitmap_bytes = 8 * BITMAP_WORDS
+        best = min(run_bytes, array_bytes, bitmap_bytes)
+        if best == run_bytes:
+            return cls(_KIND_RUN, runs, card)
+        if best == array_bytes:
+            return cls(_KIND_ARRAY, low.copy(), card)
+        return cls(_KIND_BITMAP, _bitmap_from_values(low), card)
+
+    def values(self) -> np.ndarray:
+        """Return the sorted uint16 values stored in this container."""
+        if self.kind == _KIND_ARRAY:
+            return self.payload
+        if self.kind == _KIND_BITMAP:
+            return _bitmap_to_values(self.payload)
+        return _runs_to_values(self.payload)
+
+    def contains(self, low: int) -> bool:
+        if self.kind == _KIND_ARRAY:
+            i = int(np.searchsorted(self.payload, low))
+            return i < self.payload.size and int(self.payload[i]) == low
+        if self.kind == _KIND_BITMAP:
+            word = int(self.payload[low >> 6])
+            return bool((word >> (low & 63)) & 1)
+        starts = self.payload[:, 0]
+        i = int(np.searchsorted(starts, low, side="right")) - 1
+        if i < 0:
+            return False
+        start = int(starts[i])
+        return start <= low <= start + int(self.payload[i, 1])
+
+    def contains_many(self, low: np.ndarray) -> np.ndarray:
+        """Vectorised membership test for an array of uint16 values."""
+        if self.kind == _KIND_BITMAP:
+            words = self.payload[low >> 6]
+            return ((words >> (low.astype(np.uint64) & np.uint64(63))) & np.uint64(1)).astype(bool)
+        vals = self.values()
+        idx = np.searchsorted(vals, low)
+        idx = np.minimum(idx, vals.size - 1) if vals.size else idx
+        if vals.size == 0:
+            return np.zeros(low.size, dtype=bool)
+        return vals[idx] == low
+
+    def nbytes(self) -> int:
+        return int(self.payload.nbytes)
+
+
+class RoaringBitmap:
+    """A set of uint32 positions with density-adaptive containers.
+
+    The typical producer in this library is
+    :meth:`RoaringBitmap.from_positions`, called with the NULL positions of a
+    column block or the exception positions of an encoding. Containers are
+    immutable once built; set algebra returns new bitmaps.
+    """
+
+    def __init__(self) -> None:
+        self._keys: list[int] = []
+        self._containers: list[_Container] = []
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_positions(cls, positions: Iterable[int] | np.ndarray) -> "RoaringBitmap":
+        """Build a bitmap from (possibly unsorted, possibly duplicated) positions."""
+        arr = np.asarray(positions, dtype=np.int64)
+        bm = cls()
+        if arr.size == 0:
+            return bm
+        if np.any(arr < 0) or np.any(arr > 0xFFFFFFFF):
+            raise ValueError("positions must be uint32")
+        arr = np.unique(arr).astype(np.uint32)
+        highs = (arr >> 16).astype(np.uint32)
+        lows = (arr & 0xFFFF).astype(np.uint16)
+        boundaries = np.nonzero(np.diff(highs))[0] + 1
+        starts = np.concatenate(([0], boundaries))
+        ends = np.concatenate((boundaries, [arr.size]))
+        for s, e in zip(starts, ends):
+            bm._keys.append(int(highs[s]))
+            bm._containers.append(_Container.from_sorted(lows[s:e]))
+        return bm
+
+    @classmethod
+    def from_bools(cls, mask: np.ndarray) -> "RoaringBitmap":
+        """Build a bitmap from a boolean mask; set positions are True indices."""
+        return cls.from_positions(np.nonzero(np.asarray(mask, dtype=bool))[0])
+
+    # -- queries ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(c.cardinality for c in self._containers)
+
+    def __bool__(self) -> bool:
+        return bool(self._containers)
+
+    def __contains__(self, value: int) -> bool:
+        if value < 0 or value > 0xFFFFFFFF:
+            return False
+        key = value >> 16
+        try:
+            i = self._keys.index(key)
+        except ValueError:
+            return False
+        return self._containers[i].contains(value & 0xFFFF)
+
+    def __iter__(self) -> Iterator[int]:
+        for key, container in zip(self._keys, self._containers):
+            base = key << 16
+            for low in container.values():
+                yield base + int(low)
+
+    def to_array(self) -> np.ndarray:
+        """Return all set positions as a sorted uint32 array."""
+        parts = []
+        for key, container in zip(self._keys, self._containers):
+            parts.append(container.values().astype(np.uint32) + np.uint32(key << 16))
+        if not parts:
+            return np.empty(0, dtype=np.uint32)
+        return np.concatenate(parts)
+
+    def to_mask(self, length: int) -> np.ndarray:
+        """Return a boolean mask of the given length with set positions True."""
+        mask = np.zeros(length, dtype=bool)
+        positions = self.to_array()
+        positions = positions[positions < length]
+        mask[positions] = True
+        return mask
+
+    def contains_many(self, values: np.ndarray) -> np.ndarray:
+        """Vectorised membership test over an int array."""
+        values = np.asarray(values, dtype=np.int64)
+        out = np.zeros(values.size, dtype=bool)
+        if not self._containers:
+            return out
+        highs = values >> 16
+        lows = (values & 0xFFFF).astype(np.uint16)
+        for key, container in zip(self._keys, self._containers):
+            sel = highs == key
+            if np.any(sel):
+                out[sel] = container.contains_many(lows[sel])
+        return out
+
+    def intersects_range(self, start: int, stop: int) -> bool:
+        """True if any set position falls in [start, stop)."""
+        positions = self.to_array()
+        i = int(np.searchsorted(positions, start))
+        return i < positions.size and int(positions[i]) < stop
+
+    def container_kinds(self) -> list[str]:
+        """Container kind names in key order (useful for tests/introspection)."""
+        names = {_KIND_ARRAY: "array", _KIND_BITMAP: "bitmap", _KIND_RUN: "run"}
+        return [names[c.kind] for c in self._containers]
+
+    def nbytes(self) -> int:
+        """Approximate in-memory payload size (what serialization will cost)."""
+        return sum(c.nbytes() + 8 for c in self._containers)
+
+    # -- set algebra ---------------------------------------------------------
+
+    def union(self, other: "RoaringBitmap") -> "RoaringBitmap":
+        mine, theirs = self.to_array(), other.to_array()
+        return RoaringBitmap.from_positions(np.union1d(mine, theirs))
+
+    def intersection(self, other: "RoaringBitmap") -> "RoaringBitmap":
+        mine, theirs = self.to_array(), other.to_array()
+        return RoaringBitmap.from_positions(np.intersect1d(mine, theirs))
+
+    def difference(self, other: "RoaringBitmap") -> "RoaringBitmap":
+        mine, theirs = self.to_array(), other.to_array()
+        return RoaringBitmap.from_positions(np.setdiff1d(mine, theirs))
+
+    __or__ = union
+    __and__ = intersection
+    __sub__ = difference
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RoaringBitmap):
+            return NotImplemented
+        return np.array_equal(self.to_array(), other.to_array())
+
+    def __repr__(self) -> str:
+        return f"RoaringBitmap(card={len(self)}, containers={self.container_kinds()})"
+
+    # -- serialization -------------------------------------------------------
+
+    def serialize(self) -> bytes:
+        """Serialize to a compact, self-describing byte string."""
+        parts = [_MAGIC, np.uint32(len(self._keys)).tobytes()]
+        for key, container in zip(self._keys, self._containers):
+            payload = container.payload.tobytes()
+            header = np.array(
+                [key, container.kind, container.cardinality, len(payload)],
+                dtype=np.uint32,
+            )
+            parts.append(header.tobytes())
+            parts.append(payload)
+        return b"".join(parts)
+
+    @classmethod
+    def deserialize(cls, data: bytes) -> "RoaringBitmap":
+        """Inverse of :meth:`serialize`."""
+        if data[:4] != _MAGIC:
+            raise CorruptBlockError("bad roaring bitmap magic")
+        count = int(np.frombuffer(data, dtype=np.uint32, count=1, offset=4)[0])
+        bm = cls()
+        offset = 8
+        for _ in range(count):
+            if offset + 16 > len(data):
+                raise CorruptBlockError("truncated roaring bitmap header")
+            key, kind, card, size = np.frombuffer(data, dtype=np.uint32, count=4, offset=offset)
+            offset += 16
+            raw = data[offset : offset + int(size)]
+            if len(raw) != int(size):
+                raise CorruptBlockError("truncated roaring bitmap payload")
+            offset += int(size)
+            if kind == _KIND_ARRAY:
+                payload = np.frombuffer(raw, dtype=np.uint16)
+            elif kind == _KIND_BITMAP:
+                payload = np.frombuffer(raw, dtype=np.uint64)
+            elif kind == _KIND_RUN:
+                payload = np.frombuffer(raw, dtype=np.uint16).reshape(-1, 2)
+            else:
+                raise CorruptBlockError(f"unknown container kind {kind}")
+            bm._keys.append(int(key))
+            bm._containers.append(_Container(int(kind), payload, int(card)))
+        return bm

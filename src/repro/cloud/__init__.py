@@ -1,0 +1,22 @@
+"""Simulated cloud substrate: S3-like object store, pricing and scan cost.
+
+The paper's end-to-end evaluation (Section 6.7, Figure 1, Table 5) runs on a
+c5n.18xlarge instance scanning S3. Neither is available offline, so this
+package simulates them: the object store accounts GET requests and bytes,
+and the cost model combines the paper's published price constants with
+decompression throughput measured on this machine, scaled by a documented
+calibration factor (see :mod:`repro.cloud.pricing`).
+"""
+
+from repro.cloud.costmodel import ScanCostModel, ScanMetrics
+from repro.cloud.objectstore import SimulatedObjectStore
+from repro.cloud.pricing import PricingModel
+from repro.cloud.remote_table import RemoteTable
+
+__all__ = [
+    "PricingModel",
+    "RemoteTable",
+    "ScanCostModel",
+    "ScanMetrics",
+    "SimulatedObjectStore",
+]

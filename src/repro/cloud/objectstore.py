@@ -1,0 +1,95 @@
+"""A simulated S3-compatible object store.
+
+Stores blobs in memory, serves full- and range-GETs, and accounts exactly
+what the paper's cost model needs: the number of GET requests and the bytes
+transferred. A transfer-time estimate derived from the pricing model turns
+the accounting into simulated wall-clock time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cloud.pricing import DEFAULT_PRICING, PricingModel
+from repro.exceptions import FormatError
+
+
+@dataclass
+class TransferStats:
+    """Accumulated request/byte accounting for one workload."""
+
+    get_requests: int = 0
+    bytes_downloaded: int = 0
+
+    def reset(self) -> None:
+        self.get_requests = 0
+        self.bytes_downloaded = 0
+
+
+@dataclass
+class SimulatedObjectStore:
+    """An in-memory blob store with S3-like GET semantics and accounting."""
+
+    pricing: PricingModel = field(default_factory=lambda: DEFAULT_PRICING)
+    _objects: dict[str, bytes] = field(default_factory=dict)
+    stats: TransferStats = field(default_factory=TransferStats)
+
+    # -- bucket operations ----------------------------------------------------
+
+    def put(self, key: str, data: bytes) -> None:
+        """Upload an object (uploads are not billed in the paper's model)."""
+        self._objects[key] = data
+
+    def put_many(self, files: dict[str, bytes]) -> None:
+        for key, data in files.items():
+            self.put(key, data)
+
+    def keys(self, prefix: str = "") -> list[str]:
+        return sorted(k for k in self._objects if k.startswith(prefix))
+
+    def object_size(self, key: str) -> int:
+        return len(self._objects[key])
+
+    # -- GET requests ---------------------------------------------------------
+
+    def get(self, key: str) -> bytes:
+        """Full-object GET: one request regardless of object size."""
+        if key not in self._objects:
+            raise FormatError(f"no such object: {key}")
+        data = self._objects[key]
+        self.stats.get_requests += 1
+        self.stats.bytes_downloaded += len(data)
+        return data
+
+    def get_range(self, key: str, start: int, length: int) -> bytes:
+        """Range GET (how clients fetch 16 MB chunks and Parquet footers)."""
+        if key not in self._objects:
+            raise FormatError(f"no such object: {key}")
+        data = self._objects[key][start : start + length]
+        self.stats.get_requests += 1
+        self.stats.bytes_downloaded += len(data)
+        return data
+
+    def get_chunked(self, key: str) -> bytes:
+        """Fetch an object in recommended-size chunks (16 MB per request)."""
+        if key not in self._objects:
+            raise FormatError(f"no such object: {key}")
+        size = len(self._objects[key])
+        chunk = self.pricing.chunk_bytes
+        parts = [
+            self.get_range(key, offset, min(chunk, size - offset))
+            for offset in range(0, max(size, 1), chunk)
+        ]
+        return b"".join(parts)
+
+    # -- simulated timing -----------------------------------------------------
+
+    def simulated_transfer_seconds(self) -> float:
+        """Wall-clock estimate for the accounted transfers.
+
+        Bandwidth-bound bulk time plus per-request latency amortised over the
+        concurrent request slots the client keeps in flight.
+        """
+        bulk = self.stats.bytes_downloaded / self.pricing.s3_bytes_per_second
+        latency_waves = -(-self.stats.get_requests // self.pricing.concurrency)
+        return bulk + latency_waves * self.pricing.request_latency_seconds

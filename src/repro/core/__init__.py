@@ -1,0 +1,18 @@
+"""BtrBlocks core: statistics, sampling, scheme selection, cascading
+compression and the block/file format."""
+
+from repro.core.config import BtrBlocksConfig
+from repro.core.compressor import compress_block, compress_column, compress_relation
+from repro.core.decompressor import decompress_block, decompress_column, decompress_relation
+from repro.core.relation import Relation
+
+__all__ = [
+    "BtrBlocksConfig",
+    "Relation",
+    "compress_block",
+    "compress_column",
+    "compress_relation",
+    "decompress_block",
+    "decompress_column",
+    "decompress_relation",
+]

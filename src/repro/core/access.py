@@ -1,0 +1,92 @@
+"""Random (point) access into compressed columns.
+
+BtrBlocks optimises for scan throughput, not point access (the paper's
+Section 7 contrasts this with HyPer Data Blocks, which keeps data
+byte-addressable precisely to serve point queries). Still, block-based
+storage gives a natural unit of selective decompression: to read a handful
+of rows only the blocks containing them are decoded. That is what these
+helpers implement — and they make the cost model of the trade-off explicit:
+one point read costs one block decompression.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+import numpy as np
+
+from repro.bitmap import RoaringBitmap
+from repro.core.blocks import CompressedColumn
+from repro.core.decompressor import make_context, _decompress_node
+from repro.encodings import strutil
+from repro.types import Column, ColumnType, StringArray
+
+
+def _block_offsets(compressed: CompressedColumn) -> list[int]:
+    """Starting row of each block (cumulative counts)."""
+    offsets = [0]
+    for block in compressed.blocks:
+        offsets.append(offsets[-1] + block.count)
+    return offsets
+
+
+def read_rows(
+    compressed: CompressedColumn,
+    row_indices,
+    vectorized: bool = True,
+) -> Column:
+    """Materialise the given rows (any order, duplicates allowed).
+
+    Only blocks containing requested rows are decompressed, each at most
+    once; results come back in the order requested.
+    """
+    indices = np.asarray(row_indices, dtype=np.int64)
+    offsets = _block_offsets(compressed)
+    total = offsets[-1]
+    if indices.size and (indices.min() < 0 or indices.max() >= total):
+        raise IndexError(f"row index out of range 0..{total - 1}")
+    ctx = make_context(vectorized)
+    block_cache: dict[int, object] = {}
+    null_cache: dict[int, RoaringBitmap | None] = {}
+
+    def block_of(row: int) -> int:
+        return bisect_right(offsets, row) - 1
+
+    block_ids = np.array([block_of(int(r)) for r in indices], dtype=np.int64)
+    for block_id in np.unique(block_ids):
+        block = compressed.blocks[block_id]
+        block_cache[block_id] = _decompress_node(block.data, compressed.ctype, ctx)
+        null_cache[block_id] = (
+            RoaringBitmap.deserialize(block.nulls) if block.nulls else None
+        )
+
+    local = indices - np.asarray(offsets, dtype=np.int64)[block_ids]
+    null_positions = [
+        i
+        for i, (block_id, row) in enumerate(zip(block_ids, local))
+        if null_cache[int(block_id)] is not None and int(row) in null_cache[int(block_id)]
+    ]
+    nulls = RoaringBitmap.from_positions(null_positions) if null_positions else None
+
+    if compressed.ctype is ColumnType.STRING:
+        parts = [
+            strutil.gather(block_cache[int(b)], np.array([int(r)]))
+            for b, r in zip(block_ids, local)
+        ]
+        data = strutil.concat(parts) if parts else StringArray.empty(0)
+        return Column(compressed.name, compressed.ctype, data, nulls)
+    dtype = np.int32 if compressed.ctype is ColumnType.INTEGER else np.float64
+    out = np.empty(indices.size, dtype=dtype)
+    for position, (block_id, row) in enumerate(zip(block_ids, local)):
+        out[position] = block_cache[int(block_id)][int(row)]
+    return Column(compressed.name, compressed.ctype, out, nulls)
+
+
+def read_value(compressed: CompressedColumn, row: int):
+    """One value (bytes for strings, Python scalar otherwise); None if NULL."""
+    column = read_rows(compressed, [row])
+    if column.nulls is not None and 0 in column.nulls:
+        return None
+    if compressed.ctype is ColumnType.STRING:
+        return column.data[0]
+    return column.data[0].item()

@@ -1,0 +1,76 @@
+"""Containers for compressed blocks, columns and relations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.encodings.base import get_scheme
+from repro.encodings.wire import unwrap
+from repro.types import ColumnType
+
+
+@dataclass
+class CompressedBlock:
+    """One compressed 64k-value block: data node bytes + NULL bitmap bytes."""
+
+    count: int
+    data: bytes
+    nulls: bytes | None = None
+
+    @property
+    def root_scheme_id(self) -> int:
+        """Wire id of the outermost scheme in this block's cascade."""
+        scheme_id, _count, _payload = unwrap(self.data)
+        return scheme_id
+
+    @property
+    def root_scheme_name(self) -> str:
+        return get_scheme(self.root_scheme_id).name
+
+    @property
+    def nbytes(self) -> int:
+        """Compressed size including the NULL bitmap."""
+        return len(self.data) + (len(self.nulls) if self.nulls else 0)
+
+
+@dataclass
+class CompressedColumn:
+    """A column as a sequence of compressed blocks."""
+
+    name: str
+    ctype: ColumnType
+    blocks: list[CompressedBlock] = field(default_factory=list)
+
+    @property
+    def count(self) -> int:
+        return sum(block.count for block in self.blocks)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(block.nbytes for block in self.blocks)
+
+    def scheme_histogram(self) -> dict[str, int]:
+        """Root scheme name -> number of blocks using it."""
+        hist: dict[str, int] = {}
+        for block in self.blocks:
+            name = block.root_scheme_name
+            hist[name] = hist.get(name, 0) + 1
+        return hist
+
+
+@dataclass
+class CompressedRelation:
+    """A compressed table: one compressed column per input column."""
+
+    name: str
+    columns: list[CompressedColumn] = field(default_factory=list)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(column.nbytes for column in self.columns)
+
+    def column(self, name: str) -> CompressedColumn:
+        for column in self.columns:
+            if column.name == name:
+                return column
+        raise KeyError(name)

@@ -1,0 +1,92 @@
+"""Cascading block compression (paper Section 3.2).
+
+``compress_block`` is the entry point for a single value sequence; it wires a
+:class:`~repro.core.selector.SchemeSelector` into a
+:class:`~repro.encodings.base.CompressionContext` so that every scheme's
+child data recursively flows through scheme selection until the cascade depth
+is exhausted. ``compress_column`` / ``compress_relation`` chunk full columns
+into 64k blocks, carrying NULL bitmaps alongside.
+"""
+
+from __future__ import annotations
+
+from repro.bitmap import RoaringBitmap
+from repro.core.blocks import CompressedBlock, CompressedColumn, CompressedRelation
+from repro.core.config import BtrBlocksConfig
+from repro.core.relation import Relation
+from repro.core.selector import SchemeSelector
+from repro.encodings.base import CompressionContext, Values
+from repro.encodings.wire import wrap
+from repro.types import Column, ColumnType
+
+
+def _compress_node(
+    values: Values, ctype: ColumnType, ctx: CompressionContext, selector: SchemeSelector
+) -> bytes:
+    scheme = selector.pick(values, ctype, ctx)
+    payload = scheme.compress(values, ctx)
+    return wrap(scheme.scheme_id, len(values), payload)
+
+
+def make_context(selector: SchemeSelector) -> CompressionContext:
+    """A compression context rooted at the configured cascade depth."""
+
+    def compress_fn(values: Values, ctype: ColumnType, ctx: CompressionContext) -> bytes:
+        return _compress_node(values, ctype, ctx, selector)
+
+    return CompressionContext(selector.config, selector.config.max_cascade_depth, compress_fn)
+
+
+def compress_block(
+    values: Values,
+    ctype: ColumnType,
+    config: BtrBlocksConfig | None = None,
+    selector: SchemeSelector | None = None,
+) -> bytes:
+    """Compress one block of values into a self-describing byte string."""
+    selector = selector or SchemeSelector(config)
+    ctx = make_context(selector)
+    return _compress_node(values, ctype, ctx, selector)
+
+
+def compress_column(
+    column: Column,
+    config: BtrBlocksConfig | None = None,
+    selector: SchemeSelector | None = None,
+) -> CompressedColumn:
+    """Chunk a column into blocks and compress each independently."""
+    selector = selector or SchemeSelector(config)
+    block_size = selector.config.block_size
+    compressed = CompressedColumn(column.name, column.ctype)
+    total = len(column)
+    for start in range(0, max(total, 1), block_size):
+        chunk = column.slice(start, min(start + block_size, total))
+        data = compress_block(chunk.data, column.ctype, selector=selector)
+        nulls = chunk.nulls.serialize() if chunk.nulls is not None else None
+        compressed.blocks.append(CompressedBlock(len(chunk), data, nulls))
+        if total == 0:
+            break
+    return compressed
+
+
+def compress_relation(
+    relation: Relation,
+    config: BtrBlocksConfig | None = None,
+) -> CompressedRelation:
+    """Compress every column of a relation.
+
+    Each column gets a fresh, identically-seeded selector so results do not
+    depend on column order and match the thread-parallel API bit for bit.
+    """
+    out = CompressedRelation(relation.name)
+    for column in relation.columns:
+        out.columns.append(compress_column(column, selector=SchemeSelector(config)))
+    return out
+
+
+__all__ = [
+    "compress_block",
+    "compress_column",
+    "compress_relation",
+    "make_context",
+]

@@ -1,0 +1,101 @@
+"""Relations: named collections of equal-length columns."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import TypeMismatchError
+from repro.types import Column, ColumnType, StringArray
+
+
+@dataclass
+class Relation:
+    """A table held in the uncompressed in-memory columnar format.
+
+    This is the paper's "in-memory columnar binary representation": the
+    baseline all compression ratios are computed against.
+    """
+
+    name: str
+    columns: list[Column] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        lengths = {len(c) for c in self.columns}
+        if len(lengths) > 1:
+            raise TypeMismatchError(f"column lengths differ: {sorted(lengths)}")
+
+    @classmethod
+    def from_dict(cls, name: str, data: Mapping[str, Sequence | np.ndarray]) -> "Relation":
+        """Build a relation, inferring column types from the values.
+
+        Integer sequences become int32 columns, floats become doubles and
+        everything else becomes strings (``None`` entries turn into NULLs).
+        """
+        columns = []
+        for col_name, values in data.items():
+            if isinstance(values, Column):
+                columns.append(values)
+                continue
+            arr = values if isinstance(values, np.ndarray) else None
+            if arr is not None and np.issubdtype(arr.dtype, np.integer):
+                columns.append(Column.ints(col_name, arr))
+            elif arr is not None and np.issubdtype(arr.dtype, np.floating):
+                columns.append(Column.doubles(col_name, arr))
+            elif arr is not None:
+                columns.append(Column.strings(col_name, [str(v) for v in arr.tolist()]))
+            else:
+                columns.append(_column_from_pylist(col_name, list(values)))
+        return cls(name, columns)
+
+    @property
+    def row_count(self) -> int:
+        return len(self.columns[0]) if self.columns else 0
+
+    @property
+    def nbytes(self) -> int:
+        """Total uncompressed binary size."""
+        return sum(c.nbytes for c in self.columns)
+
+    def column(self, name: str) -> Column:
+        for column in self.columns:
+            if column.name == name:
+                return column
+        raise KeyError(name)
+
+    def column_names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+    def select(self, names: Iterable[str]) -> "Relation":
+        """A relation with only the named columns (projection)."""
+        return Relation(self.name, [self.column(n) for n in names])
+
+    def slice(self, start: int, stop: int) -> "Relation":
+        return Relation(self.name, [c.slice(start, stop) for c in self.columns])
+
+    def __repr__(self) -> str:
+        return (
+            f"Relation({self.name!r}, rows={self.row_count}, "
+            f"cols={len(self.columns)}, bytes={self.nbytes})"
+        )
+
+
+def _column_from_pylist(name: str, values: list) -> Column:
+    """Infer a typed column from a Python list, treating ``None`` as NULL."""
+    non_null = [v for v in values if v is not None]
+    if non_null and all(isinstance(v, (int, np.integer)) and not isinstance(v, bool) for v in non_null):
+        data = np.array([0 if v is None else int(v) for v in values], dtype=np.int32)
+        return Column.ints(name, data, _nulls_of(values))
+    if non_null and all(isinstance(v, (int, float, np.floating, np.integer)) for v in non_null):
+        data = np.array([0.0 if v is None else float(v) for v in values], dtype=np.float64)
+        return Column.doubles(name, data, _nulls_of(values))
+    return Column.strings(name, values)
+
+
+def _nulls_of(values: list):
+    from repro.bitmap import RoaringBitmap
+
+    positions = [i for i, v in enumerate(values) if v is None]
+    return RoaringBitmap.from_positions(positions) if positions else None

@@ -1,0 +1,90 @@
+"""Sampling strategies for compression-ratio estimation (paper Section 3.1).
+
+The default BtrBlocks strategy draws several small *runs* of consecutive
+values from random positions within non-overlapping *parts* of the block
+(Figure 2): runs preserve the spatial locality RLE-style schemes need, while
+spreading them over the block captures the value distribution. The paper's
+Figure 5 compares this against single-range and random-tuple sampling; all
+strategies here are parameterised so those experiments can be reproduced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.encodings.strutil import gather
+from repro.types import ColumnType, StringArray
+
+
+@dataclass(frozen=True)
+class SamplingStrategy:
+    """``runs`` runs of ``run_length`` consecutive values each.
+
+    ``runs=1`` degenerates to a single contiguous range; ``run_length=1``
+    degenerates to random individual tuples — the two extreme cases of the
+    paper's Figure 5.
+    """
+
+    runs: int
+    run_length: int
+
+    @property
+    def sample_size(self) -> int:
+        return self.runs * self.run_length
+
+    @property
+    def label(self) -> str:
+        if self.runs == 1:
+            return "Range"
+        if self.run_length == 1:
+            return "Single"
+        return f"{self.runs}x{self.run_length}"
+
+    def indices(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Sampled row indices (sorted, possibly fewer if the block is small)."""
+        if count <= self.sample_size:
+            return np.arange(count, dtype=np.int64)
+        part_size = count // self.runs
+        starts = []
+        for part in range(self.runs):
+            lo = part * part_size
+            hi = min((part + 1) * part_size, count) - self.run_length
+            starts.append(int(rng.integers(lo, max(hi, lo) + 1)))
+        pieces = [
+            np.arange(start, min(start + self.run_length, count), dtype=np.int64)
+            for start in starts
+        ]
+        return np.concatenate(pieces)
+
+
+DEFAULT_STRATEGY = SamplingStrategy(runs=10, run_length=64)
+
+#: The strategies compared in the paper's Figure 5 (all sample 640 tuples).
+FIGURE5_STRATEGIES = [
+    SamplingStrategy(640, 1),  # random individual tuples ("Single")
+    SamplingStrategy(1, 640),  # one contiguous range ("Range")
+    SamplingStrategy(320, 2),
+    SamplingStrategy(80, 8),
+    SamplingStrategy(40, 16),
+    SamplingStrategy(10, 64),
+    SamplingStrategy(5, 128),
+]
+
+
+def take_sample(
+    values: "np.ndarray | StringArray",
+    ctype: ColumnType,
+    strategy: SamplingStrategy,
+    rng: np.random.Generator,
+) -> "np.ndarray | StringArray":
+    """Materialise a sample of the block under the given strategy."""
+    count = len(values)
+    idx = strategy.indices(count, rng)
+    if idx.size == count:
+        return values
+    if ctype is ColumnType.STRING:
+        assert isinstance(values, StringArray)
+        return gather(values, idx)
+    return np.asarray(values)[idx]

@@ -1,0 +1,126 @@
+"""Sampling-based scheme selection (paper Section 3, Listing 1).
+
+For a block of values the selector (1) collects statistics, (2) filters
+non-viable schemes with cheap heuristics, (3) compresses a small sample with
+every surviving scheme, and (4) returns the scheme with the best observed
+compression ratio. Cascading happens naturally: compressing the sample runs
+the schemes' child compression through this same selector one level deeper.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.config import BtrBlocksConfig
+from repro.core.sampling import DEFAULT_STRATEGY, SamplingStrategy, take_sample
+from repro.core.stats import compute_stats
+from repro.encodings.base import (
+    CompressionContext,
+    Scheme,
+    Values,
+    default_pool,
+)
+from repro.encodings.uncompressed import UNCOMPRESSED_BY_TYPE
+from repro.types import ColumnType, StringArray
+
+
+def values_nbytes(values: Values, ctype: ColumnType) -> int:
+    """Uncompressed binary size of a value sequence (the ratio denominator)."""
+    if ctype is ColumnType.STRING:
+        assert isinstance(values, StringArray)
+        return values.nbytes
+    return int(np.asarray(values).nbytes)
+
+
+class SchemeSelector:
+    """Chooses the best scheme per block and accounts its own CPU time.
+
+    ``selection_seconds`` accumulates time spent estimating ratios, which the
+    Section 6.3 experiment compares against total compression time (the paper
+    reports 1.2%).
+    """
+
+    def __init__(
+        self,
+        config: BtrBlocksConfig | None = None,
+        strategy: SamplingStrategy | None = None,
+        seed: int = 42,
+    ) -> None:
+        self.config = config or BtrBlocksConfig()
+        self.strategy = strategy or SamplingStrategy(
+            self.config.sample_runs, self.config.sample_run_length
+        )
+        self.rng = np.random.default_rng(seed)
+        self.selection_seconds = 0.0
+
+    # -- pool management -----------------------------------------------------
+
+    def pool(self, ctype: ColumnType) -> list[Scheme]:
+        """The candidate schemes for one data type under the current config."""
+        schemes = default_pool(ctype)
+        if self.config.allowed_schemes is not None:
+            schemes = [s for s in schemes if s.scheme_id in self.config.allowed_schemes]
+        if self.config.excluded_schemes:
+            schemes = [s for s in schemes if s.scheme_id not in self.config.excluded_schemes]
+        return schemes
+
+    # -- selection -----------------------------------------------------------
+
+    def pick(
+        self,
+        values: Values,
+        ctype: ColumnType,
+        ctx: CompressionContext,
+    ) -> Scheme:
+        """Pick the best scheme for these values at the context's depth."""
+        uncompressed = UNCOMPRESSED_BY_TYPE[ctype]
+        if ctx.depth <= 0 or len(values) == 0:
+            return uncompressed
+        started = time.perf_counter()
+        try:
+            return self._pick_timed(values, ctype, ctx, uncompressed)
+        finally:
+            self.selection_seconds += time.perf_counter() - started
+
+    def _pick_timed(
+        self,
+        values: Values,
+        ctype: ColumnType,
+        ctx: CompressionContext,
+        uncompressed: Scheme,
+    ) -> Scheme:
+        stats = compute_stats(values, ctype)
+        sample = take_sample(values, ctype, self.strategy, self.rng)
+        sample_bytes = values_nbytes(sample, ctype)
+        if sample_bytes == 0:
+            return uncompressed
+        best_scheme = uncompressed
+        best_ratio = 1.0
+        for scheme in self.pool(ctype):
+            if scheme is uncompressed:
+                continue
+            scheme.prepare_stats(sample, stats, self.config)
+            if not scheme.is_viable(stats, self.config):
+                continue
+            ratio = scheme.estimate_ratio(sample, stats, ctx)
+            if ratio > best_ratio:
+                best_ratio = ratio
+                best_scheme = scheme
+        return best_scheme
+
+    def estimate_ratios(
+        self, values: Values, ctype: ColumnType, ctx: CompressionContext
+    ) -> dict[str, float]:
+        """Estimated ratio per viable scheme (introspection / experiments)."""
+        stats = compute_stats(values, ctype)
+        sample = take_sample(values, ctype, self.strategy, self.rng)
+        sample_bytes = values_nbytes(sample, ctype)
+        ratios: dict[str, float] = {}
+        for scheme in self.pool(ctype):
+            scheme.prepare_stats(sample, stats, self.config)
+            if not scheme.is_viable(stats, self.config):
+                continue
+            ratios[scheme.name] = scheme.estimate_ratio(sample, stats, ctx)
+        return ratios

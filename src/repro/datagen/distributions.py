@@ -1,0 +1,365 @@
+"""Reusable column-shape generators.
+
+Every generator takes ``(n, rng)`` plus shape parameters and returns raw
+values (NumPy arrays or Python string lists); the dataset modules wrap them
+into typed :class:`~repro.types.Column` objects. The shapes mirror what the
+paper observed in the Public BI Benchmark: runs from denormalised joins,
+dominant values, misused types, structured strings and decimal doubles.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# ---------------------------------------------------------------------------
+# Integers
+# ---------------------------------------------------------------------------
+
+
+def runs_int(n: int, rng: np.random.Generator, distinct: int = 50, avg_run: float = 20.0) -> np.ndarray:
+    """Integers appearing in runs (denormalised join keys)."""
+    run_count = max(1, int(n / avg_run))
+    values = rng.integers(0, distinct, run_count)
+    lengths = np.maximum(1, rng.poisson(avg_run, run_count))
+    out = np.repeat(values, lengths)[:n]
+    if out.size < n:
+        out = np.concatenate([out, np.full(n - out.size, values[-1])])
+    return out.astype(np.int32)
+
+
+def sequential_keys(n: int, rng: np.random.Generator, start: int = 1) -> np.ndarray:
+    """Unique ascending keys (primary keys)."""
+    return np.arange(start, start + n, dtype=np.int32)
+
+
+def foreign_keys(n: int, rng: np.random.Generator, domain: int = 100_000) -> np.ndarray:
+    """Uniform random foreign keys (normalised TPC-H-style data)."""
+    return rng.integers(0, domain, n).astype(np.int32)
+
+
+def zipf_int(n: int, rng: np.random.Generator, distinct: int = 1000, a: float = 1.4) -> np.ndarray:
+    """Skewed categorical integers (Zipf-distributed codes)."""
+    raw = rng.zipf(a, n)
+    return np.minimum(raw, distinct).astype(np.int32)
+
+
+def constant_int(n: int, rng: np.random.Generator, value: int = 0) -> np.ndarray:
+    """A single repeated value (the paper's all-zero ``New Build?`` column)."""
+    return np.full(n, value, dtype=np.int32)
+
+
+def coded_int(n: int, rng: np.random.Generator, codes: "list[int] | None" = None) -> np.ndarray:
+    """Administrative code numbers drawn from a fixed pool (IBGE codes etc.)."""
+    if codes is None:
+        pool = rng.integers(1_100_000, 5_400_000, 300)
+    else:
+        pool = np.asarray(codes)
+    return pool[rng.integers(0, len(pool), n)].astype(np.int32)
+
+
+def heavy_tail_int(n: int, rng: np.random.Generator, scale: float = 5000.0) -> np.ndarray:
+    """Mostly small values with rare large outliers (supply counts, FastPFOR fodder)."""
+    body = rng.exponential(scale, n)
+    outliers = rng.random(n) < 0.01
+    body[outliers] *= 50
+    return np.minimum(body, 2**30).astype(np.int32)
+
+
+# ---------------------------------------------------------------------------
+# Doubles
+# ---------------------------------------------------------------------------
+
+
+def price_doubles(
+    n: int,
+    rng: np.random.Generator,
+    lo: float = 0.0,
+    hi: float = 1000.0,
+    decimals: int = 2,
+) -> np.ndarray:
+    """Monetary values with fixed decimal precision (Pseudodecimal's home turf)."""
+    return np.round(rng.uniform(lo, hi, n), decimals)
+
+
+def repeated_decimals(
+    n: int,
+    rng: np.random.Generator,
+    distinct: int = 200,
+    decimals: int = 2,
+    lo: float = 0.0,
+    hi: float = 1000.0,
+    avg_run: float = 1.0,
+) -> np.ndarray:
+    """A fixed pool of decimal values, optionally appearing in runs."""
+    pool = np.round(rng.uniform(lo, hi, distinct), decimals)
+    if avg_run <= 1.0:
+        return pool[rng.integers(0, distinct, n)]
+    run_count = max(1, int(n / avg_run))
+    values = pool[rng.integers(0, distinct, run_count)]
+    lengths = np.maximum(1, rng.poisson(avg_run, run_count))
+    out = np.repeat(values, lengths)[:n]
+    if out.size < n:
+        out = np.concatenate([out, np.full(n - out.size, pool[0])])
+    return out
+
+
+def step_decimals(
+    n: int,
+    rng: np.random.Generator,
+    distinct: int = 100,
+    step: float = 0.25,
+    avg_run: float = 1.0,
+) -> np.ndarray:
+    """Exact multiples of a binary-friendly step (0.5, 0.25, ...).
+
+    Such values are exactly representable, so Pseudodecimal encodes them with
+    small digits at a low exponent — the behaviour real measurement/pricing
+    columns with coarse quantisation exhibit.
+    """
+    pool = np.arange(1, distinct + 1, dtype=np.float64) * step
+    if avg_run <= 1.0:
+        return pool[rng.integers(0, distinct, n)]
+    run_count = max(1, int(n / avg_run))
+    values = pool[rng.integers(0, distinct, run_count)]
+    lengths = np.maximum(1, rng.poisson(avg_run, run_count))
+    out = np.repeat(values, lengths)[:n]
+    if out.size < n:
+        out = np.concatenate([out, np.full(n - out.size, pool[0])])
+    return out
+
+
+def clean_price_doubles(
+    n: int,
+    rng: np.random.Generator,
+    hi: float = 100.0,
+    unique_fraction: float = 0.15,
+) -> np.ndarray:
+    """Two-decimal prices whose doubles round-trip at exponent 2.
+
+    Roughly 1 in 7 two-decimal doubles needs a higher Pseudodecimal exponent
+    (the reconstruction multiply lands one ulp off); this generator rejects
+    those, modelling charge columns that are decimal-exact — the kind the
+    paper's CMSProvider/9 and Medicare1/9 columns represent.
+    """
+    pool_size = max(2, int(n * unique_fraction))
+    pool = np.round(rng.uniform(0, hi, pool_size * 2), 2)
+    candidate_digits = np.rint(pool * 100.0)
+    exact = (candidate_digits * 0.01).view(np.uint64) == pool.view(np.uint64)
+    pool = pool[exact][:pool_size]
+    if pool.size == 0:
+        pool = np.array([0.25])
+    return pool[rng.integers(0, pool.size, n)]
+
+
+def measurements(n: int, rng: np.random.Generator, loc: float = 0.0, scale: float = 1.0) -> np.ndarray:
+    """Full-precision doubles (sensor readings; nearly incompressible)."""
+    return rng.normal(loc, scale, n)
+
+
+def coordinates(n: int, rng: np.random.Generator, center: float = -73.97, spread: float = 0.2) -> np.ndarray:
+    """GPS-style coordinates: high precision, moderate repetition.
+
+    Models NYC/29 from Table 3: ~40% of rows repeat an earlier coordinate
+    (same station), the rest are fresh high-precision values.
+    """
+    distinct = max(2, int(n * 0.4))
+    pool = center + rng.standard_normal(distinct) * spread
+    idx = rng.integers(0, distinct, n)
+    fresh = rng.random(n) < 0.3
+    out = pool[idx]
+    out[fresh] = center + rng.standard_normal(int(fresh.sum())) * spread
+    return out
+
+
+def dominant_double(
+    n: int,
+    rng: np.random.Generator,
+    top: float = 0.0,
+    top_fraction: float = 0.8,
+    decimals: int = 4,
+    hi: float = 100.0,
+) -> np.ndarray:
+    """One dominant value plus exponentially rarer exceptions (Frequency fodder)."""
+    out = np.full(n, top, dtype=np.float64)
+    exceptions = rng.random(n) >= top_fraction
+    count = int(exceptions.sum())
+    out[exceptions] = np.round(rng.exponential(hi / 4, count), decimals)
+    return out
+
+
+def mixed_precision(n: int, rng: np.random.Generator, clean_fraction: float = 0.7) -> np.ndarray:
+    """Mostly 1-3-decimal values with a tail of full-precision doubles.
+
+    Models usage-minute columns (Telco/TOTAL_MINS_P1): Pseudodecimal encodes
+    the clean majority and patches the rest.
+    """
+    decimals = rng.choice([1, 2, 3], n)
+    base = rng.uniform(0, 3000, n)
+    out = np.round(base, 2)
+    for d in (1, 3):
+        sel = decimals == d
+        out[sel] = np.round(base[sel], d)
+    dirty = rng.random(n) >= clean_fraction
+    out[dirty] = base[dirty] * (1.0 + 1e-12)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Strings
+# ---------------------------------------------------------------------------
+
+_CITIES = [
+    "PHOENIX", "RALEIGH", "BETHESDA", "ATHENS", "HOUSTON", "CHICAGO", "BOSTON",
+    "SEATTLE", "DENVER", "ATLANTA", "MIAMI", "DALLAS", "PORTLAND", "DETROIT",
+    "MEMPHIS", "TUCSON", "FRESNO", "MESA", "OMAHA", "OAKLAND", "TULSA", "TAMPA",
+]
+
+_STREET_SUFFIXES = ["ST", "AVE", "BLVD", "RD", "DR", "LN", "WAY", "CT", "PL"]
+_STREET_NAMES = [
+    "MAIN", "OAK", "MAPLE", "CEDAR", "PINE", "ELM", "WASHINGTON", "LAKE",
+    "HILL", "PARK", "RIVER", "SUNSET", "MAYO", "CHURCH", "SPRING", "MILL",
+]
+
+_MUNICIPALITIES = [
+    "Maceió", "Curitiba", "Uberlândia", "Belém", "Recife",
+    "Salvador", "Fortaleza", "Manaus", "Goiânia", "Natal", "Teresina",
+    "São Luís", "João Pessoa", "Aracaju", "Vitória",
+]
+
+_PRODUCT_CATEGORIES = [
+    "All Residential", "Condo/Co-op", "Single Family Residential",
+    "Townhouse", "Multi-Family (2-4 Unit)",
+]
+
+
+def enum_strings(
+    n: int,
+    rng: np.random.Generator,
+    pool: "list[str] | None" = None,
+    skew: float = 0.0,
+) -> list[str]:
+    """Low-cardinality categorical strings, optionally skewed to the first entry."""
+    pool = pool or _PRODUCT_CATEGORIES
+    if skew > 0.0:
+        idx = np.where(rng.random(n) < skew, 0, rng.integers(0, len(pool), n))
+    else:
+        idx = rng.integers(0, len(pool), n)
+    return [pool[i] for i in idx]
+
+
+def constant_string(n: int, rng: np.random.Generator, value: str = "CABLE") -> list[str]:
+    """One repeated string (Motos/Medio in Table 4)."""
+    return [value] * n
+
+
+def city_names(n: int, rng: np.random.Generator, pool_size: int = 200) -> list[str]:
+    """City names: medium cardinality, shared substrings (Dict+FSST fodder)."""
+    suffixes = ["", " CITY", " PARK", " HEIGHTS", " SPRINGS", " FALLS"]
+    pool = [
+        f"{_CITIES[i % len(_CITIES)]}{suffixes[(i // len(_CITIES)) % len(suffixes)]}"
+        for i in range(pool_size)
+    ]
+    idx = rng.integers(0, len(pool), n)
+    return [pool[i] for i in idx]
+
+
+def street_addresses(n: int, rng: np.random.Generator, pool_size: int | None = None) -> list[str]:
+    """US street addresses: high cardinality with heavy substring sharing.
+
+    The pool scales with the column (~1 distinct per 3 rows, as joins of an
+    address dimension would produce) so repetition survives at any scale.
+    """
+    pool_size = min(pool_size or max(n // 3, 64), max(n, 1))
+    numbers = rng.integers(1, 9999, pool_size)
+    names = rng.integers(0, len(_STREET_NAMES), pool_size)
+    suffixes = rng.integers(0, len(_STREET_SUFFIXES), pool_size)
+    directions = rng.integers(0, 4, pool_size)
+    dirs = ["N", "S", "E", "W"]
+    pool = [
+        f"{numbers[i]} {dirs[directions[i]]} {_STREET_NAMES[names[i]]} {_STREET_SUFFIXES[suffixes[i]]}"
+        for i in range(pool_size)
+    ]
+    idx = rng.integers(0, pool_size, n)
+    return [pool[i] for i in idx]
+
+
+def urls(n: int, rng: np.random.Generator, distinct: int | None = None) -> list[str]:
+    """Structured URLs with common prefixes (the paper calls these out).
+
+    Roughly one distinct URL per 5 rows: resources are fetched repeatedly,
+    which is what makes real-world URL columns dictionary-friendly.
+    """
+    distinct = min(distinct or max(n // 8, 32), max(n, 1))
+    hosts = ["www.data.gov", "public.tableau.com", "data.cityofnewyork.us"]
+    sections = ["dataset", "workbook", "resource", "download", "views"]
+    pool = [
+        (
+            f"https://{hosts[i % len(hosts)]}/{sections[i % len(sections)]}/"
+            f"entry-{i:06d}?format=csv&session={i * 2654435761 % 10**9:09d}"
+        )
+        for i in range(distinct)
+    ]
+    idx = rng.integers(0, distinct, n)
+    return [pool[i] for i in idx]
+
+
+def community_boards(n: int, rng: np.random.Generator) -> list[str]:
+    """'01 BRONX'-style district labels (NYC/Community Board in Table 4)."""
+    boroughs = ["BRONX", "BROOKLYN", "MANHATTAN", "QUEENS", "STATEN ISLAND"]
+    pool = [f"{d:02d} {b}" for b in boroughs for d in range(1, 19)]
+    idx = rng.integers(0, len(pool), n)
+    return [pool[i] for i in idx]
+
+
+def municipality_names(n: int, rng: np.random.Generator) -> list[str]:
+    """Brazilian municipality names (Uberlandia/municipio_da_ue)."""
+    idx = rng.integers(0, len(_MUNICIPALITIES), n)
+    return [_MUNICIPALITIES[i] for i in idx]
+
+
+def mostly_null_strings(
+    n: int,
+    rng: np.random.Generator,
+    null_fraction: float = 0.98,
+    pool: "list[str] | None" = None,
+) -> list["str | None"]:
+    """Almost entirely NULL strings (SalariesFrance/LIBDOM1)."""
+    pool = pool or ["DOMAINE PUBLIC", "DOMAINE PRIVE", "HORS DOMAINE"]
+    out: list["str | None"] = []
+    draws = rng.random(n)
+    picks = rng.integers(0, len(pool), n)
+    for i in range(n):
+        out.append(None if draws[i] < null_fraction else pool[picks[i]])
+    return out
+
+
+_TEXT_STEMS = [
+    "care", "deposit", "sleep", "quick", "iron", "request", "account",
+    "pend", "theodolite", "boost", "express", "pack", "regular", "silent",
+    "fox", "bold", "idea", "platelet", "blithe", "instruct", "final",
+    "furious", "daze", "haggle", "nag", "wake", "doze", "cajole", "grouse",
+    "mainta", "integr", "excuse", "refus", "pint", "dolph", "warhorse",
+]
+_TEXT_SUFFIXES = ["", "s", "ly", "ing", "ed", "es", "fully", "ity", "ion"]
+
+#: ~320 distinct words, like dbgen's grammar — large enough that comment
+#: strings do not collapse into a small dictionary.
+_TEXT_VOCABULARY = [stem + suffix for stem in _TEXT_STEMS for suffix in _TEXT_SUFFIXES]
+
+
+def free_text(n: int, rng: np.random.Generator, words: int = 8) -> list[str]:
+    """Random word salad (TPC-H comment columns; compresses poorly)."""
+    counts = rng.integers(max(2, words - 4), words + 5, n)
+    choices = rng.integers(0, len(_TEXT_VOCABULARY), int(counts.sum()))
+    out = []
+    pos = 0
+    for c in counts:
+        out.append(" ".join(_TEXT_VOCABULARY[j] for j in choices[pos : pos + c]))
+        pos += c
+    return out
+
+
+def null_positions(n: int, rng: np.random.Generator, fraction: float) -> np.ndarray:
+    """Random NULL positions covering ``fraction`` of rows."""
+    count = int(n * fraction)
+    return rng.choice(n, size=count, replace=False) if count else np.empty(0, dtype=np.int64)

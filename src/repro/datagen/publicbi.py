@@ -1,0 +1,415 @@
+"""Synthetic Public-BI-like datasets.
+
+The Public BI Benchmark [33] is 119.5 GB of real Tableau workbook data and
+cannot be downloaded offline, so this module generates stand-ins that
+reproduce the *column archetypes* the paper reports: denormalised tables
+full of runs, dominant values, misused types, structured strings and decimal
+doubles. Every column the paper names in Table 3, Table 4 and Section 6.5
+has a dedicated spec here whose generator is modelled on the sample values
+and compression behaviour the paper prints for it.
+
+Entry points:
+
+* :func:`named_column` — one of the paper's named columns, e.g.
+  ``named_column("CommonGovernment/26", 64_000)``.
+* :func:`generate_dataset` — one workbook-like table.
+* :func:`generate_suite` — the full multi-dataset suite (43 tables in the
+  paper; a representative 14 here), scaled by rows-per-table.
+* :func:`largest_five` — the "5 largest workbooks" subset used by the
+  paper's S3 experiments (Figure 1, Table 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+import zlib
+
+import numpy as np
+
+from repro.bitmap import RoaringBitmap
+from repro.core.relation import Relation
+from repro.datagen import distributions as dist
+from repro.types import Column, ColumnType
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """A named synthetic column: generator + the paper's reference numbers."""
+
+    name: str
+    ctype: ColumnType
+    make: Callable[[int, np.random.Generator], Column]
+    #: Paper-reported values for EXPERIMENTS.md (ratios, chosen scheme, ...).
+    paper: dict = field(default_factory=dict)
+
+
+def _ints(maker, null_fraction: float = 0.0):
+    def make(name):
+        def build(n: int, rng: np.random.Generator) -> Column:
+            nulls = None
+            if null_fraction:
+                positions = dist.null_positions(n, rng, null_fraction)
+                nulls = RoaringBitmap.from_positions(positions) if positions.size else None
+            return Column.ints(name, maker(n, rng), nulls)
+
+        return build
+
+    return make
+
+
+def _doubles(maker, null_fraction: float = 0.0):
+    def make(name):
+        def build(n: int, rng: np.random.Generator) -> Column:
+            data = maker(n, rng)
+            nulls = None
+            if null_fraction:
+                positions = dist.null_positions(n, rng, null_fraction)
+                if positions.size:
+                    data = data.copy()
+                    data[positions] = 0.0
+                    nulls = RoaringBitmap.from_positions(positions)
+            return Column.doubles(name, data, nulls)
+
+        return build
+
+    return make
+
+
+def _strings(maker):
+    def make(name):
+        def build(n: int, rng: np.random.Generator) -> Column:
+            return Column.strings(name, maker(n, rng))
+
+        return build
+
+    return make
+
+
+def _spec(name: str, ctype: ColumnType, wrapper, **paper) -> ColumnSpec:
+    return ColumnSpec(name, ctype, wrapper(name), dict(paper))
+
+
+# ---------------------------------------------------------------------------
+# Named columns from Tables 3 and 4 / Section 6.5
+# ---------------------------------------------------------------------------
+
+D = ColumnType.DOUBLE
+I = ColumnType.INTEGER
+S = ColumnType.STRING
+
+NAMED_COLUMNS: dict[str, ColumnSpec] = {}
+
+
+def _register(spec: ColumnSpec) -> ColumnSpec:
+    NAMED_COLUMNS[spec.name] = spec
+    return spec
+
+
+# -- Table 3 double columns --------------------------------------------------
+
+_register(_spec(
+    "CommonGovernment/10", D,
+    _doubles(lambda n, rng: dist.price_doubles(n, rng, lo=0.0, hi=1_000_000.0, decimals=2)),
+    pde=1.8, fpc=1.2, gorilla=1.1, chimp=1.5, chimp128=1.9,
+))
+_register(_spec(
+    "CommonGovernment/26", D,
+    _doubles(lambda n, rng: dist.repeated_decimals(n, rng, distinct=8, decimals=0, lo=0.0, hi=10.0, avg_run=400.0)),
+    pde=75.0, fpc=15.1, gorilla=48.0, chimp=28.0, chimp128=6.9,
+))
+_register(_spec(
+    "CommonGovernment/30", D,
+    _doubles(lambda n, rng: dist.step_decimals(n, rng, distinct=160, step=0.25, avg_run=2.0)),
+    pde=7.8, fpc=6.4, gorilla=7.0, chimp=7.6, chimp128=5.0,
+))
+_register(_spec(
+    "CommonGovernment/31", D,
+    _doubles(lambda n, rng: dist.step_decimals(n, rng, distinct=12, step=0.5, avg_run=4.0)),
+    pde=23.4, fpc=9.3, gorilla=14.3, chimp=13.3, chimp128=5.6,
+))
+_register(_spec(
+    "CommonGovernment/40", D,
+    _doubles(lambda n, rng: dist.step_decimals(n, rng, distinct=20, step=0.25, avg_run=500.0)),
+    pde=54.6, fpc=14.3, gorilla=38.0, chimp=25.0, chimp128=6.7,
+))
+_register(_spec(
+    "Arade/4", D,
+    _doubles(lambda n, rng: dist.price_doubles(n, rng, hi=1000.0, decimals=4)),
+    pde=1.9, fpc=0.95, gorilla=1.1, chimp=1.2, chimp128=1.6,
+))
+_register(_spec(
+    "NYC/29", D,
+    _doubles(dist.coordinates),
+    pde=1.0, fpc=1.5, gorilla=2.1, chimp=2.5, chimp128=1.7,
+))
+_register(_spec(
+    "CMSProvider/1", D,
+    _doubles(lambda n, rng: rng.integers(1_000_000_000, 2_000_000_000, n).astype(np.float64)),
+    pde=1.6, fpc=1.5, gorilla=1.7, chimp=1.8, chimp128=2.4,
+))
+_register(_spec(
+    "CMSProvider/9", D,
+    _doubles(lambda n, rng: dist.clean_price_doubles(n, rng, hi=100.0, unique_fraction=0.15)),
+    pde=6.6, fpc=2.7, gorilla=2.3, chimp=3.4, chimp128=2.4,
+))
+_register(_spec(
+    "CMSProvider/25", D,
+    _doubles(lambda n, rng: dist.measurements(n, rng, loc=50.0, scale=20.0)),
+    pde=1.0, fpc=0.98, gorilla=0.98, chimp=1.1, chimp128=1.2,
+))
+_register(_spec(
+    "Medicare1/1", D,
+    _doubles(lambda n, rng: rng.integers(1_000_000_000, 2_000_000_000, n).astype(np.float64)),
+    pde=1.5, fpc=1.2, gorilla=1.4, chimp=1.5, chimp128=2.0,
+))
+_register(_spec(
+    "Medicare1/9", D,
+    _doubles(lambda n, rng: dist.clean_price_doubles(n, rng, hi=80.0, unique_fraction=0.17)),
+    pde=6.3, fpc=2.6, gorilla=2.3, chimp=3.4, chimp128=2.3,
+))
+
+# -- Table 4 sample columns ---------------------------------------------------
+
+_register(_spec(
+    "SalariesFrance/LIBDOM1", S,
+    _strings(lambda n, rng: dist.mostly_null_strings(n, rng, null_fraction=0.985)),
+    btr_ratio=1862.6, zstd_ratio=3068.1, scheme="dictionary",
+))
+_register(_spec(
+    "MulheresMil/ped", S,
+    _strings(lambda n, rng: dist.enum_strings(n, rng, pool=['"', "Sim", "Nao", ""], skew=0.9)),
+    btr_ratio=240.5, zstd_ratio=418.7, scheme="dictionary",
+))
+_register(_spec(
+    "Redfin2/property_type", S,
+    _strings(lambda n, rng: dist.enum_strings(n, rng, skew=0.6)),
+    btr_ratio=1262.0, zstd_ratio=1598.5, scheme="dictionary",
+))
+_register(_spec(
+    "Motos/Medio", S,
+    _strings(lambda n, rng: dist.constant_string(n, rng, "CABLE")),
+    btr_ratio=5048.8, zstd_ratio=2504.1, scheme="one_value",
+))
+_register(_spec(
+    "NYC/Community Board", S,
+    _strings(dist.community_boards),
+    btr_ratio=8.0, zstd_ratio=13.6, scheme="dictionary",
+))
+_register(_spec(
+    "PanCreactomy1/N[...]STREET1", S,
+    _strings(dist.street_addresses),
+    btr_ratio=5.2, zstd_ratio=7.9, scheme="dictionary",
+))
+_register(_spec(
+    "Provider/nppes_provider_city", S,
+    _strings(lambda n, rng: dist.city_names(n, rng, pool_size=600)),
+    btr_ratio=5.2, zstd_ratio=6.6, scheme="dictionary",
+))
+_register(_spec(
+    "PanCreactomy1/N[...]CITY", S,
+    _strings(lambda n, rng: dist.city_names(n, rng, pool_size=500)),
+    btr_ratio=5.1, zstd_ratio=7.7, scheme="dictionary",
+))
+_register(_spec(
+    "Uberlandia/municipio_da_ue", S,
+    _strings(dist.municipality_names),
+    btr_ratio=10.4, zstd_ratio=28.5, scheme="dictionary",
+))
+_register(_spec(
+    "RealEstate1/New Build?", I,
+    _ints(lambda n, rng: dist.constant_int(n, rng, 0)),
+    btr_ratio=13055.7, zstd_ratio=1653.5, scheme="one_value",
+))
+_register(_spec(
+    "Medicare1/TOTAL_DAY_SUPPLY", I,
+    _ints(dist.heavy_tail_int),
+    btr_ratio=2.4, zstd_ratio=2.2, scheme="fastpfor",
+))
+_register(_spec(
+    "Uberlandia/cod_ibge_da_ue", I,
+    _ints(dist.coded_int),
+    btr_ratio=3.0, zstd_ratio=3.5, scheme="fastpfor",
+))
+_register(_spec(
+    "Eixo/cod_ibge_da_ue", I,
+    _ints(dist.coded_int),
+    btr_ratio=3.0, zstd_ratio=3.5, scheme="fastpfor",
+))
+_register(_spec(
+    "Telco/CHARGD_SMS_P3", D,
+    _doubles(lambda n, rng: dist.dominant_double(n, rng, top=0.0, top_fraction=0.88, decimals=2, hi=50.0)),
+    btr_ratio=11.5, zstd_ratio=14.0, scheme="dictionary",
+))
+_register(_spec(
+    "Telco/TOTA_OUTGOING_REV_P3", D,
+    _doubles(lambda n, rng: dist.dominant_double(n, rng, top=0.0, top_fraction=0.85, decimals=2, hi=200.0)),
+    btr_ratio=10.5, zstd_ratio=13.8, scheme="dictionary",
+))
+_register(_spec(
+    "Telco/RECHRG[...]USED_P1", D,
+    _doubles(lambda n, rng: dist.dominant_double(n, rng, top=0.0, top_fraction=0.55, decimals=4, hi=100.0)),
+    btr_ratio=4.4, zstd_ratio=5.9, scheme="frequency",
+))
+_register(_spec(
+    "Motos/InversionQ", D,
+    _doubles(lambda n, rng: dist.dominant_double(n, rng, top=0.0, top_fraction=0.62, decimals=0, hi=1_000_000.0)),
+    btr_ratio=4.6, zstd_ratio=6.8, scheme="dictionary",
+))
+_register(_spec(
+    "Telco/TOTAL_MINS_P1", D,
+    _doubles(lambda n, rng: dist.mixed_precision(n, rng, clean_fraction=0.7)),
+    btr_ratio=2.7, zstd_ratio=2.4, scheme="pseudodecimal",
+))
+_register(_spec(
+    "Redfin4/median_sale_price_mom", D,
+    _doubles(
+        lambda n, rng: dist.repeated_decimals(n, rng, distinct=max(2, int(n * 0.6)), decimals=3, lo=-0.5, hi=0.5),
+        null_fraction=0.4,
+    ),
+    btr_ratio=1.3, zstd_ratio=1.7, scheme="dictionary",
+))
+
+#: Columns used by the Table 3 / Section 6.5 double-scheme comparison.
+TABLE3_COLUMNS = [
+    "CommonGovernment/10", "CommonGovernment/26", "CommonGovernment/30",
+    "CommonGovernment/31", "CommonGovernment/40", "Arade/4", "NYC/29",
+    "CMSProvider/1", "CMSProvider/9", "CMSProvider/25",
+    "Medicare1/1", "Medicare1/9",
+]
+
+#: Columns shown in the paper's Table 4 (random per-column sample).
+TABLE4_COLUMNS = [
+    "SalariesFrance/LIBDOM1", "MulheresMil/ped", "Redfin2/property_type",
+    "Motos/Medio", "NYC/Community Board", "PanCreactomy1/N[...]STREET1",
+    "Provider/nppes_provider_city", "PanCreactomy1/N[...]CITY",
+    "Uberlandia/municipio_da_ue", "RealEstate1/New Build?",
+    "Medicare1/TOTAL_DAY_SUPPLY", "Uberlandia/cod_ibge_da_ue",
+    "Eixo/cod_ibge_da_ue", "Telco/CHARGD_SMS_P3", "Telco/TOTA_OUTGOING_REV_P3",
+    "Telco/RECHRG[...]USED_P1", "Motos/InversionQ", "Telco/TOTAL_MINS_P1",
+    "Redfin4/median_sale_price_mom",
+]
+
+
+def named_column(name: str, rows: int, seed: int = 7) -> Column:
+    """Generate one of the paper's named columns at the given size."""
+    spec = NAMED_COLUMNS[name]
+    rng = np.random.default_rng(np.random.SeedSequence([seed, zlib.crc32(name.encode()) & 0xFFFF]))
+    return spec.make(rows, rng)
+
+
+# ---------------------------------------------------------------------------
+# Whole datasets (workbook stand-ins)
+# ---------------------------------------------------------------------------
+
+#: dataset -> (size multiplier, list of member columns). Members reference
+#: named columns above plus generic filler columns keeping the suite's type
+#: mix near the paper's 71.5% strings / 14.4% doubles / 14.1% integers.
+_FILLERS: dict[str, Callable[[str], Callable[[int, np.random.Generator], Column]]] = {
+    "agency": _strings(lambda n, rng: dist.enum_strings(
+        n, rng, pool=["DEPT OF DEFENSE", "DEPT OF ENERGY", "GSA", "DEPT OF STATE",
+                      "DEPT OF THE INTERIOR", "NASA", "DEPT OF COMMERCE"])),
+    "vendor_address": _strings(dist.street_addresses),
+    "city": _strings(lambda n, rng: dist.city_names(n, rng)),
+    "url": _strings(dist.urls),
+    "municipality": _strings(dist.municipality_names),
+    "note": _strings(lambda n, rng: dist.free_text(n, rng, words=6)),
+    "row_key": _ints(dist.sequential_keys),
+    "group_code": _ints(lambda n, rng: dist.runs_int(n, rng, distinct=40, avg_run=25.0)),
+    "zip_fk": _ints(lambda n, rng: dist.foreign_keys(n, rng, domain=42_000)),
+    "quantity": _ints(lambda n, rng: dist.zipf_int(n, rng, distinct=500)),
+    "amount": _doubles(lambda n, rng: dist.price_doubles(n, rng, hi=5_000.0)),
+    "rate": _doubles(lambda n, rng: dist.repeated_decimals(n, rng, distinct=300, decimals=2, hi=10.0, avg_run=4.0)),
+}
+
+DATASETS: dict[str, tuple[float, list[str]]] = {
+    "CommonGovernment": (2.0, [
+        "CommonGovernment/10", "CommonGovernment/26", "CommonGovernment/30",
+        "CommonGovernment/31", "CommonGovernment/40",
+        "filler:agency", "filler:vendor_address", "filler:city", "filler:url",
+        "filler:row_key", "filler:group_code",
+    ]),
+    "NYC": (2.0, [
+        "NYC/29", "NYC/Community Board", "filler:city", "filler:vendor_address",
+        "filler:note", "filler:zip_fk", "filler:group_code", "filler:amount",
+    ]),
+    "CMSProvider": (2.0, [
+        "CMSProvider/1", "CMSProvider/9", "CMSProvider/25",
+        "Provider/nppes_provider_city", "filler:vendor_address", "filler:agency",
+        "filler:row_key", "filler:quantity",
+    ]),
+    "Medicare1": (2.0, [
+        "Medicare1/1", "Medicare1/9", "Medicare1/TOTAL_DAY_SUPPLY",
+        "filler:city", "filler:vendor_address", "filler:group_code",
+    ]),
+    "Telco": (2.0, [
+        "Telco/CHARGD_SMS_P3", "Telco/TOTA_OUTGOING_REV_P3",
+        "Telco/RECHRG[...]USED_P1", "Telco/TOTAL_MINS_P1",
+        "filler:city", "filler:url", "filler:group_code", "filler:quantity",
+    ]),
+    "SalariesFrance": (1.0, [
+        "SalariesFrance/LIBDOM1", "filler:agency", "filler:city",
+        "filler:row_key", "filler:amount",
+    ]),
+    "MulheresMil": (1.0, [
+        "MulheresMil/ped", "filler:municipality", "filler:group_code", "filler:rate",
+    ]),
+    "Redfin2": (1.0, [
+        "Redfin2/property_type", "filler:url", "filler:city",
+        "filler:zip_fk", "filler:amount",
+    ]),
+    "Redfin4": (1.0, [
+        "Redfin4/median_sale_price_mom", "filler:url", "filler:city",
+        "filler:zip_fk",
+    ]),
+    "Motos": (1.0, [
+        "Motos/Medio", "Motos/InversionQ", "filler:municipality",
+        "filler:group_code", "filler:rate",
+    ]),
+    "Uberlandia": (1.0, [
+        "Uberlandia/municipio_da_ue", "Uberlandia/cod_ibge_da_ue",
+        "filler:agency", "filler:quantity",
+    ]),
+    "Eixo": (1.0, [
+        "Eixo/cod_ibge_da_ue", "filler:municipality", "filler:agency",
+        "filler:rate",
+    ]),
+    "RealEstate1": (1.0, [
+        "RealEstate1/New Build?", "filler:vendor_address", "filler:city",
+        "filler:amount", "filler:row_key",
+    ]),
+    "PanCreactomy1": (1.0, [
+        "PanCreactomy1/N[...]STREET1", "PanCreactomy1/N[...]CITY",
+        "filler:agency", "filler:quantity", "filler:amount",
+    ]),
+}
+
+#: The paper's S3 experiments use the five largest workbooks.
+LARGEST_FIVE = ["CommonGovernment", "NYC", "CMSProvider", "Medicare1", "Telco"]
+
+
+def generate_dataset(name: str, rows: int, seed: int = 7) -> Relation:
+    """Generate one workbook-like table with ``rows`` rows (before scaling)."""
+    multiplier, members = DATASETS[name]
+    actual_rows = int(rows * multiplier)
+    columns = []
+    for index, member in enumerate(members):
+        rng = np.random.default_rng(np.random.SeedSequence([seed, index, zlib.crc32(name.encode()) & 0xFFFF]))
+        if member.startswith("filler:"):
+            kind = member.split(":", 1)[1]
+            column_name = f"{kind}_{index}"
+            columns.append(_FILLERS[kind](column_name)(actual_rows, rng))
+        else:
+            spec = NAMED_COLUMNS[member]
+            columns.append(spec.make(actual_rows, rng))
+    return Relation(name, columns)
+
+
+def generate_suite(rows: int = 65_536, seed: int = 7, names: "list[str] | None" = None) -> list[Relation]:
+    """Generate the full Public-BI-like suite (or a named subset)."""
+    return [generate_dataset(name, rows, seed) for name in (names or list(DATASETS))]
+
+
+def largest_five(rows: int = 65_536, seed: int = 7) -> list[Relation]:
+    """The five largest workbooks (paper: Figure 1 and Table 5 workloads)."""
+    return generate_suite(rows, seed, names=LARGEST_FIVE)

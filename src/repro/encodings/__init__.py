@@ -1,0 +1,54 @@
+"""The BtrBlocks encoding scheme pool.
+
+One module per scheme (paper Table 1):
+
+==================  =======================  =========================
+Scheme              Module                   Applies to
+==================  =======================  =========================
+Uncompressed        ``uncompressed``         int, double, string
+One Value           ``onevalue``             int, double, string
+RLE                 ``rle``                  int, double
+Dictionary          ``dictionary``           int, double, string
+Frequency           ``frequency``            int, double, string
+FastBP128           ``bitpack``              int
+FastPFOR            ``fastpfor``             int
+FSST                ``fsst``                 string
+Pseudodecimal       ``pseudodecimal``        double
+==================  =======================  =========================
+
+Every scheme registers itself in :mod:`repro.encodings.base`; the selection
+algorithm in :mod:`repro.core.selector` draws from that registry.
+"""
+
+from repro.encodings.base import (
+    SCHEME_IDS,
+    CompressionContext,
+    Scheme,
+    all_schemes,
+    default_pool,
+    get_scheme,
+    register_scheme,
+)
+
+# Importing the scheme modules populates the registry.
+from repro.encodings import (  # noqa: E402,F401  (import for side effects)
+    bitpack,
+    dictionary,
+    fastpfor,
+    frequency,
+    fsst,
+    onevalue,
+    pseudodecimal,
+    rle,
+    uncompressed,
+)
+
+__all__ = [
+    "Scheme",
+    "CompressionContext",
+    "SCHEME_IDS",
+    "register_scheme",
+    "get_scheme",
+    "all_schemes",
+    "default_pool",
+]

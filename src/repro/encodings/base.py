@@ -1,0 +1,190 @@
+"""Scheme interface, registry and cascading context.
+
+A *scheme* compresses one typed value sequence (an int32 array, a float64
+array or a :class:`~repro.types.StringArray`) into a byte payload and back.
+Schemes that produce integer/double/string sub-sequences (RLE run lengths,
+dictionary codes, pseudodecimal digits, ...) hand those to the
+:class:`CompressionContext`, which recursively picks the best scheme for them
+-- the paper's cascading compression (Section 3.2, Listing 1).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Callable, Union
+
+import numpy as np
+
+from repro.exceptions import UnknownSchemeError
+from repro.types import ColumnType, StringArray
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.config import BtrBlocksConfig
+    from repro.core.stats import Stats
+
+Values = Union[np.ndarray, StringArray]
+
+
+class SchemeId:
+    """Stable scheme ids used in the serialized format."""
+
+    UNCOMPRESSED_INT = 0
+    UNCOMPRESSED_DOUBLE = 1
+    UNCOMPRESSED_STRING = 2
+    ONE_VALUE_INT = 3
+    ONE_VALUE_DOUBLE = 4
+    ONE_VALUE_STRING = 5
+    RLE_INT = 6
+    RLE_DOUBLE = 7
+    DICT_INT = 8
+    DICT_DOUBLE = 9
+    DICT_STRING = 10
+    FREQUENCY_INT = 11
+    FREQUENCY_DOUBLE = 12
+    FREQUENCY_STRING = 13
+    FAST_BP128 = 14
+    FAST_PFOR = 15
+    FSST = 16
+    PSEUDODECIMAL = 18
+
+
+SCHEME_IDS = SchemeId
+
+
+class CompressionContext:
+    """Carries cascade state through recursive compression.
+
+    ``depth`` is the number of *remaining* cascade levels. When it reaches
+    zero the context stores child data uncompressed, mirroring the
+    ``if (!recur) return UNCOMPRESSED`` guard in the paper's Listing 1.
+    """
+
+    def __init__(
+        self,
+        config: "BtrBlocksConfig",
+        depth: int,
+        compress_fn: Callable[[Values, ColumnType, "CompressionContext"], bytes],
+    ) -> None:
+        self.config = config
+        self.depth = depth
+        self._compress_fn = compress_fn
+
+    def child(self) -> "CompressionContext":
+        """Context for one cascade level deeper."""
+        return CompressionContext(self.config, self.depth - 1, self._compress_fn)
+
+    def compress_child(self, values: Values, ctype: ColumnType) -> bytes:
+        """Pick a scheme for child data and compress it, one level deeper."""
+        return self._compress_fn(values, ctype, self.child())
+
+
+class DecompressionContext:
+    """Carries the vectorised/scalar switch through recursive decompression."""
+
+    def __init__(
+        self,
+        decompress_fn: Callable[[bytes, ColumnType, "DecompressionContext"], Values],
+        vectorized: bool = True,
+        fuse_rle_dict: bool = True,
+    ) -> None:
+        self._decompress_fn = decompress_fn
+        self.vectorized = vectorized
+        self.fuse_rle_dict = fuse_rle_dict
+
+    def decompress_child(self, blob: bytes, ctype: ColumnType) -> Values:
+        return self._decompress_fn(blob, ctype, self)
+
+
+class Scheme(ABC):
+    """One encoding scheme for one data type.
+
+    Subclasses set ``scheme_id`` (stable wire id), ``name`` and ``ctype`` and
+    implement viability, compression and decompression. Compression ratio
+    estimation is *not* a scheme method: the selector compresses a sample
+    through :meth:`compress` and measures the output, exactly as the paper's
+    ``estimateFromSamples`` does.
+    """
+
+    scheme_id: int
+    name: str
+    ctype: ColumnType
+    #: Schemes excluded from cascade child selection (OneValue fine anywhere;
+    #: e.g. FSST only makes sense on raw string data, not on dictionaries that
+    #: the dictionary scheme already FSST-compresses itself).
+    cascade_only_top_level: bool = False
+
+    def is_viable(self, stats: "Stats", config: "BtrBlocksConfig") -> bool:
+        """Cheap statistics-based filter (paper step 2). Default: viable."""
+        return True
+
+    def prepare_stats(self, sample: Values, stats: "Stats", config: "BtrBlocksConfig") -> None:
+        """Hook to enrich stats from the sample before viability filtering.
+
+        Pseudodecimal uses this to measure its exception fraction; most
+        schemes need nothing beyond the standard statistics pass.
+        """
+
+    def estimate_ratio(
+        self, sample: Values, stats: "Stats", ctx: "CompressionContext"
+    ) -> float:
+        """Estimated compression ratio for a block, from its sample + stats.
+
+        Mirrors the paper's per-scheme ``estimateRatio`` (Listing 1): the
+        default compresses the sample and measures the output. Schemes whose
+        sample-compressed size is a biased predictor of the block-compressed
+        size override this — Dictionary corrects the amortisation of the
+        pool over the whole block, FSST holds out half the sample when
+        training its symbol table.
+        """
+        from repro.encodings.wire import wrap
+
+        compressed = self.compress(sample, ctx.child())
+        size = len(wrap(self.scheme_id, len(sample), compressed))
+        return _sample_nbytes(sample) / size if size else 0.0
+
+    @abstractmethod
+    def compress(self, values: Values, ctx: CompressionContext) -> bytes:
+        """Compress values to a payload (header framing is the caller's job)."""
+
+    @abstractmethod
+    def decompress(self, payload: bytes, count: int, ctx: DecompressionContext) -> Values:
+        """Inverse of :meth:`compress`; must return bitwise-identical values."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} id={self.scheme_id} {self.ctype.value}>"
+
+
+def _sample_nbytes(values: Values) -> int:
+    """Uncompressed binary size of a value sequence."""
+    if isinstance(values, StringArray):
+        return values.nbytes
+    return int(np.asarray(values).nbytes)
+
+
+_REGISTRY: dict[int, Scheme] = {}
+
+
+def register_scheme(scheme: Scheme) -> Scheme:
+    """Register a scheme instance under its wire id."""
+    if scheme.scheme_id in _REGISTRY:
+        raise ValueError(f"duplicate scheme id {scheme.scheme_id}")
+    _REGISTRY[scheme.scheme_id] = scheme
+    return scheme
+
+
+def get_scheme(scheme_id: int) -> Scheme:
+    """Look up a scheme by wire id."""
+    try:
+        return _REGISTRY[scheme_id]
+    except KeyError:
+        raise UnknownSchemeError(f"no scheme registered with id {scheme_id}") from None
+
+
+def all_schemes() -> list[Scheme]:
+    """All registered schemes, in id order."""
+    return [_REGISTRY[k] for k in sorted(_REGISTRY)]
+
+
+def default_pool(ctype: ColumnType) -> list[Scheme]:
+    """The default scheme pool for one data type (paper Figure 3)."""
+    return [s for s in all_schemes() if s.ctype is ctype]

@@ -1,0 +1,168 @@
+"""FastBP128-style bit-packing for integers.
+
+The paper uses SIMD-FastBP128 (Lemire & Boytsov [42]): values are processed
+in 128-value pages, each packed with the smallest bit width that fits the
+page. This implementation adds a per-page frame of reference (the page
+minimum) so negative and large-offset data packs well, and vectorises both
+directions by *grouping pages of equal bit width* and packing/unpacking each
+group in one NumPy pass — the structural analog of the SIMD kernels.
+
+The width-grouped packing helpers are shared with FastPFOR.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.encodings.base import (
+    CompressionContext,
+    DecompressionContext,
+    Scheme,
+    SchemeId,
+    register_scheme,
+)
+from repro.encodings.wire import Reader, Writer
+from repro.types import ColumnType
+
+PAGE = 128
+
+
+def bit_lengths(values: np.ndarray) -> np.ndarray:
+    """Bit length of each non-negative integer (0 -> 0)."""
+    values = np.asarray(values, dtype=np.uint64)
+    out = np.zeros(values.shape, dtype=np.int64)
+    nz = values > 0
+    out[nz] = np.floor(np.log2(values[nz].astype(np.float64))).astype(np.int64) + 1
+    return out
+
+
+def paginate(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Split int values into (pages, refs): pages are deltas to the page min.
+
+    ``pages`` has shape (P, 128) with dtype uint64; the tail page is padded
+    with the page minimum (packs to zero bits).
+    """
+    values = np.asarray(values, dtype=np.int64)
+    n = values.size
+    page_count = -(-n // PAGE) if n else 0
+    padded = np.empty(page_count * PAGE, dtype=np.int64)
+    padded[:n] = values
+    if page_count and n % PAGE:
+        padded[n:] = values[-1] if n else 0
+    pages = padded.reshape(page_count, PAGE)
+    refs = pages.min(axis=1) if page_count else np.empty(0, dtype=np.int64)
+    deltas = (pages - refs[:, None]).astype(np.uint64)
+    return deltas, refs
+
+
+def pack_pages(deltas: np.ndarray, widths: np.ndarray) -> bytes:
+    """Pack (P, 128) uint64 deltas with per-page widths into one byte string.
+
+    Page *i* occupies ``16 * widths[i]`` bytes, stored in page order. Pages
+    are processed grouped by width so each group is one vectorised pass.
+    """
+    page_count = deltas.shape[0]
+    sizes = 16 * widths.astype(np.int64)
+    offsets = np.zeros(page_count + 1, dtype=np.int64)
+    np.cumsum(sizes, out=offsets[1:])
+    out = np.zeros(int(offsets[-1]), dtype=np.uint8)
+    for width in np.unique(widths):
+        w = int(width)
+        if w == 0:
+            continue
+        rows = np.nonzero(widths == width)[0]
+        group = deltas[rows]  # (k, 128)
+        shifts = np.arange(w, dtype=np.uint64)
+        bits = ((group[:, :, None] >> shifts) & np.uint64(1)).astype(np.uint8)
+        packed = np.packbits(bits.reshape(len(rows), PAGE * w), axis=1, bitorder="little")
+        dest = offsets[rows][:, None] + np.arange(16 * w, dtype=np.int64)
+        out[dest] = packed
+    return out.tobytes()
+
+
+def unpack_pages(payload: bytes, widths: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`pack_pages`; returns (P, 128) uint64 deltas.
+
+    Instead of expanding to a bit matrix, every lane reads an 8-byte window
+    starting at its bit offset and shifts/masks it out — one gather plus one
+    shift per value, independent of the bit width (widths stay <= 40 bits, so
+    ``shift + width <= 7 + 40 < 64`` always fits one window).
+    """
+    page_count = widths.size
+    raw = np.frombuffer(payload, dtype=np.uint8)
+    sizes = 16 * widths.astype(np.int64)
+    offsets = np.zeros(page_count + 1, dtype=np.int64)
+    np.cumsum(sizes, out=offsets[1:])
+    out = np.zeros((page_count, PAGE), dtype=np.uint64)
+    # The 8-byte window of a page's last lane may read past the packed bytes
+    # (into the next page, whose bits are masked off, or past the buffer for
+    # the final page); pad once so those reads stay in bounds.
+    flat = np.empty(raw.size + 8, dtype=np.uint8)
+    flat[: raw.size] = raw
+    flat[raw.size :] = 0
+    for width in np.unique(widths):
+        w = int(width)
+        if w == 0:
+            continue
+        rows = np.nonzero(widths == width)[0]
+        bit_starts = np.arange(PAGE, dtype=np.int64) * w
+        byte_idx = bit_starts >> 3
+        shifts = (bit_starts & 7).astype(np.uint64)
+        window = byte_idx[:, None] + np.arange(8, dtype=np.int64)[None, :]
+        src = offsets[rows][:, None, None] + window[None, :, :]
+        win = np.ascontiguousarray(flat[src])  # (k, 128, 8)
+        words = win.view(np.uint64).reshape(len(rows), PAGE)
+        mask = np.uint64(0xFFFFFFFFFFFFFFFF) if w >= 64 else (np.uint64(1) << np.uint64(w)) - np.uint64(1)
+        out[rows] = (words >> shifts[None, :]) & mask
+    return out
+
+
+def unpack_pages_scalar(payload: bytes, widths: np.ndarray) -> np.ndarray:
+    """Pure-Python per-value unpacking (Section 6.8 scalar ablation)."""
+    out = np.zeros((widths.size, PAGE), dtype=np.uint64)
+    bit_pos = 0
+    for p, width in enumerate(widths.tolist()):
+        for i in range(PAGE):
+            value = 0
+            for b in range(width):
+                byte = payload[bit_pos >> 3]
+                value |= ((byte >> (bit_pos & 7)) & 1) << b
+                bit_pos += 1
+            out[p, i] = value
+        # Pages are byte-aligned (128 * width bits is always whole bytes).
+    return out
+
+
+class FastBP128(Scheme):
+    """Per-page frame-of-reference + bit-packing for int32 data."""
+
+    scheme_id = SchemeId.FAST_BP128
+    name = "fastbp128"
+    ctype = ColumnType.INTEGER
+
+    def is_viable(self, stats, config) -> bool:
+        return stats.count > 0
+
+    def compress(self, values: np.ndarray, ctx: CompressionContext) -> bytes:
+        deltas, refs = paginate(values)
+        widths = bit_lengths(deltas.max(axis=1)) if deltas.size else np.empty(0, dtype=np.int64)
+        writer = Writer()
+        writer.array(refs.astype(np.int32))
+        writer.array(widths.astype(np.uint8))
+        writer.blob(pack_pages(deltas, widths))
+        return writer.getvalue()
+
+    def decompress(self, payload: bytes, count: int, ctx: DecompressionContext) -> np.ndarray:
+        reader = Reader(payload)
+        refs = reader.array()
+        widths = reader.array().astype(np.int64)
+        packed = reader.blob()
+        if ctx.vectorized:
+            deltas = unpack_pages(packed, widths)
+        else:
+            deltas = unpack_pages_scalar(packed, widths)
+        values = deltas.astype(np.int64) + refs[:, None]
+        return values.reshape(-1)[:count].astype(np.int32)
+
+
+FASTBP128_SCHEME = register_scheme(FastBP128())

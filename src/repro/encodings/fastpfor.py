@@ -1,0 +1,121 @@
+"""FastPFOR-style patched bit-packing for integers.
+
+Like FastBP128, values are packed in 128-value pages against the page
+minimum — but instead of sizing each page for its largest delta, FastPFOR
+picks the bit width that minimises *total* cost and stores the outliers that
+do not fit ("exceptions") separately as patches (Lemire & Boytsov [42],
+following PFOR [61]). This keeps one large outlier from inflating the width
+of a whole page.
+
+Cost model per page: ``128 * width`` bits for the packed lane plus
+``8 + 64`` bits per exception (a 1-byte page-local position and the full
+delta). The width search is vectorised over all pages at once via a per-page
+histogram of delta bit lengths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.encodings.base import (
+    CompressionContext,
+    DecompressionContext,
+    Scheme,
+    SchemeId,
+    register_scheme,
+)
+from repro.encodings.bitpack import (
+    PAGE,
+    bit_lengths,
+    pack_pages,
+    paginate,
+    unpack_pages,
+    unpack_pages_scalar,
+)
+from repro.encodings.wire import Reader, Writer
+from repro.types import ColumnType
+
+_EXCEPTION_COST_BITS = 8 + 64
+
+
+def choose_widths(deltas: np.ndarray) -> np.ndarray:
+    """Pick the cost-minimising bit width for every page at once.
+
+    Builds a (P, 41) histogram of delta bit lengths, converts it to
+    "exceptions if width=w" counts by a reverse cumulative sum, and takes the
+    argmin of ``128*w + exceptions*cost`` per page.
+    """
+    page_count = deltas.shape[0]
+    if page_count == 0:
+        return np.empty(0, dtype=np.int64)
+    lens = bit_lengths(deltas)  # (P, 128), values 0..40 (deltas fit 33 bits)
+    max_w = int(lens.max()) if lens.size else 0
+    hist = np.zeros((page_count, max_w + 1), dtype=np.int64)
+    rows = np.repeat(np.arange(page_count), PAGE)
+    np.add.at(hist, (rows, lens.reshape(-1)), 1)
+    # exceeding[p, w] = number of values on page p with bit length > w
+    exceeding = hist[:, ::-1].cumsum(axis=1)[:, ::-1]
+    exceeding = np.concatenate(
+        (exceeding[:, 1:], np.zeros((page_count, 1), dtype=np.int64)), axis=1
+    )
+    widths = np.arange(max_w + 1, dtype=np.int64)
+    costs = PAGE * widths[None, :] + exceeding * _EXCEPTION_COST_BITS
+    return np.argmin(costs, axis=1).astype(np.int64)
+
+
+class FastPFOR(Scheme):
+    """Patched per-page bit-packing for int32 data."""
+
+    scheme_id = SchemeId.FAST_PFOR
+    name = "fastpfor"
+    ctype = ColumnType.INTEGER
+
+    def is_viable(self, stats, config) -> bool:
+        return stats.count > 0
+
+    def compress(self, values: np.ndarray, ctx: CompressionContext) -> bytes:
+        deltas, refs = paginate(values)
+        widths = choose_widths(deltas)
+        lens = bit_lengths(deltas)
+        exc_mask = lens > widths[:, None]
+        exc_pages, exc_slots = np.nonzero(exc_mask)
+        exc_values = deltas[exc_pages, exc_slots]
+        exc_per_page = exc_mask.sum(axis=1).astype(np.uint8)
+        # Mask exception lanes down to the page width so they pack cleanly.
+        lane_mask = np.where(
+            widths >= 64, np.uint64(0xFFFFFFFFFFFFFFFF), (np.uint64(1) << widths.astype(np.uint64)) - np.uint64(1)
+        )
+        packed_deltas = deltas & lane_mask[:, None]
+        writer = Writer()
+        writer.array(refs.astype(np.int32))
+        writer.array(widths.astype(np.uint8))
+        writer.array(exc_per_page)
+        writer.array(exc_slots.astype(np.uint8))
+        writer.array(exc_values.astype(np.uint64))
+        writer.blob(pack_pages(packed_deltas, widths))
+        return writer.getvalue()
+
+    def decompress(self, payload: bytes, count: int, ctx: DecompressionContext) -> np.ndarray:
+        reader = Reader(payload)
+        refs = reader.array()
+        widths = reader.array().astype(np.int64)
+        exc_per_page = reader.array().astype(np.int64)
+        exc_slots = reader.array().astype(np.int64)
+        exc_values = reader.array()
+        packed = reader.blob()
+        if ctx.vectorized:
+            deltas = unpack_pages(packed, widths)
+            exc_pages = np.repeat(np.arange(widths.size), exc_per_page)
+            deltas[exc_pages, exc_slots] = exc_values
+        else:
+            deltas = unpack_pages_scalar(packed, widths)
+            exc_index = 0
+            for page, exc_count in enumerate(exc_per_page.tolist()):
+                for _ in range(exc_count):
+                    deltas[page, exc_slots[exc_index]] = exc_values[exc_index]
+                    exc_index += 1
+        values = deltas.astype(np.int64) + refs[:, None]
+        return values.reshape(-1)[:count].astype(np.int32)
+
+
+FASTPFOR_SCHEME = register_scheme(FastPFOR())

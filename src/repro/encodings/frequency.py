@@ -1,0 +1,132 @@
+"""Frequency encoding, adapted as in the paper (Section 2.2).
+
+BtrBlocks' variant of DB2 BLU's frequency encoding optimises for columns with
+one dominant value: it stores (1) the top value, (2) a Roaring bitmap marking
+the positions holding the top value and (3) the exception values, which are
+cascade-compressed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bitmap import RoaringBitmap
+from repro.encodings import strutil
+from repro.encodings.base import (
+    CompressionContext,
+    DecompressionContext,
+    Scheme,
+    SchemeId,
+    register_scheme,
+)
+from repro.encodings.wire import Reader, Writer
+from repro.types import ColumnType, StringArray
+
+
+class _FrequencyBase(Scheme):
+    """Shared top-value/bitmap/exceptions logic for numeric types."""
+
+    name = "frequency"
+
+    def is_viable(self, stats, config) -> bool:
+        if stats.count == 0 or stats.distinct_count <= 1:
+            return False
+        return stats.unique_fraction <= config.frequency_max_unique_fraction
+
+    def _top_mask(self, values: np.ndarray) -> np.ndarray:
+        """Boolean mask of positions holding the most frequent value."""
+        if values.dtype == np.float64:
+            keys = values.view(np.uint64)
+        else:
+            keys = values
+        uniq, counts = np.unique(keys, return_counts=True)
+        top = uniq[np.argmax(counts)]
+        return keys == top
+
+    def compress(self, values: np.ndarray, ctx: CompressionContext) -> bytes:
+        values = np.asarray(values)
+        mask = self._top_mask(values)
+        top_value = values[mask][:1]
+        exceptions = values[~mask]
+        writer = Writer()
+        writer.array(top_value)
+        writer.blob(RoaringBitmap.from_bools(mask).serialize())
+        writer.blob(ctx.compress_child(exceptions, self.ctype))
+        return writer.getvalue()
+
+    def decompress(self, payload: bytes, count: int, ctx: DecompressionContext) -> np.ndarray:
+        reader = Reader(payload)
+        top_value = reader.array()
+        bitmap = RoaringBitmap.deserialize(reader.blob())
+        exceptions = ctx.decompress_child(reader.blob(), self.ctype)
+        mask = bitmap.to_mask(count)
+        if ctx.vectorized:
+            out = np.empty(count, dtype=top_value.dtype)
+            out[mask] = top_value[0]
+            out[~mask] = exceptions
+            return out
+        out = np.empty(count, dtype=top_value.dtype)
+        exc_pos = 0
+        for i in range(count):
+            if mask[i]:
+                out[i] = top_value[0]
+            else:
+                out[i] = exceptions[exc_pos]
+                exc_pos += 1
+        return out
+
+
+class FrequencyInt(_FrequencyBase):
+    scheme_id = SchemeId.FREQUENCY_INT
+    ctype = ColumnType.INTEGER
+
+
+class FrequencyDouble(_FrequencyBase):
+    scheme_id = SchemeId.FREQUENCY_DOUBLE
+    ctype = ColumnType.DOUBLE
+
+
+class FrequencyString(Scheme):
+    """Frequency encoding for strings: top string + bitmap + exception pool."""
+
+    scheme_id = SchemeId.FREQUENCY_STRING
+    name = "frequency"
+    ctype = ColumnType.STRING
+
+    def is_viable(self, stats, config) -> bool:
+        if stats.count == 0 or stats.distinct_count <= 1:
+            return False
+        return stats.unique_fraction <= config.frequency_max_unique_fraction
+
+    def compress(self, values: StringArray, ctx: CompressionContext) -> bytes:
+        codes, uniques = strutil.encode_distinct(values)
+        counts = np.bincount(codes, minlength=len(uniques))
+        top_code = int(np.argmax(counts))
+        mask = codes == top_code
+        exception_rows = np.nonzero(~mask)[0]
+        exceptions = strutil.gather(values, exception_rows)
+        writer = Writer()
+        writer.blob(uniques[top_code])
+        writer.blob(RoaringBitmap.from_bools(mask).serialize())
+        writer.blob(ctx.compress_child(exceptions, ColumnType.STRING))
+        return writer.getvalue()
+
+    def decompress(self, payload: bytes, count: int, ctx: DecompressionContext) -> StringArray:
+        reader = Reader(payload)
+        top = reader.blob()
+        bitmap = RoaringBitmap.deserialize(reader.blob())
+        exceptions = ctx.decompress_child(reader.blob(), ColumnType.STRING)
+        mask = bitmap.to_mask(count)
+        # Treat [top] + exceptions as a pool and gather: code 0 is the top
+        # value, exception i maps to pool row 1 + i.
+        pool = strutil.concat([StringArray.from_pylist([top]), exceptions])
+        codes = np.zeros(count, dtype=np.int64)
+        codes[~mask] = 1 + np.arange(len(exceptions), dtype=np.int64)
+        if ctx.vectorized:
+            return strutil.gather(pool, codes)
+        return pool.take(codes)
+
+
+register_scheme(FrequencyInt())
+register_scheme(FrequencyDouble())
+register_scheme(FrequencyString())

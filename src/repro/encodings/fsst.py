@@ -1,0 +1,274 @@
+"""Fast Static Symbol Table (FSST) string compression.
+
+FSST (Boncz, Neumann, Leis [26]) replaces frequently occurring substrings of
+up to 8 bytes with 1-byte codes from an immutable, 255-entry symbol table
+built per block. Code 255 is an escape: the next stream byte is a literal.
+
+This is a from-scratch implementation of the same format:
+
+* **Training** follows the FSST bottom-up construction: several generations
+  of (a) compressing a sample with the current table while counting symbol
+  hits and adjacent-symbol pairs, then (b) keeping the 255 highest-gain
+  candidates (gain = frequency x length).
+* **Compression** greedily emits the longest matching symbol per position.
+* **Decompression** follows the paper's BtrBlocks integration (Section 5):
+  the whole block is decoded as one stream (no per-string API calls) and only
+  *uncompressed* string lengths are stored — compressed offsets are not
+  needed. The vectorised decoder resolves escapes with run arithmetic and
+  then reconstructs all output bytes with one gather over an extended symbol
+  pool; the scalar fallback walks the stream byte by byte.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.encodings import strutil
+from repro.encodings.base import (
+    CompressionContext,
+    DecompressionContext,
+    Scheme,
+    SchemeId,
+    register_scheme,
+)
+from repro.encodings.wire import Reader, Writer
+from repro.exceptions import CorruptBlockError
+from repro.types import ColumnType, StringArray
+
+ESCAPE = 255
+MAX_SYMBOLS = 255
+MAX_SYMBOL_LENGTH = 8
+_GENERATIONS = 5
+_SAMPLE_TARGET = 16 * 1024
+
+
+class SymbolTable:
+    """An immutable FSST symbol table: code -> byte string (1..8 bytes)."""
+
+    __slots__ = ("symbols", "_by_first")
+
+    def __init__(self, symbols: list[bytes]):
+        if len(symbols) > MAX_SYMBOLS:
+            raise ValueError("at most 255 symbols")
+        self.symbols = symbols
+        by_first: dict[int, list[tuple[bytes, int]]] = {}
+        for code, sym in enumerate(symbols):
+            by_first.setdefault(sym[0], []).append((sym, code))
+        for entries in by_first.values():
+            entries.sort(key=lambda e: len(e[0]), reverse=True)
+        self._by_first = by_first
+
+    def compress(self, data: bytes) -> bytes:
+        """Greedy longest-match encoding of a byte string."""
+        out = bytearray()
+        by_first = self._by_first
+        pos = 0
+        n = len(data)
+        append = out.append
+        while pos < n:
+            first = data[pos]
+            for sym, code in by_first.get(first, ()):
+                if data.startswith(sym, pos):
+                    append(code)
+                    pos += len(sym)
+                    break
+            else:
+                append(ESCAPE)
+                append(first)
+                pos += 1
+        return bytes(out)
+
+    def compress_counting(self, data: bytes) -> tuple[dict[bytes, int], dict[bytes, int]]:
+        """Compress while counting symbol hits and adjacent concatenations.
+
+        Returns ``(symbol_counts, pair_counts)`` where pair keys are the
+        concatenated bytes of two adjacent matches (capped at 8 bytes).
+        """
+        singles: dict[bytes, int] = {}
+        pairs: dict[bytes, int] = {}
+        by_first = self._by_first
+        pos = 0
+        n = len(data)
+        prev: bytes | None = None
+        while pos < n:
+            first = data[pos]
+            match = None
+            for sym, _code in by_first.get(first, ()):
+                if data.startswith(sym, pos):
+                    match = sym
+                    break
+            if match is None:
+                match = data[pos : pos + 1]
+            singles[match] = singles.get(match, 0) + 1
+            if prev is not None and len(prev) + len(match) <= MAX_SYMBOL_LENGTH:
+                joined = prev + match
+                pairs[joined] = pairs.get(joined, 0) + 1
+            prev = match
+            pos += len(match)
+        return singles, pairs
+
+
+def _take_sample(buffer: bytes, target: int = _SAMPLE_TARGET) -> bytes:
+    """Up to ``target`` bytes spread across the buffer in 8 chunks."""
+    if len(buffer) <= target:
+        return buffer
+    chunk = target // 8
+    stride = len(buffer) // 8
+    parts = [buffer[i * stride : i * stride + chunk] for i in range(8)]
+    return b"".join(parts)
+
+
+def train_symbol_table(buffer: bytes) -> SymbolTable:
+    """Build a symbol table with the FSST bottom-up iteration."""
+    sample = _take_sample(buffer)
+    table = SymbolTable([])
+    for _generation in range(_GENERATIONS):
+        singles, pairs = table.compress_counting(sample)
+        gains: dict[bytes, int] = {}
+        for sym, freq in singles.items():
+            # A 1-byte symbol saves the escape byte; longer symbols save
+            # their length minus the single output code.
+            gains[sym] = gains.get(sym, 0) + freq * len(sym)
+        for sym, freq in pairs.items():
+            gains[sym] = gains.get(sym, 0) + freq * len(sym)
+        best = sorted(gains.items(), key=lambda kv: kv[1], reverse=True)[:MAX_SYMBOLS]
+        table = SymbolTable([sym for sym, _gain in best])
+    return table
+
+
+def _escape_positions(codes: np.ndarray) -> np.ndarray:
+    """Positions of escape bytes, resolving chains of 255s with run parity.
+
+    Within a maximal run of 255 bytes, escapes sit at even offsets; an
+    odd-length run's final escape consumes the byte after the run.
+    """
+    is_escape = codes == ESCAPE
+    if not is_escape.any():
+        return np.empty(0, dtype=np.int64)
+    padded = np.concatenate(([False], is_escape, [False]))
+    edges = np.diff(padded.astype(np.int8))
+    starts = np.nonzero(edges == 1)[0]
+    ends = np.nonzero(edges == -1)[0]
+    lengths = ends - starts
+    escape_counts = (lengths + 1) // 2
+    total = int(escape_counts.sum())
+    # Segmented arange: 0,1,..,c0-1, 0,1,..,c1-1, ... built without a loop.
+    segment_ends = np.cumsum(escape_counts)
+    local = np.arange(total, dtype=np.int64) - np.repeat(segment_ends - escape_counts, escape_counts)
+    return np.repeat(starts, escape_counts) + 2 * local
+
+
+def decode_stream_vectorized(stream: bytes, symbols: StringArray) -> np.ndarray:
+    """Decode a full FSST stream to output bytes with one gather."""
+    codes = np.frombuffer(stream, dtype=np.uint8)
+    if codes.size == 0:
+        return np.empty(0, dtype=np.uint8)
+    esc = _escape_positions(codes)
+    tokens = codes.astype(np.int64)
+    drop = np.zeros(codes.size, dtype=bool)
+    if esc.size:
+        if esc[-1] + 1 >= codes.size:
+            raise CorruptBlockError("escape at end of FSST stream")
+        drop[esc] = True
+        tokens[esc + 1] += 256  # literal marker
+    tokens = tokens[~drop]
+    # Extended pool: rows 0..254 = symbols (missing codes stay empty and are
+    # never referenced), row 255 unused, rows 256..511 = single-byte literals.
+    pool_entries = symbols.to_pylist()
+    pool_entries += [b""] * (256 - len(pool_entries))
+    pool_entries += [bytes([b]) for b in range(256)]
+    pool = StringArray.from_pylist(pool_entries)
+    return strutil.gather(pool, tokens).buffer
+
+
+def decode_stream_scalar(stream: bytes, symbols: StringArray) -> np.ndarray:
+    """Byte-by-byte decode (scalar ablation / reference implementation)."""
+    table = symbols.to_pylist()
+    out = bytearray()
+    i = 0
+    n = len(stream)
+    while i < n:
+        code = stream[i]
+        if code == ESCAPE:
+            if i + 1 >= n:
+                raise CorruptBlockError("escape at end of FSST stream")
+            out.append(stream[i + 1])
+            i += 2
+        else:
+            if code >= len(table):
+                raise CorruptBlockError(f"FSST code {code} outside symbol table")
+            out += table[code]
+            i += 1
+    return np.frombuffer(bytes(out), dtype=np.uint8)
+
+
+class FSSTString(Scheme):
+    """FSST applied to a block of strings as one concatenated stream."""
+
+    scheme_id = SchemeId.FSST
+    name = "fsst"
+    ctype = ColumnType.STRING
+
+    def is_viable(self, stats, config) -> bool:
+        # FSST needs actual string content to find symbols in.
+        return stats.count > 0 and stats.total_string_bytes >= 16
+
+    def estimate_ratio(self, sample: StringArray, stats, ctx) -> float:
+        """Holdout estimate: train the table on half the sample only.
+
+        On a full block the symbol table is trained on a ~16 KiB sample and
+        applied to megabytes — near-zero overfit. A 640-tuple estimation
+        sample *is* the training data, so compressing it with its own table
+        wildly over-estimates the achievable ratio. Training on the first
+        half and measuring on the untouched second half restores an unbiased
+        estimate (at the cost of a slightly noisier one).
+        """
+        buffer = sample.buffer.tobytes()
+        if len(buffer) < 64:
+            return 0.0
+        table = train_symbol_table(buffer[: len(buffer) // 2])
+        held_out = buffer[len(buffer) // 2 :]
+        stream_ratio = len(table.compress(held_out)) / max(len(held_out), 1)
+        symbols = StringArray.from_pylist(table.symbols)
+        lengths = sample.lengths().astype(np.int32)
+        lengths_cost = len(ctx.child().compress_child(lengths, ColumnType.INTEGER))
+        estimated = (
+            20  # headers and length prefixes
+            + symbols.buffer.size + symbols.offsets.nbytes
+            + lengths_cost
+            + stream_ratio * len(buffer)
+        )
+        return sample.nbytes / max(estimated, 32.0)
+
+    def compress(self, values: StringArray, ctx: CompressionContext) -> bytes:
+        buffer = values.buffer.tobytes()
+        table = train_symbol_table(buffer)
+        stream = table.compress(buffer)
+        lengths = values.lengths().astype(np.int32)
+        symbols = StringArray.from_pylist(table.symbols)
+        writer = Writer()
+        writer.u8(len(table.symbols))
+        writer.array(symbols.buffer)
+        writer.array(symbols.offsets)
+        writer.blob(stream)
+        writer.blob(ctx.compress_child(lengths, ColumnType.INTEGER))
+        return writer.getvalue()
+
+    def decompress(self, payload: bytes, count: int, ctx: DecompressionContext) -> StringArray:
+        reader = Reader(payload)
+        _symbol_count = reader.u8()
+        symbols = StringArray(reader.array(), reader.array())
+        stream = reader.blob()
+        lengths = ctx.decompress_child(reader.blob(), ColumnType.INTEGER)
+        if ctx.vectorized:
+            buffer = decode_stream_vectorized(stream, symbols)
+        else:
+            buffer = decode_stream_scalar(stream, symbols)
+        offsets = np.zeros(count + 1, dtype=np.int64)
+        np.cumsum(lengths.astype(np.int64), out=offsets[1:])
+        if int(offsets[-1]) != buffer.size:
+            raise CorruptBlockError("FSST output size does not match string lengths")
+        return StringArray(buffer, offsets)
+
+
+FSST_SCHEME = register_scheme(FSSTString())

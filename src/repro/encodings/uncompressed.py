@@ -1,0 +1,78 @@
+"""Uncompressed storage — the cascade terminator.
+
+Every decision tree in the paper's Figure 3 bottoms out here: when no scheme
+improves on raw storage, or the maximum recursion depth is reached, data is
+stored as-is.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.encodings.base import (
+    CompressionContext,
+    DecompressionContext,
+    Scheme,
+    SchemeId,
+    register_scheme,
+)
+from repro.encodings.wire import Reader, Writer
+from repro.types import ColumnType, StringArray
+
+
+class UncompressedInt(Scheme):
+    """Raw int32 values."""
+
+    scheme_id = SchemeId.UNCOMPRESSED_INT
+    name = "uncompressed"
+    ctype = ColumnType.INTEGER
+
+    def compress(self, values: np.ndarray, ctx: CompressionContext) -> bytes:
+        return Writer().array(np.asarray(values, dtype=np.int32)).getvalue()
+
+    def decompress(self, payload: bytes, count: int, ctx: DecompressionContext) -> np.ndarray:
+        return Reader(payload).array()
+
+
+class UncompressedDouble(Scheme):
+    """Raw float64 values."""
+
+    scheme_id = SchemeId.UNCOMPRESSED_DOUBLE
+    name = "uncompressed"
+    ctype = ColumnType.DOUBLE
+
+    def compress(self, values: np.ndarray, ctx: CompressionContext) -> bytes:
+        return Writer().array(np.asarray(values, dtype=np.float64)).getvalue()
+
+    def decompress(self, payload: bytes, count: int, ctx: DecompressionContext) -> np.ndarray:
+        return Reader(payload).array()
+
+
+class UncompressedString(Scheme):
+    """Raw string bytes plus offsets."""
+
+    scheme_id = SchemeId.UNCOMPRESSED_STRING
+    name = "uncompressed"
+    ctype = ColumnType.STRING
+
+    def compress(self, values: StringArray, ctx: CompressionContext) -> bytes:
+        # 4-byte offsets match the in-memory binary representation's cost
+        # (string buffers stay far below 2 GiB at 64k values per block).
+        return Writer().array(values.buffer).array(values.offsets.astype(np.int32)).getvalue()
+
+    def decompress(self, payload: bytes, count: int, ctx: DecompressionContext) -> StringArray:
+        reader = Reader(payload)
+        buffer = reader.array()
+        offsets = reader.array().astype(np.int64)
+        return StringArray(buffer, offsets)
+
+
+INT = register_scheme(UncompressedInt())
+DOUBLE = register_scheme(UncompressedDouble())
+STRING = register_scheme(UncompressedString())
+
+UNCOMPRESSED_BY_TYPE = {
+    ColumnType.INTEGER: INT,
+    ColumnType.DOUBLE: DOUBLE,
+    ColumnType.STRING: STRING,
+}

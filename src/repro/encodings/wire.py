@@ -1,0 +1,133 @@
+"""Binary wire helpers for compressed block payloads.
+
+Every compressed node in a BtrBlocks cascade is framed as::
+
+    u8  scheme_id
+    u32 value_count
+    ... scheme payload ...
+
+Schemes serialize their payload with :class:`Writer` and parse it back with
+:class:`Reader`. Nested (cascaded) children are embedded as length-prefixed
+byte blocks, so a parent never needs to know how long a child is before
+reading it.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.exceptions import CorruptBlockError
+
+_HEADER = struct.Struct("<BI")
+
+_DTYPE_CODES: dict[str, int] = {
+    "uint8": 0,
+    "int32": 1,
+    "int64": 2,
+    "float64": 3,
+    "uint16": 4,
+    "uint32": 5,
+    "uint64": 6,
+}
+_CODE_DTYPES = {v: np.dtype(k) for k, v in _DTYPE_CODES.items()}
+
+
+def wrap(scheme_id: int, count: int, payload: bytes) -> bytes:
+    """Frame a scheme payload with its id and value count."""
+    return _HEADER.pack(scheme_id, count) + payload
+
+
+def unwrap(blob: bytes) -> tuple[int, int, bytes]:
+    """Split a framed node into (scheme_id, value_count, payload)."""
+    if len(blob) < _HEADER.size:
+        raise CorruptBlockError("block too short for header")
+    scheme_id, count = _HEADER.unpack_from(blob)
+    return scheme_id, count, blob[_HEADER.size :]
+
+
+class Writer:
+    """Accumulates a payload from scalars, arrays and nested byte blocks."""
+
+    def __init__(self) -> None:
+        self._parts: list[bytes] = []
+
+    def u8(self, value: int) -> "Writer":
+        self._parts.append(struct.pack("<B", value))
+        return self
+
+    def u32(self, value: int) -> "Writer":
+        self._parts.append(struct.pack("<I", value))
+        return self
+
+    def i64(self, value: int) -> "Writer":
+        self._parts.append(struct.pack("<q", value))
+        return self
+
+    def f64(self, value: float) -> "Writer":
+        self._parts.append(struct.pack("<d", value))
+        return self
+
+    def array(self, arr: np.ndarray) -> "Writer":
+        """A length- and dtype-prefixed numpy array."""
+        arr = np.ascontiguousarray(arr)
+        code = _DTYPE_CODES.get(arr.dtype.name)
+        if code is None:
+            raise ValueError(f"unsupported dtype {arr.dtype}")
+        raw = arr.tobytes()
+        self._parts.append(struct.pack("<BI", code, len(raw)))
+        self._parts.append(raw)
+        return self
+
+    def blob(self, data: bytes) -> "Writer":
+        """A length-prefixed opaque byte block (nested cascade node, bitmap)."""
+        self._parts.append(struct.pack("<I", len(data)))
+        self._parts.append(data)
+        return self
+
+    def getvalue(self) -> bytes:
+        return b"".join(self._parts)
+
+
+class Reader:
+    """Sequential reader matching :class:`Writer`."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    def _take(self, n: int) -> bytes:
+        end = self._pos + n
+        if end > len(self._data):
+            raise CorruptBlockError("truncated payload")
+        chunk = self._data[self._pos : end]
+        self._pos = end
+        return chunk
+
+    def u8(self) -> int:
+        return struct.unpack("<B", self._take(1))[0]
+
+    def u32(self) -> int:
+        return struct.unpack("<I", self._take(4))[0]
+
+    def i64(self) -> int:
+        return struct.unpack("<q", self._take(8))[0]
+
+    def f64(self) -> float:
+        return struct.unpack("<d", self._take(8))[0]
+
+    def array(self) -> np.ndarray:
+        code, size = struct.unpack("<BI", self._take(5))
+        dtype = _CODE_DTYPES.get(code)
+        if dtype is None:
+            raise CorruptBlockError(f"unknown dtype code {code}")
+        raw = self._take(size)
+        return np.frombuffer(raw, dtype=dtype)
+
+    def blob(self) -> bytes:
+        size = struct.unpack("<I", self._take(4))[0]
+        return self._take(size)
+
+    def remaining(self) -> int:
+        return len(self._data) - self._pos

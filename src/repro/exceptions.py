@@ -1,0 +1,25 @@
+"""Exception hierarchy for the BtrBlocks reproduction."""
+
+
+class BtrBlocksError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class CorruptBlockError(BtrBlocksError):
+    """A compressed block could not be parsed (bad magic, truncated payload)."""
+
+
+class UnknownSchemeError(BtrBlocksError):
+    """A block references a scheme id that is not in the registry."""
+
+
+class SchemeNotViableError(BtrBlocksError):
+    """A scheme was asked to compress data it declared itself non-viable for."""
+
+
+class TypeMismatchError(BtrBlocksError):
+    """A column or block was used with data of the wrong type."""
+
+
+class FormatError(BtrBlocksError):
+    """A serialized file or table does not follow the expected layout."""

@@ -1,0 +1,17 @@
+"""Floating-point compression baselines for the Table 3 comparison.
+
+The paper evaluates Pseudodecimal Encoding against four published double
+compression schemes; all four are implemented here from scratch on a shared
+bit-stream substrate:
+
+* :mod:`repro.floats.fpc`      -- FPC (Burtscher & Ratanaworabhan [28])
+* :mod:`repro.floats.gorilla`  -- Gorilla / Facebook time-series XOR codec [51]
+* :mod:`repro.floats.chimp`    -- Chimp and Chimp128 (Liakos et al. [46])
+
+Each module exposes ``compress(values) -> bytes`` and
+``decompress(data, count) -> np.ndarray`` with bitwise-lossless round trips.
+"""
+
+from repro.floats import chimp, fpc, gorilla
+
+__all__ = ["fpc", "gorilla", "chimp"]

@@ -1,0 +1,211 @@
+"""Chimp and Chimp128 double compression (Liakos et al. [46]).
+
+Chimp refines Gorilla's XOR scheme with two observations: leading-zero
+counts cluster into a few buckets (so 3 bits suffice with a rounding table)
+and residuals frequently end in many trailing zeros (worth a dedicated case).
+Per value, XORed against the previous one:
+
+* ``00``: trailing zeros > 6 and xor != 0 — store 3-bit leading-zero code,
+  6-bit center-bit count and the center bits.  (Chimp's "case 01" / flag
+  order follows the published pseudocode: flag bits are (use_prev_window,
+  nonzero).)
+* ``01``: xor == 0 — nothing else.
+* ``10``: reuse the previous leading-zero count — store ``64 - lead`` bits.
+* ``11``: new leading-zero count — store 3-bit code + ``64 - lead`` bits.
+
+Chimp128 additionally searches the 128 most recent values for a reference
+whose XOR has the most trailing zeros, using a hash of the low 14 bits of
+each value, and stores the 7-bit index of the chosen reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.floats.bitio import BitReader, BitWriter, leading_zeros64, trailing_zeros64
+
+_MASK64 = (1 << 64) - 1
+
+#: Leading-zero rounding: count -> 3-bit code, and code -> representative.
+_LEADING_ROUND = [0, 8, 12, 16, 18, 20, 22, 24]
+
+
+def _round_leading(leading: int) -> int:
+    """Largest table code whose representative does not exceed ``leading``."""
+    code = 0
+    for i, rep in enumerate(_LEADING_ROUND):
+        if rep <= leading:
+            code = i
+    return code
+
+
+def compress(values: np.ndarray) -> bytes:
+    """Compress float64 values with Chimp (previous-value reference)."""
+    bits = np.asarray(values, dtype=np.float64).view(np.uint64).tolist()
+    writer = BitWriter()
+    if not bits:
+        return writer.getvalue()
+    writer.write(bits[0], 64)
+    prev = bits[0]
+    prev_leading_code = -1
+    for current in bits[1:]:
+        xor = (current ^ prev) & _MASK64
+        if xor == 0:
+            writer.write(0b01, 2)
+            prev_leading_code = -1
+        else:
+            trailing = trailing_zeros64(xor)
+            lead_code = _round_leading(leading_zeros64(xor))
+            leading = _LEADING_ROUND[lead_code]
+            if trailing > 6:
+                writer.write(0b00, 2)
+                writer.write(lead_code, 3)
+                center = 64 - leading - trailing
+                writer.write(center, 6)
+                writer.write(xor >> trailing, center)
+                prev_leading_code = -1
+            elif lead_code == prev_leading_code:
+                writer.write(0b10, 2)
+                writer.write(xor, 64 - leading)
+            else:
+                writer.write(0b11, 2)
+                writer.write(lead_code, 3)
+                writer.write(xor, 64 - leading)
+                prev_leading_code = lead_code
+        prev = current
+    return writer.getvalue()
+
+
+def decompress(data: bytes, count: int) -> np.ndarray:
+    """Inverse of :func:`compress`."""
+    out = np.empty(count, dtype=np.uint64)
+    if count == 0:
+        return out.view(np.float64)
+    reader = BitReader(data)
+    prev = reader.read(64)
+    out[0] = prev
+    prev_leading_code = -1
+    for i in range(1, count):
+        flag = reader.read(2)
+        if flag == 0b01:
+            prev_leading_code = -1
+        elif flag == 0b00:
+            lead_code = reader.read(3)
+            leading = _LEADING_ROUND[lead_code]
+            center = reader.read(6)
+            if center == 0:
+                center = 64
+            trailing = 64 - leading - center
+            prev ^= reader.read(center) << trailing
+            prev_leading_code = -1
+        elif flag == 0b10:
+            leading = _LEADING_ROUND[prev_leading_code]
+            prev ^= reader.read(64 - leading)
+        else:
+            prev_leading_code = reader.read(3)
+            leading = _LEADING_ROUND[prev_leading_code]
+            prev ^= reader.read(64 - leading)
+        out[i] = prev
+    return out.view(np.float64)
+
+
+# ---------------------------------------------------------------------------
+# Chimp128
+# ---------------------------------------------------------------------------
+
+_WINDOW = 128
+_INDEX_BITS = 7
+_HASH_BITS = 14
+_TRAILING_THRESHOLD = 6
+
+
+def compress128(values: np.ndarray) -> bytes:
+    """Compress with Chimp128: best-of-previous-128 reference selection."""
+    bits = np.asarray(values, dtype=np.float64).view(np.uint64).tolist()
+    writer = BitWriter()
+    if not bits:
+        return writer.getvalue()
+    writer.write(bits[0], 64)
+    history = [bits[0]]
+    last_seen: dict[int, int] = {bits[0] & ((1 << _HASH_BITS) - 1): 0}
+    prev_leading_code = -1
+    for pos in range(1, len(bits)):
+        current = bits[pos]
+        key = current & ((1 << _HASH_BITS) - 1)
+        candidate = last_seen.get(key, -1)
+        use_candidate = candidate >= 0 and pos - candidate <= _WINDOW
+        if use_candidate:
+            ref = history[candidate]
+            xor = (current ^ ref) & _MASK64
+            trailing = trailing_zeros64(xor) if xor else 64
+        else:
+            xor = 0
+            trailing = 0
+        if use_candidate and xor == 0:
+            # Exact match in the window: flag 01 + index.
+            writer.write(0b01, 2)
+            writer.write((pos - 1 - candidate) % _WINDOW, _INDEX_BITS)
+            prev_leading_code = -1
+        elif use_candidate and trailing > _TRAILING_THRESHOLD:
+            # Good reference: flag 00 + index + leading code + center bits.
+            writer.write(0b00, 2)
+            writer.write((pos - 1 - candidate) % _WINDOW, _INDEX_BITS)
+            lead_code = _round_leading(leading_zeros64(xor))
+            leading = _LEADING_ROUND[lead_code]
+            writer.write(lead_code, 3)
+            center = 64 - leading - trailing
+            writer.write(center, 6)
+            writer.write(xor >> trailing, center)
+            prev_leading_code = -1
+        else:
+            # Fall back to the immediately previous value, like Chimp.
+            xor = (current ^ history[-1]) & _MASK64
+            lead_code = _round_leading(leading_zeros64(xor)) if xor else 7
+            leading = _LEADING_ROUND[lead_code]
+            if xor and lead_code == prev_leading_code:
+                writer.write(0b10, 2)
+                writer.write(xor, 64 - leading)
+            else:
+                writer.write(0b11, 2)
+                writer.write(lead_code, 3)
+                writer.write(xor, 64 - leading)
+                prev_leading_code = lead_code
+        history.append(current)
+        last_seen[key] = pos
+    return writer.getvalue()
+
+
+def decompress128(data: bytes, count: int) -> np.ndarray:
+    """Inverse of :func:`compress128`."""
+    out = np.empty(count, dtype=np.uint64)
+    if count == 0:
+        return out.view(np.float64)
+    reader = BitReader(data)
+    out[0] = reader.read(64)
+    prev_leading_code = -1
+    for pos in range(1, count):
+        flag = reader.read(2)
+        if flag == 0b01:
+            offset = reader.read(_INDEX_BITS)
+            out[pos] = out[pos - 1 - offset]
+            prev_leading_code = -1
+        elif flag == 0b00:
+            offset = reader.read(_INDEX_BITS)
+            ref = int(out[pos - 1 - offset])
+            lead_code = reader.read(3)
+            leading = _LEADING_ROUND[lead_code]
+            center = reader.read(6)
+            if center == 0:
+                center = 64
+            trailing = 64 - leading - center
+            out[pos] = ref ^ (reader.read(center) << trailing)
+            prev_leading_code = -1
+        elif flag == 0b10:
+            leading = _LEADING_ROUND[prev_leading_code]
+            out[pos] = int(out[pos - 1]) ^ reader.read(64 - leading)
+        else:
+            prev_leading_code = reader.read(3)
+            leading = _LEADING_ROUND[prev_leading_code]
+            out[pos] = int(out[pos - 1]) ^ reader.read(64 - leading)
+        out[pos] = out[pos] & _MASK64
+    return out.view(np.float64)

@@ -1,0 +1,99 @@
+"""FPC double compression (Burtscher & Ratanaworabhan [28]).
+
+FPC predicts every value with two hash-table predictors — an FCM (finite
+context method) and a DFCM (differential FCM) — XORs the value with the
+closer prediction, and stores a 4-bit header per value (1 predictor-choice
+bit + 3 bits counting leading *zero bytes* of the residual) followed by the
+non-zero residual bytes. Headers for two consecutive values share one byte.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.floats.bitio import BitReader, BitWriter
+
+_MASK64 = (1 << 64) - 1
+_DEFAULT_TABLE_BITS = 16
+
+
+class _Predictors:
+    """The paired FCM / DFCM predictor state."""
+
+    def __init__(self, table_bits: int):
+        self.size = 1 << table_bits
+        self.mask = self.size - 1
+        self.fcm = [0] * self.size
+        self.dfcm = [0] * self.size
+        self.fcm_hash = 0
+        self.dfcm_hash = 0
+        self.last = 0
+
+    def predict(self) -> tuple[int, int]:
+        return self.fcm[self.fcm_hash], (self.dfcm[self.dfcm_hash] + self.last) & _MASK64
+
+    def update(self, value: int) -> None:
+        self.fcm[self.fcm_hash] = value
+        self.fcm_hash = ((self.fcm_hash << 6) ^ (value >> 48)) & self.mask
+        delta = (value - self.last) & _MASK64
+        self.dfcm[self.dfcm_hash] = delta
+        self.dfcm_hash = ((self.dfcm_hash << 2) ^ (delta >> 40)) & self.mask
+        self.last = value
+
+
+def _leading_zero_bytes(x: int) -> int:
+    """Number of leading zero bytes (0..8), with 4 mapped down to 3.
+
+    FPC's 3-bit count skips the value 4 (a residual with exactly 4 leading
+    zero bytes is stored with 5 non-zero bytes) so 8 fits the code space.
+    """
+    zero_bytes = (64 - x.bit_length() if x else 64) // 8
+    if zero_bytes >= 5:
+        return zero_bytes - 1
+    if zero_bytes == 4:
+        return 3
+    return zero_bytes
+
+
+def _code_to_bytes(code: int) -> int:
+    """Residual byte count for a 3-bit leading-zero-byte code."""
+    zero_bytes = code if code < 4 else code + 1
+    return 8 - zero_bytes
+
+
+def compress(values: np.ndarray, table_bits: int = _DEFAULT_TABLE_BITS) -> bytes:
+    """Compress float64 values to an FPC byte stream."""
+    bits = np.asarray(values, dtype=np.float64).view(np.uint64).tolist()
+    predictors = _Predictors(table_bits)
+    writer = BitWriter()
+    for value in bits:
+        fcm_pred, dfcm_pred = predictors.predict()
+        fcm_xor = value ^ fcm_pred
+        dfcm_xor = value ^ dfcm_pred
+        if fcm_xor <= dfcm_xor:
+            selector, residual = 0, fcm_xor
+        else:
+            selector, residual = 1, dfcm_xor
+        code = _leading_zero_bytes(residual)
+        writer.write(selector, 1)
+        writer.write(code, 3)
+        writer.write(residual, 8 * _code_to_bytes(code))
+        predictors.update(value)
+    return writer.getvalue()
+
+
+def decompress(data: bytes, count: int, table_bits: int = _DEFAULT_TABLE_BITS) -> np.ndarray:
+    """Inverse of :func:`compress`."""
+    predictors = _Predictors(table_bits)
+    reader = BitReader(data)
+    out = np.empty(count, dtype=np.uint64)
+    for i in range(count):
+        selector = reader.read(1)
+        code = reader.read(3)
+        residual = reader.read(8 * _code_to_bytes(code))
+        fcm_pred, dfcm_pred = predictors.predict()
+        prediction = dfcm_pred if selector else fcm_pred
+        value = prediction ^ residual
+        out[i] = value
+        predictors.update(value)
+    return out.view(np.float64)

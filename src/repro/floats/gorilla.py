@@ -1,0 +1,87 @@
+"""Gorilla XOR compression for doubles (Pelkonen et al. [51]).
+
+Each value is XORed with its predecessor:
+
+* xor == 0                      -> control bit ``0``
+* meaningful bits fit inside the
+  previous (leading, length) window -> ``10`` + meaningful bits
+* otherwise                     -> ``11`` + 5-bit leading-zero count +
+                                   6-bit meaningful-bit length + bits
+
+The first value is stored verbatim (64 bits).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.floats.bitio import BitReader, BitWriter, leading_zeros64, trailing_zeros64
+
+_MASK64 = (1 << 64) - 1
+
+
+def compress(values: np.ndarray) -> bytes:
+    """Compress float64 values to a Gorilla bit stream."""
+    bits = np.asarray(values, dtype=np.float64).view(np.uint64).tolist()
+    writer = BitWriter()
+    if not bits:
+        return writer.getvalue()
+    writer.write(bits[0], 64)
+    prev = bits[0]
+    prev_leading = 65  # force a fresh window on the first XOR
+    prev_meaningful = 0
+    for current in bits[1:]:
+        xor = (current ^ prev) & _MASK64
+        if xor == 0:
+            writer.write_bit(0)
+        else:
+            leading = min(leading_zeros64(xor), 31)
+            trailing = trailing_zeros64(xor)
+            meaningful = 64 - leading - trailing
+            if (
+                leading >= prev_leading
+                and 64 - prev_leading - prev_meaningful <= trailing
+                and prev_meaningful > 0
+            ):
+                # Reuse the previous window.
+                writer.write(0b10, 2)
+                shift = 64 - prev_leading - prev_meaningful
+                writer.write(xor >> shift, prev_meaningful)
+            else:
+                writer.write(0b11, 2)
+                writer.write(leading, 5)
+                writer.write(meaningful, 6)
+                writer.write(xor >> trailing, meaningful)
+                prev_leading = leading
+                prev_meaningful = meaningful
+        prev = current
+    return writer.getvalue()
+
+
+def decompress(data: bytes, count: int) -> np.ndarray:
+    """Inverse of :func:`compress`."""
+    out = np.empty(count, dtype=np.uint64)
+    if count == 0:
+        return out.view(np.float64)
+    reader = BitReader(data)
+    prev = reader.read(64)
+    out[0] = prev
+    prev_leading = 65
+    prev_meaningful = 0
+    for i in range(1, count):
+        if reader.read_bit() == 0:
+            out[i] = prev
+            continue
+        if reader.read_bit() == 0:
+            shift = 64 - prev_leading - prev_meaningful
+            xor = reader.read(prev_meaningful) << shift
+        else:
+            prev_leading = reader.read(5)
+            prev_meaningful = reader.read(6)
+            if prev_meaningful == 0:
+                prev_meaningful = 64
+            shift = 64 - prev_leading - prev_meaningful
+            xor = reader.read(prev_meaningful) << shift
+        prev ^= xor
+        out[i] = prev
+    return out.view(np.float64)

@@ -1,0 +1,85 @@
+"""Uniform adapters over every storage format in the repository.
+
+The evaluation compares BtrBlocks against Parquet-like and ORC-like files
+with several page codecs. This module gives them one interface so the
+benchmark harness and the cloud scan simulator can treat them uniformly:
+
+``compress(relation) -> artifact``, ``decompress(artifact) -> relation``,
+``size(artifact) -> bytes``, plus a display ``label``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.baselines.orc_like import OrcLikeFormat
+from repro.baselines.parquet_like import ParquetLikeFormat
+from repro.core.compressor import compress_relation
+from repro.core.config import BtrBlocksConfig
+from repro.core.decompressor import decompress_relation
+from repro.core.relation import Relation
+
+
+@dataclass(frozen=True)
+class FormatAdapter:
+    """One storage format under a common compress/decompress interface."""
+
+    label: str
+    compress: Callable[[Relation], Any]
+    decompress: Callable[[Any], Relation]
+    size: Callable[[Any], int]
+
+
+def btrblocks_adapter(config: BtrBlocksConfig | None = None, label: str = "btrblocks") -> FormatAdapter:
+    """BtrBlocks with an optional custom configuration."""
+    vectorized = config.vectorized if config else True
+    return FormatAdapter(
+        label=label,
+        compress=lambda relation: compress_relation(relation, config),
+        decompress=lambda compressed: decompress_relation(compressed, vectorized=vectorized),
+        size=lambda compressed: compressed.nbytes,
+    )
+
+
+def parquet_adapter(codec: str = "none") -> FormatAdapter:
+    fmt = ParquetLikeFormat(codec)
+    return FormatAdapter(
+        label=fmt.label,
+        compress=fmt.compress_relation,
+        decompress=fmt.decompress_relation,
+        size=lambda file: file.nbytes,
+    )
+
+
+def orc_adapter(codec: str = "none") -> FormatAdapter:
+    fmt = OrcLikeFormat(codec)
+    return FormatAdapter(
+        label=fmt.label,
+        compress=fmt.compress_relation,
+        decompress=fmt.decompress_relation,
+        size=lambda file: file.nbytes,
+    )
+
+
+def paper_formats() -> list[FormatAdapter]:
+    """The format lineup of the paper's Figures 1/8 and Tables 2/5."""
+    return [
+        btrblocks_adapter(),
+        parquet_adapter("none"),
+        parquet_adapter("snappy"),
+        parquet_adapter("zstd"),
+        orc_adapter("none"),
+        orc_adapter("snappy"),
+        orc_adapter("zstd"),
+    ]
+
+
+def parquet_family() -> list[FormatAdapter]:
+    """BtrBlocks + the Parquet variants (Figure 1, Table 5)."""
+    return [
+        btrblocks_adapter(),
+        parquet_adapter("none"),
+        parquet_adapter("snappy"),
+        parquet_adapter("zstd"),
+    ]

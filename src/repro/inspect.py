@@ -1,0 +1,110 @@
+"""Introspection: explain the cascade inside compressed blocks.
+
+``explain_block`` parses a compressed node and returns the cascade as a tree
+of :class:`CascadeNode` — which scheme encoded the block, how large each
+part is and which schemes its children cascaded into. ``format_tree``
+renders it like::
+
+    dictionary[string] n=64000 12.4KB
+      codes: rle[integer] n=64000 1.1KB
+        values: fastbp128[integer] n=1582 0.4KB
+        lengths: fastbp128[integer] n=1582 0.3KB
+
+This is the debugging surface an engineer working on scheme selection needs;
+it is also wired into ``python -m repro inspect --explain``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.blocks import CompressedColumn
+from repro.encodings.base import SchemeId, get_scheme
+from repro.encodings.wire import Reader, unwrap
+from repro.types import ColumnType
+
+
+@dataclass
+class CascadeNode:
+    """One node in a compressed block's cascade tree."""
+
+    scheme: str
+    ctype: ColumnType
+    count: int
+    nbytes: int
+    children: list[tuple[str, "CascadeNode"]] = field(default_factory=list)
+
+    def depth(self) -> int:
+        if not self.children:
+            return 1
+        return 1 + max(child.depth() for _, child in self.children)
+
+    def scheme_names(self) -> set[str]:
+        names = {self.scheme}
+        for _, child in self.children:
+            names |= child.scheme_names()
+        return names
+
+
+def explain_block(blob: bytes, ctype: ColumnType) -> CascadeNode:
+    """Parse one compressed node (and its children) into a cascade tree."""
+    scheme_id, count, payload = unwrap(blob)
+    scheme = get_scheme(scheme_id)
+    node = CascadeNode(scheme.name, scheme.ctype, count, len(blob))
+    reader = Reader(payload)
+    if scheme_id in (SchemeId.RLE_INT, SchemeId.RLE_DOUBLE):
+        reader.u32()
+        node.children.append(("values", explain_block(reader.blob(), ctype)))
+        node.children.append(("lengths", explain_block(reader.blob(), ColumnType.INTEGER)))
+    elif scheme_id in (SchemeId.DICT_INT, SchemeId.DICT_DOUBLE):
+        reader.array()
+        node.children.append(("codes", explain_block(reader.blob(), ColumnType.INTEGER)))
+    elif scheme_id == SchemeId.DICT_STRING:
+        pool_kind = reader.u8()
+        pool_count = reader.u32()
+        pool_blob = reader.blob()
+        if pool_kind == 1:  # FSST-compressed pool
+            pool_node = _explain_fsst_payload(pool_blob, pool_count)
+            node.children.append(("pool", pool_node))
+        node.children.append(("codes", explain_block(reader.blob(), ColumnType.INTEGER)))
+    elif scheme_id in (SchemeId.FREQUENCY_INT, SchemeId.FREQUENCY_DOUBLE):
+        reader.array()
+        reader.blob()  # bitmap
+        node.children.append(("exceptions", explain_block(reader.blob(), ctype)))
+    elif scheme_id == SchemeId.FREQUENCY_STRING:
+        reader.blob()  # top value
+        reader.blob()  # bitmap
+        node.children.append(("exceptions", explain_block(reader.blob(), ColumnType.STRING)))
+    elif scheme_id == SchemeId.PSEUDODECIMAL:
+        node.children.append(("digits", explain_block(reader.blob(), ColumnType.INTEGER)))
+        node.children.append(("exponents", explain_block(reader.blob(), ColumnType.INTEGER)))
+    elif scheme_id == SchemeId.FSST:
+        return _explain_fsst_payload(payload, count, total=len(blob))
+    return node
+
+
+def _explain_fsst_payload(payload: bytes, count: int, total: int | None = None) -> CascadeNode:
+    reader = Reader(payload)
+    reader.u8()
+    reader.array()
+    reader.array()
+    reader.blob()  # compressed stream
+    node = CascadeNode("fsst", ColumnType.STRING, count, total or len(payload))
+    node.children.append(("lengths", explain_block(reader.blob(), ColumnType.INTEGER)))
+    return node
+
+
+def format_tree(node: CascadeNode, label: str = "", indent: int = 0) -> str:
+    """Render a cascade tree as indented text."""
+    prefix = "  " * indent + (f"{label}: " if label else "")
+    size = f"{node.nbytes / 1024:.1f}KB" if node.nbytes >= 1024 else f"{node.nbytes}B"
+    lines = [f"{prefix}{node.scheme}[{node.ctype.value}] n={node.count} {size}"]
+    for child_label, child in node.children:
+        lines.append(format_tree(child, child_label, indent + 1))
+    return "\n".join(lines)
+
+
+def explain_column(column: CompressedColumn, block: int = 0) -> str:
+    """Human-readable cascade tree of one block of a compressed column."""
+    node = explain_block(column.blocks[block].data, column.ctype)
+    return format_tree(node)

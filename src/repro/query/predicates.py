@@ -1,0 +1,161 @@
+"""Predicates over typed column values.
+
+A predicate exposes two evaluation surfaces:
+
+* :meth:`Predicate.evaluate` — vectorised over a NumPy array or
+  :class:`~repro.types.StringArray`, returning a boolean mask;
+* :meth:`Predicate.may_match_range` — a conservative test against a block's
+  (min, max) statistics, used by zone-map pruning: ``False`` guarantees no
+  row in the block matches.
+
+String predicates compare raw bytes (UTF-8 for ``str`` arguments), matching
+the storage format's semantics.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.types import StringArray
+
+Scalar = Union[int, float, bytes, str]
+
+
+def _as_bytes(value: Union[bytes, str]) -> bytes:
+    return value.encode("utf-8") if isinstance(value, str) else value
+
+
+def _string_mask(values: StringArray, test) -> np.ndarray:
+    out = np.empty(len(values), dtype=bool)
+    for i, item in enumerate(values):
+        out[i] = test(item)
+    return out
+
+
+class Predicate(ABC):
+    """A row-level filter over one column."""
+
+    @abstractmethod
+    def evaluate(self, values) -> np.ndarray:
+        """Boolean match mask for an array of values."""
+
+    def may_match_range(self, minimum, maximum) -> bool:
+        """Could any value in [minimum, maximum] match? Default: maybe."""
+        return True
+
+    def evaluate_scalar(self, value) -> bool:
+        """Match test for one value (used on One Value / dictionary entries)."""
+        if isinstance(value, bytes):
+            return bool(self.evaluate(StringArray.from_pylist([value]))[0])
+        return bool(self.evaluate(np.asarray([value]))[0])
+
+
+@dataclass(frozen=True)
+class Equals(Predicate):
+    value: Scalar
+
+    def evaluate(self, values):
+        if isinstance(values, StringArray):
+            needle = _as_bytes(self.value)  # type: ignore[arg-type]
+            return _string_mask(values, lambda s: s == needle)
+        return np.asarray(values) == self.value
+
+    def may_match_range(self, minimum, maximum) -> bool:
+        if minimum is None or maximum is None or isinstance(self.value, (bytes, str)):
+            return True
+        return minimum <= self.value <= maximum
+
+
+@dataclass(frozen=True)
+class GreaterThan(Predicate):
+    value: Scalar
+    inclusive: bool = False
+
+    def evaluate(self, values):
+        if isinstance(values, StringArray):
+            needle = _as_bytes(self.value)  # type: ignore[arg-type]
+            if self.inclusive:
+                return _string_mask(values, lambda s: s >= needle)
+            return _string_mask(values, lambda s: s > needle)
+        arr = np.asarray(values)
+        return arr >= self.value if self.inclusive else arr > self.value
+
+    def may_match_range(self, minimum, maximum) -> bool:
+        if maximum is None or isinstance(self.value, (bytes, str)):
+            return True
+        return maximum >= self.value if self.inclusive else maximum > self.value
+
+
+@dataclass(frozen=True)
+class LessThan(Predicate):
+    value: Scalar
+    inclusive: bool = False
+
+    def evaluate(self, values):
+        if isinstance(values, StringArray):
+            needle = _as_bytes(self.value)  # type: ignore[arg-type]
+            if self.inclusive:
+                return _string_mask(values, lambda s: s <= needle)
+            return _string_mask(values, lambda s: s < needle)
+        arr = np.asarray(values)
+        return arr <= self.value if self.inclusive else arr < self.value
+
+    def may_match_range(self, minimum, maximum) -> bool:
+        if minimum is None or isinstance(self.value, (bytes, str)):
+            return True
+        return minimum <= self.value if self.inclusive else minimum < self.value
+
+
+@dataclass(frozen=True)
+class Between(Predicate):
+    low: Scalar
+    high: Scalar
+
+    def evaluate(self, values):
+        if isinstance(values, StringArray):
+            lo, hi = _as_bytes(self.low), _as_bytes(self.high)  # type: ignore[arg-type]
+            return _string_mask(values, lambda s: lo <= s <= hi)
+        arr = np.asarray(values)
+        return (arr >= self.low) & (arr <= self.high)
+
+    def may_match_range(self, minimum, maximum) -> bool:
+        if minimum is None or maximum is None or isinstance(self.low, (bytes, str)):
+            return True
+        return not (maximum < self.low or minimum > self.high)
+
+
+@dataclass(frozen=True)
+class In(Predicate):
+    values: tuple
+
+    def __init__(self, values: Sequence[Scalar]):
+        object.__setattr__(self, "values", tuple(values))
+
+    def evaluate(self, values):
+        if isinstance(values, StringArray):
+            needles = {_as_bytes(v) for v in self.values}  # type: ignore[arg-type]
+            return _string_mask(values, lambda s: s in needles)
+        return np.isin(np.asarray(values), np.asarray(self.values))
+
+    def may_match_range(self, minimum, maximum) -> bool:
+        if minimum is None or maximum is None:
+            return True
+        if any(isinstance(v, (bytes, str)) for v in self.values):
+            return True
+        return any(minimum <= v <= maximum for v in self.values)
+
+
+@dataclass(frozen=True)
+class IsNull(Predicate):
+    """Matches NULL rows; handled specially by the executor (NULL positions
+    live in the block's Roaring bitmap, not in the value array)."""
+
+    def evaluate(self, values):
+        return np.zeros(len(values), dtype=bool)
+
+    def may_match_range(self, minimum, maximum) -> bool:
+        return True

@@ -1,0 +1,177 @@
+"""Tests for FastBP128 and FastPFOR integer packing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encodings.base import SchemeId, get_scheme
+from repro.encodings.bitpack import (
+    PAGE,
+    bit_lengths,
+    pack_pages,
+    paginate,
+    unpack_pages,
+    unpack_pages_scalar,
+)
+from repro.encodings.fastpfor import choose_widths
+
+from conftest import scheme_round_trip
+
+BP = get_scheme(SchemeId.FAST_BP128)
+PFOR = get_scheme(SchemeId.FAST_PFOR)
+
+
+class TestBitLengths:
+    def test_zero(self):
+        assert bit_lengths(np.array([0])).tolist() == [0]
+
+    def test_powers_of_two(self):
+        values = np.array([1, 2, 4, 255, 256, 2**31])
+        assert bit_lengths(values).tolist() == [1, 2, 3, 8, 9, 32]
+
+
+class TestPaginate:
+    def test_exact_pages(self):
+        deltas, refs = paginate(np.arange(256, dtype=np.int32))
+        assert deltas.shape == (2, PAGE)
+        assert refs.tolist() == [0, 128]
+
+    def test_tail_padding(self):
+        deltas, refs = paginate(np.arange(130, dtype=np.int32))
+        assert deltas.shape == (2, PAGE)
+        # Padding uses the last value, so the tail page packs to few bits.
+        assert deltas[1, 2:].max() == deltas[1, 1]
+
+    def test_empty(self):
+        deltas, refs = paginate(np.empty(0, dtype=np.int32))
+        assert deltas.shape[0] == 0 and refs.size == 0
+
+    def test_negative_values(self):
+        deltas, refs = paginate(np.array([-100, -50, -100] * 50, dtype=np.int32))
+        assert refs[0] == -100
+        assert deltas.min() == 0
+
+
+class TestPackUnpack:
+    @pytest.mark.parametrize("width", [0, 1, 3, 7, 8, 13, 20, 31, 33])
+    def test_single_width(self, width, rng):
+        deltas = rng.integers(0, 2**width if width else 1, (4, PAGE)).astype(np.uint64)
+        widths = np.full(4, width, dtype=np.int64)
+        packed = pack_pages(deltas, widths)
+        assert len(packed) == 4 * 16 * width
+        out = unpack_pages(packed, widths)
+        assert np.array_equal(out, deltas)
+
+    def test_mixed_widths(self, rng):
+        widths = np.array([0, 5, 17, 5, 31], dtype=np.int64)
+        deltas = np.stack([
+            rng.integers(0, max(2**w, 1), PAGE).astype(np.uint64) for w in widths
+        ])
+        packed = pack_pages(deltas, widths)
+        assert np.array_equal(unpack_pages(packed, widths), deltas)
+
+    def test_scalar_unpack_matches(self, rng):
+        widths = np.array([3, 11], dtype=np.int64)
+        deltas = np.stack([
+            rng.integers(0, 2**w, PAGE).astype(np.uint64) for w in widths
+        ])
+        packed = pack_pages(deltas, widths)
+        assert np.array_equal(unpack_pages_scalar(packed, widths), deltas)
+
+
+class TestFastBP128:
+    def test_round_trip_small_range(self, rng):
+        values = rng.integers(100_000, 100_100, 5000).astype(np.int32)
+        payload, out = scheme_round_trip(BP, values)
+        assert np.array_equal(out, values)
+        assert len(payload) < values.nbytes / 3
+
+    def test_round_trip_negatives(self, rng):
+        values = rng.integers(-1000, 1000, 3000).astype(np.int32)
+        _, out = scheme_round_trip(BP, values)
+        assert np.array_equal(out, values)
+
+    def test_full_int32_range(self):
+        values = np.array([-(2**31), 2**31 - 1, 0, -1] * 64, dtype=np.int32)
+        _, out = scheme_round_trip(BP, values)
+        assert np.array_equal(out, values)
+
+    def test_non_page_multiple(self, rng):
+        values = rng.integers(0, 100, 333).astype(np.int32)
+        _, out = scheme_round_trip(BP, values)
+        assert np.array_equal(out, values)
+
+    def test_scalar_matches_vectorized(self, rng):
+        values = rng.integers(0, 1000, 500).astype(np.int32)
+        _, fast = scheme_round_trip(BP, values, vectorized=True)
+        _, slow = scheme_round_trip(BP, values, vectorized=False)
+        assert np.array_equal(fast, slow)
+
+    def test_constant_column_tiny(self):
+        values = np.zeros(64_000, dtype=np.int32)
+        payload, out = scheme_round_trip(BP, values)
+        assert np.array_equal(out, values)
+        assert len(payload) < 6000  # 0-bit pages, only refs + widths
+
+
+class TestChooseWidths:
+    def test_no_outliers_uses_max_width(self, rng):
+        deltas = rng.integers(0, 16, (3, PAGE)).astype(np.uint64)
+        widths = choose_widths(deltas)
+        assert (widths == 4).all()
+
+    def test_outliers_shrink_width(self):
+        deltas = np.ones((1, PAGE), dtype=np.uint64)
+        deltas[0, 5] = 2**30  # one outlier should not force 31-bit lanes
+        widths = choose_widths(deltas)
+        assert widths[0] == 1
+
+    def test_empty(self):
+        assert choose_widths(np.zeros((0, PAGE), dtype=np.uint64)).size == 0
+
+
+class TestFastPFOR:
+    def test_round_trip_with_outliers(self, rng):
+        values = rng.integers(0, 100, 5000).astype(np.int32)
+        outliers = rng.choice(5000, 50, replace=False)
+        values[outliers] = rng.integers(2**25, 2**30, 50)
+        payload, out = scheme_round_trip(PFOR, values)
+        assert np.array_equal(out, values)
+
+    def test_beats_bp_on_outlier_data(self, rng):
+        values = rng.integers(0, 64, 64_000).astype(np.int32)
+        outliers = rng.choice(64_000, 600, replace=False)
+        values[outliers] = 2**29
+        bp_payload, _ = scheme_round_trip(BP, values)
+        pfor_payload, _ = scheme_round_trip(PFOR, values)
+        assert len(pfor_payload) < len(bp_payload)
+
+    def test_scalar_matches_vectorized(self, rng):
+        values = rng.integers(0, 100, 700).astype(np.int32)
+        values[::100] = 2**28
+        _, fast = scheme_round_trip(PFOR, values, vectorized=True)
+        _, slow = scheme_round_trip(PFOR, values, vectorized=False)
+        assert np.array_equal(fast, slow)
+
+    def test_all_exceptions_page(self):
+        # A page where every value is "large" still round-trips.
+        values = np.arange(2**20, 2**20 + 200, dtype=np.int32)
+        _, out = scheme_round_trip(PFOR, values)
+        assert np.array_equal(out, values)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(-(2**31), 2**31 - 1), min_size=1, max_size=300))
+def test_property_bp_round_trip(values):
+    arr = np.array(values, dtype=np.int32)
+    _, out = scheme_round_trip(BP, arr)
+    assert np.array_equal(out, arr)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(-(2**31), 2**31 - 1), min_size=1, max_size=300))
+def test_property_pfor_round_trip(values):
+    arr = np.array(values, dtype=np.int32)
+    _, out = scheme_round_trip(PFOR, arr)
+    assert np.array_equal(out, arr)

@@ -1,0 +1,79 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.relation import Relation
+from repro.datagen.csvio import csv_to_relation, relation_to_csv
+from repro.types import Column
+
+
+@pytest.fixture
+def csv_file(tmp_path, rng):
+    relation = Relation("sales", [
+        Column.ints("id", rng.integers(0, 50, 500)),
+        Column.doubles("price", np.round(rng.uniform(0, 10, 500), 2)),
+        Column.strings("city", [["OSLO", "PARIS"][i % 2] for i in range(500)]),
+    ])
+    path = tmp_path / "sales.csv"
+    path.write_text(relation_to_csv(relation), encoding="utf-8")
+    return path, relation
+
+
+class TestCompressDecompress:
+    def test_round_trip(self, tmp_path, csv_file, capsys):
+        csv_path, relation = csv_file
+        btr_path = tmp_path / "sales.btr"
+        out_path = tmp_path / "restored.csv"
+
+        assert main(["compress", str(csv_path), str(btr_path)]) == 0
+        assert btr_path.exists()
+        output = capsys.readouterr().out
+        assert "500 rows" in output
+
+        assert main(["decompress", str(btr_path), str(out_path)]) == 0
+        restored = csv_to_relation(out_path.read_text(), "sales")
+        assert restored.row_count == relation.row_count
+        assert restored.column_names() == relation.column_names()
+        assert np.array_equal(
+            np.asarray(restored.column("price").data),
+            np.asarray(relation.column("price").data),
+        )
+
+    def test_custom_block_size(self, tmp_path, csv_file, capsys):
+        csv_path, _ = csv_file
+        btr_path = tmp_path / "x.btr"
+        assert main(["compress", str(csv_path), str(btr_path), "--block-size", "100"]) == 0
+
+    def test_inspect(self, tmp_path, csv_file, capsys):
+        csv_path, _ = csv_file
+        btr_path = tmp_path / "x.btr"
+        main(["compress", str(csv_path), str(btr_path)])
+        capsys.readouterr()
+        assert main(["inspect", str(btr_path)]) == 0
+        output = capsys.readouterr().out
+        assert "price" in output
+        assert "city" in output
+        assert "dictionary" in output or "one_value" in output
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["explode"])
+
+    def test_module_entry_point(self, tmp_path, csv_file):
+        import subprocess
+        import sys
+
+        csv_path, _ = csv_file
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "compress", str(csv_path), str(tmp_path / "m.btr")],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert result.returncode == 0, result.stderr

@@ -1,0 +1,138 @@
+"""Tests for column/relation compression, blocks and NULL handling."""
+
+import numpy as np
+import pytest
+
+from repro.bitmap import RoaringBitmap
+from repro.core.compressor import compress_column, compress_relation
+from repro.core.config import BtrBlocksConfig
+from repro.core.decompressor import decompress_column, decompress_relation
+from repro.core.relation import Relation
+from repro.exceptions import TypeMismatchError
+from repro.types import Column, ColumnType, columns_equal
+
+
+class TestCompressColumn:
+    def test_single_block(self, rng):
+        col = Column.ints("a", rng.integers(0, 100, 5000))
+        compressed = compress_column(col)
+        assert len(compressed.blocks) == 1
+        assert compressed.count == 5000
+        assert columns_equal(decompress_column(compressed), col)
+
+    def test_multiple_blocks(self, rng, small_config):
+        col = Column.ints("a", rng.integers(0, 100, 3500))
+        compressed = compress_column(col, small_config)
+        assert len(compressed.blocks) == 4
+        assert [b.count for b in compressed.blocks] == [1000, 1000, 1000, 500]
+        assert columns_equal(decompress_column(compressed), col)
+
+    def test_empty_column(self):
+        col = Column.ints("a", [])
+        compressed = compress_column(col)
+        assert compressed.count == 0
+        assert columns_equal(decompress_column(compressed), col)
+
+    def test_blocks_adapt_to_local_distribution(self, small_config):
+        # First block constant, second block random: different root schemes.
+        data = np.concatenate([
+            np.zeros(1000, dtype=np.int32),
+            np.random.default_rng(0).integers(0, 2**30, 1000).astype(np.int32),
+        ])
+        compressed = compress_column(Column.ints("a", data), small_config)
+        roots = [b.root_scheme_name for b in compressed.blocks]
+        assert roots[0] == "one_value"
+        assert roots[1] != "one_value"
+
+    def test_nulls_preserved_across_blocks(self, rng, small_config):
+        nulls = RoaringBitmap.from_positions([5, 1500, 2999])
+        col = Column.ints("a", rng.integers(0, 10, 3000), nulls)
+        back = decompress_column(compress_column(col, small_config))
+        assert back.nulls.to_array().tolist() == [5, 1500, 2999]
+
+    def test_string_column_multi_block(self, small_config):
+        col = Column.strings("s", [f"value-{i % 7}" for i in range(2500)])
+        back = decompress_column(compress_column(col, small_config))
+        assert columns_equal(back, col)
+
+    def test_scheme_histogram(self, small_config):
+        col = Column.ints("a", np.zeros(2000, dtype=np.int32))
+        compressed = compress_column(col, small_config)
+        assert compressed.scheme_histogram() == {"one_value": 2}
+
+
+class TestCompressRelation:
+    def test_round_trip_mixed_types(self, rng):
+        rel = Relation("t", [
+            Column.ints("i", rng.integers(0, 50, 2000)),
+            Column.doubles("d", np.round(rng.uniform(0, 100, 2000), 2)),
+            Column.strings("s", [["x", "yy", "zzz"][i % 3] for i in range(2000)]),
+        ])
+        compressed = compress_relation(rel)
+        back = decompress_relation(compressed)
+        assert back.name == "t"
+        assert all(columns_equal(a, b) for a, b in zip(rel.columns, back.columns))
+
+    def test_compression_ratio_reported(self, rng):
+        rel = Relation("t", [Column.ints("i", np.zeros(64_000, dtype=np.int32))])
+        compressed = compress_relation(rel)
+        assert rel.nbytes / compressed.nbytes > 100
+
+    def test_column_lookup(self, rng):
+        rel = Relation("t", [Column.ints("a", [1]), Column.ints("b", [2])])
+        compressed = compress_relation(rel)
+        assert compressed.column("b").name == "b"
+        with pytest.raises(KeyError):
+            compressed.column("missing")
+
+    def test_scalar_decompression_matches(self, rng):
+        rel = Relation("t", [
+            Column.ints("i", np.repeat(rng.integers(0, 20, 100), 10)),
+            Column.doubles("d", np.round(rng.uniform(0, 10, 1000), 1)),
+            Column.strings("s", [["a", "bb"][i % 2] for i in range(1000)]),
+        ])
+        compressed = compress_relation(rel)
+        fast = decompress_relation(compressed, vectorized=True)
+        slow = decompress_relation(compressed, vectorized=False)
+        for a, b in zip(fast.columns, slow.columns):
+            assert columns_equal(a, b)
+
+
+class TestRelation:
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            Relation("t", [Column.ints("a", [1, 2]), Column.ints("b", [1])])
+
+    def test_from_dict_type_inference(self):
+        rel = Relation.from_dict("t", {
+            "ints": [1, 2, None],
+            "floats": [1.5, None, 2.0],
+            "strings": ["a", None, "c"],
+        })
+        assert rel.column("ints").ctype is ColumnType.INTEGER
+        assert rel.column("floats").ctype is ColumnType.DOUBLE
+        assert rel.column("strings").ctype is ColumnType.STRING
+        assert rel.column("ints").nulls.to_array().tolist() == [2]
+
+    def test_from_dict_numpy_arrays(self):
+        rel = Relation.from_dict("t", {
+            "i": np.arange(3), "d": np.linspace(0, 1, 3),
+        })
+        assert rel.column("i").ctype is ColumnType.INTEGER
+        assert rel.column("d").ctype is ColumnType.DOUBLE
+
+    def test_select_projection(self):
+        rel = Relation("t", [Column.ints("a", [1]), Column.ints("b", [2])])
+        assert rel.select(["b"]).column_names() == ["b"]
+
+    def test_slice(self):
+        rel = Relation("t", [Column.ints("a", np.arange(10))])
+        assert rel.slice(2, 5).column("a").data.tolist() == [2, 3, 4]
+
+    def test_wrong_type_read_raises(self, rng):
+        from repro.core.compressor import compress_block
+        from repro.core.decompressor import decompress_block
+
+        blob = compress_block(np.arange(10, dtype=np.int32), ColumnType.INTEGER)
+        with pytest.raises(TypeMismatchError):
+            decompress_block(blob, ColumnType.DOUBLE)

@@ -1,0 +1,88 @@
+"""Robustness tests: corrupted inputs must fail cleanly, never hang.
+
+A storage library meets corrupted bytes in practice (truncated downloads,
+bit rot). Decompression of damaged input is allowed to fail — but only with
+a regular exception (ideally ``BtrBlocksError``), never a crash, an infinite
+loop or silently wrong data passed off as success.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import lzb
+from repro.core.compressor import compress_block
+from repro.core.decompressor import decompress_block
+from repro.core.file_format import column_from_bytes, relation_from_bytes
+from repro.exceptions import BtrBlocksError
+from repro.types import ColumnType, StringArray
+
+ACCEPTABLE = (BtrBlocksError, ValueError, KeyError, IndexError, OverflowError, EOFError)
+
+
+def _attempt(fn):
+    """Run fn; pass when it succeeds or raises a regular exception."""
+    try:
+        fn()
+    except ACCEPTABLE:
+        pass
+
+
+@pytest.fixture
+def int_blob(rng):
+    return compress_block(np.repeat(rng.integers(0, 30, 100), 20).astype(np.int32),
+                          ColumnType.INTEGER)
+
+
+@pytest.fixture
+def string_blob():
+    sa = StringArray.from_pylist([f"value-{i % 11}" for i in range(2000)])
+    return compress_block(sa, ColumnType.STRING)
+
+
+class TestTruncation:
+    @pytest.mark.parametrize("keep", [0, 1, 4, 5, 9, 17, 33])
+    def test_truncated_int_block(self, int_blob, keep):
+        _attempt(lambda: decompress_block(int_blob[:keep], ColumnType.INTEGER))
+
+    def test_truncated_string_block(self, string_blob):
+        for keep in (3, 8, len(string_blob) // 2, len(string_blob) - 3):
+            _attempt(lambda: decompress_block(string_blob[:keep], ColumnType.STRING))
+
+    def test_empty_input(self):
+        with pytest.raises(ACCEPTABLE):
+            decompress_block(b"", ColumnType.INTEGER)
+
+
+class TestBitFlips:
+    def test_flipped_bytes_never_hang(self, int_blob, rng):
+        for _ in range(50):
+            corrupted = bytearray(int_blob)
+            pos = int(rng.integers(0, len(corrupted)))
+            corrupted[pos] ^= 0xFF
+            _attempt(lambda: decompress_block(bytes(corrupted), ColumnType.INTEGER))
+
+    def test_flipped_scheme_id(self, int_blob):
+        corrupted = bytes([200]) + int_blob[1:]
+        with pytest.raises(ACCEPTABLE):
+            decompress_block(corrupted, ColumnType.INTEGER)
+
+    def test_string_blob_flips(self, string_blob, rng):
+        for _ in range(50):
+            corrupted = bytearray(string_blob)
+            pos = int(rng.integers(0, len(corrupted)))
+            corrupted[pos] ^= rng.integers(1, 255)
+            _attempt(lambda: decompress_block(bytes(corrupted), ColumnType.STRING))
+
+
+class TestContainers:
+    def test_garbage_column_file(self, rng):
+        with pytest.raises(ACCEPTABLE):
+            column_from_bytes(rng.bytes(64))
+
+    def test_garbage_relation_file(self, rng):
+        with pytest.raises(ACCEPTABLE):
+            relation_from_bytes(rng.bytes(128))
+
+    def test_lzb_garbage(self, rng):
+        for _ in range(30):
+            _attempt(lambda: lzb.decompress(bytes([2]) + rng.bytes(40)))

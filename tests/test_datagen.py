@@ -1,0 +1,200 @@
+"""Tests for the synthetic data generators and CSV ingestion."""
+
+import numpy as np
+import pytest
+
+from repro.datagen import distributions as dist
+from repro.datagen.csvio import csv_to_relation, relation_to_csv
+from repro.datagen.publicbi import (
+    DATASETS,
+    LARGEST_FIVE,
+    NAMED_COLUMNS,
+    TABLE3_COLUMNS,
+    TABLE4_COLUMNS,
+    generate_dataset,
+    generate_suite,
+    largest_five,
+    named_column,
+)
+from repro.datagen.tpch import generate_tpch
+from repro.types import Column, ColumnType, columns_equal
+
+
+class TestDistributions:
+    def test_runs_int_has_runs(self, rng):
+        values = dist.runs_int(10_000, rng, distinct=20, avg_run=25.0)
+        changes = np.count_nonzero(np.diff(values))
+        assert values.size == 10_000
+        assert 10_000 / (changes + 1) > 10  # long runs on average
+
+    def test_price_doubles_have_two_decimals(self, rng):
+        values = dist.price_doubles(1000, rng, decimals=2)
+        assert np.allclose(values, np.round(values, 2))
+
+    def test_dominant_double_fraction(self, rng):
+        values = dist.dominant_double(10_000, rng, top=0.0, top_fraction=0.8)
+        assert 0.75 < np.mean(values == 0.0) < 0.85
+
+    def test_constant_int(self, rng):
+        assert np.unique(dist.constant_int(100, rng, 5)).tolist() == [5]
+
+    def test_urls_share_prefixes(self, rng):
+        values = dist.urls(100, rng)
+        assert all(v.startswith("https://") for v in values)
+
+    def test_mostly_null_strings(self, rng):
+        values = dist.mostly_null_strings(1000, rng, null_fraction=0.9)
+        null_share = sum(v is None for v in values) / 1000
+        assert 0.85 < null_share < 0.95
+
+    def test_null_positions_fraction(self, rng):
+        positions = dist.null_positions(1000, rng, 0.25)
+        assert positions.size == 250
+        assert np.unique(positions).size == 250
+
+
+class TestNamedColumns:
+    def test_all_table3_columns_registered(self):
+        for name in TABLE3_COLUMNS:
+            assert name in NAMED_COLUMNS
+            assert NAMED_COLUMNS[name].ctype is ColumnType.DOUBLE
+
+    def test_all_table4_columns_registered(self):
+        for name in TABLE4_COLUMNS:
+            assert name in NAMED_COLUMNS
+
+    def test_named_column_generation(self):
+        col = named_column("CommonGovernment/26", 5000)
+        assert isinstance(col, Column)
+        assert len(col) == 5000
+
+    def test_deterministic(self):
+        a = named_column("Arade/4", 1000)
+        b = named_column("Arade/4", 1000)
+        assert columns_equal(a, b)
+
+    def test_different_seed_differs(self):
+        a = named_column("Arade/4", 1000, seed=1)
+        b = named_column("Arade/4", 1000, seed=2)
+        assert not columns_equal(a, b)
+
+    def test_new_build_is_all_zero(self):
+        col = named_column("RealEstate1/New Build?", 1000)
+        assert np.unique(col.data).tolist() == [0]
+
+    def test_motos_medio_is_one_value(self):
+        col = named_column("Motos/Medio", 500)
+        assert set(col.data.to_pylist()) == {b"CABLE"}
+
+    def test_nyc29_looks_like_coordinates(self):
+        col = named_column("NYC/29", 2000)
+        values = np.asarray(col.data)
+        assert -80 < values.mean() < -68
+
+    def test_salaries_france_mostly_null(self):
+        col = named_column("SalariesFrance/LIBDOM1", 2000)
+        assert col.nulls is not None
+        assert len(col.nulls) > 1500
+
+
+class TestDatasets:
+    def test_generate_dataset_shape(self):
+        rel = generate_dataset("Telco", rows=1000)
+        assert rel.name == "Telco"
+        assert rel.row_count == 2000  # 2x multiplier
+        assert len(rel.columns) == len(DATASETS["Telco"][1])
+
+    def test_suite_contains_all_datasets(self):
+        suite = generate_suite(rows=500)
+        assert {r.name for r in suite} == set(DATASETS)
+
+    def test_largest_five(self):
+        suite = largest_five(rows=500)
+        assert [r.name for r in suite] == LARGEST_FIVE
+
+    def test_suite_type_mix_matches_paper(self):
+        suite = generate_suite(rows=4000)
+        volumes = {t: 0 for t in ColumnType}
+        for rel in suite:
+            for col in rel.columns:
+                volumes[col.ctype] += col.nbytes
+        total = sum(volumes.values())
+        # Paper: 71.5% strings, 14.4% doubles, 14.1% integers by volume.
+        assert volumes[ColumnType.STRING] / total > 0.55
+        assert volumes[ColumnType.DOUBLE] / total < 0.30
+        assert volumes[ColumnType.INTEGER] / total < 0.20
+
+    def test_deterministic_suite(self):
+        a = generate_dataset("NYC", rows=300)
+        b = generate_dataset("NYC", rows=300)
+        for col_a, col_b in zip(a.columns, b.columns):
+            assert columns_equal(col_a, col_b)
+
+
+class TestTPCH:
+    def test_tables_present(self):
+        tables = generate_tpch(rows=2000)
+        assert [t.name for t in tables] == ["lineitem", "orders", "part"]
+
+    def test_lineitem_columns(self):
+        lineitem = generate_tpch(rows=1000)[0]
+        assert "l_orderkey" in lineitem.column_names()
+        assert lineitem.column("l_extendedprice").ctype is ColumnType.DOUBLE
+        assert lineitem.column("l_returnflag").ctype is ColumnType.STRING
+
+    def test_orderkeys_are_clustered(self):
+        lineitem = generate_tpch(rows=5000)[0]
+        keys = np.asarray(lineitem.column("l_orderkey").data)
+        assert np.all(np.diff(keys.astype(np.int64)) >= 0)
+
+    def test_discount_has_11_values(self):
+        lineitem = generate_tpch(rows=20_000)[0]
+        assert np.unique(lineitem.column("l_discount").data).size <= 11
+
+
+class TestCSV:
+    def test_round_trip_types(self, rng):
+        rel = generate_dataset("Uberlandia", rows=200)
+        text = relation_to_csv(rel)
+        back = csv_to_relation(text, "Uberlandia")
+        assert back.column_names() == rel.column_names()
+        for a, b in zip(rel.columns, back.columns):
+            assert a.ctype is b.ctype
+
+    def test_doubles_survive_csv_bitwise(self, rng):
+        values = np.round(rng.uniform(0, 100, 500), 2)
+        rel = generate_dataset("Eixo", rows=10)
+        from repro.core.relation import Relation
+
+        rel = Relation("t", [Column.doubles("d", values)])
+        back = csv_to_relation(relation_to_csv(rel), "t")
+        out = np.asarray(back.column("d").data)
+        assert np.array_equal(out.view(np.uint64), values.view(np.uint64))
+
+    def test_nulls_as_empty_fields(self):
+        from repro.bitmap import RoaringBitmap
+        from repro.core.relation import Relation
+
+        rel = Relation("t", [
+            Column.ints("i", np.array([1, 0, 3], dtype=np.int32), RoaringBitmap.from_positions([1])),
+        ])
+        back = csv_to_relation(relation_to_csv(rel), "t")
+        assert back.column("i").nulls.to_array().tolist() == [1]
+
+    def test_type_inference(self):
+        text = "a,b,c\n1,1.5,x\n2,2.5,y\n"
+        rel = csv_to_relation(text)
+        assert rel.column("a").ctype is ColumnType.INTEGER
+        assert rel.column("b").ctype is ColumnType.DOUBLE
+        assert rel.column("c").ctype is ColumnType.STRING
+
+    def test_int64_overflow_widened_to_double(self):
+        text = "big\n9999999999\n1\n"
+        rel = csv_to_relation(text)
+        assert rel.column("big").ctype is ColumnType.DOUBLE
+
+    def test_empty_csv_raises(self):
+        from repro.exceptions import FormatError
+
+        with pytest.raises(FormatError):
+            csv_to_relation("")

@@ -1,0 +1,135 @@
+"""Edge-case sweep across modules: boundaries the main suites don't hit."""
+
+import numpy as np
+import pytest
+
+from repro.core.compressor import compress_block, compress_column
+from repro.core.config import BtrBlocksConfig
+from repro.core.decompressor import decompress_block, decompress_column
+from repro.datagen.csvio import csv_to_relation, relation_to_csv
+from repro.core.relation import Relation
+from repro.types import Column, ColumnType, StringArray, columns_equal
+
+
+class TestTinyBlocks:
+    @pytest.mark.parametrize("n", [1, 2, 3, 127, 128, 129])
+    def test_int_sizes_around_page_boundary(self, n, rng):
+        values = rng.integers(-100, 100, n).astype(np.int32)
+        blob = compress_block(values, ColumnType.INTEGER)
+        assert np.array_equal(decompress_block(blob, ColumnType.INTEGER), values)
+
+    @pytest.mark.parametrize("n", [1, 2, 640, 641])
+    def test_double_sizes_around_sample_boundary(self, n, rng):
+        values = np.round(rng.uniform(0, 10, n), 1)
+        blob = compress_block(values, ColumnType.DOUBLE)
+        out = decompress_block(blob, ColumnType.DOUBLE)
+        assert np.array_equal(out.view(np.uint64), values.view(np.uint64))
+
+    def test_single_string(self):
+        sa = StringArray.from_pylist(["lonely"])
+        blob = compress_block(sa, ColumnType.STRING)
+        assert decompress_block(blob, ColumnType.STRING) == sa
+
+
+class TestExtremeValues:
+    def test_int32_boundaries(self):
+        values = np.array([-(2**31), 2**31 - 1] * 200, dtype=np.int32)
+        blob = compress_block(values, ColumnType.INTEGER)
+        assert np.array_equal(decompress_block(blob, ColumnType.INTEGER), values)
+
+    def test_denormal_doubles(self):
+        values = np.array([5e-324, -5e-324, 2.2e-308] * 100)
+        blob = compress_block(values, ColumnType.DOUBLE)
+        out = decompress_block(blob, ColumnType.DOUBLE)
+        assert np.array_equal(out.view(np.uint64), values.view(np.uint64))
+
+    def test_distinct_nan_payloads(self):
+        patterns = np.array([0x7FF8000000000001, 0x7FF8000000000002, 0xFFF8DEADBEEF0000],
+                            dtype=np.uint64)
+        values = np.tile(patterns, 50).view(np.float64)
+        blob = compress_block(values, ColumnType.DOUBLE)
+        out = decompress_block(blob, ColumnType.DOUBLE)
+        assert np.array_equal(out.view(np.uint64), values.view(np.uint64))
+
+    def test_very_long_strings(self):
+        sa = StringArray.from_pylist(["x" * 100_000, "y" * 50_000, "x" * 100_000])
+        blob = compress_block(sa, ColumnType.STRING)
+        assert decompress_block(blob, ColumnType.STRING) == sa
+
+    def test_all_empty_strings(self):
+        sa = StringArray.from_pylist([""] * 1000)
+        blob = compress_block(sa, ColumnType.STRING)
+        assert decompress_block(blob, ColumnType.STRING) == sa
+
+
+class TestBlockBoundaries:
+    @pytest.mark.parametrize("rows", [999, 1000, 1001, 2000, 2001])
+    def test_column_sizes_around_block_boundary(self, rows, rng, small_config):
+        column = Column.ints("c", rng.integers(0, 10, rows))
+        back = decompress_column(compress_column(column, small_config))
+        assert columns_equal(back, column)
+
+    def test_null_on_block_boundary(self, rng, small_config):
+        from repro.bitmap import RoaringBitmap
+
+        column = Column.ints("c", rng.integers(0, 10, 2000),
+                             RoaringBitmap.from_positions([999, 1000]))
+        back = decompress_column(compress_column(column, small_config))
+        assert back.nulls.to_array().tolist() == [999, 1000]
+
+    def test_all_rows_null(self, small_config):
+        from repro.bitmap import RoaringBitmap
+
+        column = Column.doubles("c", np.zeros(1500),
+                                RoaringBitmap.from_positions(np.arange(1500)))
+        back = decompress_column(compress_column(column, small_config))
+        assert columns_equal(back, column)
+
+
+class TestCSVEdgeCases:
+    def test_strings_with_commas_and_quotes(self):
+        rel = Relation("t", [Column.strings("s", ['a,b', 'say "hi"', 'line1\nline2'])])
+        back = csv_to_relation(relation_to_csv(rel), "t")
+        assert back.column("s").data.to_pylist() == [b'a,b', b'say "hi"', b'line1\nline2']
+
+    def test_unicode_round_trip(self):
+        rel = Relation("t", [Column.strings("s", ["Maceió", "日本", "ß"])])
+        back = csv_to_relation(relation_to_csv(rel), "t")
+        assert back.column("s").data.to_pylist() == ["Maceió".encode(), "日本".encode(), "ß".encode()]
+
+    def test_negative_and_zero_numbers(self):
+        text = "a,b\n-5,-1.5\n0,0.0\n"
+        rel = csv_to_relation(text)
+        assert rel.column("a").data.tolist() == [-5, 0]
+        assert rel.column("b").data.tolist() == [-1.5, 0.0]
+
+    def test_scientific_notation_is_double(self):
+        rel = csv_to_relation("x\n1e-3\n2.5e10\n")
+        assert rel.column("x").ctype is ColumnType.DOUBLE
+
+    def test_all_empty_column_is_string(self):
+        rel = csv_to_relation("x\n\n\n")
+        assert rel.column("x").ctype is ColumnType.STRING
+        assert len(rel.column("x").nulls) == 2
+
+
+class TestConfigEdgeCases:
+    def test_block_size_one(self, rng):
+        config = BtrBlocksConfig(block_size=1)
+        column = Column.ints("c", rng.integers(0, 5, 10))
+        compressed = compress_column(column, config)
+        assert len(compressed.blocks) == 10
+        assert columns_equal(decompress_column(compressed), column)
+
+    def test_huge_block_size(self, rng):
+        config = BtrBlocksConfig(block_size=10**9)
+        column = Column.ints("c", rng.integers(0, 5, 1000))
+        compressed = compress_column(column, config)
+        assert len(compressed.blocks) == 1
+
+    def test_zero_sample_runs_still_works(self, rng):
+        # Degenerate sampling config: the strategy falls back to whole-block.
+        config = BtrBlocksConfig(sample_runs=1, sample_run_length=1)
+        values = rng.integers(0, 5, 5000).astype(np.int32)
+        blob = compress_block(values, ColumnType.INTEGER, config)
+        assert np.array_equal(decompress_block(blob, ColumnType.INTEGER), values)

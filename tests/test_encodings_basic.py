@@ -1,0 +1,140 @@
+"""Tests for Uncompressed, One Value and RLE schemes."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import BtrBlocksConfig
+from repro.core.stats import compute_stats
+from repro.encodings import onevalue, rle, uncompressed
+from repro.encodings.base import SchemeId, get_scheme
+from repro.types import ColumnType, StringArray
+
+from conftest import scheme_round_trip
+
+CONFIG = BtrBlocksConfig()
+
+
+class TestRegistry:
+    def test_all_paper_schemes_registered(self):
+        for scheme_id in [
+            SchemeId.UNCOMPRESSED_INT, SchemeId.ONE_VALUE_DOUBLE, SchemeId.RLE_INT,
+            SchemeId.DICT_STRING, SchemeId.FREQUENCY_DOUBLE, SchemeId.FAST_BP128,
+            SchemeId.FAST_PFOR, SchemeId.FSST, SchemeId.PSEUDODECIMAL,
+        ]:
+            assert get_scheme(scheme_id) is not None
+
+    def test_unknown_scheme_raises(self):
+        from repro.exceptions import UnknownSchemeError
+
+        with pytest.raises(UnknownSchemeError):
+            get_scheme(200)
+
+
+class TestUncompressed:
+    def test_int_round_trip(self):
+        values = np.array([1, -5, 2**31 - 1], dtype=np.int32)
+        _, out = scheme_round_trip(uncompressed.INT, values)
+        assert np.array_equal(out, values)
+
+    def test_double_round_trip_preserves_bits(self):
+        values = np.array([0.1, -0.0, np.nan, np.inf])
+        _, out = scheme_round_trip(uncompressed.DOUBLE, values)
+        assert np.array_equal(values.view(np.uint64), out.view(np.uint64))
+
+    def test_string_round_trip(self):
+        sa = StringArray.from_pylist(["a", "", "hello"])
+        _, out = scheme_round_trip(uncompressed.STRING, sa)
+        assert out == sa
+
+    def test_empty_inputs(self):
+        _, out = scheme_round_trip(uncompressed.INT, np.empty(0, dtype=np.int32))
+        assert out.size == 0
+
+
+class TestOneValue:
+    def test_viability_requires_single_distinct(self):
+        scheme = get_scheme(SchemeId.ONE_VALUE_INT)
+        single = compute_stats(np.zeros(10, dtype=np.int32), ColumnType.INTEGER)
+        multi = compute_stats(np.arange(10, dtype=np.int32), ColumnType.INTEGER)
+        assert scheme.is_viable(single, CONFIG)
+        assert not scheme.is_viable(multi, CONFIG)
+
+    def test_int_round_trip(self):
+        values = np.full(1000, -42, dtype=np.int32)
+        payload, out = scheme_round_trip(get_scheme(SchemeId.ONE_VALUE_INT), values)
+        assert np.array_equal(out, values)
+        assert len(payload) < 16  # essentially one value
+
+    def test_double_preserves_nan_payload(self):
+        weird_nan = np.frombuffer(np.uint64(0x7FF80000DEADBEEF).tobytes(), dtype=np.float64)
+        values = np.repeat(weird_nan, 100)
+        _, out = scheme_round_trip(get_scheme(SchemeId.ONE_VALUE_DOUBLE), values)
+        assert np.array_equal(values.view(np.uint64), out.view(np.uint64))
+
+    def test_string_round_trip(self):
+        sa = StringArray.from_pylist(["CABLE"] * 500)
+        payload, out = scheme_round_trip(get_scheme(SchemeId.ONE_VALUE_STRING), sa)
+        assert out == sa
+        assert len(payload) < 32
+
+    def test_empty_string_value(self):
+        sa = StringArray.from_pylist([""] * 10)
+        _, out = scheme_round_trip(get_scheme(SchemeId.ONE_VALUE_STRING), sa)
+        assert out == sa
+
+
+class TestSplitRuns:
+    def test_basic(self):
+        values, lengths = rle.split_runs(np.array([5, 5, 5, 2, 2, 9], dtype=np.int32))
+        assert values.tolist() == [5, 2, 9]
+        assert lengths.tolist() == [3, 2, 1]
+
+    def test_empty(self):
+        values, lengths = rle.split_runs(np.empty(0, dtype=np.int32))
+        assert values.size == 0 and lengths.size == 0
+
+    def test_single_run(self):
+        values, lengths = rle.split_runs(np.zeros(100, dtype=np.int32))
+        assert values.tolist() == [0]
+        assert lengths.tolist() == [100]
+
+    def test_nan_runs_group_bitwise(self):
+        data = np.array([np.nan, np.nan, 1.0, np.nan])
+        values, lengths = rle.split_runs(data)
+        assert lengths.tolist() == [2, 1, 1]
+
+
+class TestRLE:
+    def test_viability_needs_runs(self):
+        scheme = get_scheme(SchemeId.RLE_INT)
+        runs = compute_stats(np.repeat(np.arange(5), 10).astype(np.int32), ColumnType.INTEGER)
+        no_runs = compute_stats(np.arange(50, dtype=np.int32), ColumnType.INTEGER)
+        assert scheme.is_viable(runs, CONFIG)
+        assert not scheme.is_viable(no_runs, CONFIG)
+
+    def test_int_round_trip(self, run_ints):
+        _, out = scheme_round_trip(get_scheme(SchemeId.RLE_INT), run_ints)
+        assert np.array_equal(out, run_ints)
+
+    def test_double_round_trip(self):
+        values = np.repeat(np.array([3.5, 18.0, 3.5]), [2, 2, 2])
+        _, out = scheme_round_trip(get_scheme(SchemeId.RLE_DOUBLE), values)
+        assert np.array_equal(out, values)
+
+    def test_scalar_path_matches_vectorized(self, run_ints):
+        scheme = get_scheme(SchemeId.RLE_INT)
+        _, fast = scheme_round_trip(scheme, run_ints, vectorized=True)
+        _, slow = scheme_round_trip(scheme, run_ints, vectorized=False)
+        assert np.array_equal(fast, slow)
+
+    def test_compresses_runs_well(self):
+        values = np.repeat(np.arange(10), 1000).astype(np.int32)
+        payload, _ = scheme_round_trip(get_scheme(SchemeId.RLE_INT), values)
+        assert len(payload) < values.nbytes / 50
+
+    def test_paper_example(self):
+        # Section 3.2: [3.5, 3.5, 18, 18, 3.5, 3.5] -> values + lengths.
+        values = np.array([3.5, 3.5, 18.0, 18.0, 3.5, 3.5])
+        run_values, run_lengths = rle.split_runs(values)
+        assert run_values.tolist() == [3.5, 18.0, 3.5]
+        assert run_lengths.tolist() == [2, 2, 2]

@@ -1,0 +1,134 @@
+"""Tests for the compressed-table scan engine."""
+
+import numpy as np
+import pytest
+
+from repro.bitmap import RoaringBitmap
+from repro.core.config import BtrBlocksConfig
+from repro.core.relation import Relation
+from repro.query import Between, Equals, GreaterThan
+from repro.query.engine import CompressedTable
+from repro.types import Column
+
+
+@pytest.fixture
+def table(rng):
+    n = 3000
+    cities = ["PHOENIX", "RALEIGH", "OSLO"]
+    relation = Relation("sales", [
+        Column.ints("id", np.arange(n)),
+        Column.doubles("price", np.round(rng.uniform(0, 100, n), 2)),
+        Column.strings("city", [cities[i] for i in rng.integers(0, 3, n)]),
+    ])
+    return relation, CompressedTable.from_relation(
+        relation, BtrBlocksConfig(block_size=1000)
+    )
+
+
+def oracle_mask(relation, where):
+    mask = np.ones(relation.row_count, dtype=bool)
+    for name, predicate in where.items():
+        column = relation.column(name)
+        mask &= np.asarray(predicate.evaluate(column.data), dtype=bool)
+        mask &= ~column.null_mask()
+    return mask
+
+
+class TestMatchingRows:
+    def test_single_predicate(self, table):
+        relation, compressed = table
+        where = {"price": GreaterThan(50.0)}
+        expected = np.nonzero(oracle_mask(relation, where))[0]
+        assert np.array_equal(compressed.matching_rows(where).to_array(), expected)
+
+    def test_conjunction(self, table):
+        relation, compressed = table
+        where = {"price": Between(10.0, 60.0), "city": Equals("PHOENIX")}
+        expected = np.nonzero(oracle_mask(relation, where))[0]
+        assert np.array_equal(compressed.matching_rows(where).to_array(), expected)
+
+    def test_empty_where_matches_all(self, table):
+        relation, compressed = table
+        assert len(compressed.matching_rows({})) == relation.row_count
+
+    def test_contradiction_short_circuits(self, table):
+        _, compressed = table
+        where = {"id": Equals(5), "price": GreaterThan(1000.0)}
+        assert compressed.count(where) == 0
+
+
+class TestScan:
+    def test_projection_and_filter(self, table):
+        relation, compressed = table
+        where = {"id": Between(100, 110)}
+        out = compressed.scan(columns=["city", "price"], where=where)
+        assert out.column_names() == ["city", "price"]
+        assert out.row_count == 11
+
+    def test_scan_without_filter_round_trips(self, table):
+        relation, compressed = table
+        out = compressed.scan()
+        assert out.row_count == relation.row_count
+        assert np.array_equal(np.asarray(out.column("id").data),
+                              np.asarray(relation.column("id").data))
+
+    def test_scan_values_match_oracle(self, table):
+        relation, compressed = table
+        where = {"city": Equals("OSLO")}
+        out = compressed.scan(columns=["price"], where=where)
+        expected = np.asarray(relation.column("price").data)[oracle_mask(relation, where)]
+        assert np.array_equal(np.asarray(out.column("price").data), expected)
+
+
+class TestAggregate:
+    def test_sum_matches_numpy(self, table):
+        relation, compressed = table
+        where = {"city": Equals("PHOENIX")}
+        expected = float(np.asarray(relation.column("price").data)[oracle_mask(relation, where)].sum())
+        assert compressed.aggregate("price", "sum", where) == pytest.approx(expected)
+
+    def test_min_max_mean(self, table):
+        relation, compressed = table
+        prices = np.asarray(relation.column("price").data)
+        assert compressed.aggregate("price", "min") == prices.min()
+        assert compressed.aggregate("price", "max") == prices.max()
+        assert compressed.aggregate("price", "mean") == pytest.approx(prices.mean())
+
+    def test_count_excludes_nulls(self, rng):
+        relation = Relation("t", [
+            Column.ints("a", np.arange(100), RoaringBitmap.from_positions([1, 2])),
+        ])
+        table = CompressedTable.from_relation(relation)
+        assert table.aggregate("a", "count") == 98
+
+    def test_empty_selection_is_nan(self, table):
+        _, compressed = table
+        result = compressed.aggregate("price", "mean", {"id": Equals(-1)})
+        assert np.isnan(result)
+
+    def test_string_aggregates_restricted(self, table):
+        _, compressed = table
+        with pytest.raises(ValueError):
+            compressed.aggregate("city", "sum")
+        assert compressed.aggregate("city", "count") == 3000
+
+    def test_unknown_aggregate(self, table):
+        _, compressed = table
+        with pytest.raises(ValueError):
+            compressed.aggregate("price", "median")
+
+
+class TestZoneMapIntegration:
+    def test_zone_maps_built_for_numeric_columns(self, table):
+        _, compressed = table
+        assert "id" in compressed.zone_maps
+        assert "price" in compressed.zone_maps
+        assert "city" not in compressed.zone_maps
+
+    def test_without_zone_maps_results_identical(self, table, rng):
+        relation, with_maps = table
+        without = CompressedTable.from_relation(
+            relation, BtrBlocksConfig(block_size=1000), with_zone_maps=False
+        )
+        where = {"id": Between(1500, 1600)}
+        assert with_maps.matching_rows(where) == without.matching_rows(where)

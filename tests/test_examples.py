@@ -1,0 +1,33 @@
+"""Smoke tests: every example script must run end to end.
+
+Each example executes in a subprocess so the custom scheme one cannot
+pollute the in-process scheme registry used by other tests.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        env={"REPRO_BENCH_ROWS": "4096", "PATH": "/usr/bin:/bin"},
+        cwd=script.parent.parent,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "examples should print their results"
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert {"quickstart.py", "data_lake_scan.py",
+            "float_compression.py", "custom_scheme.py"} <= names

@@ -1,0 +1,100 @@
+"""Tests for the serialized BtrBlocks file layout."""
+
+import numpy as np
+import pytest
+
+from repro.core.compressor import compress_relation
+from repro.core.decompressor import decompress_relation
+from repro.core.file_format import (
+    column_from_bytes,
+    column_to_bytes,
+    relation_from_bytes,
+    relation_from_files,
+    relation_to_bytes,
+    relation_to_files,
+)
+from repro.core.relation import Relation
+from repro.exceptions import FormatError
+from repro.types import Column, columns_equal
+
+
+@pytest.fixture
+def compressed_relation(rng):
+    rel = Relation("sales", [
+        Column.ints("id", rng.integers(0, 1000, 2000)),
+        Column.doubles("price", np.round(rng.uniform(0, 50, 2000), 2)),
+        Column.strings("region", [["north", "south"][i % 2] for i in range(2000)]),
+    ])
+    return rel, compress_relation(rel)
+
+
+class TestColumnSerialization:
+    def test_round_trip(self, compressed_relation):
+        _, compressed = compressed_relation
+        for column in compressed.columns:
+            restored = column_from_bytes(column_to_bytes(column))
+            assert restored.name == column.name
+            assert restored.ctype == column.ctype
+            assert [b.data for b in restored.blocks] == [b.data for b in column.blocks]
+
+    def test_bad_magic(self):
+        with pytest.raises(FormatError):
+            column_from_bytes(b"NOPE" + b"\x00" * 20)
+
+    def test_truncated(self, compressed_relation):
+        _, compressed = compressed_relation
+        blob = column_to_bytes(compressed.columns[0])
+        with pytest.raises(FormatError):
+            column_from_bytes(blob[: len(blob) // 2])
+
+    def test_unicode_column_name(self, rng):
+        from repro.core.compressor import compress_column
+
+        col = Column.ints("prix_en_€", rng.integers(0, 5, 100))
+        restored = column_from_bytes(column_to_bytes(compress_column(col)))
+        assert restored.name == "prix_en_€"
+
+
+class TestRelationFiles:
+    def test_one_file_per_column_plus_meta(self, compressed_relation):
+        _, compressed = compressed_relation
+        files = relation_to_files(compressed)
+        assert len(files) == 4  # 3 columns + table.meta
+        assert "sales/table.meta" in files
+
+    def test_files_round_trip(self, compressed_relation):
+        rel, compressed = compressed_relation
+        files = relation_to_files(compressed)
+        restored = relation_from_files(files, "sales")
+        back = decompress_relation(restored)
+        assert all(columns_equal(a, b) for a, b in zip(rel.columns, back.columns))
+
+    def test_missing_metadata_raises(self, compressed_relation):
+        _, compressed = compressed_relation
+        files = relation_to_files(compressed)
+        del files["sales/table.meta"]
+        with pytest.raises(FormatError):
+            relation_from_files(files, "sales")
+
+    def test_metadata_is_json_with_sizes(self, compressed_relation):
+        import json
+
+        _, compressed = compressed_relation
+        files = relation_to_files(compressed)
+        meta = json.loads(files["sales/table.meta"])
+        assert [c["name"] for c in meta["columns"]] == ["id", "price", "region"]
+        for entry in meta["columns"]:
+            assert entry["bytes"] == len(files[entry["file"]])
+
+
+class TestSingleBuffer:
+    def test_round_trip(self, compressed_relation):
+        rel, compressed = compressed_relation
+        blob = relation_to_bytes(compressed)
+        back = decompress_relation(relation_from_bytes(blob))
+        assert all(columns_equal(a, b) for a, b in zip(rel.columns, back.columns))
+
+    def test_size_close_to_sum_of_parts(self, compressed_relation):
+        _, compressed = compressed_relation
+        blob = relation_to_bytes(compressed)
+        assert len(blob) < compressed.nbytes * 1.2 + 2000

@@ -1,0 +1,68 @@
+"""Tests for the uniform format adapters."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import BtrBlocksConfig
+from repro.core.relation import Relation
+from repro.formats import (
+    btrblocks_adapter,
+    orc_adapter,
+    paper_formats,
+    parquet_adapter,
+    parquet_family,
+)
+from repro.types import Column, columns_equal
+
+
+@pytest.fixture
+def relation(rng):
+    return Relation("t", [
+        Column.ints("i", rng.integers(0, 30, 1500)),
+        Column.strings("s", [["a", "bb"][i % 2] for i in range(1500)]),
+    ])
+
+
+class TestAdapters:
+    def test_labels(self):
+        assert btrblocks_adapter().label == "btrblocks"
+        assert parquet_adapter("zstd").label == "parquet+zstd"
+        assert orc_adapter("snappy").label == "orc+snappy"
+
+    def test_paper_formats_lineup(self):
+        labels = [a.label for a in paper_formats()]
+        assert labels == [
+            "btrblocks", "parquet", "parquet+snappy", "parquet+zstd",
+            "orc", "orc+snappy", "orc+zstd",
+        ]
+
+    def test_parquet_family_lineup(self):
+        labels = [a.label for a in parquet_family()]
+        assert labels == ["btrblocks", "parquet", "parquet+snappy", "parquet+zstd"]
+
+    @pytest.mark.parametrize("factory", [
+        btrblocks_adapter,
+        lambda: parquet_adapter("snappy"),
+        lambda: orc_adapter("none"),
+    ])
+    def test_round_trip_through_adapter(self, factory, relation):
+        adapter = factory()
+        artifact = adapter.compress(relation)
+        assert adapter.size(artifact) > 0
+        back = adapter.decompress(artifact)
+        by_name = {c.name: c for c in back.columns}
+        for col in relation.columns:
+            assert columns_equal(col, by_name[col.name])
+
+    def test_btrblocks_adapter_custom_config(self, relation):
+        config = BtrBlocksConfig(max_cascade_depth=1, vectorized=False)
+        adapter = btrblocks_adapter(config, label="shallow")
+        assert adapter.label == "shallow"
+        back = adapter.decompress(adapter.compress(relation))
+        for a, b in zip(relation.columns, back.columns):
+            assert columns_equal(a, b)
+
+    def test_size_matches_artifact_nbytes(self, relation):
+        adapter = btrblocks_adapter()
+        artifact = adapter.compress(relation)
+        assert adapter.size(artifact) == artifact.nbytes

@@ -1,0 +1,97 @@
+"""Tests for cascade introspection (explain_block / explain_column)."""
+
+import numpy as np
+import pytest
+
+from repro.core.compressor import compress_block, compress_column
+from repro.core.config import BtrBlocksConfig
+from repro.encodings.base import SchemeId
+from repro.inspect import CascadeNode, explain_block, explain_column, format_tree
+from repro.types import Column, ColumnType, StringArray
+
+
+class TestExplainBlock:
+    def test_uncompressed_leaf(self, rng):
+        blob = compress_block(rng.standard_normal(100), ColumnType.DOUBLE)
+        node = explain_block(blob, ColumnType.DOUBLE)
+        assert node.scheme == "uncompressed"
+        assert node.count == 100
+        assert node.children == []
+
+    def test_rle_has_two_children(self):
+        values = np.repeat(np.arange(50, dtype=np.int32), 100)
+        config = BtrBlocksConfig(allowed_schemes=frozenset({
+            SchemeId.RLE_INT, SchemeId.FAST_BP128, SchemeId.UNCOMPRESSED_INT,
+        }))
+        blob = compress_block(values, ColumnType.INTEGER, config)
+        node = explain_block(blob, ColumnType.INTEGER)
+        assert node.scheme == "rle"
+        assert [label for label, _ in node.children] == ["values", "lengths"]
+
+    def test_pseudodecimal_children(self, rng):
+        values = np.round(rng.uniform(0, 1000, 10_000), 2)
+        blob = compress_block(values, ColumnType.DOUBLE)
+        node = explain_block(blob, ColumnType.DOUBLE)
+        assert node.scheme == "pseudodecimal"
+        assert [label for label, _ in node.children] == ["digits", "exponents"]
+        assert node.depth() >= 2
+
+    def test_string_dictionary_codes_child(self, rng):
+        # Random (non-periodic) categorical strings: Dictionary wins, FSST
+        # cannot exploit cross-string periodicity.
+        pool = ["NORTH-EAST", "SOUTH-WEST", "CENTRAL-DISTRICT", "HARBOR"]
+        sa = StringArray.from_pylist([pool[i] for i in rng.integers(0, 4, 5000)])
+        blob = compress_block(sa, ColumnType.STRING)
+        node = explain_block(blob, ColumnType.STRING)
+        assert node.scheme == "dictionary"
+        labels = [label for label, _ in node.children]
+        assert "codes" in labels
+
+    def test_fsst_pool_inside_string_dictionary(self, rng):
+        from repro.core.config import BtrBlocksConfig
+
+        # Repeated URLs: dictionary viable, and the pool's shared substrings
+        # make FSST compression of the pool worthwhile.
+        pool = [f"https://example.com/products/category-{i}/details" for i in range(200)]
+        sa = StringArray.from_pylist([pool[i] for i in rng.integers(0, 200, 4000)])
+        config = BtrBlocksConfig(allowed_schemes=frozenset({
+            SchemeId.DICT_STRING, SchemeId.FAST_BP128, SchemeId.RLE_INT,
+            SchemeId.UNCOMPRESSED_STRING, SchemeId.UNCOMPRESSED_INT,
+        }))
+        blob = compress_block(sa, ColumnType.STRING, config)
+        node = explain_block(blob, ColumnType.STRING)
+        assert node.scheme == "dictionary"
+        labels = dict(node.children)
+        if "pool" in labels:  # FSST-compressed pool chosen
+            assert labels["pool"].scheme == "fsst"
+
+    def test_scheme_names_collects_cascade(self, rng):
+        values = np.round(rng.uniform(0, 1000, 10_000), 2)
+        blob = compress_block(values, ColumnType.DOUBLE)
+        names = explain_block(blob, ColumnType.DOUBLE).scheme_names()
+        assert "pseudodecimal" in names
+        assert len(names) >= 2
+
+    def test_sizes_sum_sensibly(self, rng):
+        values = np.repeat(rng.integers(0, 20, 100), 50).astype(np.int32)
+        blob = compress_block(values, ColumnType.INTEGER)
+        node = explain_block(blob, ColumnType.INTEGER)
+        child_bytes = sum(child.nbytes for _, child in node.children)
+        assert child_bytes <= node.nbytes
+
+
+class TestFormatTree:
+    def test_renders_indented_lines(self):
+        leaf = CascadeNode("fastbp128", ColumnType.INTEGER, 10, 100)
+        root = CascadeNode("rle", ColumnType.INTEGER, 10, 300,
+                           [("values", leaf), ("lengths", leaf)])
+        text = format_tree(root)
+        lines = text.splitlines()
+        assert lines[0].startswith("rle[integer]")
+        assert lines[1].strip().startswith("values: fastbp128")
+
+    def test_explain_column(self):
+        column = Column.ints("c", np.zeros(100, dtype=np.int32))
+        compressed = compress_column(column)
+        text = explain_column(compressed)
+        assert "one_value" in text

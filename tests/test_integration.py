@@ -1,0 +1,135 @@
+"""Cross-module integration tests: full pipelines over realistic data."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.proprietary import ALL_SYSTEMS
+from repro.core.compressor import compress_relation
+from repro.core.config import BtrBlocksConfig
+from repro.core.decompressor import decompress_relation
+from repro.datagen.csvio import csv_to_relation, relation_to_csv
+from repro.datagen.publicbi import generate_dataset, named_column
+from repro.datagen.tpch import generate_tpch
+from repro.formats import btrblocks_adapter, orc_adapter, paper_formats, parquet_adapter
+from repro.types import ColumnType, columns_equal
+
+
+DATASET_NAMES = ["CommonGovernment", "Telco", "Uberlandia", "RealEstate1"]
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+def test_publicbi_dataset_round_trips_through_btrblocks(name):
+    rel = generate_dataset(name, rows=2000)
+    compressed = compress_relation(rel)
+    back = decompress_relation(compressed)
+    for a, b in zip(rel.columns, back.columns):
+        assert columns_equal(a, b), a.name
+    assert compressed.nbytes < rel.nbytes
+
+
+@pytest.mark.parametrize("adapter_factory", [
+    lambda: parquet_adapter("none"),
+    lambda: parquet_adapter("snappy"),
+    lambda: parquet_adapter("zstd"),
+    lambda: orc_adapter("none"),
+    lambda: orc_adapter("zstd"),
+])
+def test_baseline_formats_round_trip_publicbi(adapter_factory):
+    adapter = adapter_factory()
+    rel = generate_dataset("Medicare1", rows=1500)
+    back = adapter.decompress(adapter.compress(rel))
+    by_name = {c.name: c for c in back.columns}
+    for col in rel.columns:
+        assert columns_equal(col, by_name[col.name]), col.name
+
+
+def test_tpch_round_trips_through_all_formats():
+    lineitem = generate_tpch(rows=3000)[0]
+    for adapter in paper_formats():
+        back = adapter.decompress(adapter.compress(lineitem))
+        by_name = {c.name: c for c in back.columns}
+        for col in lineitem.columns:
+            assert columns_equal(col, by_name[col.name]), (adapter.label, col.name)
+
+
+def test_scalar_and_vectorized_agree_on_suite():
+    rel = generate_dataset("NYC", rows=1200)
+    compressed = compress_relation(rel)
+    fast = decompress_relation(compressed, vectorized=True)
+    slow = decompress_relation(compressed, vectorized=False)
+    for a, b in zip(fast.columns, slow.columns):
+        assert columns_equal(a, b), a.name
+
+
+def test_btrblocks_beats_plain_parquet_on_publicbi():
+    rel = generate_dataset("CommonGovernment", rows=4000)
+    btr = btrblocks_adapter()
+    parquet = parquet_adapter("none")
+    btr_size = btr.size(btr.compress(rel))
+    parquet_size = parquet.size(parquet.compress(rel))
+    assert btr_size < parquet_size
+
+
+def test_proprietary_systems_produce_increasing_ratios():
+    rel = generate_dataset("Telco", rows=3000)
+    ratios = [system.ratio(rel) for system in ALL_SYSTEMS]
+    assert all(r >= 1.0 for r in ratios)
+    # System A (dict only) must be the weakest of the four.
+    assert ratios[0] == min(ratios)
+
+
+def test_csv_to_compressed_pipeline():
+    rel = generate_dataset("Eixo", rows=400)
+    text = relation_to_csv(rel)
+    parsed = csv_to_relation(text, rel.name)
+    compressed = compress_relation(parsed)
+    back = decompress_relation(compressed)
+    assert back.row_count == rel.row_count
+
+
+def test_named_table3_columns_compress_losslessly():
+    for name in ["CommonGovernment/26", "NYC/29", "CMSProvider/9", "Arade/4"]:
+        col = named_column(name, 4000)
+        from repro.core.compressor import compress_column
+        from repro.core.decompressor import decompress_column
+
+        back = decompress_column(compress_column(col))
+        assert columns_equal(back, col), name
+
+
+def test_scheme_choices_match_table4_expectations():
+    """The chosen root schemes should match the paper's Table 4 column."""
+    from repro.core.compressor import compress_column
+
+    expectations = {
+        "RealEstate1/New Build?": {"one_value"},
+        "Motos/Medio": {"one_value"},
+        "Redfin2/property_type": {"dictionary"},
+        "Medicare1/TOTAL_DAY_SUPPLY": {"fastpfor", "fastbp128"},
+        "Telco/TOTAL_MINS_P1": {"pseudodecimal"},
+    }
+    for name, allowed in expectations.items():
+        col = named_column(name, 64_000)
+        compressed = compress_column(col)
+        root = compressed.blocks[0].root_scheme_name
+        assert root in allowed, f"{name}: got {root}"
+
+
+def test_excluding_pde_changes_double_compression():
+    from repro.encodings.base import SchemeId
+
+    col = named_column("Telco/TOTAL_MINS_P1", 32_000)
+    full = compress_relation(
+        _single_column_relation(col), BtrBlocksConfig()
+    ).nbytes
+    no_pde = compress_relation(
+        _single_column_relation(col),
+        BtrBlocksConfig(excluded_schemes=frozenset({SchemeId.PSEUDODECIMAL})),
+    ).nbytes
+    assert full < no_pde
+
+
+def _single_column_relation(col):
+    from repro.core.relation import Relation
+
+    return Relation("t", [col])

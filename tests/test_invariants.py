@@ -1,0 +1,89 @@
+"""System-level invariants checked with hypothesis.
+
+Beyond round-trip losslessness (test_properties.py), these pin down
+properties a storage format must keep under every input:
+
+* determinism — compressing the same data twice yields identical bytes;
+* re-compression stability — decompress → compress reproduces the blocks;
+* bounded expansion — compressed output never exceeds input by more than a
+  small constant envelope (headers), even on adversarial data;
+* block independence — any block decodes without its neighbours.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.compressor import compress_block, compress_column
+from repro.core.config import BtrBlocksConfig
+from repro.core.decompressor import decompress_block
+from repro.core.selector import SchemeSelector
+from repro.types import Column, ColumnType, StringArray
+
+int_arrays = st.lists(st.integers(-(2**31), 2**31 - 1), min_size=1, max_size=300).map(
+    lambda v: np.array(v, dtype=np.int32)
+)
+double_arrays = st.lists(
+    st.floats(allow_nan=True, allow_infinity=True, width=64), min_size=1, max_size=300
+).map(lambda v: np.array(v, dtype=np.float64))
+string_arrays = st.lists(st.binary(max_size=16), min_size=1, max_size=200).map(
+    StringArray.from_pylist
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(int_arrays)
+def test_compression_is_deterministic(values):
+    a = compress_block(values, ColumnType.INTEGER, selector=SchemeSelector(seed=9))
+    b = compress_block(values, ColumnType.INTEGER, selector=SchemeSelector(seed=9))
+    assert a == b
+
+
+@settings(max_examples=40, deadline=None)
+@given(int_arrays)
+def test_recompression_is_stable(values):
+    blob = compress_block(values, ColumnType.INTEGER, selector=SchemeSelector(seed=9))
+    restored = decompress_block(blob, ColumnType.INTEGER)
+    again = compress_block(
+        np.asarray(restored, dtype=np.int32), ColumnType.INTEGER, selector=SchemeSelector(seed=9)
+    )
+    assert again == blob
+
+
+@settings(max_examples=40, deadline=None)
+@given(double_arrays)
+def test_bounded_expansion_doubles(values):
+    blob = compress_block(values, ColumnType.DOUBLE)
+    assert len(blob) <= values.nbytes + 64
+
+
+@settings(max_examples=40, deadline=None)
+@given(string_arrays)
+def test_bounded_expansion_strings(values):
+    blob = compress_block(values, ColumnType.STRING)
+    assert len(blob) <= values.nbytes + 64
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=500), st.integers(2, 64))
+def test_blocks_decode_independently(values, block_size):
+    column = Column.ints("c", np.array(values, dtype=np.int32))
+    compressed = compress_column(column, BtrBlocksConfig(block_size=block_size))
+    # Decode the blocks in reverse order, each in isolation.
+    pieces = [
+        decompress_block(block.data, ColumnType.INTEGER)
+        for block in reversed(compressed.blocks)
+    ]
+    reassembled = np.concatenate(list(reversed(pieces)))
+    assert np.array_equal(reassembled, column.data)
+
+
+@settings(max_examples=30, deadline=None)
+@given(int_arrays)
+def test_compressed_block_count_header_is_truthful(values):
+    from repro.encodings.wire import unwrap
+
+    blob = compress_block(values, ColumnType.INTEGER)
+    _scheme, count, _payload = unwrap(blob)
+    assert count == values.size
+    assert len(decompress_block(blob, ColumnType.INTEGER)) == count

@@ -1,0 +1,107 @@
+"""Tests for the LZB general-purpose codec and the codec registry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import lzb
+from repro.baselines.codecs import CODECS, get_codec
+from repro.exceptions import CorruptBlockError
+
+
+class TestLZB:
+    @pytest.mark.parametrize("level", [1, 2, 9])
+    def test_empty_input(self, level):
+        assert lzb.decompress(lzb.compress(b"", level)) == b""
+
+    @pytest.mark.parametrize("level", [1, 9])
+    def test_short_input(self, level):
+        data = b"hi"
+        assert lzb.decompress(lzb.compress(data, level)) == data
+
+    @pytest.mark.parametrize("level", [1, 9])
+    def test_repetitive_text(self, level):
+        data = b"compression " * 5000
+        blob = lzb.compress(data, level)
+        assert lzb.decompress(blob) == data
+        assert len(blob) < len(data) / 20
+
+    @pytest.mark.parametrize("level", [1, 9])
+    def test_incompressible(self, level, rng):
+        data = rng.bytes(10_000)
+        blob = lzb.compress(data, level)
+        assert lzb.decompress(blob) == data
+        assert len(blob) < len(data) * 1.05  # bounded expansion
+
+    def test_overlapping_matches(self):
+        data = b"a" * 1000 + b"abcabcabc" * 100
+        for level in (1, 9):
+            assert lzb.decompress(lzb.compress(data, level)) == data
+
+    def test_long_literal_runs(self, rng):
+        # >15 literals forces extension bytes.
+        data = rng.bytes(100) + b"X" * 50 + rng.bytes(300)
+        assert lzb.decompress(lzb.compress(data, 1)) == data
+
+    def test_long_matches_force_extension(self):
+        data = b"Z" * 100_000
+        blob = lzb.compress(data, 1)
+        assert lzb.decompress(blob) == data
+        assert len(blob) < 600
+
+    def test_level9_never_much_worse_than_level1(self):
+        samples = [
+            b"".join(f"{i % 100},PHOENIX,{i * 0.25:.2f}\n".encode() for i in range(5000)),
+            b"the quick brown fox " * 2000,
+            bytes(range(256)) * 40,
+        ]
+        for data in samples:
+            l1 = len(lzb.compress(data, 1))
+            l9 = len(lzb.compress(data, 9))
+            assert l9 <= l1 * 1.02
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(CorruptBlockError):
+            lzb.decompress(b"")
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(CorruptBlockError):
+            lzb.decompress(b"\x07rest")
+
+
+class TestCodecRegistry:
+    def test_paper_codecs_present(self):
+        assert {"none", "snappy", "lz4", "zstd", "bzip2"} <= set(CODECS)
+
+    def test_unknown_codec_raises(self):
+        with pytest.raises(KeyError):
+            get_codec("brotli")
+
+    @pytest.mark.parametrize("name", ["none", "snappy", "lz4", "zstd", "bzip2"])
+    def test_round_trip(self, name, rng):
+        codec = get_codec(name)
+        data = b"columnar " * 2000 + rng.bytes(500)
+        assert codec.decompress(codec.compress(data)) == data
+
+    def test_zstd_like_out_compresses_snappy_like(self):
+        data = b"".join(
+            f"user-{i % 50},active,{i % 7},2026-07-{i % 28 + 1:02d}\n".encode()
+            for i in range(20_000)
+        )
+        snappy_size = len(get_codec("snappy").compress(data))
+        zstd_size = len(get_codec("zstd").compress(data))
+        assert zstd_size <= snappy_size
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.binary(max_size=2000), st.sampled_from([1, 9]))
+def test_property_lzb_round_trip(data, level):
+    assert lzb.decompress(lzb.compress(data, level)) == data
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.sampled_from([b"abc", b"de", b"\x00" * 8, b"longer-chunk"]), max_size=400))
+def test_property_lzb_repetitive_round_trip(chunks):
+    data = b"".join(chunks)
+    assert lzb.decompress(lzb.compress(data, 9)) == data

@@ -1,0 +1,121 @@
+"""Tests for the ORC-like baseline format."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.orc_like import (
+    DICTIONARY_KEY_SIZE_THRESHOLD,
+    OrcLikeFormat,
+    int_stream_decode,
+    int_stream_encode,
+)
+from repro.bitmap import RoaringBitmap
+from repro.core.relation import Relation
+from repro.types import Column, columns_equal
+
+
+class TestIntStream:
+    def test_constant_run(self):
+        values = np.full(10_000, 7, dtype=np.int64)
+        blob = int_stream_encode(values)
+        assert np.array_equal(int_stream_decode(blob, 10_000), values)
+        assert len(blob) < 16
+
+    def test_monotonic_sequence(self):
+        values = np.arange(5000, dtype=np.int64) * 3 + 11
+        blob = int_stream_encode(values)
+        assert np.array_equal(int_stream_decode(blob, 5000), values)
+        assert len(blob) < 16
+
+    def test_random_uses_direct_mode(self, rng):
+        values = rng.integers(0, 1000, 5000)
+        blob = int_stream_encode(values)
+        assert blob[0] == 1  # DIRECT
+        assert np.array_equal(int_stream_decode(blob, 5000), values)
+        assert len(blob) < 5000 * 2  # ~10 bits per value
+
+    def test_run_heavy_uses_delta_mode(self):
+        values = np.repeat(np.arange(10, dtype=np.int64), 500)
+        blob = int_stream_encode(values)
+        assert blob[0] == 0  # DELTA
+        assert np.array_equal(int_stream_decode(blob, 5000), values)
+
+    def test_negative_values(self):
+        values = np.array([-5, -5, -5, 10, 11, 12, -100], dtype=np.int64)
+        blob = int_stream_encode(values)
+        assert np.array_equal(int_stream_decode(blob, 7), values)
+
+    def test_empty(self):
+        assert int_stream_decode(int_stream_encode(np.empty(0, dtype=np.int64)), 0).size == 0
+
+    def test_single_value(self):
+        blob = int_stream_encode(np.array([42]))
+        assert int_stream_decode(blob, 1).tolist() == [42]
+
+    def test_outliers_use_patched_base(self, rng):
+        values = rng.integers(0, 64, 5000)
+        values[rng.choice(5000, 40, replace=False)] = 2**40
+        blob = int_stream_encode(values)
+        assert blob[0] == 2  # PATCHED_BASE
+        assert np.array_equal(int_stream_decode(blob, 5000), values)
+        # Outliers must not inflate every lane: ~6 bits/value + patches.
+        assert len(blob) < 5000 * 2
+
+    def test_patched_base_beats_direct_on_outlier_data(self, rng):
+        clean = rng.integers(0, 64, 5000)
+        dirty = clean.copy()
+        dirty[::200] = 2**40
+        clean_blob = int_stream_encode(clean)
+        dirty_blob = int_stream_encode(dirty)
+        assert len(dirty_blob) < len(clean_blob) * 2
+
+
+class TestFormat:
+    @pytest.fixture
+    def relation(self, rng):
+        return Relation("t", [
+            Column.ints("id", np.arange(2500)),
+            Column.doubles("x", rng.standard_normal(2500)),
+            Column.strings("cat", [["A", "B", "C"][i % 3] for i in range(2500)],
+                           RoaringBitmap.from_positions([7])),
+        ])
+
+    @pytest.mark.parametrize("codec", ["none", "snappy", "zstd"])
+    def test_round_trip(self, relation, codec):
+        fmt = OrcLikeFormat(codec)
+        back = fmt.decompress_relation(fmt.compress_relation(relation))
+        for a, b in zip(relation.columns, back.columns):
+            assert columns_equal(a, b)
+
+    def test_stripes(self, relation):
+        fmt = OrcLikeFormat("none", stripe_rows=1000)
+        file = fmt.compress_relation(relation)
+        assert len(file.stripes) == 3
+        back = fmt.decompress_relation(file)
+        for a, b in zip(relation.columns, back.columns):
+            assert columns_equal(a, b)
+
+    def test_dictionary_threshold_rule(self, rng):
+        # Mostly-unique strings exceed the 0.8 threshold -> direct encoding.
+        unique = Relation("u", [Column.strings("s", [f"row-{i}" for i in range(1000)])])
+        repeated = Relation("r", [Column.strings("s", [f"v{i % 5}" for i in range(1000)])])
+        fmt = OrcLikeFormat("none")
+        unique_file = fmt.compress_relation(unique)
+        repeated_file = fmt.compress_relation(repeated)
+        # The dictionary case must compress far better.
+        assert repeated_file.nbytes < unique_file.nbytes / 2
+        for rel, file in ((unique, unique_file), (repeated, repeated_file)):
+            back = fmt.decompress_relation(file)
+            assert columns_equal(back.columns[0], rel.columns[0])
+
+    def test_label(self):
+        assert OrcLikeFormat("snappy").label == "orc+snappy"
+
+    def test_orc_footer_larger_than_parquet(self, relation):
+        from repro.baselines.parquet_like import ParquetLikeFormat
+
+        orc = OrcLikeFormat("none").compress_relation(relation)
+        parquet = ParquetLikeFormat("none").compress_relation(relation)
+        orc_overhead = orc.FOOTER_BYTES_PER_COLUMN
+        parquet_overhead = parquet.FOOTER_BYTES_PER_CHUNK
+        assert orc_overhead > parquet_overhead

@@ -1,0 +1,52 @@
+"""Tests for thread-parallel compression/decompression."""
+
+import numpy as np
+import pytest
+
+from repro.core.compressor import compress_relation
+from repro.core.config import BtrBlocksConfig
+from repro.core.decompressor import decompress_relation
+from repro.core.relation import Relation
+from repro.parallel import compress_relation_parallel, decompress_relation_parallel
+from repro.types import Column, columns_equal
+
+
+@pytest.fixture
+def relation(rng):
+    return Relation("t", [
+        Column.ints("a", np.repeat(rng.integers(0, 20, 100), 30)),
+        Column.doubles("b", np.round(rng.uniform(0, 10, 3000), 2)),
+        Column.strings("c", [["x", "yy", "zzz"][i % 3] for i in range(3000)]),
+        Column.ints("d", rng.integers(0, 2**30, 3000)),
+    ])
+
+
+def test_parallel_compression_matches_sequential(relation):
+    sequential = compress_relation(relation)
+    parallel = compress_relation_parallel(relation, max_workers=4)
+    assert [c.name for c in parallel.columns] == [c.name for c in sequential.columns]
+    for seq_col, par_col in zip(sequential.columns, parallel.columns):
+        assert [b.data for b in seq_col.blocks] == [b.data for b in par_col.blocks]
+
+
+def test_parallel_decompression_round_trip(relation):
+    compressed = compress_relation_parallel(relation, max_workers=4)
+    back = decompress_relation_parallel(compressed, max_workers=4)
+    for a, b in zip(relation.columns, back.columns):
+        assert columns_equal(a, b)
+
+
+def test_parallel_respects_config(relation):
+    config = BtrBlocksConfig(max_cascade_depth=1, block_size=500)
+    compressed = compress_relation_parallel(relation, config, max_workers=2)
+    assert len(compressed.columns[0].blocks) == 6
+    back = decompress_relation_parallel(compressed)
+    for a, b in zip(relation.columns, back.columns):
+        assert columns_equal(a, b)
+
+
+def test_single_worker_degenerates_to_sequential(relation):
+    compressed = compress_relation_parallel(relation, max_workers=1)
+    back = decompress_relation(compressed)
+    for a, b in zip(relation.columns, back.columns):
+        assert columns_equal(a, b)

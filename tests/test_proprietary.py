@@ -1,0 +1,58 @@
+"""Tests for the proprietary column-store stand-ins (Figure 7 systems)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.proprietary import (
+    ALL_SYSTEMS,
+    SYSTEM_A,
+    SYSTEM_B,
+    SYSTEM_C,
+    SYSTEM_D,
+)
+from repro.core.relation import Relation
+from repro.types import Column
+
+
+@pytest.fixture
+def relation(rng):
+    return Relation("t", [
+        Column.ints("runs", np.repeat(rng.integers(0, 30, 60), 50)),
+        Column.doubles("prices", np.round(rng.uniform(0, 50, 3000), 2)),
+        Column.strings("cat", [["alpha", "beta", "gamma"][i % 3] for i in range(3000)]),
+    ])
+
+
+class TestSystems:
+    def test_four_systems(self):
+        assert [s.label for s in ALL_SYSTEMS] == [
+            "System A", "System B", "System C", "System D",
+        ]
+
+    def test_all_produce_positive_sizes(self, relation):
+        for system in ALL_SYSTEMS:
+            assert system.compressed_size(relation) > 0
+
+    def test_a_is_weakest(self, relation):
+        ratios = {s.label: s.ratio(relation) for s in ALL_SYSTEMS}
+        assert ratios["System A"] == min(ratios.values())
+
+    def test_richer_pools_do_not_lose(self, relation):
+        # C's pool is a strict superset of B's (same depth), so C can only
+        # match or beat B up to sampling noise.
+        assert SYSTEM_C.ratio(relation) >= SYSTEM_B.ratio(relation) * 0.95
+
+    def test_heavyweight_d_beats_lightweight_a(self, relation):
+        assert SYSTEM_D.ratio(relation) > SYSTEM_A.ratio(relation)
+
+    def test_pools_exclude_btrblocks_specific_schemes(self):
+        from repro.encodings.base import SchemeId
+
+        for system in ALL_SYSTEMS:
+            pool = system.config.allowed_schemes
+            assert SchemeId.PSEUDODECIMAL not in pool
+            assert SchemeId.FSST not in pool
+
+    def test_ratio_of_empty_relation(self):
+        relation = Relation("t", [Column.ints("a", [])])
+        assert SYSTEM_A.ratio(relation) >= 0

@@ -1,0 +1,174 @@
+"""Tests for Pseudodecimal Encoding (paper Section 4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import BtrBlocksConfig
+from repro.core.stats import compute_stats
+from repro.encodings.base import SchemeId, get_scheme
+from repro.encodings.pseudodecimal import (
+    EXPONENT_EXCEPTION,
+    FRAC10,
+    encode_block,
+    exception_fraction,
+)
+from repro.types import ColumnType
+
+from conftest import scheme_round_trip
+
+PDE = get_scheme(SchemeId.PSEUDODECIMAL)
+CONFIG = BtrBlocksConfig()
+
+
+class TestEncodeBlock:
+    def test_paper_example_3_25(self):
+        digits, exponents, patches = encode_block(np.array([3.25]))
+        assert digits[0] == 325
+        assert exponents[0] == 2
+        assert not patches[0]
+
+    def test_paper_example_0_99(self):
+        # The double nearest 0.99 must encode as (99, 2), not the full
+        # 17-digit expansion (Section 4.1).
+        digits, exponents, patches = encode_block(np.array([0.99]))
+        assert digits[0] == 99
+        assert exponents[0] == 2
+
+    def test_integers_use_exponent_zero(self):
+        digits, exponents, _ = encode_block(np.array([42.0, -7.0]))
+        assert digits.tolist() == [42, -7]
+        assert exponents.tolist() == [0, 0]
+
+    def test_negative_sign_in_digits(self):
+        digits, exponents, _ = encode_block(np.array([-6.425]))
+        assert digits[0] == -6425
+        assert exponents[0] == 3
+
+    def test_negative_zero_is_exception(self):
+        digits, exponents, patches = encode_block(np.array([-0.0]))
+        assert patches[0]
+        assert exponents[0] == EXPONENT_EXCEPTION
+
+    def test_positive_zero_encodes(self):
+        digits, exponents, patches = encode_block(np.array([0.0]))
+        assert not patches[0]
+        assert digits[0] == 0
+
+    def test_nan_and_inf_are_exceptions(self):
+        _, _, patches = encode_block(np.array([np.nan, np.inf, -np.inf]))
+        assert patches.all()
+
+    def test_tiny_subnormal_is_exception(self):
+        # 5.5e-42 from the paper cannot be expressed with 22 exponents.
+        _, _, patches = encode_block(np.array([5.5e-42]))
+        assert patches[0]
+
+    def test_digits_overflow_is_exception(self):
+        # More than 31 bits of significant digits must be patched.
+        _, _, patches = encode_block(np.array([12345678901.0]))
+        assert patches[0]
+
+    def test_high_precision_is_exception(self):
+        _, _, patches = encode_block(np.array([0.1234567890123456789]))
+        assert patches[0]
+
+    def test_smallest_exponent_wins(self):
+        digits, exponents, _ = encode_block(np.array([2.5]))
+        assert (digits[0], exponents[0]) == (25, 1)
+
+
+class TestExceptionFraction:
+    def test_clean_data(self):
+        values = np.round(np.linspace(0, 100, 1000), 2)
+        assert exception_fraction(values) == 0.0
+
+    def test_dirty_data(self):
+        rng = np.random.default_rng(0)
+        values = rng.standard_normal(1000)
+        assert exception_fraction(values) > 0.9
+
+    def test_empty(self):
+        assert exception_fraction(np.empty(0)) == 0.0
+
+
+class TestViability:
+    def test_low_unique_fraction_excluded(self):
+        # Few unique values: dictionaries compress as well and decode faster.
+        values = np.tile(np.round(np.arange(10) * 1.5, 1), 100)
+        stats = compute_stats(values, ColumnType.DOUBLE)
+        PDE.prepare_stats(values, stats, CONFIG)
+        assert not PDE.is_viable(stats, CONFIG)
+
+    def test_many_exceptions_excluded(self):
+        rng = np.random.default_rng(0)
+        values = rng.standard_normal(1000)
+        stats = compute_stats(values, ColumnType.DOUBLE)
+        PDE.prepare_stats(values, stats, CONFIG)
+        assert not PDE.is_viable(stats, CONFIG)
+
+    def test_clean_unique_decimals_viable(self):
+        rng = np.random.default_rng(0)
+        values = np.round(rng.uniform(0, 1000, 1000), 2)
+        stats = compute_stats(values, ColumnType.DOUBLE)
+        PDE.prepare_stats(values, stats, CONFIG)
+        assert PDE.is_viable(stats, CONFIG)
+
+
+class TestRoundTrip:
+    def test_prices(self, price_doubles):
+        payload, out = scheme_round_trip(PDE, price_doubles)
+        assert np.array_equal(out.view(np.uint64), price_doubles.view(np.uint64))
+        assert len(payload) < price_doubles.nbytes / 1.5
+
+    def test_mixed_with_patches(self, rng):
+        values = np.round(rng.uniform(0, 100, 1000), 2)
+        values[::50] = np.nan
+        values[1::50] = rng.standard_normal(20)
+        _, out = scheme_round_trip(PDE, values)
+        assert np.array_equal(out.view(np.uint64), values.view(np.uint64))
+
+    def test_scalar_matches_vectorized(self, rng):
+        values = np.round(rng.uniform(-50, 50, 400), 1)
+        values[5] = np.inf
+        values[6] = -0.0
+        _, fast = scheme_round_trip(PDE, values, vectorized=True)
+        _, slow = scheme_round_trip(PDE, values, vectorized=False)
+        assert np.array_equal(fast.view(np.uint64), slow.view(np.uint64))
+
+    def test_all_exceptions_block(self, rng):
+        values = rng.standard_normal(200)
+        _, out = scheme_round_trip(PDE, values)
+        assert np.array_equal(out.view(np.uint64), values.view(np.uint64))
+
+    def test_cascade_example_from_paper(self):
+        values = np.array([0.99, 3.25, -6.425, 5.5e-42])
+        digits, exponents, patches = encode_block(values)
+        assert digits.tolist()[:3] == [99, 325, -6425]
+        assert exponents.tolist()[:3] == [2, 2, 3]
+        assert patches.tolist() == [False, False, False, True]
+
+
+class TestFrac10Table:
+    def test_has_23_entries(self):
+        assert FRAC10.size == 23
+
+    def test_matches_decimal_literals(self):
+        assert FRAC10[0] == 1.0
+        assert FRAC10[1] == 0.1
+        assert FRAC10[2] == 0.01
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(
+    st.one_of(
+        st.floats(allow_nan=True, allow_infinity=True, width=64),
+        st.decimals(min_value=-10**6, max_value=10**6, places=2).map(float),
+    ),
+    min_size=1, max_size=200,
+))
+def test_property_bitwise_lossless(values):
+    arr = np.array(values, dtype=np.float64)
+    _, out = scheme_round_trip(PDE, arr)
+    assert np.array_equal(out.view(np.uint64), arr.view(np.uint64))

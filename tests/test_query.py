@@ -1,0 +1,215 @@
+"""Tests for predicate evaluation over compressed blocks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitmap import RoaringBitmap
+from repro.core.compressor import compress_block, compress_column
+from repro.core.config import BtrBlocksConfig
+from repro.encodings.base import SchemeId
+from repro.encodings.wire import unwrap
+from repro.query import (
+    Between,
+    Equals,
+    GreaterThan,
+    In,
+    IsNull,
+    LessThan,
+    filter_column,
+    scan_block,
+    scan_column,
+)
+from repro.types import Column, ColumnType, StringArray
+
+
+def reference_mask(values, predicate, null_mask=None):
+    """Decompressed-domain oracle for any predicate."""
+    mask = np.asarray(predicate.evaluate(values), dtype=bool)
+    if null_mask is not None:
+        mask &= ~null_mask
+    return mask
+
+
+class TestPredicates:
+    def test_equals_numeric(self):
+        assert Equals(5).evaluate(np.array([4, 5, 6])).tolist() == [False, True, False]
+
+    def test_equals_string(self):
+        sa = StringArray.from_pylist(["a", "b"])
+        assert Equals("a").evaluate(sa).tolist() == [True, False]
+
+    def test_between(self):
+        assert Between(2, 4).evaluate(np.array([1, 2, 3, 5])).tolist() == [False, True, True, False]
+
+    def test_greater_less(self):
+        arr = np.array([1.0, 2.0, 3.0])
+        assert GreaterThan(2.0).evaluate(arr).tolist() == [False, False, True]
+        assert GreaterThan(2.0, inclusive=True).evaluate(arr).tolist() == [False, True, True]
+        assert LessThan(2.0).evaluate(arr).tolist() == [True, False, False]
+
+    def test_in(self):
+        assert In([1, 3]).evaluate(np.array([1, 2, 3])).tolist() == [True, False, True]
+
+    def test_range_pruning(self):
+        assert not Equals(10).may_match_range(0, 5)
+        assert Equals(3).may_match_range(0, 5)
+        assert not Between(10, 20).may_match_range(0, 5)
+        assert not GreaterThan(5).may_match_range(0, 5)
+        assert GreaterThan(5, inclusive=True).may_match_range(0, 5)
+        assert not LessThan(0).may_match_range(0, 5)
+        assert not In([7, 9]).may_match_range(0, 5)
+        assert In([3]).may_match_range(0, 5)
+
+
+class TestScanBlockFastPaths:
+    def _assert_root(self, blob, expected_ids):
+        scheme_id, _, _ = unwrap(blob)
+        assert scheme_id in expected_ids
+
+    def test_one_value_block(self):
+        values = np.full(5000, 7, dtype=np.int32)
+        blob = compress_block(values, ColumnType.INTEGER)
+        self._assert_root(blob, {SchemeId.ONE_VALUE_INT})
+        assert scan_block(blob, ColumnType.INTEGER, Equals(7)).all()
+        assert not scan_block(blob, ColumnType.INTEGER, Equals(8)).any()
+
+    def test_dictionary_block(self, rng):
+        # Few distinct values spread over a huge range: bit-packing needs
+        # ~30 bits/value while dictionary codes need 3, so Dict must win.
+        pool = np.array([3, 1_000_003, 77_000_005, 2_000_000_011, 104, 105], dtype=np.int64)
+        values = pool[rng.integers(0, pool.size, 20_000)].astype(np.int32)
+        config = BtrBlocksConfig(allowed_schemes=frozenset({
+            SchemeId.DICT_INT, SchemeId.FAST_BP128, SchemeId.UNCOMPRESSED_INT,
+        }))
+        blob = compress_block(values, ColumnType.INTEGER, config)
+        self._assert_root(blob, {SchemeId.DICT_INT})
+        predicate = Between(103, 105)
+        expected = reference_mask(values, predicate)
+        assert np.array_equal(scan_block(blob, ColumnType.INTEGER, predicate), expected)
+
+    def test_dictionary_with_rle_codes(self):
+        values = np.repeat(np.arange(50, dtype=np.int32) % 7, 400)
+        config = BtrBlocksConfig(allowed_schemes=frozenset({
+            SchemeId.DICT_INT, SchemeId.RLE_INT, SchemeId.FAST_BP128,
+            SchemeId.UNCOMPRESSED_INT,
+        }))
+        blob = compress_block(values, ColumnType.INTEGER, config)
+        predicate = Equals(3)
+        expected = reference_mask(values, predicate)
+        assert np.array_equal(scan_block(blob, ColumnType.INTEGER, predicate), expected)
+
+    def test_rle_block(self):
+        values = np.repeat(np.array([1.5, 2.5, 1.5]), 2000)
+        config = BtrBlocksConfig(allowed_schemes=frozenset({
+            SchemeId.RLE_DOUBLE, SchemeId.UNCOMPRESSED_DOUBLE, SchemeId.UNCOMPRESSED_INT,
+            SchemeId.FAST_BP128,
+        }))
+        blob = compress_block(values, ColumnType.DOUBLE, config)
+        self._assert_root(blob, {SchemeId.RLE_DOUBLE})
+        predicate = Equals(2.5)
+        assert np.array_equal(
+            scan_block(blob, ColumnType.DOUBLE, predicate),
+            reference_mask(values, predicate),
+        )
+
+    def test_frequency_block(self, rng):
+        values = np.zeros(10_000)
+        exceptions = rng.random(10_000) >= 0.8
+        values[exceptions] = rng.standard_normal(int(exceptions.sum())) + 100
+        config = BtrBlocksConfig(allowed_schemes=frozenset({
+            SchemeId.FREQUENCY_DOUBLE, SchemeId.UNCOMPRESSED_DOUBLE,
+        }))
+        blob = compress_block(values, ColumnType.DOUBLE, config)
+        self._assert_root(blob, {SchemeId.FREQUENCY_DOUBLE})
+        predicate = GreaterThan(50.0)
+        assert np.array_equal(
+            scan_block(blob, ColumnType.DOUBLE, predicate),
+            reference_mask(values, predicate),
+        )
+
+    def test_string_dictionary_block(self):
+        values = StringArray.from_pylist([["north", "south", "east"][i % 3] for i in range(6000)])
+        blob = compress_block(values, ColumnType.STRING)
+        predicate = Equals("south")
+        assert np.array_equal(
+            scan_block(blob, ColumnType.STRING, predicate),
+            reference_mask(values, predicate),
+        )
+
+    def test_fallback_path(self, rng):
+        values = rng.standard_normal(5000)
+        blob = compress_block(values, ColumnType.DOUBLE)  # uncompressed root
+        predicate = GreaterThan(0.0)
+        assert np.array_equal(
+            scan_block(blob, ColumnType.DOUBLE, predicate),
+            reference_mask(values, predicate),
+        )
+
+
+class TestNullSemantics:
+    def test_value_predicates_exclude_nulls(self):
+        values = np.zeros(100, dtype=np.int32)
+        nulls = RoaringBitmap.from_positions([3, 50])
+        blob = compress_block(values, ColumnType.INTEGER)
+        mask = scan_block(blob, ColumnType.INTEGER, Equals(0), nulls)
+        assert not mask[3] and not mask[50]
+        assert mask.sum() == 98
+
+    def test_is_null_matches_only_nulls(self):
+        values = np.zeros(100, dtype=np.int32)
+        nulls = RoaringBitmap.from_positions([7])
+        blob = compress_block(values, ColumnType.INTEGER)
+        mask = scan_block(blob, ColumnType.INTEGER, IsNull(), nulls)
+        assert mask.sum() == 1 and mask[7]
+
+    def test_is_null_without_nulls(self):
+        blob = compress_block(np.zeros(10, dtype=np.int32), ColumnType.INTEGER)
+        assert not scan_block(blob, ColumnType.INTEGER, IsNull(), None).any()
+
+
+class TestColumnScan:
+    def test_scan_column_across_blocks(self, rng, small_config):
+        values = rng.integers(0, 100, 3500).astype(np.int32)
+        column = Column.ints("c", values)
+        compressed = compress_column(column, small_config)
+        predicate = LessThan(10)
+        result = scan_column(compressed, predicate)
+        expected = np.nonzero(reference_mask(values, predicate))[0]
+        assert np.array_equal(result.to_array(), expected)
+
+    def test_filter_column(self, rng, small_config):
+        values = rng.integers(0, 50, 2500).astype(np.int32)
+        compressed = compress_column(Column.ints("c", values), small_config)
+        out = filter_column(compressed, Equals(25))
+        assert np.array_equal(np.asarray(out.data), values[values == 25])
+
+    def test_filter_string_column(self, small_config):
+        values = [["red", "green", "blue"][i % 3] for i in range(1500)]
+        compressed = compress_column(Column.strings("c", values), small_config)
+        out = filter_column(compressed, Equals("green"))
+        assert len(out) == 500
+        assert set(out.data.to_pylist()) == {b"green"}
+
+    def test_filter_no_matches(self, rng, small_config):
+        compressed = compress_column(
+            Column.ints("c", rng.integers(0, 5, 2000)), small_config
+        )
+        out = filter_column(compressed, Equals(99))
+        assert len(out) == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.integers(-50, 50), min_size=1, max_size=300),
+    st.integers(-50, 50),
+)
+def test_property_scan_matches_decompressed_oracle(values, needle):
+    arr = np.array(values, dtype=np.int32)
+    blob = compress_block(arr, ColumnType.INTEGER)
+    for predicate in (Equals(needle), GreaterThan(needle), Between(needle, needle + 10)):
+        assert np.array_equal(
+            scan_block(blob, ColumnType.INTEGER, predicate),
+            reference_mask(arr, predicate),
+        )

@@ -1,0 +1,96 @@
+"""Tests for lazily-fetched remote tables on the simulated object store."""
+
+import numpy as np
+import pytest
+
+from repro.cloud import SimulatedObjectStore
+from repro.cloud.remote_table import RemoteTable
+from repro.cloud.scan import upload_btrblocks
+from repro.core.compressor import compress_relation
+from repro.core.relation import Relation
+from repro.exceptions import FormatError
+from repro.query import Between, Equals
+from repro.types import Column
+
+
+@pytest.fixture
+def store_with_table(rng):
+    relation = Relation("sales", [
+        Column.ints("id", np.arange(4000)),
+        Column.doubles("price", np.round(rng.uniform(0, 100, 4000), 2)),
+        Column.strings("city", [["OSLO", "PARIS", "ROME"][i % 3] for i in range(4000)]),
+    ])
+    store = SimulatedObjectStore()
+    upload_btrblocks(store, compress_relation(relation))
+    return store, relation
+
+
+class TestOpen:
+    def test_open_reads_only_metadata(self, store_with_table):
+        store, _ = store_with_table
+        store.stats.reset()
+        table = RemoteTable.open(store, "sales")
+        assert store.stats.get_requests == 1
+        assert table.column_names() == ["id", "price", "city"]
+        assert table.row_count == 4000
+
+    def test_unknown_column(self, store_with_table):
+        store, _ = store_with_table
+        table = RemoteTable.open(store, "sales")
+        with pytest.raises(FormatError):
+            table.column_entry("missing")
+
+
+class TestLazyFetch:
+    def test_scan_downloads_only_touched_columns(self, store_with_table):
+        store, _ = store_with_table
+        table = RemoteTable.open(store, "sales")
+        store.stats.reset()
+        table.scan(columns=["price"])
+        price_bytes = store.object_size(table.column_entry("price")["file"])
+        assert store.stats.bytes_downloaded == price_bytes
+
+    def test_column_cached_after_first_fetch(self, store_with_table):
+        store, _ = store_with_table
+        table = RemoteTable.open(store, "sales")
+        table.fetch_column("id")
+        requests = store.stats.get_requests
+        table.fetch_column("id")
+        assert store.stats.get_requests == requests
+
+    def test_filter_column_shared_with_projection(self, store_with_table):
+        store, _ = store_with_table
+        table = RemoteTable.open(store, "sales")
+        store.stats.reset()
+        table.scan(columns=["price"], where={"price": Between(10.0, 20.0)})
+        # Only the price file was fetched (filter and projection coincide).
+        price_bytes = store.object_size(table.column_entry("price")["file"])
+        assert store.stats.bytes_downloaded == price_bytes
+
+
+class TestQueryResults:
+    def test_matches_local_oracle(self, store_with_table):
+        store, relation = store_with_table
+        table = RemoteTable.open(store, "sales")
+        where = {"city": Equals("OSLO"), "id": Between(100, 2000)}
+        remote = table.scan(columns=["id"], where=where)
+        ids = np.asarray(relation.column("id").data)
+        cities = relation.column("city").data.to_pylist()
+        expected = [i for i in range(4000)
+                    if cities[i] == b"OSLO" and 100 <= ids[i] <= 2000]
+        assert remote.column("id").data.tolist() == expected
+
+    def test_count(self, store_with_table):
+        store, relation = store_with_table
+        table = RemoteTable.open(store, "sales")
+        assert table.count({"city": Equals("ROME")}) == sum(
+            1 for v in relation.column("city").data.to_pylist() if v == b"ROME"
+        )
+
+    def test_full_scan_round_trips(self, store_with_table):
+        store, relation = store_with_table
+        table = RemoteTable.open(store, "sales")
+        out = table.scan()
+        assert out.row_count == relation.row_count
+        assert np.array_equal(np.asarray(out.column("price").data),
+                              np.asarray(relation.column("price").data))

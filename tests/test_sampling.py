@@ -1,0 +1,86 @@
+"""Tests for sampling strategies (paper Section 3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.sampling import (
+    DEFAULT_STRATEGY,
+    FIGURE5_STRATEGIES,
+    SamplingStrategy,
+    take_sample,
+)
+from repro.types import ColumnType, StringArray
+
+
+class TestStrategy:
+    def test_default_is_10x64(self):
+        assert DEFAULT_STRATEGY.runs == 10
+        assert DEFAULT_STRATEGY.run_length == 64
+        assert DEFAULT_STRATEGY.sample_size == 640
+
+    def test_figure5_strategies_all_sample_640(self):
+        assert all(s.sample_size == 640 for s in FIGURE5_STRATEGIES)
+
+    def test_labels(self):
+        assert SamplingStrategy(1, 640).label == "Range"
+        assert SamplingStrategy(640, 1).label == "Single"
+        assert SamplingStrategy(10, 64).label == "10x64"
+
+    def test_indices_within_bounds(self):
+        rng = np.random.default_rng(0)
+        for strategy in FIGURE5_STRATEGIES:
+            for _ in range(5):
+                idx = strategy.indices(64_000, rng)
+                assert idx.min() >= 0
+                assert idx.max() < 64_000
+                assert idx.size == strategy.sample_size
+
+    def test_small_block_returns_everything(self):
+        rng = np.random.default_rng(0)
+        idx = DEFAULT_STRATEGY.indices(100, rng)
+        assert np.array_equal(idx, np.arange(100))
+
+    def test_runs_are_contiguous(self):
+        rng = np.random.default_rng(0)
+        strategy = SamplingStrategy(4, 16)
+        idx = strategy.indices(10_000, rng)
+        pieces = idx.reshape(4, 16)
+        for piece in pieces:
+            assert np.array_equal(np.diff(piece), np.ones(15))
+
+    def test_runs_land_in_distinct_parts(self):
+        rng = np.random.default_rng(0)
+        strategy = SamplingStrategy(10, 64)
+        idx = strategy.indices(64_000, rng)
+        part = 64_000 // 10
+        starts = idx.reshape(10, 64)[:, 0]
+        assert all(part * i <= s < part * (i + 1) for i, s in enumerate(starts))
+
+
+class TestTakeSample:
+    def test_numeric_sample(self):
+        rng = np.random.default_rng(0)
+        values = np.arange(64_000, dtype=np.int32)
+        sample = take_sample(values, ColumnType.INTEGER, DEFAULT_STRATEGY, rng)
+        assert sample.size == 640
+        assert np.all(np.isin(sample, values))
+
+    def test_string_sample(self):
+        rng = np.random.default_rng(0)
+        sa = StringArray.from_pylist([f"s{i}" for i in range(5000)])
+        sample = take_sample(sa, ColumnType.STRING, DEFAULT_STRATEGY, rng)
+        assert len(sample) == 640
+
+    def test_small_input_passthrough(self):
+        rng = np.random.default_rng(0)
+        values = np.arange(10, dtype=np.int32)
+        sample = take_sample(values, ColumnType.INTEGER, DEFAULT_STRATEGY, rng)
+        assert sample is values
+
+    @pytest.mark.parametrize("count", [641, 1000, 64_000])
+    def test_sample_fraction_near_one_percent(self, count):
+        rng = np.random.default_rng(0)
+        sample = take_sample(
+            np.zeros(count, dtype=np.int32), ColumnType.INTEGER, DEFAULT_STRATEGY, rng
+        )
+        assert sample.size == 640

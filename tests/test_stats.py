@@ -1,0 +1,84 @@
+"""Tests for the block statistics pass."""
+
+import numpy as np
+
+from repro.core.stats import column_stats, compute_stats
+from repro.types import Column, ColumnType, StringArray
+
+
+class TestIntegerStats:
+    def test_basic(self):
+        stats = compute_stats(np.array([1, 1, 2, 2, 2, 3], dtype=np.int32), ColumnType.INTEGER)
+        assert stats.count == 6
+        assert stats.distinct_count == 3
+        assert stats.min_value == 1
+        assert stats.max_value == 3
+        assert stats.avg_run_length == 2.0
+
+    def test_all_equal(self):
+        stats = compute_stats(np.full(100, 7, dtype=np.int32), ColumnType.INTEGER)
+        assert stats.distinct_count == 1
+        assert stats.avg_run_length == 100.0
+        assert stats.unique_fraction == 0.01
+
+    def test_all_unique(self):
+        stats = compute_stats(np.arange(50, dtype=np.int32), ColumnType.INTEGER)
+        assert stats.unique_fraction == 1.0
+        assert stats.avg_run_length == 1.0
+
+    def test_empty(self):
+        stats = compute_stats(np.empty(0, dtype=np.int32), ColumnType.INTEGER)
+        assert stats.count == 0
+        assert stats.unique_fraction == 0.0
+
+
+class TestDoubleStats:
+    def test_nan_counts_as_one_distinct(self):
+        values = np.array([np.nan, np.nan, 1.0])
+        stats = compute_stats(values, ColumnType.DOUBLE)
+        assert stats.distinct_count == 2
+
+    def test_min_max_skip_non_finite(self):
+        values = np.array([np.inf, -np.inf, 5.0, 1.0])
+        stats = compute_stats(values, ColumnType.DOUBLE)
+        assert stats.min_value == 1.0
+        assert stats.max_value == 5.0
+
+    def test_negative_zero_distinct_from_zero(self):
+        stats = compute_stats(np.array([0.0, -0.0]), ColumnType.DOUBLE)
+        assert stats.distinct_count == 2
+
+    def test_nan_runs_counted_bitwise(self):
+        values = np.array([np.nan] * 4 + [1.0] * 4)
+        stats = compute_stats(values, ColumnType.DOUBLE)
+        assert stats.avg_run_length == 4.0
+
+
+class TestStringStats:
+    def test_basic(self):
+        sa = StringArray.from_pylist(["a", "a", "b", "b", "b", "c"])
+        stats = compute_stats(sa, ColumnType.STRING)
+        assert stats.count == 6
+        assert stats.distinct_count == 3
+        assert stats.avg_run_length == 2.0
+        assert stats.total_string_bytes == 6
+        assert stats.avg_string_length == 1.0
+
+    def test_empty(self):
+        stats = compute_stats(StringArray.empty(0), ColumnType.STRING)
+        assert stats.count == 0
+
+    def test_unicode_lengths_in_bytes(self):
+        sa = StringArray.from_pylist(["é"])  # 2 UTF-8 bytes
+        stats = compute_stats(sa, ColumnType.STRING)
+        assert stats.total_string_bytes == 2
+
+
+class TestColumnStats:
+    def test_includes_null_count(self):
+        from repro.bitmap import RoaringBitmap
+
+        col = Column.ints("a", np.arange(10), RoaringBitmap.from_positions([1, 2]))
+        stats = column_stats(col)
+        assert stats.null_count == 2
+        assert stats.count == 10

@@ -1,0 +1,115 @@
+"""Tests for the streaming compression writers."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import BtrBlocksConfig
+from repro.core.decompressor import decompress_column, decompress_relation
+from repro.core.streaming import ColumnStreamWriter, RelationStreamWriter
+from repro.exceptions import TypeMismatchError
+from repro.types import ColumnType
+
+
+@pytest.fixture
+def config():
+    return BtrBlocksConfig(block_size=1000)
+
+
+class TestColumnStreamWriter:
+    def test_blocks_cut_at_block_size(self, config):
+        writer = ColumnStreamWriter("c", ColumnType.INTEGER, config)
+        for _ in range(3):
+            writer.append(list(range(400)))
+        column = writer.finish()
+        assert [b.count for b in column.blocks] == [1000, 200]
+        assert decompress_column(column).data.tolist() == (list(range(400)) * 3)
+
+    def test_exact_block_boundary(self, config):
+        writer = ColumnStreamWriter("c", ColumnType.INTEGER, config)
+        writer.append(list(range(2000)))
+        column = writer.finish()
+        assert [b.count for b in column.blocks] == [1000, 1000]
+
+    def test_empty_writer(self, config):
+        column = ColumnStreamWriter("c", ColumnType.DOUBLE, config).finish()
+        assert column.count == 0
+
+    def test_strings_with_mixed_input_kinds(self, config):
+        writer = ColumnStreamWriter("s", ColumnType.STRING, config)
+        writer.append(["text", b"bytes", None])
+        column = writer.finish()
+        restored = decompress_column(column)
+        assert restored.data.to_pylist() == [b"text", b"bytes", b""]
+        assert restored.nulls.to_array().tolist() == [2]
+
+    def test_explicit_null_indices(self, config):
+        writer = ColumnStreamWriter("c", ColumnType.INTEGER, config)
+        writer.append([1, 2, 3], nulls=[1])
+        column = writer.finish()
+        restored = decompress_column(column)
+        assert restored.data.tolist() == [1, 0, 3]
+        assert restored.nulls.to_array().tolist() == [1]
+
+    def test_nulls_rebased_per_block(self, config):
+        writer = ColumnStreamWriter("c", ColumnType.INTEGER, config)
+        writer.append([0] * 1500, nulls=[999, 1000])
+        column = writer.finish()
+        restored = decompress_column(column)
+        assert restored.nulls.to_array().tolist() == [999, 1000]
+
+    def test_type_enforcement(self, config):
+        writer = ColumnStreamWriter("s", ColumnType.STRING, config)
+        with pytest.raises(TypeMismatchError):
+            writer.append([3.14])
+
+    def test_rows_written(self, config):
+        writer = ColumnStreamWriter("c", ColumnType.INTEGER, config)
+        writer.append(list(range(1500)))
+        assert writer.rows_written == 1500
+
+
+class TestRelationStreamWriter:
+    def test_round_trip(self, config, rng):
+        writer = RelationStreamWriter("events", {
+            "id": ColumnType.INTEGER,
+            "score": ColumnType.DOUBLE,
+            "tag": ColumnType.STRING,
+        }, config)
+        all_ids, all_scores, all_tags = [], [], []
+        for batch in range(5):
+            ids = rng.integers(0, 100, 700).tolist()
+            scores = np.round(rng.uniform(0, 1, 700), 2).tolist()
+            tags = [f"t{i % 4}" for i in range(700)]
+            writer.append_batch({"id": ids, "score": scores, "tag": tags})
+            all_ids += ids
+            all_scores += scores
+            all_tags += tags
+        relation = decompress_relation(writer.finish())
+        assert relation.column("id").data.tolist() == all_ids
+        assert relation.column("score").data.tolist() == all_scores
+        assert relation.column("tag").data.to_pylist() == [t.encode() for t in all_tags]
+
+    def test_mismatched_batch_columns(self, config):
+        writer = RelationStreamWriter("t", {"a": ColumnType.INTEGER}, config)
+        with pytest.raises(TypeMismatchError):
+            writer.append_batch({"b": [1]})
+
+    def test_mismatched_batch_lengths(self, config):
+        writer = RelationStreamWriter("t", {
+            "a": ColumnType.INTEGER, "b": ColumnType.INTEGER,
+        }, config)
+        with pytest.raises(TypeMismatchError):
+            writer.append_batch({"a": [1, 2], "b": [1]})
+
+    def test_matches_batch_compression(self, config, rng):
+        """Streaming output must equal one-shot compression of the same data."""
+        from repro.core.compressor import compress_column
+        from repro.types import Column
+
+        values = rng.integers(0, 50, 2500).astype(np.int32)
+        one_shot = compress_column(Column.ints("c", values), config)
+        writer = ColumnStreamWriter("c", ColumnType.INTEGER, config)
+        writer.append(values[:900].tolist())
+        writer.append(values[900:].tolist())
+        streamed = writer.finish()
+        assert [b.data for b in streamed.blocks] == [b.data for b in one_shot.blocks]

@@ -1,0 +1,157 @@
+"""Tests for the typed columnar data model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitmap import RoaringBitmap
+from repro.exceptions import TypeMismatchError
+from repro.types import Column, ColumnType, StringArray, columns_equal
+
+
+class TestStringArray:
+    def test_from_pylist_and_back(self):
+        values = ["hello", "world", "", "x"]
+        sa = StringArray.from_pylist(values)
+        assert sa.to_pylist() == [v.encode() for v in values]
+
+    def test_none_becomes_empty(self):
+        sa = StringArray.from_pylist(["a", None, "b"])
+        assert sa[1] == b""
+
+    def test_bytes_input(self):
+        sa = StringArray.from_pylist([b"\xff\x00", b"ok"])
+        assert sa[0] == b"\xff\x00"
+
+    def test_unicode_round_trip(self):
+        sa = StringArray.from_pylist(["Maceió", "São Luís", "日本語"])
+        assert sa[0].decode("utf-8") == "Maceió"
+        assert sa[2].decode("utf-8") == "日本語"
+
+    def test_len_and_getitem(self):
+        sa = StringArray.from_pylist(["ab", "cde"])
+        assert len(sa) == 2
+        assert sa[0] == b"ab"
+        assert sa[1] == b"cde"
+
+    def test_lengths(self):
+        sa = StringArray.from_pylist(["ab", "", "cdef"])
+        assert sa.lengths().tolist() == [2, 0, 4]
+
+    def test_empty(self):
+        sa = StringArray.empty(3)
+        assert len(sa) == 3
+        assert sa.to_pylist() == [b"", b"", b""]
+
+    def test_take(self):
+        sa = StringArray.from_pylist(["a", "bb", "ccc"])
+        taken = sa.take(np.array([2, 0, 2]))
+        assert taken.to_pylist() == [b"ccc", b"a", b"ccc"]
+
+    def test_slice(self):
+        sa = StringArray.from_pylist(["a", "bb", "ccc", "dddd"])
+        sliced = sa.slice(1, 3)
+        assert sliced.to_pylist() == [b"bb", b"ccc"]
+
+    def test_nbytes_includes_offsets(self):
+        sa = StringArray.from_pylist(["abcd"])
+        assert sa.nbytes == 4 + 4  # payload + one 4-byte offset
+
+    def test_equality(self):
+        a = StringArray.from_pylist(["x", "y"])
+        b = StringArray.from_pylist(["x", "y"])
+        c = StringArray.from_pylist(["x", "z"])
+        assert a == b
+        assert a != c
+
+    def test_bad_offsets_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            StringArray(np.zeros(4, dtype=np.uint8), np.array([1, 4]))
+        with pytest.raises(TypeMismatchError):
+            StringArray(np.zeros(4, dtype=np.uint8), np.array([0, 3]))
+
+
+class TestColumn:
+    def test_int_column_coerces_dtype(self):
+        col = Column.ints("a", [1, 2, 3])
+        assert col.data.dtype == np.int32
+
+    def test_double_column(self):
+        col = Column.doubles("d", [1.5, 2.5])
+        assert col.data.dtype == np.float64
+        assert col.nbytes == 16
+
+    def test_string_column_from_list_with_nones(self):
+        col = Column.strings("s", ["a", None, "b"])
+        assert col.nulls is not None
+        assert col.null_mask().tolist() == [False, True, False]
+
+    def test_string_column_requires_string_array(self):
+        with pytest.raises(TypeMismatchError):
+            Column("s", ColumnType.STRING, np.array([1, 2]))
+
+    def test_null_mask_without_nulls(self):
+        col = Column.ints("a", [1, 2])
+        assert not col.null_mask().any()
+
+    def test_slice_rebases_nulls(self):
+        col = Column.ints("a", np.arange(10), RoaringBitmap.from_positions([2, 7]))
+        sliced = col.slice(5, 10)
+        assert sliced.nulls.to_array().tolist() == [2]
+        assert len(sliced) == 5
+
+    def test_slice_string(self):
+        col = Column.strings("s", ["a", "b", "c", "d"])
+        assert col.slice(1, 3).data.to_pylist() == [b"b", b"c"]
+
+    def test_nbytes_int(self):
+        assert Column.ints("a", np.arange(10)).nbytes == 40
+
+
+class TestColumnsEqual:
+    def test_equal_ints(self):
+        a = Column.ints("a", [1, 2])
+        assert columns_equal(a, Column.ints("b", [1, 2]))
+
+    def test_different_values(self):
+        assert not columns_equal(Column.ints("a", [1]), Column.ints("a", [2]))
+
+    def test_different_types(self):
+        assert not columns_equal(Column.ints("a", [1]), Column.doubles("a", [1.0]))
+
+    def test_nan_bitwise(self):
+        nan1 = np.array([float("nan")])
+        assert columns_equal(Column.doubles("a", nan1), Column.doubles("a", nan1.copy()))
+
+    def test_negative_zero_differs_from_zero(self):
+        assert not columns_equal(
+            Column.doubles("a", [0.0]), Column.doubles("a", [-0.0])
+        )
+
+    def test_null_sets_must_match(self):
+        a = Column.ints("a", [0, 1], RoaringBitmap.from_positions([0]))
+        b = Column.ints("a", [0, 1])
+        assert not columns_equal(a, b)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.binary(max_size=20), max_size=50))
+def test_property_string_array_round_trip(values):
+    sa = StringArray.from_pylist(values)
+    assert sa.to_pylist() == values
+    assert sa.nbytes == sum(len(v) for v in values) + 4 * len(values)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.binary(max_size=10), min_size=1, max_size=30),
+    st.data(),
+)
+def test_property_take_matches_python_indexing(values, data):
+    sa = StringArray.from_pylist(values)
+    indices = data.draw(
+        st.lists(st.integers(0, len(values) - 1), max_size=40)
+    )
+    taken = sa.take(np.array(indices, dtype=np.int64))
+    assert taken.to_pylist() == [values[i] for i in indices]

@@ -1,0 +1,107 @@
+"""Tests for the decoupled zone-map metadata layer."""
+
+import numpy as np
+import pytest
+
+from repro.bitmap import RoaringBitmap
+from repro.core.compressor import compress_column
+from repro.core.config import BtrBlocksConfig
+from repro.metadata import ColumnZoneMap, ZoneMapEntry, build_zone_map, pruned_scan
+from repro.query import Between, Equals, GreaterThan, IsNull
+from repro.types import Column, ColumnType
+
+
+@pytest.fixture
+def sorted_column():
+    # Four 1000-row blocks with disjoint value ranges: ideal pruning target.
+    return Column.ints("sorted", np.arange(4000, dtype=np.int32))
+
+
+@pytest.fixture
+def config():
+    return BtrBlocksConfig(block_size=1000)
+
+
+class TestBuildZoneMap:
+    def test_block_boundaries(self, sorted_column):
+        zm = build_zone_map(sorted_column, block_size=1000)
+        assert len(zm.entries) == 4
+        assert zm.entries[0].minimum == 0
+        assert zm.entries[0].maximum == 999
+        assert zm.entries[3].minimum == 3000
+
+    def test_null_counts(self):
+        column = Column.ints("c", np.zeros(2000, dtype=np.int32),
+                             RoaringBitmap.from_positions([5, 1500, 1501]))
+        zm = build_zone_map(column, block_size=1000)
+        assert zm.entries[0].null_count == 1
+        assert zm.entries[1].null_count == 2
+
+    def test_string_columns_have_no_min_max(self):
+        column = Column.strings("s", ["a", "b"] * 500)
+        zm = build_zone_map(column, block_size=1000)
+        assert zm.entries[0].minimum is None
+
+    def test_non_finite_doubles_skipped(self):
+        column = Column.doubles("d", np.array([np.inf, 1.0, -np.inf, 5.0] * 10))
+        zm = build_zone_map(column, block_size=1000)
+        assert zm.entries[0].minimum == 1.0
+        assert zm.entries[0].maximum == 5.0
+
+    def test_serialization_round_trip(self, sorted_column):
+        zm = build_zone_map(sorted_column, block_size=1000)
+        restored = ColumnZoneMap.from_bytes(zm.to_bytes())
+        assert restored.column_name == zm.column_name
+        assert restored.ctype is zm.ctype
+        assert restored.entries == zm.entries
+
+
+class TestPruning:
+    def test_entry_may_match(self):
+        entry = ZoneMapEntry(100, 0, 10.0, 20.0)
+        assert entry.may_match(Equals(15))
+        assert not entry.may_match(Equals(25))
+        assert not entry.may_match(Between(0, 5))
+        assert not entry.may_match(GreaterThan(20))
+
+    def test_all_null_block_never_matches_values(self):
+        entry = ZoneMapEntry(100, 100, None, None)
+        assert not entry.may_match(Equals(1))
+        assert entry.may_match(IsNull())
+
+    def test_is_null_pruning(self):
+        entry = ZoneMapEntry(100, 0, 1.0, 2.0)
+        assert not entry.may_match(IsNull())
+
+    def test_pruned_blocks_selective(self, sorted_column):
+        zm = build_zone_map(sorted_column, block_size=1000)
+        assert zm.pruned_blocks(Equals(2500)) == [2]
+        assert zm.pruned_blocks(Between(900, 1100)) == [0, 1]
+        assert zm.pruned_blocks(GreaterThan(10_000)) == []
+
+
+class TestPrunedScan:
+    def test_reads_only_surviving_blocks(self, sorted_column, config):
+        compressed = compress_column(sorted_column, config)
+        zm = build_zone_map(sorted_column, block_size=1000)
+        matches, blocks_read = pruned_scan(compressed, zm, Equals(2500))
+        assert blocks_read == 1
+        assert matches.to_array().tolist() == [2500]
+
+    def test_results_match_unpruned_scan(self, sorted_column, config):
+        from repro.query import scan_column
+
+        compressed = compress_column(sorted_column, config)
+        zm = build_zone_map(sorted_column, block_size=1000)
+        predicate = Between(1500, 2200)
+        pruned, blocks_read = pruned_scan(compressed, zm, predicate)
+        full = scan_column(compressed, predicate)
+        assert pruned == full
+        assert blocks_read == 2
+
+    def test_no_matches_reads_nothing(self, sorted_column, config):
+        compressed = compress_column(sorted_column, config)
+        zm = build_zone_map(sorted_column, block_size=1000)
+        matches, blocks_read = pruned_scan(compressed, zm, GreaterThan(10_000))
+        assert blocks_read == 0
+        assert len(matches) == 0
