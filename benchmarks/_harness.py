@@ -19,6 +19,7 @@ from functools import lru_cache
 from repro.core.relation import Relation
 from repro.datagen.publicbi import generate_suite, largest_five
 from repro.datagen.tpch import generate_tpch
+from repro.observe import build_report, report_json
 
 
 def bench_rows() -> int:
@@ -76,3 +77,29 @@ def _fmt(cell) -> str:
             return f"{cell:.1f}"
         return f"{cell:.2f}"
     return str(cell)
+
+
+def observability_report(include_decisions: bool = False) -> dict:
+    """The process-wide observability report accumulated by this bench run.
+
+    Same schema as ``repro stats``: per-column chosen schemes, estimated vs.
+    achieved ratios, phase timings, and cloud-scan byte/cost counters — which
+    makes the BENCH_* numbers attributable to schemes instead of opaque
+    totals.
+    """
+    return build_report(include_decisions=include_decisions)
+
+
+def emit_observability_report() -> None:
+    """Print the JSON report; also write it to ``$REPRO_OBS_REPORT`` if set.
+
+    Called once per benchmark session from ``conftest.py`` so every
+    benchmark emits the report alongside its timing tables.
+    """
+    text = report_json()
+    print("\n=== Observability report (repro.observe) ===")
+    print(text)
+    path = os.environ.get("REPRO_OBS_REPORT")
+    if path:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text)

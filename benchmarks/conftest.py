@@ -4,3 +4,11 @@ import sys
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Emit the observability JSON report alongside the timing tables."""
+    from _harness import emit_observability_report
+
+    terminalreporter.ensure_newline()
+    emit_observability_report()

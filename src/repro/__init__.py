@@ -42,6 +42,14 @@ from repro.core.file_format import (
 )
 from repro.core.sampling import SamplingStrategy
 from repro.core.selector import SchemeSelector
+from repro.observe import (
+    MetricsRegistry,
+    SelectionTrace,
+    build_report,
+    get_registry,
+    get_trace,
+    report_json,
+)
 from repro.types import Column, ColumnType, StringArray, columns_equal
 
 __version__ = "1.0.0"
@@ -53,11 +61,17 @@ __all__ = [
     "CompressedBlock",
     "CompressedColumn",
     "CompressedRelation",
+    "MetricsRegistry",
     "Relation",
     "RoaringBitmap",
     "SamplingStrategy",
     "SchemeSelector",
+    "SelectionTrace",
     "StringArray",
+    "build_report",
+    "get_registry",
+    "get_trace",
+    "report_json",
     "column_from_bytes",
     "column_to_bytes",
     "columns_equal",

@@ -3,12 +3,17 @@
 Usage (also via ``python -m repro``)::
 
     python -m repro compress  data.csv  out.btr   [--block-size N] [--depth N]
+                                                  [--trace report.json]
     python -m repro decompress out.btr  back.csv
     python -m repro inspect   out.btr
+    python -m repro stats     data.csv  [--decisions] [--output report.json]
 
 ``compress`` ingests a CSV (with type inference), compresses it and writes
-the single-buffer BtrBlocks serialization. ``inspect`` prints the per-column
-scheme histogram, sizes and ratios without decompressing any data.
+the single-buffer BtrBlocks serialization; ``--trace`` additionally dumps
+the observability report (per-column schemes, estimated vs. achieved
+ratios, phase timings) as JSON. ``inspect`` prints the per-column scheme
+histogram, sizes and ratios without decompressing any data. ``stats``
+compresses in memory purely to produce that JSON report.
 """
 
 from __future__ import annotations
@@ -22,19 +27,50 @@ from repro.core.config import BtrBlocksConfig
 from repro.core.decompressor import decompress_relation
 from repro.core.file_format import relation_from_bytes, relation_to_bytes
 from repro.datagen.csvio import csv_to_relation, relation_to_csv
+from repro.observe import (
+    MetricsRegistry,
+    SelectionTrace,
+    report_json,
+    use_registry,
+    use_trace,
+)
 
 
 def _cmd_compress(args: argparse.Namespace) -> int:
     text = Path(args.input).read_text(encoding="utf-8")
     relation = csv_to_relation(text, name=Path(args.input).stem)
     config = BtrBlocksConfig(block_size=args.block_size, max_cascade_depth=args.depth)
-    compressed = compress_relation(relation, config)
+    registry, trace = MetricsRegistry(), SelectionTrace()
+    with use_registry(registry), use_trace(trace):
+        compressed = compress_relation(relation, config)
     payload = relation_to_bytes(compressed)
     Path(args.output).write_bytes(payload)
     ratio = relation.nbytes / compressed.nbytes if compressed.nbytes else float("inf")
     print(f"{args.input}: {relation.row_count} rows, {len(relation.columns)} columns")
     print(f"in-memory {relation.nbytes:,} B -> compressed {compressed.nbytes:,} B "
           f"({ratio:.2f}x), file {len(payload):,} B")
+    if args.trace:
+        Path(args.trace).write_text(
+            report_json(registry, trace, include_decisions=True), encoding="utf-8"
+        )
+        print(f"observability report -> {args.trace}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Compress in memory and emit the observability JSON report."""
+    text = Path(args.input).read_text(encoding="utf-8")
+    relation = csv_to_relation(text, name=Path(args.input).stem)
+    config = BtrBlocksConfig(block_size=args.block_size, max_cascade_depth=args.depth)
+    registry, trace = MetricsRegistry(), SelectionTrace()
+    with use_registry(registry), use_trace(trace):
+        compress_relation(relation, config)
+    report = report_json(registry, trace, include_decisions=args.decisions)
+    if args.output:
+        Path(args.output).write_text(report, encoding="utf-8")
+        print(f"observability report -> {args.output}")
+    else:
+        print(report)
     return 0
 
 
@@ -83,6 +119,8 @@ def build_parser() -> argparse.ArgumentParser:
     compress.add_argument("output")
     compress.add_argument("--block-size", type=int, default=64_000)
     compress.add_argument("--depth", type=int, default=3)
+    compress.add_argument("--trace", metavar="PATH",
+                          help="write the observability JSON report to PATH")
     compress.set_defaults(func=_cmd_compress)
 
     decompress = sub.add_parser("decompress", help="decompress a .btr file to CSV")
@@ -95,6 +133,18 @@ def build_parser() -> argparse.ArgumentParser:
     inspect.add_argument("--explain", action="store_true",
                          help="print the full cascade tree per column")
     inspect.set_defaults(func=_cmd_inspect)
+
+    stats = sub.add_parser(
+        "stats", help="compress a CSV in memory and print the observability report"
+    )
+    stats.add_argument("input")
+    stats.add_argument("--block-size", type=int, default=64_000)
+    stats.add_argument("--depth", type=int, default=3)
+    stats.add_argument("--decisions", action="store_true",
+                       help="include the full per-block selection trace")
+    stats.add_argument("--output", "-o", metavar="PATH",
+                       help="write the JSON report to PATH instead of stdout")
+    stats.set_defaults(func=_cmd_stats)
 
     return parser
 

@@ -31,8 +31,23 @@ from repro.core.decompressor import decompress_column
 from repro.core.file_format import column_from_bytes
 from repro.core.relation import Relation
 from repro.exceptions import FormatError
+from repro.observe import get_registry
 from repro.query.executor import scan_column
 from repro.query.predicates import Predicate
+
+
+def _record_transfer(store: SimulatedObjectStore, requests: int, nbytes: int) -> None:
+    """Account one remote fetch: objects, bytes and simulated dollar cost."""
+    pricing = store.pricing
+    seconds = nbytes / pricing.s3_bytes_per_second
+    registry = get_registry()
+    registry.incr("cloud.table.objects_fetched")
+    registry.incr("cloud.table.requests", requests)
+    registry.incr("cloud.table.bytes", nbytes)
+    registry.incr(
+        "cloud.table.cost_usd",
+        pricing.request_cost(requests) + pricing.compute_cost(seconds),
+    )
 
 
 class RemoteTable:
@@ -48,6 +63,7 @@ class RemoteTable:
     def open(cls, store: SimulatedObjectStore, name: str) -> "RemoteTable":
         """One GET: the table metadata. No column data is transferred."""
         raw = store.get(f"{name}/table.meta")
+        _record_transfer(store, 1, len(raw))
         metadata = json.loads(raw.decode("utf-8"))
         return cls(store, name, metadata)
 
@@ -73,7 +89,13 @@ class RemoteTable:
         """Download one column file (16 MB chunked GETs); cached afterwards."""
         if name not in self._columns:
             entry = self.column_entry(name)
+            before_requests = self._store.stats.get_requests
             payload = self._store.get_chunked(entry["file"])
+            _record_transfer(
+                self._store,
+                self._store.stats.get_requests - before_requests,
+                len(payload),
+            )
             self._columns[name] = column_from_bytes(payload)
         return self._columns[name]
 
@@ -95,6 +117,7 @@ class RemoteTable:
         where: "Mapping[str, Predicate] | None" = None,
     ) -> Relation:
         """Projection + filter, downloading only the touched columns."""
+        get_registry().incr("cloud.table.scans")
         names = list(columns) if columns is not None else self.column_names()
         if where:
             rows = self.matching_rows(where).to_array().astype(np.int64)

@@ -22,6 +22,17 @@ from dataclasses import dataclass
 from repro.cloud.objectstore import SimulatedObjectStore
 from repro.core.blocks import CompressedRelation
 from repro.core.file_format import relation_to_files
+from repro.observe import get_registry
+
+
+def _record_scan(result: "ColumnScanResult", store: SimulatedObjectStore) -> None:
+    """Fold one column-granular scan into the scan-level counters."""
+    registry = get_registry()
+    registry.incr("cloud.scan.scans")
+    registry.incr(f"cloud.scan.{result.label}.scans")
+    registry.incr("cloud.scan.requests", result.requests)
+    registry.incr("cloud.scan.bytes", result.bytes_downloaded)
+    registry.incr("cloud.scan.cost_usd", result.cost_usd(store))
 
 
 @dataclass
@@ -72,12 +83,14 @@ def scan_btrblocks_columns(
     meta = json.loads(store.get(f"{table}/table.meta").decode("utf-8"))
     for index in column_indexes:
         store.get_chunked(meta["columns"][index]["file"])
-    return ColumnScanResult(
+    result = ColumnScanResult(
         label="btrblocks",
         requests=store.stats.get_requests,
         bytes_downloaded=store.stats.bytes_downloaded,
         dependent_round_trips=2,  # metadata, then (parallel) column fetches
     )
+    _record_scan(result, store)
+    return result
 
 
 def upload_parquet_like(store: SimulatedObjectStore, table: str, file) -> None:
@@ -120,9 +133,11 @@ def scan_parquet_like_columns(
               if name.split("/", 1)[1] in column_names]
     for start, length in wanted:
         store.get_range(key, start, length)
-    return ColumnScanResult(
+    result = ColumnScanResult(
         label="parquet",
         requests=store.stats.get_requests,
         bytes_downloaded=store.stats.bytes_downloaded,
         dependent_round_trips=3,
     )
+    _record_scan(result, store)
+    return result

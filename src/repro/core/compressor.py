@@ -14,9 +14,10 @@ from repro.bitmap import RoaringBitmap
 from repro.core.blocks import CompressedBlock, CompressedColumn, CompressedRelation
 from repro.core.config import BtrBlocksConfig
 from repro.core.relation import Relation
-from repro.core.selector import SchemeSelector
+from repro.core.selector import SchemeSelector, values_nbytes
 from repro.encodings.base import CompressionContext, Values
 from repro.encodings.wire import wrap
+from repro.observe import get_registry
 from repro.types import Column, ColumnType
 
 
@@ -24,8 +25,14 @@ def _compress_node(
     values: Values, ctype: ColumnType, ctx: CompressionContext, selector: SchemeSelector
 ) -> bytes:
     scheme = selector.pick(values, ctype, ctx)
+    # Claim the trace record now: cascade children picked inside
+    # scheme.compress() will each produce their own decision.
+    decision = selector.take_last_decision()
     payload = scheme.compress(values, ctx)
-    return wrap(scheme.scheme_id, len(values), payload)
+    framed = wrap(scheme.scheme_id, len(values), payload)
+    if decision is not None:
+        decision.finish(len(framed))
+    return framed
 
 
 def make_context(selector: SchemeSelector) -> CompressionContext:
@@ -46,7 +53,14 @@ def compress_block(
     """Compress one block of values into a self-describing byte string."""
     selector = selector or SchemeSelector(config)
     ctx = make_context(selector)
-    return _compress_node(values, ctype, ctx, selector)
+    registry = get_registry()
+    with registry.timer("compress"):
+        blob = _compress_node(values, ctype, ctx, selector)
+    registry.incr("compress.blocks")
+    registry.incr("compress.rows", len(values))
+    registry.incr("compress.input_bytes", values_nbytes(values, ctype))
+    registry.incr("compress.output_bytes", len(blob))
+    return blob
 
 
 def compress_column(
@@ -59,13 +73,20 @@ def compress_column(
     block_size = selector.config.block_size
     compressed = CompressedColumn(column.name, column.ctype)
     total = len(column)
-    for start in range(0, max(total, 1), block_size):
-        chunk = column.slice(start, min(start + block_size, total))
-        data = compress_block(chunk.data, column.ctype, selector=selector)
-        nulls = chunk.nulls.serialize() if chunk.nulls is not None else None
-        compressed.blocks.append(CompressedBlock(len(chunk), data, nulls))
-        if total == 0:
-            break
+    selector.trace_column = column.name
+    try:
+        for index, start in enumerate(range(0, max(total, 1), block_size)):
+            chunk = column.slice(start, min(start + block_size, total))
+            selector.trace_block = index
+            data = compress_block(chunk.data, column.ctype, selector=selector)
+            nulls = chunk.nulls.serialize() if chunk.nulls is not None else None
+            compressed.blocks.append(CompressedBlock(len(chunk), data, nulls))
+            if total == 0:
+                break
+    finally:
+        selector.trace_column = None
+        selector.trace_block = None
+    get_registry().incr("compress.columns")
     return compressed
 
 

@@ -17,6 +17,7 @@ from repro.encodings import strutil
 from repro.encodings.base import DecompressionContext, Values, get_scheme
 from repro.encodings.wire import unwrap
 from repro.exceptions import TypeMismatchError
+from repro.observe import get_registry
 from repro.types import Column, ColumnType, StringArray
 
 
@@ -39,7 +40,13 @@ def make_context(vectorized: bool = True, fuse_rle_dict: bool = True) -> Decompr
 
 def decompress_block(blob: bytes, ctype: ColumnType, vectorized: bool = True) -> Values:
     """Decompress one block produced by ``compress_block``."""
-    return _decompress_node(blob, ctype, make_context(vectorized))
+    registry = get_registry()
+    with registry.timer("decompress"):
+        values = _decompress_node(blob, ctype, make_context(vectorized))
+    registry.incr("decompress.blocks")
+    registry.incr("decompress.rows", len(values))
+    registry.incr("decompress.input_bytes", len(blob))
+    return values
 
 
 def decompress_column(
@@ -47,16 +54,22 @@ def decompress_column(
 ) -> Column:
     """Reassemble a full column from its compressed blocks."""
     ctx = make_context(vectorized)
+    registry = get_registry()
     parts: list[Values] = []
     null_positions: list[np.ndarray] = []
     offset = 0
-    for block in compressed.blocks:
-        parts.append(_decompress_node(block.data, compressed.ctype, ctx))
-        if block.nulls is not None:
-            positions = RoaringBitmap.deserialize(block.nulls).to_array()
-            if positions.size:
-                null_positions.append(positions.astype(np.int64) + offset)
-        offset += block.count
+    with registry.timer("decompress"):
+        for block in compressed.blocks:
+            parts.append(_decompress_node(block.data, compressed.ctype, ctx))
+            if block.nulls is not None:
+                positions = RoaringBitmap.deserialize(block.nulls).to_array()
+                if positions.size:
+                    null_positions.append(positions.astype(np.int64) + offset)
+            offset += block.count
+    registry.incr("decompress.columns")
+    registry.incr("decompress.blocks", len(compressed.blocks))
+    registry.incr("decompress.rows", offset)
+    registry.incr("decompress.input_bytes", compressed.nbytes)
     nulls = None
     if null_positions:
         nulls = RoaringBitmap.from_positions(np.concatenate(null_positions))

@@ -16,6 +16,7 @@ import numpy as np
 from repro.core.config import BtrBlocksConfig
 from repro.core.sampling import DEFAULT_STRATEGY, SamplingStrategy, take_sample
 from repro.core.stats import compute_stats
+from repro.observe import SelectionDecision, get_registry, get_trace
 from repro.encodings.base import (
     CompressionContext,
     Scheme,
@@ -54,6 +55,21 @@ class SchemeSelector:
         )
         self.rng = np.random.default_rng(seed)
         self.selection_seconds = 0.0
+        #: Labels the compressor sets so trace records carry column/block ids.
+        self.trace_column: str | None = None
+        self.trace_block: int | None = None
+        self._last_decision: SelectionDecision | None = None
+
+    def take_last_decision(self) -> SelectionDecision | None:
+        """Claim the decision from the most recent :meth:`pick` call.
+
+        The compressor calls this right after picking (before any cascade
+        children run their own picks) so it can attach the achieved
+        compressed size to the correct decision.
+        """
+        decision = self._last_decision
+        self._last_decision = None
+        return decision
 
     # -- pool management -----------------------------------------------------
 
@@ -77,12 +93,31 @@ class SchemeSelector:
         """Pick the best scheme for these values at the context's depth."""
         uncompressed = UNCOMPRESSED_BY_TYPE[ctype]
         if ctx.depth <= 0 or len(values) == 0:
+            get_registry().incr("selector.trivial_picks")
             return uncompressed
         started = time.perf_counter()
+        decision = SelectionDecision(
+            column=self.trace_column,
+            block=self.trace_block,
+            ctype=ctype.value,
+            depth=ctx.depth,
+            top_level=(ctx.depth == self.config.max_cascade_depth),
+            value_count=len(values),
+            input_bytes=values_nbytes(values, ctype),
+            sample_count=0,
+        )
         try:
-            return self._pick_timed(values, ctype, ctx, uncompressed)
+            return self._pick_timed(values, ctype, ctx, uncompressed, decision)
         finally:
-            self.selection_seconds += time.perf_counter() - started
+            elapsed = time.perf_counter() - started
+            self.selection_seconds += elapsed
+            decision.selection_seconds = elapsed
+            self._last_decision = decision
+            registry = get_registry()
+            registry.incr("selector.picks")
+            registry.incr(f"selector.chosen.{decision.chosen}")
+            registry.observe_seconds("selection", elapsed)
+            get_trace().record(decision)
 
     def _pick_timed(
         self,
@@ -90,10 +125,12 @@ class SchemeSelector:
         ctype: ColumnType,
         ctx: CompressionContext,
         uncompressed: Scheme,
+        decision: SelectionDecision,
     ) -> Scheme:
         stats = compute_stats(values, ctype)
         sample = take_sample(values, ctype, self.strategy, self.rng)
         sample_bytes = values_nbytes(sample, ctype)
+        decision.sample_count = len(sample)
         if sample_bytes == 0:
             return uncompressed
         best_scheme = uncompressed
@@ -105,9 +142,12 @@ class SchemeSelector:
             if not scheme.is_viable(stats, self.config):
                 continue
             ratio = scheme.estimate_ratio(sample, stats, ctx)
+            decision.candidates[scheme.name] = ratio
             if ratio > best_ratio:
                 best_ratio = ratio
                 best_scheme = scheme
+        decision.chosen = best_scheme.name
+        decision.estimated_ratio = best_ratio
         return best_scheme
 
     def estimate_ratios(

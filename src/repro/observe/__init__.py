@@ -1,0 +1,52 @@
+"""Always-on, zero-dependency observability for the compression pipeline.
+
+BtrBlocks' central claim is that sampling-based scheme selection finds
+near-optimal cascades cheaply (paper Section 3.3). This package makes that
+claim *inspectable* at runtime:
+
+* :class:`MetricsRegistry` -- process-local counters, byte/row totals and
+  monotonic-clock phase timers. Accumulation is plain dict/int arithmetic
+  under a lock; nothing is formatted or written unless a report is requested.
+* :class:`SelectionTrace` -- one record per scheme-selector decision: the
+  candidate schemes with their sample-estimated ratios, the chosen scheme,
+  and (filled in by the compressor) the actually achieved ratio.
+* :func:`build_report` -- assembles both into the JSON document emitted by
+  ``repro stats``, ``repro compress --trace`` and the benchmark harness.
+
+A process-wide default registry and trace are active from import time; the
+pipeline records into them unless an explicit instance is passed. Tests and
+embedders can swap them with :func:`use_registry` / :func:`use_trace`.
+"""
+
+from repro.observe.registry import (
+    MetricsRegistry,
+    get_registry,
+    reset_metrics,
+    set_registry,
+    use_registry,
+)
+from repro.observe.report import build_report, report_json
+from repro.observe.trace import (
+    SelectionDecision,
+    SelectionTrace,
+    get_trace,
+    reset_trace,
+    set_trace,
+    use_trace,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "SelectionDecision",
+    "SelectionTrace",
+    "build_report",
+    "get_registry",
+    "get_trace",
+    "report_json",
+    "reset_metrics",
+    "reset_trace",
+    "set_registry",
+    "set_trace",
+    "use_registry",
+    "use_trace",
+]

@@ -1,0 +1,58 @@
+"""Assemble registry + trace into the observability JSON report.
+
+One document shape serves every consumer -- ``repro stats``, ``repro
+compress --trace``, and the benchmark harness -- so downstream tooling
+(plotting, a learned advisor, CI regression checks) parses a single schema:
+
+.. code-block:: json
+
+    {
+      "counters": {"compress.input_bytes": 123, "cloud.scan.requests": 4, ...},
+      "timers":   {"compress": {"seconds": 0.01, "calls": 3}, ...},
+      "columns":  [{"column": "price", "blocks": 2, "schemes": {"pseudodecimal": 2},
+                    "estimated_ratio": 3.9, "achieved_ratio": 4.1, ...}],
+      "decisions": [...]
+    }
+
+``decisions`` (the full per-block trace) is included only when asked for --
+it is the one part of the report whose size grows with the data.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.observe.registry import MetricsRegistry, get_registry
+from repro.observe.trace import SelectionTrace, get_trace
+
+
+def build_report(
+    registry: MetricsRegistry | None = None,
+    trace: SelectionTrace | None = None,
+    include_decisions: bool = False,
+) -> dict:
+    """The canonical observability report as a JSON-ready dict."""
+    registry = registry if registry is not None else get_registry()
+    trace = trace if trace is not None else get_trace()
+    snapshot = registry.snapshot()
+    report = {
+        "counters": snapshot["counters"],
+        "timers": snapshot["timers"],
+        "columns": trace.per_column(),
+        "trace": {"decisions_recorded": len(trace), "decisions_dropped": trace.dropped},
+    }
+    if include_decisions:
+        report["decisions"] = [d.to_dict() for d in trace.decisions()]
+    return report
+
+
+def report_json(
+    registry: MetricsRegistry | None = None,
+    trace: SelectionTrace | None = None,
+    include_decisions: bool = False,
+    indent: int | None = 2,
+) -> str:
+    """The report serialized to JSON text."""
+    return json.dumps(
+        build_report(registry, trace, include_decisions), indent=indent, sort_keys=True
+    )

@@ -22,6 +22,7 @@ from repro.core.config import BtrBlocksConfig
 from repro.core.decompressor import decompress_column
 from repro.core.relation import Relation
 from repro.core.selector import SchemeSelector
+from repro.observe import get_registry
 from repro.types import Column
 
 
@@ -40,8 +41,11 @@ def compress_relation_parallel(
     def worker(column: Column) -> CompressedColumn:
         return compress_column(column, selector=SchemeSelector(config))
 
-    with ThreadPoolExecutor(max_workers=max_workers) as pool:
-        columns = list(pool.map(worker, relation.columns))
+    registry = get_registry()
+    registry.incr("parallel.compress_runs")
+    with registry.timer("compress.parallel"):
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            columns = list(pool.map(worker, relation.columns))
     return CompressedRelation(relation.name, columns)
 
 
@@ -55,6 +59,9 @@ def decompress_relation_parallel(
     def worker(column: CompressedColumn) -> Column:
         return decompress_column(column, vectorized=vectorized)
 
-    with ThreadPoolExecutor(max_workers=max_workers) as pool:
-        columns = list(pool.map(worker, compressed.columns))
+    registry = get_registry()
+    registry.incr("parallel.decompress_runs")
+    with registry.timer("decompress.parallel"):
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            columns = list(pool.map(worker, compressed.columns))
     return Relation(compressed.name, columns)

@@ -4,13 +4,30 @@ Each example executes in a subprocess so the custom scheme one cannot
 pollute the in-process scheme registry used by other tests.
 """
 
+import os
 import subprocess
 import sys
 from pathlib import Path
 
 import pytest
 
-EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+REPO_ROOT = Path(__file__).parent.parent
+EXAMPLES = sorted((REPO_ROOT / "examples").glob("*.py"))
+
+
+def _child_env() -> dict:
+    """The parent environment plus ``src/`` on PYTHONPATH.
+
+    Starting from ``os.environ`` keeps PATH and interpreter-critical
+    variables intact; prepending ``src/`` makes ``import repro`` resolve in
+    the child no matter how the test process itself found the package.
+    """
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}{os.pathsep}{existing}" if existing else src
+    env["REPRO_BENCH_ROWS"] = "4096"
+    return env
 
 
 @pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
@@ -20,7 +37,7 @@ def test_example_runs(script):
         capture_output=True,
         text=True,
         timeout=600,
-        env={"REPRO_BENCH_ROWS": "4096", "PATH": "/usr/bin:/bin"},
+        env=_child_env(),
         cwd=script.parent.parent,
     )
     assert result.returncode == 0, result.stderr[-2000:]

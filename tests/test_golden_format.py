@@ -1,0 +1,207 @@
+"""Golden wire-format conformance: the on-disk byte layout is frozen.
+
+Every fixture in ``tests/golden/*.bin`` is the exact serialization of a
+fixed input through one scheme (or through the column/relation file format).
+The test re-encodes the same inputs and compares byte for byte, so a
+refactor that silently changes the wire format -- a reordered field, a new
+header byte, a different child cascade -- fails here instead of corrupting
+readers of existing files.
+
+When a format change is *intentional*, regenerate the fixtures and commit
+them together with the change::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_golden_format.py
+
+Inputs are hard-coded (no RNG) and the selector seed is fixed, so encoding
+is fully deterministic.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.bitmap import RoaringBitmap
+from repro.core.compressor import compress_column, compress_relation, make_context
+from repro.core.decompressor import decompress_block
+from repro.core.file_format import (
+    _COLUMN_MAGIC,
+    column_to_bytes,
+    relation_to_bytes,
+)
+from repro.core.relation import Relation
+from repro.core.selector import SchemeSelector
+from repro.encodings.base import SchemeId, get_scheme
+from repro.encodings.wire import unwrap, wrap
+from repro.types import Column, ColumnType, StringArray
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+REGEN = bool(os.environ.get("REPRO_REGEN_GOLDEN"))
+
+
+def _encode(scheme_id: int, values) -> bytes:
+    """One framed node: the scheme's exact bytes for a fixed input."""
+    scheme = get_scheme(scheme_id)
+    selector = SchemeSelector(seed=42)
+    payload = scheme.compress(values, make_context(selector))
+    return wrap(scheme.scheme_id, len(values), payload)
+
+
+def _i32(values) -> np.ndarray:
+    return np.asarray(values, dtype=np.int32)
+
+
+def _f64(values) -> np.ndarray:
+    return np.asarray(values, dtype=np.float64)
+
+
+def _strings(values) -> StringArray:
+    return StringArray.from_pylist(values)
+
+
+def _fixture_relation() -> Relation:
+    nulls = RoaringBitmap.from_positions([1, 3])
+    return Relation(
+        "golden",
+        [
+            Column.ints("runs", _i32([4] * 40 + [9] * 24)),
+            Column.doubles("price", _f64([1.25, 8.50, 1.25, 99.99] * 16)),
+            Column.strings("city", ["OSLO", "ATHENS"] * 32, nulls=nulls),
+        ],
+    )
+
+
+def scheme_fixtures() -> dict[str, bytes]:
+    """name -> frozen bytes, one entry per registered core scheme."""
+    cities = _strings(["OSLO", "ATHENS", "OSLO", "RALEIGH"] * 24)
+    urls = _strings([f"https://example.com/products/item?id={i % 7}" for i in range(96)])
+    return {
+        "uncompressed_int": _encode(SchemeId.UNCOMPRESSED_INT, _i32([3, -1, 7, 2**31 - 1])),
+        "uncompressed_double": _encode(SchemeId.UNCOMPRESSED_DOUBLE, _f64([0.5, -0.0, 3.25])),
+        "uncompressed_string": _encode(SchemeId.UNCOMPRESSED_STRING, _strings(["ab", "", "cde"])),
+        "one_value_int": _encode(SchemeId.ONE_VALUE_INT, _i32([42] * 100)),
+        "one_value_double": _encode(SchemeId.ONE_VALUE_DOUBLE, _f64([1.5] * 100)),
+        "one_value_string": _encode(SchemeId.ONE_VALUE_STRING, _strings(["same"] * 100)),
+        "rle_int": _encode(SchemeId.RLE_INT, _i32([1] * 30 + [2] * 50 + [3] * 20)),
+        "rle_double": _encode(SchemeId.RLE_DOUBLE, _f64([0.5] * 40 + [2.5] * 60)),
+        "dict_int": _encode(SchemeId.DICT_INT, _i32([5, 900000, 5, 77] * 32)),
+        "dict_double": _encode(SchemeId.DICT_DOUBLE, _f64([1.25, 7.75, 1.25] * 40)),
+        "dict_string": _encode(SchemeId.DICT_STRING, cities),
+        "frequency_int": _encode(SchemeId.FREQUENCY_INT, _i32([7] * 90 + [1, 2, 3, 4, 5, 6])),
+        "frequency_double": _encode(SchemeId.FREQUENCY_DOUBLE, _f64([0.0] * 90 + [1.5, 2.5])),
+        "frequency_string": _encode(
+            SchemeId.FREQUENCY_STRING, _strings(["hot"] * 90 + ["a", "b", "c"])
+        ),
+        "fastbp128": _encode(SchemeId.FAST_BP128, _i32(range(1000, 1256))),
+        "fastpfor": _encode(SchemeId.FAST_PFOR, _i32([3] * 120 + [2**29] + [5] * 7)),
+        "fsst": _encode(SchemeId.FSST, urls),
+        "pseudodecimal": _encode(SchemeId.PSEUDODECIMAL, _f64([1.25, 99.99, 0.01, 123.45] * 32)),
+    }
+
+
+def file_fixtures() -> dict[str, bytes]:
+    """Column-file and relation-file serializations of a fixed relation."""
+    relation = _fixture_relation()
+    compressed = compress_relation(relation)
+    fixtures = {"relation.btr": relation_to_bytes(compressed)}
+    for column in compressed.columns:
+        fixtures[f"column_{column.name}.btrc"] = column_to_bytes(column)
+    return fixtures
+
+
+def all_fixtures() -> dict[str, bytes]:
+    fixtures = {f"scheme_{k}.bin": v for k, v in scheme_fixtures().items()}
+    fixtures.update(file_fixtures())
+    return fixtures
+
+
+@pytest.fixture(scope="module")
+def fixtures() -> dict[str, bytes]:
+    return all_fixtures()
+
+
+def test_regen_writes_fixtures(fixtures):
+    """In regen mode, (re)write every .bin; otherwise check they all exist."""
+    if REGEN:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        for stale in GOLDEN_DIR.glob("*.bin"):
+            stale.unlink()
+        for stale in GOLDEN_DIR.glob("*.btr*"):
+            stale.unlink()
+        for name, blob in fixtures.items():
+            (GOLDEN_DIR / name).write_bytes(blob)
+    missing = [name for name in fixtures if not (GOLDEN_DIR / name).exists()]
+    assert not missing, f"golden fixtures missing (run with REPRO_REGEN_GOLDEN=1): {missing}"
+
+
+def test_no_orphan_fixtures(fixtures):
+    on_disk = {p.name for p in GOLDEN_DIR.iterdir() if p.suffix in {".bin", ".btr", ".btrc"}}
+    assert on_disk == set(fixtures), "fixture set drifted from the test's inputs"
+
+
+@pytest.mark.parametrize("name", sorted(all_fixtures()))
+def test_bytes_match_golden(name, fixtures):
+    expected = (GOLDEN_DIR / name).read_bytes()
+    assert fixtures[name] == expected, (
+        f"{name}: serialized bytes differ from the committed golden fixture. "
+        "If the wire-format change is intentional, regenerate with "
+        "REPRO_REGEN_GOLDEN=1 and commit the new fixtures."
+    )
+
+
+# -- structural header invariants (independent of fixture bytes) ---------------
+
+
+def test_node_header_layout():
+    """Framed node = u8 scheme_id + u32 little-endian count + payload."""
+    blob = _encode(SchemeId.ONE_VALUE_INT, _i32([7] * 513))
+    assert blob[0] == SchemeId.ONE_VALUE_INT
+    assert struct.unpack_from("<I", blob, 1)[0] == 513
+    scheme_id, count, payload = unwrap(blob)
+    assert (scheme_id, count) == (SchemeId.ONE_VALUE_INT, 513)
+    assert blob[5:] == payload
+
+
+def test_column_file_header_layout():
+    """Column file = b"BTRC" + u8 type code + u16 name length + name..."""
+    column = compress_column(Column.ints("answer", _i32([1, 2, 3])))
+    blob = column_to_bytes(column)
+    assert blob[:4] == _COLUMN_MAGIC == b"BTRC"
+    type_code, name_len = struct.unpack_from("<BH", blob, 4)
+    assert type_code == 0  # integer
+    assert blob[7 : 7 + name_len] == b"answer"
+
+
+def test_relation_file_header_is_json_index():
+    import json
+
+    blob = relation_to_bytes(compress_relation(_fixture_relation()))
+    (header_len,) = struct.unpack_from("<I", blob, 0)
+    header = json.loads(blob[4 : 4 + header_len])
+    assert header["name"] == "golden"
+    assert set(header["files"]) == {
+        "golden/col_0000.btr",
+        "golden/col_0001.btr",
+        "golden/col_0002.btr",
+        "golden/table.meta",
+    }
+
+
+def test_golden_blocks_still_decode(fixtures):
+    """The frozen bytes must decode to the original fixed inputs."""
+    out = decompress_block(
+        (GOLDEN_DIR / "scheme_rle_int.bin").read_bytes(), ColumnType.INTEGER
+    )
+    assert np.array_equal(out, _i32([1] * 30 + [2] * 50 + [3] * 20))
+    out = decompress_block(
+        (GOLDEN_DIR / "scheme_pseudodecimal.bin").read_bytes(), ColumnType.DOUBLE
+    )
+    assert np.array_equal(out, _f64([1.25, 99.99, 0.01, 123.45] * 32))
+    out = decompress_block(
+        (GOLDEN_DIR / "scheme_dict_string.bin").read_bytes(), ColumnType.STRING
+    )
+    assert out == _strings(["OSLO", "ATHENS", "OSLO", "RALEIGH"] * 24)

@@ -7,6 +7,7 @@ from repro.core.compressor import compress_relation
 from repro.core.config import BtrBlocksConfig
 from repro.core.decompressor import decompress_relation
 from repro.core.relation import Relation
+from repro.observe import MetricsRegistry, SelectionTrace, use_registry, use_trace
 from repro.parallel import compress_relation_parallel, decompress_relation_parallel
 from repro.types import Column, columns_equal
 
@@ -21,19 +22,68 @@ def relation(rng):
     ])
 
 
-def test_parallel_compression_matches_sequential(relation):
+@pytest.mark.parametrize("workers", [1, 2, 8])
+def test_parallel_compression_matches_sequential(relation, workers):
     sequential = compress_relation(relation)
-    parallel = compress_relation_parallel(relation, max_workers=4)
+    parallel = compress_relation_parallel(relation, max_workers=workers)
     assert [c.name for c in parallel.columns] == [c.name for c in sequential.columns]
     for seq_col, par_col in zip(sequential.columns, parallel.columns):
         assert [b.data for b in seq_col.blocks] == [b.data for b in par_col.blocks]
+        assert [b.nulls for b in seq_col.blocks] == [b.nulls for b in par_col.blocks]
 
 
-def test_parallel_decompression_round_trip(relation):
-    compressed = compress_relation_parallel(relation, max_workers=4)
-    back = decompress_relation_parallel(compressed, max_workers=4)
+@pytest.mark.parametrize("workers", [1, 2, 8])
+def test_parallel_decompression_round_trip(relation, workers):
+    compressed = compress_relation_parallel(relation, max_workers=workers)
+    back = decompress_relation_parallel(compressed, max_workers=workers)
     for a, b in zip(relation.columns, back.columns):
         assert columns_equal(a, b)
+
+
+@pytest.mark.parametrize("workers", [1, 2, 8])
+def test_parallel_decompression_matches_sequential_bytes(relation, workers):
+    """Decompressed values are bit-identical to the sequential decoder's."""
+    compressed = compress_relation(relation)
+    sequential = decompress_relation(compressed)
+    parallel = decompress_relation_parallel(compressed, max_workers=workers)
+    for a, b in zip(sequential.columns, parallel.columns):
+        assert columns_equal(a, b)
+
+
+@pytest.mark.parametrize("workers", [1, 2, 8])
+def test_metrics_accumulate_under_concurrency(relation, workers):
+    """Totals recorded by concurrent workers must equal the sequential ones.
+
+    Runs the same workload sequentially and in parallel against two fresh
+    registries; every deterministic counter (bytes, rows, blocks, columns,
+    picks) must agree exactly, and the trace must carry one top-level
+    decision per block regardless of scheduling.
+    """
+    seq_reg, seq_trace = MetricsRegistry(), SelectionTrace()
+    with use_registry(seq_reg), use_trace(seq_trace):
+        compressed = compress_relation(relation)
+        decompress_relation(compressed)
+
+    par_reg, par_trace = MetricsRegistry(), SelectionTrace()
+    with use_registry(par_reg), use_trace(par_trace):
+        compressed = compress_relation_parallel(relation, max_workers=workers)
+        decompress_relation_parallel(compressed, max_workers=workers)
+
+    seq, par = seq_reg.snapshot()["counters"], par_reg.snapshot()["counters"]
+    deterministic = [
+        "compress.blocks", "compress.rows", "compress.input_bytes",
+        "compress.output_bytes", "compress.columns", "selector.picks",
+        "decompress.columns", "decompress.blocks", "decompress.rows",
+        "decompress.input_bytes",
+    ]
+    for name in deterministic:
+        assert par.get(name) == seq.get(name), name
+
+    total_blocks = sum(len(c.blocks) for c in compressed.columns)
+    top_level = [d for d in par_trace.decisions() if d.top_level]
+    assert len(top_level) == total_blocks
+    assert {d.column for d in top_level} == {c.name for c in relation.columns}
+    assert all(d.compressed_bytes for d in top_level)
 
 
 def test_parallel_respects_config(relation):
