@@ -1,0 +1,69 @@
+"""Perf-regression smoke: run ``repro bench`` and gate against the baseline.
+
+Runs the same harness as ``python -m repro bench`` at CI scale
+(``REPRO_BENCH_ROWS``), writes the fresh ``BENCH_<date>.json`` report (to
+``REPRO_BENCH_OUTPUT`` when set, so CI can upload it as an artifact), and
+fails when any throughput metric drops more than ``REPRO_BENCH_THRESHOLD``
+(default 30%) below the committed ``benchmarks/BENCH_baseline.json``.
+
+Regenerate the baseline after an intentional performance change::
+
+    REPRO_BENCH_ROWS=4096 REPRO_BENCH_OUTPUT=benchmarks/BENCH_baseline.json \
+        PYTHONPATH=src python -m pytest -q -s benchmarks/bench_perf_regression.py
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from _harness import bench_rows, print_table
+from repro.bench import compare, load_report, run_bench, write_report
+
+BASELINE_PATH = Path(__file__).parent / "BENCH_baseline.json"
+
+
+def test_perf_regression_vs_baseline():
+    report = run_bench(
+        rows=bench_rows(),
+        workers=(1, 2, 4),
+        repeats=int(os.environ.get("REPRO_BENCH_REPEATS", "3")),
+    )
+    output = os.environ.get("REPRO_BENCH_OUTPUT", f"BENCH_{report['meta']['date']}.json")
+    write_report(report, output)
+
+    print_table(
+        "Perf regression harness (schemes)",
+        ["workload", "comp MB/s", "dec MB/s", "ratio"],
+        [
+            [name, entry["compress_mb_s"], entry["decompress_mb_s"], entry["ratio"]]
+            for name, entry in report["schemes"].items()
+        ],
+    )
+    speedups = report["parallel"]["compress_speedup"]
+    print_table(
+        "Parallel block-pipeline scaling "
+        f"(cpu_count={report['parallel']['cpu_count']})",
+        ["workers", "seconds", "speedup"],
+        [
+            [w, report["parallel"]["compress_seconds"][w], speedups[w]]
+            for w in sorted(speedups, key=int)
+        ],
+    )
+    selection = report["selection"]
+    print_table(
+        "Selection overhead",
+        ["mode", "overhead %", "sticky hits", "sticky misses"],
+        [
+            [mode, entry["selection_overhead_pct"], entry["sticky_hits"],
+             entry["sticky_misses"]]
+            for mode, entry in selection.items()
+        ],
+    )
+    print(f"\nreport -> {output}")
+
+    if not BASELINE_PATH.exists():
+        pytest.skip(f"no committed baseline at {BASELINE_PATH}")
+    threshold = float(os.environ.get("REPRO_BENCH_THRESHOLD", "0.30"))
+    regressions = compare(report, load_report(str(BASELINE_PATH)), threshold=threshold)
+    assert not regressions, "throughput regressions vs baseline:\n" + "\n".join(regressions)

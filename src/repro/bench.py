@@ -1,0 +1,309 @@
+"""Performance-regression harness behind ``repro bench``.
+
+Measures three things the rest of the repo optimises for and emits them as a
+single ``BENCH_<date>.json`` report:
+
+* per-scheme compress/decompress throughput (MB/s) over workloads crafted to
+  select each scheme family, plus the achieved compression ratios;
+* parallel scaling of the block-level ``(column, block)`` pipeline on a
+  single wide column, per worker count;
+* scheme-selection overhead as a percentage of total compression time, with
+  and without the sticky selection cache.
+
+CI runs this scaled down (``--rows``) and compares the fresh report against
+the committed ``benchmarks/BENCH_baseline.json``: any throughput metric more
+than ``threshold`` (default 30%) below the baseline fails the job. Ratios
+and scheme choices are reported for inspection but not gated — they are
+covered bit-exactly by the golden fixtures.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.core.compressor import compress_relation
+from repro.core.config import BtrBlocksConfig
+from repro.core.decompressor import decompress_relation
+from repro.core.relation import Relation
+from repro.observe import MetricsRegistry, use_registry
+from repro.parallel import compress_relation_parallel, decompress_relation_parallel
+from repro.types import Column
+
+DEFAULT_ROWS = 200_000
+DEFAULT_WORKERS = (1, 2, 4)
+DEFAULT_REPEATS = 3
+DEFAULT_THRESHOLD = 0.30
+DEFAULT_SEED = 42
+
+
+def _mb(nbytes: float) -> float:
+    return nbytes / 1e6
+
+
+_MIN_WINDOW_SECONDS = 0.01
+
+
+def _best_seconds(fn: Callable[[], object], repeats: int) -> float:
+    """Fastest per-call time over ``repeats`` measurements.
+
+    Fast operations are looped until each timing window reaches
+    ``_MIN_WINDOW_SECONDS``; otherwise sub-millisecond measurements (e.g.
+    one_value decompression at smoke scale) are clock-noise and would make
+    the CI regression gate flaky.
+    """
+    started = time.perf_counter()
+    fn()
+    calibration = time.perf_counter() - started
+    iterations = max(1, int(_MIN_WINDOW_SECONDS / max(calibration, 1e-9)))
+    best = calibration
+    for _ in range(max(repeats, 1)):
+        started = time.perf_counter()
+        for _ in range(iterations):
+            fn()
+        best = min(best, (time.perf_counter() - started) / iterations)
+    return best
+
+
+# -- scheme-targeted workloads -------------------------------------------------
+
+def _w_one_value(rows: int, rng: np.random.Generator) -> Column:
+    return Column.ints("v", np.full(rows, 7, dtype=np.int64))
+
+
+def _w_rle(rows: int, rng: np.random.Generator) -> Column:
+    return Column.ints("v", np.repeat(rng.integers(0, 1000, (rows + 19) // 20), 20)[:rows])
+
+
+def _w_frequency(rows: int, rng: np.random.Generator) -> Column:
+    values = np.where(rng.random(rows) < 0.9, 42, rng.integers(0, 10_000, rows))
+    return Column.ints("v", values)
+
+
+def _w_bitpack(rows: int, rng: np.random.Generator) -> Column:
+    return Column.ints("v", rng.integers(0, 255, rows))
+
+
+def _w_fastpfor(rows: int, rng: np.random.Generator) -> Column:
+    values = rng.integers(0, 64, rows)
+    outliers = rng.random(rows) < 0.02
+    values[outliers] = rng.integers(2**20, 2**28, int(outliers.sum()))
+    return Column.ints("v", values)
+
+
+def _w_pseudodecimal(rows: int, rng: np.random.Generator) -> Column:
+    return Column.doubles("v", np.round(rng.uniform(0, 10_000, rows), 2))
+
+
+def _w_dictionary(rows: int, rng: np.random.Generator) -> Column:
+    vocab = [f"category-{i:04d}" for i in range(256)]
+    return Column.strings("v", [vocab[i] for i in rng.integers(0, len(vocab), rows)])
+
+
+def _w_fsst(rows: int, rng: np.random.Generator) -> Column:
+    hosts = ["example.com", "data-lake.io", "btrblocks.org"]
+    return Column.strings(
+        "v",
+        [
+            f"https://{hosts[i % 3]}/api/v2/resource/{int(x):08x}?session={int(y):06d}"
+            for i, (x, y) in enumerate(
+                zip(rng.integers(0, 2**31, rows), rng.integers(0, 1_000_000, rows))
+            )
+        ],
+    )
+
+
+SCHEME_WORKLOADS: dict[str, Callable[[int, np.random.Generator], Column]] = {
+    "one_value": _w_one_value,
+    "rle": _w_rle,
+    "frequency": _w_frequency,
+    "bitpack": _w_bitpack,
+    "fastpfor": _w_fastpfor,
+    "pseudodecimal": _w_pseudodecimal,
+    "dictionary": _w_dictionary,
+    "fsst": _w_fsst,
+}
+
+
+def bench_schemes(rows: int, repeats: int, seed: int) -> dict:
+    """Compress/decompress throughput per scheme-targeted workload."""
+    out: dict[str, dict] = {}
+    for name, make in SCHEME_WORKLOADS.items():
+        rng = np.random.default_rng(seed)
+        relation = Relation(name, [make(rows, rng)])
+        compressed = compress_relation(relation)
+        compress_seconds = _best_seconds(lambda: compress_relation(relation), repeats)
+        decompress_seconds = _best_seconds(lambda: decompress_relation(compressed), repeats)
+        schemes: dict[str, int] = {}
+        for column in compressed.columns:
+            for scheme, count in column.scheme_histogram().items():
+                schemes[scheme] = schemes.get(scheme, 0) + count
+        out[name] = {
+            "rows": relation.row_count,
+            "input_mb": _mb(relation.nbytes),
+            "ratio": relation.nbytes / compressed.nbytes if compressed.nbytes else None,
+            "compress_mb_s": _mb(relation.nbytes) / compress_seconds,
+            "decompress_mb_s": _mb(relation.nbytes) / decompress_seconds,
+            "schemes_used": schemes,
+        }
+    return out
+
+
+def bench_parallel(rows: int, workers: Sequence[int], repeats: int, seed: int) -> dict:
+    """Block-level scaling on one wide column, per worker count.
+
+    Speedups are relative to ``workers=1`` (the inline, pool-free path).
+    Real scaling needs real cores: on a single-CPU host every worker count
+    measures GIL-serialised work plus pool overhead, so ``cpu_count`` is
+    recorded alongside for interpretation.
+    """
+    rng = np.random.default_rng(seed)
+    relation = Relation("wide", [_w_rle(rows, rng)])
+    compressed = compress_relation_parallel(relation, max_workers=1)
+    compress_seconds: dict[str, float] = {}
+    decompress_seconds: dict[str, float] = {}
+    for count in workers:
+        compress_seconds[str(count)] = _best_seconds(
+            lambda: compress_relation_parallel(relation, max_workers=count), repeats
+        )
+        decompress_seconds[str(count)] = _best_seconds(
+            lambda: decompress_relation_parallel(compressed, max_workers=count), repeats
+        )
+    base = compress_seconds.get("1")
+    return {
+        "rows": relation.row_count,
+        "input_mb": _mb(relation.nbytes),
+        "cpu_count": os.cpu_count(),
+        "compress_seconds": compress_seconds,
+        "decompress_seconds": decompress_seconds,
+        "compress_mb_s": {
+            k: _mb(relation.nbytes) / v for k, v in compress_seconds.items()
+        },
+        "compress_speedup": {
+            k: base / v for k, v in compress_seconds.items()
+        } if base else {},
+    }
+
+
+def bench_selection(rows: int, seed: int) -> dict:
+    """Selection overhead (% of compression time) and sticky-cache effect."""
+    rng = np.random.default_rng(seed)
+    relation = Relation(
+        "sel",
+        [_w_rle(rows, rng), _w_frequency(rows, rng), _w_pseudodecimal(rows, rng)],
+    )
+
+    def run(config: BtrBlocksConfig) -> dict:
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            compress_relation(relation, config)
+        counters = registry.snapshot()["counters"]
+        total = registry.timer_seconds("compress")
+        selection = registry.timer_seconds("selection.outer")
+        return {
+            "compress_seconds": total,
+            "selection_seconds": selection,
+            "selection_overhead_pct": 100.0 * selection / total if total else None,
+            "sticky_hits": counters.get("selector.sticky.hits", 0),
+            "sticky_misses": counters.get("selector.sticky.misses", 0),
+        }
+
+    return {
+        "full": run(BtrBlocksConfig()),
+        "sticky": run(BtrBlocksConfig(sticky_selection=True)),
+    }
+
+
+def run_bench(
+    rows: int = DEFAULT_ROWS,
+    workers: Sequence[int] = DEFAULT_WORKERS,
+    repeats: int = DEFAULT_REPEATS,
+    seed: int = DEFAULT_SEED,
+    date: str | None = None,
+) -> dict:
+    """The full benchmark report (the JSON written to ``BENCH_<date>.json``)."""
+    import numpy
+
+    return {
+        "meta": {
+            "date": date or time.strftime("%Y-%m-%d"),
+            "rows": rows,
+            "workers": list(workers),
+            "repeats": repeats,
+            "seed": seed,
+            "cpu_count": os.cpu_count(),
+            "numpy": numpy.__version__,
+        },
+        "schemes": bench_schemes(rows, repeats, seed),
+        "parallel": bench_parallel(rows, workers, repeats, seed),
+        "selection": bench_selection(rows, seed),
+    }
+
+
+# -- baseline comparison -------------------------------------------------------
+
+def _throughput_metrics(report: dict, prefix: str = "") -> Iterable[tuple[str, float]]:
+    """All throughput leaves of a report, flattened to dotted paths.
+
+    A numeric leaf is a throughput metric when its own key ends in
+    ``_mb_s`` or it sits under a dict whose key does (the per-worker-count
+    maps in the ``parallel`` section).
+    """
+    for key, value in report.items():
+        path = f"{prefix}{key}"
+        if isinstance(value, dict):
+            yield from _throughput_metrics(value, f"{path}.")
+        elif isinstance(value, (int, float)) and "_mb_s" in path:
+            yield path, float(value)
+
+
+def compare(current: dict, baseline: dict, threshold: float = DEFAULT_THRESHOLD) -> list[str]:
+    """Throughput regressions of ``current`` vs ``baseline``.
+
+    Returns one message per ``*_mb_s`` metric that dropped more than
+    ``threshold`` (a fraction) below the baseline value. Metrics present in
+    only one report are ignored — adding a workload must not fail CI. The
+    ``parallel`` section is reported but never gated: its timings scale with
+    the host's core count, which the committed baseline cannot predict.
+    """
+    base = dict(_throughput_metrics(baseline))
+    regressions = []
+    for path, value in _throughput_metrics(current):
+        if path.startswith("parallel."):
+            continue
+        reference = base.get(path)
+        if reference is None or reference <= 0:
+            continue
+        if value < reference * (1.0 - threshold):
+            regressions.append(
+                f"{path}: {value:.2f} MB/s is {100 * (1 - value / reference):.1f}% "
+                f"below baseline {reference:.2f} MB/s (threshold {threshold:.0%})"
+            )
+    return regressions
+
+
+def load_report(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def write_report(report: dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+__all__ = [
+    "SCHEME_WORKLOADS",
+    "bench_parallel",
+    "bench_schemes",
+    "bench_selection",
+    "compare",
+    "load_report",
+    "run_bench",
+    "write_report",
+]

@@ -7,6 +7,8 @@ Usage (also via ``python -m repro``)::
     python -m repro decompress out.btr  back.csv
     python -m repro inspect   out.btr
     python -m repro stats     data.csv  [--decisions] [--output report.json]
+    python -m repro bench     [--rows N] [--workers 1,2,4] [--output BENCH.json]
+                              [--compare BASELINE.json] [--threshold 0.30]
 
 ``compress`` ingests a CSV (with type inference), compresses it and writes
 the single-buffer BtrBlocks serialization; ``--trace`` additionally dumps
@@ -83,6 +85,41 @@ def _cmd_decompress(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Run the performance harness; optionally gate against a baseline."""
+    from repro import bench
+
+    workers = [int(w) for w in args.workers.split(",") if w.strip()]
+    report = bench.run_bench(
+        rows=args.rows, workers=workers, repeats=args.repeats, seed=args.seed
+    )
+    output = args.output or f"BENCH_{report['meta']['date']}.json"
+    bench.write_report(report, output)
+    print(f"benchmark report -> {output}")
+    for name, entry in report["schemes"].items():
+        print(f"  {name:14s} compress {entry['compress_mb_s']:8.1f} MB/s  "
+              f"decompress {entry['decompress_mb_s']:8.1f} MB/s  "
+              f"ratio {entry['ratio']:.1f}x")
+    scaling = report["parallel"]["compress_speedup"]
+    print("  parallel speedup: " +
+          ", ".join(f"{w}w={s:.2f}x" for w, s in sorted(scaling.items(), key=lambda kv: int(kv[0]))))
+    overhead = report["selection"]["full"]["selection_overhead_pct"]
+    if overhead is not None:
+        print(f"  selection overhead: {overhead:.1f}% of compression time")
+    if args.compare:
+        regressions = bench.compare(
+            report, bench.load_report(args.compare), threshold=args.threshold
+        )
+        if regressions:
+            print(f"FAIL: {len(regressions)} throughput regression(s) vs {args.compare}:")
+            for line in regressions:
+                print(f"  {line}")
+            return 1
+        print(f"OK: no throughput regression vs {args.compare} "
+              f"(threshold {args.threshold:.0%})")
+    return 0
+
+
 def _cmd_inspect(args: argparse.Namespace) -> int:
     compressed = relation_from_bytes(Path(args.input).read_bytes())
     print(f"table {compressed.name!r}: {len(compressed.columns)} columns, "
@@ -145,6 +182,24 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--output", "-o", metavar="PATH",
                        help="write the JSON report to PATH instead of stdout")
     stats.set_defaults(func=_cmd_stats)
+
+    bench = sub.add_parser(
+        "bench", help="run the performance harness and write BENCH_<date>.json"
+    )
+    bench.add_argument("--rows", type=int, default=200_000,
+                       help="rows per workload (default 200000)")
+    bench.add_argument("--workers", default="1,2,4",
+                       help="comma-separated worker counts for the scaling section")
+    bench.add_argument("--repeats", type=int, default=3,
+                       help="timed repetitions per measurement; best is kept")
+    bench.add_argument("--seed", type=int, default=42)
+    bench.add_argument("--output", "-o", metavar="PATH",
+                       help="report path (default BENCH_<date>.json)")
+    bench.add_argument("--compare", metavar="BASELINE",
+                       help="compare against a baseline report; exit 1 on regression")
+    bench.add_argument("--threshold", type=float, default=0.30,
+                       help="allowed fractional throughput drop vs baseline (default 0.30)")
+    bench.set_defaults(func=_cmd_bench)
 
     return parser
 

@@ -32,6 +32,7 @@ def _compress_node(
     framed = wrap(scheme.scheme_id, len(values), payload)
     if decision is not None:
         decision.finish(len(framed))
+        selector.observe_result(decision)
     return framed
 
 
@@ -63,6 +64,36 @@ def compress_block(
     return blob
 
 
+def iter_block_ranges(total: int, block_size: int):
+    """Yield ``(index, start, stop)`` for every block of a column.
+
+    An empty column still yields one (empty) block so the compressed file
+    carries the column's existence and type.
+    """
+    if total == 0:
+        yield 0, 0, 0
+        return
+    for index, start in enumerate(range(0, total, block_size)):
+        yield index, start, min(start + block_size, total)
+
+
+def compress_column_block(
+    column: Column, index: int, start: int, stop: int, selector: SchemeSelector
+) -> CompressedBlock:
+    """Compress one block-range of a column (the unit of parallel fan-out).
+
+    The selector is positioned with :meth:`SchemeSelector.begin_block`, so
+    the result depends only on ``(column, index, config, seed)`` — never on
+    which other blocks the selector processed before.
+    """
+    chunk = column.slice(start, stop)
+    selector.trace_column = column.name
+    selector.begin_block(index)
+    data = compress_block(chunk.data, column.ctype, selector=selector)
+    nulls = chunk.nulls.serialize() if chunk.nulls is not None else None
+    return CompressedBlock(len(chunk), data, nulls)
+
+
 def compress_column(
     column: Column,
     config: BtrBlocksConfig | None = None,
@@ -72,17 +103,11 @@ def compress_column(
     selector = selector or SchemeSelector(config)
     block_size = selector.config.block_size
     compressed = CompressedColumn(column.name, column.ctype)
-    total = len(column)
-    selector.trace_column = column.name
     try:
-        for index, start in enumerate(range(0, max(total, 1), block_size)):
-            chunk = column.slice(start, min(start + block_size, total))
-            selector.trace_block = index
-            data = compress_block(chunk.data, column.ctype, selector=selector)
-            nulls = chunk.nulls.serialize() if chunk.nulls is not None else None
-            compressed.blocks.append(CompressedBlock(len(chunk), data, nulls))
-            if total == 0:
-                break
+        for index, start, stop in iter_block_ranges(len(column), block_size):
+            compressed.blocks.append(
+                compress_column_block(column, index, start, stop, selector)
+            )
     finally:
         selector.trace_column = None
         selector.trace_block = None

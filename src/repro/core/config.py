@@ -42,6 +42,21 @@ class BtrBlocksConfig:
     excluded_schemes: frozenset[int] = field(default_factory=frozenset)
     #: Scheme ids to restrict the pool to (None = all registered schemes).
     allowed_schemes: frozenset[int] | None = None
+    #: Opt-in sticky scheme selection (LEA-style): once a column block has
+    #: picked a top-level scheme, later blocks with similar statistics reuse
+    #: it without sample compression. Off by default — with it enabled,
+    #: compressed bytes may legally differ from a non-sticky run (a cached
+    #: scheme can beat-or-tie differently than full re-selection).
+    sticky_selection: bool = False
+    #: Re-run full selection after this many consecutive cache reuses.
+    sticky_revalidate_every: int = 16
+    #: Stats similarity gate: max absolute difference in unique fraction.
+    sticky_unique_tolerance: float = 0.15
+    #: Stats similarity gate: max relative difference in average run length.
+    sticky_run_tolerance: float = 0.5
+    #: Invalidate the cache when a reused scheme's achieved ratio drops below
+    #: this fraction of the ratio measured when the entry was validated.
+    sticky_drift_ratio: float = 0.7
 
     def sample_size(self) -> int:
         """Total sampled values per block."""

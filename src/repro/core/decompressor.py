@@ -49,23 +49,43 @@ def decompress_block(blob: bytes, ctype: ColumnType, vectorized: bool = True) ->
     return values
 
 
-def decompress_column(
-    compressed: CompressedColumn, vectorized: bool = True
-) -> Column:
-    """Reassemble a full column from its compressed blocks."""
-    ctx = make_context(vectorized)
+#: dtype of an empty reassembled column, per logical type (matches what
+#: ``Column.ints`` / ``Column.doubles`` coerce data to on the way in).
+_EMPTY_DTYPES = {
+    ColumnType.INTEGER: np.int32,
+    ColumnType.DOUBLE: np.float64,
+}
+
+
+def decode_block(
+    block: CompressedBlock, ctype: ColumnType, ctx: DecompressionContext
+) -> Values:
+    """Decode one compressed block's values (the unit of parallel fan-out).
+
+    Records no metrics; per-column totals are accounted once by
+    :func:`assemble_column` so sequential and parallel runs produce
+    identical counters.
+    """
+    return _decompress_node(block.data, ctype, ctx)
+
+
+def assemble_column(compressed: CompressedColumn, parts: list[Values]) -> Column:
+    """Reassemble decoded block values (in block order) into a column.
+
+    Rebases per-block NULL positions to column offsets, concatenates the
+    value parts, and records the column's decompression counters. An empty
+    column keeps its logical dtype (int32 / float64) rather than decaying
+    to NumPy's default float64.
+    """
     registry = get_registry()
-    parts: list[Values] = []
     null_positions: list[np.ndarray] = []
     offset = 0
-    with registry.timer("decompress"):
-        for block in compressed.blocks:
-            parts.append(_decompress_node(block.data, compressed.ctype, ctx))
-            if block.nulls is not None:
-                positions = RoaringBitmap.deserialize(block.nulls).to_array()
-                if positions.size:
-                    null_positions.append(positions.astype(np.int64) + offset)
-            offset += block.count
+    for block in compressed.blocks:
+        if block.nulls is not None:
+            positions = RoaringBitmap.deserialize(block.nulls).to_array()
+            if positions.size:
+                null_positions.append(positions.astype(np.int64) + offset)
+        offset += block.count
     registry.incr("decompress.columns")
     registry.incr("decompress.blocks", len(compressed.blocks))
     registry.incr("decompress.rows", offset)
@@ -76,8 +96,22 @@ def decompress_column(
     if compressed.ctype is ColumnType.STRING:
         data: Values = strutil.concat([p for p in parts if isinstance(p, StringArray)])
     else:
-        data = np.concatenate(parts) if parts else np.empty(0)
+        arrays = [np.asarray(p) for p in parts if len(p)]
+        if arrays:
+            data = np.concatenate(arrays)
+        else:
+            data = np.empty(0, dtype=_EMPTY_DTYPES[compressed.ctype])
     return Column(compressed.name, compressed.ctype, data, nulls)
+
+
+def decompress_column(
+    compressed: CompressedColumn, vectorized: bool = True
+) -> Column:
+    """Reassemble a full column from its compressed blocks."""
+    ctx = make_context(vectorized)
+    with get_registry().timer("decompress"):
+        parts = [decode_block(block, compressed.ctype, ctx) for block in compressed.blocks]
+    return assemble_column(compressed, parts)
 
 
 def decompress_relation(
@@ -89,6 +123,8 @@ def decompress_relation(
 
 
 __all__ = [
+    "assemble_column",
+    "decode_block",
     "decompress_block",
     "decompress_column",
     "decompress_relation",

@@ -10,7 +10,10 @@ This is a from-scratch implementation of the same format:
   of (a) compressing a sample with the current table while counting symbol
   hits and adjacent-symbol pairs, then (b) keeping the 255 highest-gain
   candidates (gain = frequency x length).
-* **Compression** greedily emits the longest matching symbol per position.
+* **Compression** greedily emits the longest matching symbol per position,
+  dispatching on a precomputed first-two-byte candidate index (and, for
+  large buffers, a complete 65536-entry table with pre-encoded emit bytes)
+  instead of scanning all symbols per byte.
 * **Decompression** follows the paper's BtrBlocks integration (Section 5):
   the whole block is decoded as one stream (no per-string API calls) and only
   *uncompressed* string lengths are stored — compressed offsets are not
@@ -40,42 +43,175 @@ MAX_SYMBOLS = 255
 MAX_SYMBOL_LENGTH = 8
 _GENERATIONS = 5
 _SAMPLE_TARGET = 16 * 1024
+#: Buffers at least this large amortise building the complete dispatch LUT.
+_LUT_THRESHOLD = 4096
 
 
 class SymbolTable:
-    """An immutable FSST symbol table: code -> byte string (1..8 bytes)."""
+    """An immutable FSST symbol table: code -> byte string (1..8 bytes).
 
-    __slots__ = ("symbols", "_by_first")
+    Matching priority is longest-first, then lowest code. The matcher keys
+    symbols of length >= 2 by their first *two* bytes so a single dict probe
+    rules out nearly every candidate; 1-byte symbols live in a flat 256-entry
+    code array. A per-call "next possible match" index lets runs of bytes
+    that start no symbol be emitted as escapes in one batch instead of two
+    appends per byte.
+
+    For large buffers :meth:`compress` additionally builds (once, lazily) a
+    complete 65536-entry dispatch table over the two-byte window: every entry
+    ends in a guaranteed-match fallback (1-byte symbol or pre-encoded escape
+    pair), so the hot loop is one list index plus one ``bytes`` append per
+    emitted token, with no bounds checks or dict probes.
+    """
+
+    __slots__ = (
+        "symbols",
+        "_long_by_prefix",
+        "_short_codes",
+        "_starter_lut",
+        "_lut",
+        "_fallbacks",
+    )
 
     def __init__(self, symbols: list[bytes]):
         if len(symbols) > MAX_SYMBOLS:
             raise ValueError("at most 255 symbols")
         self.symbols = symbols
-        by_first: dict[int, list[tuple[bytes, int]]] = {}
+        long_by_prefix: dict[int, list[tuple[int, int, bytes]]] = {}
+        short_codes = [-1] * 256
+        starter = np.zeros(256, dtype=bool)
         for code, sym in enumerate(symbols):
-            by_first.setdefault(sym[0], []).append((sym, code))
-        for entries in by_first.values():
-            entries.sort(key=lambda e: len(e[0]), reverse=True)
-        self._by_first = by_first
+            starter[sym[0]] = True
+            if len(sym) == 1:
+                if short_codes[sym[0]] < 0:
+                    short_codes[sym[0]] = code
+            else:
+                key = (sym[0] << 8) | sym[1]
+                long_by_prefix.setdefault(key, []).append((code, len(sym), sym))
+        for entries in long_by_prefix.values():
+            entries.sort(key=lambda e: (-e[1], e[0]))
+        self._long_by_prefix = long_by_prefix
+        self._short_codes = short_codes
+        self._starter_lut = starter
+        self._lut: list | None = None
+        self._fallbacks: list | None = None
+
+    def _build_lut(self) -> None:
+        """The complete two-byte dispatch table for the large-buffer loop.
+
+        ``lut[(b0 << 8) | b1]`` is a tuple of ``(emit, advance, verify)``
+        entries in match-priority order. ``verify`` is the full symbol to
+        check with ``startswith`` or ``None`` when the two-byte key already
+        proves the match; the final entry always matches (the first byte's
+        1-byte symbol, or its escape pair with the literal pre-encoded).
+        """
+        fallbacks = []
+        lut: list = [None] * 65536
+        for first in range(256):
+            code = self._short_codes[first]
+            fallback = (
+                (bytes([code]), 1, None)
+                if code >= 0
+                else (bytes([ESCAPE, first]), 1, None)
+            )
+            fallbacks.append(fallback)
+            lut[first * 256 : (first + 1) * 256] = [(fallback,)] * 256
+        for key, cands in self._long_by_prefix.items():
+            entries = []
+            for code, length, sym in cands:
+                if length == 2:
+                    # Key equality proves a 2-byte match; later entries
+                    # (same or shorter) can never win, so stop here.
+                    entries.append((bytes([code]), 2, None))
+                    break
+                entries.append((bytes([code]), length, sym))
+            else:
+                entries.append(fallbacks[key >> 8])
+            lut[key] = tuple(entries)
+        self._lut = lut
+        self._fallbacks = fallbacks
+
+    def _next_starter(self, data: bytes) -> "np.ndarray | None":
+        """``next_starter[i]`` = first position >= i whose byte can start a
+        symbol (``len(data)`` past the last). ``None`` when every byte can."""
+        codes = np.frombuffer(data, dtype=np.uint8)
+        starter = self._starter_lut[codes]
+        if starter.all():
+            return None
+        idx = np.where(starter, np.arange(codes.size, dtype=np.int64), codes.size)
+        ns = np.minimum.accumulate(idx[::-1])[::-1]
+        return np.append(ns, codes.size)
 
     def compress(self, data: bytes) -> bytes:
         """Greedy longest-match encoding of a byte string."""
-        out = bytearray()
-        by_first = self._by_first
-        pos = 0
         n = len(data)
+        if n == 0:
+            return b""
+        if not self.symbols:
+            return _escape_all(data)
+        if n >= _LUT_THRESHOLD:
+            return self._compress_lut(data)
+        out = bytearray()
+        long_by_prefix = self._long_by_prefix
+        short_codes = self._short_codes
+        next_starter = self._next_starter(data) if n >= 64 else None
         append = out.append
+        startswith = data.startswith
+        pos = 0
+        last = n - 1
         while pos < n:
             first = data[pos]
-            for sym, code in by_first.get(first, ()):
-                if data.startswith(sym, pos):
-                    append(code)
-                    pos += len(sym)
-                    break
-            else:
+            if pos < last:
+                cands = long_by_prefix.get((first << 8) | data[pos + 1])
+                if cands is not None:
+                    matched = False
+                    for code, length, sym in cands:
+                        # Length-2 candidates already matched via the key.
+                        if length == 2 or startswith(sym, pos):
+                            append(code)
+                            pos += length
+                            matched = True
+                            break
+                    if matched:
+                        continue
+            code = short_codes[first]
+            if code >= 0:
+                append(code)
+                pos += 1
+            elif next_starter is None:
                 append(ESCAPE)
                 append(first)
                 pos += 1
+            else:
+                # This byte escapes, and so does every following byte that
+                # cannot start a symbol: emit the whole run in one batch.
+                stop = int(next_starter[pos + 1])
+                seg = data[pos:stop]
+                esc = bytearray(2 * len(seg))
+                esc[::2] = b"\xff" * len(seg)
+                esc[1::2] = seg
+                out += esc
+                pos = stop
+        return bytes(out)
+
+    def _compress_lut(self, data: bytes) -> bytes:
+        """Large-buffer hot loop over the complete two-byte dispatch table."""
+        if self._lut is None:
+            self._build_lut()
+        lut = self._lut
+        fallbacks = self._fallbacks
+        out = bytearray()
+        startswith = data.startswith
+        pos = 0
+        last = len(data) - 1
+        while pos < last:
+            for emit, advance, verify in lut[(data[pos] << 8) | data[pos + 1]]:
+                if verify is None or startswith(verify, pos):
+                    out += emit
+                    pos += advance
+                    break
+        if pos == last:
+            out += fallbacks[data[pos]][0]
         return bytes(out)
 
     def compress_counting(self, data: bytes) -> tuple[dict[bytes, int], dict[bytes, int]]:
@@ -84,21 +220,31 @@ class SymbolTable:
         Returns ``(symbol_counts, pair_counts)`` where pair keys are the
         concatenated bytes of two adjacent matches (capped at 8 bytes).
         """
+        if not self.symbols:
+            return _count_literals(data)
         singles: dict[bytes, int] = {}
         pairs: dict[bytes, int] = {}
-        by_first = self._by_first
+        long_by_prefix = self._long_by_prefix
+        short_codes = self._short_codes
+        symbols = self.symbols
+        startswith = data.startswith
         pos = 0
         n = len(data)
+        last = n - 1
         prev: bytes | None = None
         while pos < n:
             first = data[pos]
             match = None
-            for sym, _code in by_first.get(first, ()):
-                if data.startswith(sym, pos):
-                    match = sym
-                    break
+            if pos < last:
+                cands = long_by_prefix.get((first << 8) | data[pos + 1])
+                if cands is not None:
+                    for _code, length, sym in cands:
+                        if length == 2 or startswith(sym, pos):
+                            match = sym
+                            break
             if match is None:
-                match = data[pos : pos + 1]
+                code = short_codes[first]
+                match = symbols[code] if code >= 0 else data[pos : pos + 1]
             singles[match] = singles.get(match, 0) + 1
             if prev is not None and len(prev) + len(match) <= MAX_SYMBOL_LENGTH:
                 joined = prev + match
@@ -106,6 +252,41 @@ class SymbolTable:
             prev = match
             pos += len(match)
         return singles, pairs
+
+
+def _escape_all(data: bytes) -> bytes:
+    """Escape every byte (the empty-table case) without a Python loop."""
+    out = bytearray(2 * len(data))
+    out[::2] = b"\xff" * len(data)
+    out[1::2] = data
+    return bytes(out)
+
+
+def _count_literals(data: bytes) -> tuple[dict[bytes, int], dict[bytes, int]]:
+    """``compress_counting`` against an empty table, vectorised.
+
+    Every position matches as a 1-byte literal, so singles are per-byte
+    histograms and pairs are adjacent 2-byte histograms. Dict insertion
+    order replicates the scan order (first occurrence first) because
+    training's gain sort is stable and ties break on that order.
+    """
+    singles: dict[bytes, int] = {}
+    pairs: dict[bytes, int] = {}
+    codes = np.frombuffer(data, dtype=np.uint8)
+    if codes.size == 0:
+        return singles, pairs
+    values, first_seen, counts = np.unique(codes, return_index=True, return_counts=True)
+    for i in np.argsort(first_seen, kind="stable"):
+        singles[bytes([values[i]])] = int(counts[i])
+    if codes.size > 1:
+        pair_keys = (codes[:-1].astype(np.int32) << 8) | codes[1:]
+        values2, first_seen2, counts2 = np.unique(
+            pair_keys, return_index=True, return_counts=True
+        )
+        for i in np.argsort(first_seen2, kind="stable"):
+            key = int(values2[i])
+            pairs[bytes([key >> 8, key & 0xFF])] = int(counts2[i])
+    return singles, pairs
 
 
 def _take_sample(buffer: bytes, target: int = _SAMPLE_TARGET) -> bytes:

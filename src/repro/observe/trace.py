@@ -39,6 +39,9 @@ class SelectionDecision:
     compressed_bytes: int | None = None  #: framed output size, set by the compressor
     achieved_ratio: float | None = None  #: input_bytes / compressed_bytes
     selection_seconds: float = 0.0
+    #: True when the scheme came from the sticky selection cache (no sample
+    #: compression ran for this block).
+    cached: bool = False
 
     def finish(self, compressed_bytes: int) -> None:
         """Record the real outcome once the block has been encoded."""
@@ -62,6 +65,7 @@ class SelectionDecision:
             "compressed_bytes": self.compressed_bytes,
             "achieved_ratio": self.achieved_ratio,
             "selection_seconds": self.selection_seconds,
+            "cached": self.cached,
         }
 
 

@@ -3,27 +3,51 @@
 The paper parallelises compression and decompression over blocks and columns
 with TBB (Section 6, "Test setup"); blocks are independent by design, which
 is one of the stated reasons for block-based compression (Section 2.2).
-This module provides the same structure with a thread pool: columns fan out
-to workers, each worker processes its column's blocks with a private
-selector. NumPy kernels release the GIL for large operations, so parallel
-decompression sees real speedups despite running under CPython.
+This module fans ``(column, block)`` tasks out to one shared thread pool, so
+a relation with a single wide column scales with workers just like a wide
+relation does. NumPy kernels release the GIL for large operations, so both
+directions see real speedups despite running under CPython.
 
-Results are bit-identical to the sequential API (given equal seeds): the
-same functions run, only scheduled concurrently.
+Results are bit-identical to the sequential API (given equal seeds): each
+block task positions its selector with
+:meth:`~repro.core.selector.SchemeSelector.begin_block`, which makes a
+block's bytes a pure function of ``(column, block index, config, seed)`` —
+never of scheduling order. Degenerate workloads (one task, or
+``max_workers=1``) skip the pool entirely and run inline.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Sequence, TypeVar
 
 from repro.core.blocks import CompressedColumn, CompressedRelation
-from repro.core.compressor import compress_column
+from repro.core.compressor import compress_column_block, iter_block_ranges
 from repro.core.config import BtrBlocksConfig
-from repro.core.decompressor import decompress_column
+from repro.core.decompressor import assemble_column, decode_block, make_context
 from repro.core.relation import Relation
-from repro.core.selector import SchemeSelector
+from repro.core.selector import SchemeSelector, SelectionCache
 from repro.observe import get_registry
-from repro.types import Column
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def _run_tasks(
+    fn: Callable[[T], R], tasks: Sequence[T], max_workers: int | None
+) -> list[R]:
+    """Run tasks through one shared pool, preserving submission order.
+
+    Degenerates to an inline loop when a pool cannot help: a single task, or
+    an explicit ``max_workers=1``. The inline path runs the exact same task
+    function, so metrics and output bytes are identical either way; inline
+    runs are counted under ``parallel.inline_runs``.
+    """
+    if max_workers == 1 or len(tasks) <= 1:
+        get_registry().incr("parallel.inline_runs")
+        return [fn(task) for task in tasks]
+    with ThreadPoolExecutor(max_workers=max_workers) as pool:
+        return list(pool.map(fn, tasks))
 
 
 def compress_relation_parallel(
@@ -31,21 +55,39 @@ def compress_relation_parallel(
     config: BtrBlocksConfig | None = None,
     max_workers: int | None = None,
 ) -> CompressedRelation:
-    """Compress all columns of a relation concurrently.
+    """Compress all blocks of all columns concurrently.
 
-    Each column gets its own :class:`SchemeSelector` (seeded identically to
-    the sequential path) so scheme choices are deterministic and workers
-    share no mutable state.
+    Every ``(column, block)`` task builds a fresh, identically-seeded
+    :class:`SchemeSelector`, so scheme choices are deterministic and workers
+    share no mutable state. With sticky selection enabled, the tasks of one
+    column share that column's :class:`SelectionCache` (the only — and
+    thread-safe — shared state).
     """
+    config = config or BtrBlocksConfig()
+    caches: list[SelectionCache | None] = [
+        SelectionCache(config) if config.sticky_selection else None
+        for _ in relation.columns
+    ]
+    tasks: list[tuple[int, int, int, int]] = []
+    for col_idx, column in enumerate(relation.columns):
+        for index, start, stop in iter_block_ranges(len(column), config.block_size):
+            tasks.append((col_idx, index, start, stop))
 
-    def worker(column: Column) -> CompressedColumn:
-        return compress_column(column, selector=SchemeSelector(config))
+    def worker(task: tuple[int, int, int, int]):
+        col_idx, index, start, stop = task
+        selector = SchemeSelector(config, cache=caches[col_idx])
+        return compress_column_block(
+            relation.columns[col_idx], index, start, stop, selector
+        )
 
     registry = get_registry()
     registry.incr("parallel.compress_runs")
     with registry.timer("compress.parallel"):
-        with ThreadPoolExecutor(max_workers=max_workers) as pool:
-            columns = list(pool.map(worker, relation.columns))
+        blocks = _run_tasks(worker, tasks, max_workers)
+    columns = [CompressedColumn(c.name, c.ctype) for c in relation.columns]
+    for (col_idx, _, _, _), block in zip(tasks, blocks):
+        columns[col_idx].blocks.append(block)
+    registry.incr("compress.columns", len(relation.columns))
     return CompressedRelation(relation.name, columns)
 
 
@@ -54,14 +96,32 @@ def decompress_relation_parallel(
     vectorized: bool = True,
     max_workers: int | None = None,
 ) -> Relation:
-    """Decompress all columns of a relation concurrently."""
+    """Decompress all blocks of all columns concurrently.
 
-    def worker(column: CompressedColumn) -> Column:
-        return decompress_column(column, vectorized=vectorized)
+    The decompression context is stateless, so one instance is shared by
+    every task; decoded parts are regrouped per column in block order and
+    reassembled with :func:`assemble_column`.
+    """
+    ctx = make_context(vectorized)
+    tasks: list[tuple[int, int]] = []
+    for col_idx, column in enumerate(compressed.columns):
+        for block_idx in range(len(column.blocks)):
+            tasks.append((col_idx, block_idx))
+
+    def worker(task: tuple[int, int]):
+        col_idx, block_idx = task
+        column = compressed.columns[col_idx]
+        return decode_block(column.blocks[block_idx], column.ctype, ctx)
 
     registry = get_registry()
     registry.incr("parallel.decompress_runs")
     with registry.timer("decompress.parallel"):
-        with ThreadPoolExecutor(max_workers=max_workers) as pool:
-            columns = list(pool.map(worker, compressed.columns))
+        parts = _run_tasks(worker, tasks, max_workers)
+    grouped: list[list] = [[] for _ in compressed.columns]
+    for (col_idx, _), values in zip(tasks, parts):
+        grouped[col_idx].append(values)
+    columns = [
+        assemble_column(column, parts)
+        for column, parts in zip(compressed.columns, grouped)
+    ]
     return Relation(compressed.name, columns)

@@ -1,0 +1,99 @@
+"""Tests for the performance-regression harness (``repro bench``)."""
+
+import json
+
+import pytest
+
+from repro.bench import SCHEME_WORKLOADS, compare, load_report, run_bench, write_report
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_bench(rows=256, workers=(1, 2), repeats=1)
+
+
+class TestRunBench:
+    def test_report_sections(self, report):
+        assert set(report) == {"meta", "schemes", "parallel", "selection"}
+        assert report["meta"]["rows"] == 256
+        assert report["meta"]["workers"] == [1, 2]
+
+    def test_every_workload_measured(self, report):
+        assert set(report["schemes"]) == set(SCHEME_WORKLOADS)
+        for name, entry in report["schemes"].items():
+            assert entry["compress_mb_s"] > 0, name
+            assert entry["decompress_mb_s"] > 0, name
+            assert entry["ratio"] > 0, name
+            assert entry["schemes_used"], name
+
+    def test_parallel_section(self, report):
+        parallel = report["parallel"]
+        assert set(parallel["compress_seconds"]) == {"1", "2"}
+        assert parallel["compress_speedup"]["1"] == 1.0
+        assert parallel["cpu_count"] >= 1
+
+    def test_selection_section(self, report):
+        selection = report["selection"]
+        assert set(selection) == {"full", "sticky"}
+        for entry in selection.values():
+            assert entry["selection_seconds"] <= entry["compress_seconds"]
+            assert 0 <= entry["selection_overhead_pct"] <= 100
+        assert selection["full"]["sticky_hits"] == 0
+        assert selection["sticky"]["sticky_misses"] >= 1
+
+
+class TestCompare:
+    BASE = {
+        "schemes": {"rle": {"compress_mb_s": 100.0, "decompress_mb_s": 500.0}},
+        "parallel": {"compress_mb_s": {"1": 50.0}},
+    }
+
+    def test_flags_regression_beyond_threshold(self):
+        current = {"schemes": {"rle": {"compress_mb_s": 60.0, "decompress_mb_s": 490.0}}}
+        regressions = compare(current, self.BASE, threshold=0.30)
+        assert len(regressions) == 1
+        assert "schemes.rle.compress_mb_s" in regressions[0]
+
+    def test_tolerates_drop_within_threshold(self):
+        current = {"schemes": {"rle": {"compress_mb_s": 75.0, "decompress_mb_s": 500.0}}}
+        assert compare(current, self.BASE, threshold=0.30) == []
+
+    def test_ignores_metrics_missing_from_baseline(self):
+        current = {"schemes": {"new": {"compress_mb_s": 0.001}}}
+        assert compare(current, self.BASE) == []
+
+    def test_never_gates_parallel_section(self):
+        current = {"parallel": {"compress_mb_s": {"1": 1.0}}}
+        assert compare(current, self.BASE) == []
+
+    def test_non_throughput_fields_ignored(self):
+        base = {"schemes": {"rle": {"ratio": 50.0, "input_mb": 2.0}}}
+        current = {"schemes": {"rle": {"ratio": 1.0, "input_mb": 0.1}}}
+        assert compare(current, base) == []
+
+
+class TestBenchCli:
+    def test_writes_report_and_compares_clean(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_test.json"
+        assert main(["bench", "--rows", "256", "--workers", "1", "--repeats", "1",
+                     "--output", str(out)]) == 0
+        report = json.loads(out.read_text())
+        assert set(report["schemes"]) == set(SCHEME_WORKLOADS)
+        # Comparing a report against itself can never regress.
+        assert main(["bench", "--rows", "256", "--workers", "1", "--repeats", "1",
+                     "--output", str(tmp_path / "b2.json"), "--compare", str(out),
+                     "--threshold", "0.99"]) == 0
+
+    def test_exit_code_on_regression(self, tmp_path, capsys):
+        report = run_bench(rows=256, workers=(1,), repeats=1)
+        doctored = json.loads(json.dumps(report))
+        for entry in doctored["schemes"].values():
+            entry["compress_mb_s"] *= 1e6  # impossible baseline
+        baseline = tmp_path / "baseline.json"
+        write_report(doctored, str(baseline))
+        assert load_report(str(baseline))["schemes"]
+        out = tmp_path / "current.json"
+        assert main(["bench", "--rows", "256", "--workers", "1", "--repeats", "1",
+                     "--output", str(out), "--compare", str(baseline)]) == 1
+        assert "regression" in capsys.readouterr().out

@@ -133,3 +133,40 @@ class TestConfigEdgeCases:
         values = rng.integers(0, 5, 5000).astype(np.int32)
         blob = compress_block(values, ColumnType.INTEGER, config)
         assert np.array_equal(decompress_block(blob, ColumnType.INTEGER), values)
+
+
+class TestEmptyColumns:
+    """Empty columns must round-trip with their logical dtype intact."""
+
+    @pytest.mark.parametrize(
+        "column, dtype",
+        [
+            (Column.ints("e", np.array([], dtype=np.int64)), np.int32),
+            (Column.doubles("e", np.array([], dtype=np.float64)), np.float64),
+        ],
+    )
+    def test_empty_numeric_round_trip_preserves_dtype(self, column, dtype):
+        back = decompress_column(compress_column(column))
+        assert len(back) == 0
+        assert back.ctype is column.ctype
+        assert np.asarray(back.data).dtype == dtype
+
+    def test_empty_string_round_trip(self):
+        column = Column.strings("e", [])
+        back = decompress_column(compress_column(column))
+        assert len(back) == 0
+        assert isinstance(back.data, StringArray)
+
+    @pytest.mark.parametrize(
+        "ctype, dtype",
+        [(ColumnType.INTEGER, np.int32), (ColumnType.DOUBLE, np.float64)],
+    )
+    def test_zero_block_column_assembles_with_dtype(self, ctype, dtype):
+        # A CompressedColumn with no blocks at all (e.g. fully pruned) must
+        # not decay to NumPy's default float64.
+        from repro.core.blocks import CompressedColumn
+        from repro.core.decompressor import assemble_column
+
+        back = assemble_column(CompressedColumn("e", ctype), [])
+        assert len(back) == 0
+        assert np.asarray(back.data).dtype == dtype

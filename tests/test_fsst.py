@@ -150,3 +150,58 @@ def test_property_stream_decoders_agree(data):
     vectorized = decode_stream_vectorized(stream, symbols).tobytes()
     assert scalar == data
     assert vectorized == data
+
+
+class TestMatcherEquivalence:
+    """The indexed and LUT matchers must equal a straightforward greedy scan.
+
+    ``SymbolTable.compress`` dispatches between a candidate-index loop and a
+    full two-byte LUT (above ``_LUT_THRESHOLD``); both are rewrites of the
+    original per-byte matcher, whose semantics — longest match first, lowest
+    code on ties, escape otherwise — this reference re-implements directly.
+    """
+
+    @staticmethod
+    def _reference_compress(table: SymbolTable, data: bytes) -> bytes:
+        out = bytearray()
+        pos = 0
+        while pos < len(data):
+            best_code, best_len = None, 0
+            for code, sym in enumerate(table.symbols):
+                if len(sym) > best_len and data.startswith(sym, pos):
+                    best_code, best_len = code, len(sym)
+            if best_code is None:
+                out += bytes([ESCAPE, data[pos]])
+                pos += 1
+            else:
+                out.append(best_code)
+                pos += best_len
+        return bytes(out)
+
+    def test_matches_reference_across_lut_threshold(self, rng):
+        from repro.encodings.fsst import _LUT_THRESHOLD
+
+        words = [b"http", b"://", b"www.", b".com", b"/id/", b"abc", b"q=1", b"\xff\xff"]
+        corpus = b"".join(words[i] for i in rng.integers(0, len(words), 2400))
+        corpus += bytes(rng.integers(0, 256, 800, dtype=np.uint8))  # escape runs
+        table = train_symbol_table(corpus)
+        assert table.symbols, "training should learn symbols from this corpus"
+        for size in (0, 1, 2, 63, 300, _LUT_THRESHOLD - 1, _LUT_THRESHOLD + 512):
+            data = corpus[:size]
+            assert table.compress(data) == self._reference_compress(table, data), size
+
+    def test_counting_preserves_first_occurrence_order(self, rng):
+        # Training's gain sort is stable and ties break on dict insertion
+        # order, so the vectorised empty-table counter must list singles and
+        # pairs in first-occurrence scan order, exactly like a naive loop.
+        data = bytes(rng.integers(0, 64, 1000, dtype=np.uint8))
+        singles, pairs = SymbolTable([]).compress_counting(data)
+        naive_singles, naive_pairs = {}, {}
+        for i in range(len(data)):
+            s = data[i : i + 1]
+            naive_singles[s] = naive_singles.get(s, 0) + 1
+            if i:
+                p = data[i - 1 : i + 1]
+                naive_pairs[p] = naive_pairs.get(p, 0) + 1
+        assert list(singles.items()) == list(naive_singles.items())
+        assert list(pairs.items()) == list(naive_pairs.items())

@@ -1,5 +1,8 @@
 """Tests for thread-parallel compression/decompression."""
 
+import os
+import time
+
 import numpy as np
 import pytest
 
@@ -100,3 +103,82 @@ def test_single_worker_degenerates_to_sequential(relation):
     back = decompress_relation(compressed)
     for a, b in zip(relation.columns, back.columns):
         assert columns_equal(a, b)
+
+
+@pytest.fixture
+def wide_relation(rng):
+    """One 40,000-row column: block-level fan-out is the only parallelism."""
+    return Relation("wide", [Column.ints("a", np.repeat(rng.integers(0, 1000, 2000), 20))])
+
+
+@pytest.mark.parametrize("workers", [1, 2, 8])
+def test_single_wide_column_bit_identity(wide_relation, workers, small_config):
+    """(column, block) tasks: one wide column still matches sequential bytes."""
+    sequential = compress_relation(wide_relation, small_config)
+    parallel = compress_relation_parallel(wide_relation, small_config, max_workers=workers)
+    assert len(parallel.columns[0].blocks) == 40
+    assert [b.data for b in sequential.columns[0].blocks] == [
+        b.data for b in parallel.columns[0].blocks
+    ]
+
+
+def test_inline_path_skips_pool_and_accumulates_metrics(relation):
+    """``max_workers=1`` runs inline but records the same deterministic totals."""
+    seq_reg = MetricsRegistry()
+    with use_registry(seq_reg):
+        compressed = compress_relation(relation)
+        decompress_relation(compressed)
+
+    inline_reg = MetricsRegistry()
+    with use_registry(inline_reg):
+        compressed = compress_relation_parallel(relation, max_workers=1)
+        decompress_relation_parallel(compressed, max_workers=1)
+
+    seq, inline = seq_reg.snapshot()["counters"], inline_reg.snapshot()["counters"]
+    assert inline.get("parallel.inline_runs") == 2  # one compress + one decompress
+    for name in [
+        "compress.blocks", "compress.rows", "compress.input_bytes",
+        "compress.output_bytes", "compress.columns", "selector.picks",
+        "decompress.columns", "decompress.blocks", "decompress.rows",
+        "decompress.input_bytes",
+    ]:
+        assert inline.get(name) == seq.get(name), name
+
+
+def test_single_block_relation_runs_inline(rng):
+    """A one-task workload never pays for a pool, whatever max_workers says."""
+    relation = Relation("tiny", [Column.ints("a", rng.integers(0, 100, 500))])
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        compressed = compress_relation_parallel(relation, max_workers=8)
+        decompress_relation_parallel(compressed, max_workers=8)
+    counters = registry.snapshot()["counters"]
+    assert counters.get("parallel.inline_runs") == 2
+
+
+def test_empty_relation_parallel():
+    compressed = compress_relation_parallel(Relation("empty", []))
+    back = decompress_relation_parallel(compressed)
+    assert back.columns == []
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4, reason="parallel speedup needs >= 4 cores"
+)
+def test_four_workers_speed_up_wide_column_compression(rng):
+    """Acceptance: 1M-row single-column compression >= 1.5x at 4 workers."""
+    n = 1_000_000
+    relation = Relation(
+        "wide", [Column.ints("a", np.repeat(rng.integers(0, 1000, n // 20), 20))]
+    )
+
+    def best(workers: int) -> float:
+        result = float("inf")
+        for _ in range(3):
+            started = time.perf_counter()
+            compress_relation_parallel(relation, max_workers=workers)
+            result = min(result, time.perf_counter() - started)
+        return result
+
+    t1, t4 = best(1), best(4)
+    assert t1 / t4 >= 1.5, f"speedup {t1 / t4:.2f}x below 1.5x ({t1:.3f}s -> {t4:.3f}s)"

@@ -1,0 +1,146 @@
+"""Sticky cross-block scheme selection (``BtrBlocksConfig.sticky_selection``)."""
+
+import numpy as np
+import pytest
+
+from repro.core.compressor import compress_relation
+from repro.core.config import BtrBlocksConfig
+from repro.core.decompressor import decompress_relation
+from repro.core.selector import SelectionCache
+from repro.core.relation import Relation
+from repro.core.stats import compute_stats
+from repro.encodings.base import get_scheme
+from repro.encodings.base import SchemeId
+from repro.observe import (
+    MetricsRegistry,
+    SelectionDecision,
+    SelectionTrace,
+    use_registry,
+    use_trace,
+)
+from repro.parallel import compress_relation_parallel
+from repro.types import Column, ColumnType, columns_equal
+
+
+def sticky_config(**overrides) -> BtrBlocksConfig:
+    return BtrBlocksConfig(block_size=1000, sticky_selection=True, **overrides)
+
+
+@pytest.fixture
+def runs_relation(rng):
+    """10 similar blocks of run-heavy integers (ideal sticky workload)."""
+    return Relation("t", [Column.ints("a", np.repeat(rng.integers(0, 50, 500), 20))])
+
+
+class TestStickyCompression:
+    def test_hits_recorded_and_round_trip_exact(self, runs_relation):
+        registry, trace = MetricsRegistry(), SelectionTrace()
+        with use_registry(registry), use_trace(trace):
+            compressed = compress_relation(runs_relation, sticky_config())
+        counters = registry.snapshot()["counters"]
+        blocks = len(compressed.columns[0].blocks)
+        assert blocks == 10
+        assert counters.get("selector.sticky.hits", 0) == blocks - 1
+        assert counters.get("selector.sticky.misses", 0) == 1
+        cached = [d for d in trace.decisions() if d.cached]
+        assert len(cached) == blocks - 1
+        assert all(d.top_level for d in cached)
+        back = decompress_relation(compressed)
+        assert columns_equal(runs_relation.columns[0], back.columns[0])
+
+    def test_revalidates_every_n_reuses(self, runs_relation):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            compress_relation(runs_relation, sticky_config(sticky_revalidate_every=3))
+        counters = registry.snapshot()["counters"]
+        # 10 blocks: full selection on block 0, then hit/hit/hit-revalidate
+        # cycles; every re-validation is also counted as a miss.
+        assert counters.get("selector.sticky.revalidations", 0) == 2
+        assert counters.get("selector.sticky.misses", 0) == 3
+        assert counters.get("selector.sticky.hits", 0) == 7
+
+    def test_stat_drift_misses_instead_of_reusing(self, rng):
+        # First half: long runs (RLE territory); second half: high-entropy
+        # values whose stats are far outside the similarity tolerances.
+        runs = np.repeat(rng.integers(0, 50, 250), 20)
+        noise = rng.integers(0, 2**30, 5000)
+        relation = Relation("t", [Column.ints("a", np.concatenate([runs, noise]))])
+        registry, trace = MetricsRegistry(), SelectionTrace()
+        with use_registry(registry), use_trace(trace):
+            compressed = compress_relation(relation, sticky_config())
+        counters = registry.snapshot()["counters"]
+        assert counters.get("selector.sticky.misses", 0) >= 2
+        back = decompress_relation(compressed)
+        assert columns_equal(relation.columns[0], back.columns[0])
+
+    def test_one_value_never_reused_for_nonconstant_blocks(self, rng):
+        # Block 0 is constant (picks one_value, which is lossy on anything
+        # else); later blocks have two distinct values. A sticky hit there
+        # would silently corrupt data, so lookup must re-check viability.
+        constant = np.full(1000, 7)
+        varied = rng.integers(0, 2, 9000) * 1000 + 7
+        relation = Relation("t", [Column.ints("a", np.concatenate([constant, varied]))])
+        compressed = compress_relation(relation, sticky_config())
+        back = decompress_relation(compressed)
+        assert columns_equal(relation.columns[0], back.columns[0])
+
+    def test_sticky_parallel_round_trip(self, runs_relation):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            compressed = compress_relation_parallel(
+                runs_relation, sticky_config(), max_workers=4
+            )
+        counters = registry.snapshot()["counters"]
+        total = counters.get("selector.sticky.hits", 0) + counters.get(
+            "selector.sticky.misses", 0
+        )
+        assert total == len(compressed.columns[0].blocks)
+        back = decompress_relation(compressed)
+        assert columns_equal(runs_relation.columns[0], back.columns[0])
+
+
+class TestSelectionCache:
+    def _stats(self, rng):
+        return compute_stats(np.repeat(rng.integers(0, 50, 50), 20), ColumnType.INTEGER)
+
+    def test_invalidates_on_achieved_ratio_drift(self, rng):
+        config = sticky_config()
+        cache = SelectionCache(config)
+        stats = self._stats(rng)
+        rle = get_scheme(SchemeId.RLE_INT)
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            cache.store(ColumnType.INTEGER, stats, rle, estimated_ratio=10.0)
+            baseline = SelectionDecision(
+                column="a", block=0, ctype="integer", depth=3,
+                value_count=1000, input_bytes=8000, sample_count=640,
+            )
+            baseline.finish(800)  # achieved 10x: becomes the drift baseline
+            cache.observe(baseline)
+            assert cache.lookup(ColumnType.INTEGER, stats) is not None
+
+            drifted = SelectionDecision(
+                column="a", block=5, ctype="integer", depth=3,
+                value_count=1000, input_bytes=8000, sample_count=0, cached=True,
+            )
+            drifted.finish(4000)  # achieved 2x < 0.7 * 10x: entry must go
+            cache.observe(drifted)
+            assert cache.lookup(ColumnType.INTEGER, stats) is None
+        counters = registry.snapshot()["counters"]
+        assert counters.get("selector.sticky.invalidations", 0) == 1
+
+    def test_lookup_miss_without_entry(self, rng):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            cache = SelectionCache(sticky_config())
+            assert cache.lookup(ColumnType.INTEGER, self._stats(rng)) is None
+        assert registry.snapshot()["counters"].get("selector.sticky.misses") == 1
+
+
+def test_sticky_off_by_default(runs_relation):
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        compress_relation(runs_relation)
+    counters = registry.snapshot()["counters"]
+    assert "selector.sticky.hits" not in counters
+    assert "selector.sticky.misses" not in counters
