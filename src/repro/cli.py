@@ -4,9 +4,11 @@ Usage (also via ``python -m repro``)::
 
     python -m repro compress  data.csv  out.btr   [--block-size N] [--depth N]
                                                   [--trace report.json]
-    python -m repro decompress out.btr  back.csv
+    python -m repro decompress out.btr  back.csv  [--on-corrupt MODE]
     python -m repro inspect   out.btr
     python -m repro stats     data.csv  [--decisions] [--output report.json]
+    python -m repro scan      out.btr   [--columns a,b] [--fault-transient P]
+                              [--fault-truncate P] [--fault-corrupt P] ...
     python -m repro bench     [--rows N] [--workers 1,2,4] [--output BENCH.json]
                               [--compare BASELINE.json] [--threshold 0.30]
 
@@ -15,7 +17,10 @@ the single-buffer BtrBlocks serialization; ``--trace`` additionally dumps
 the observability report (per-column schemes, estimated vs. achieved
 ratios, phase timings) as JSON. ``inspect`` prints the per-column scheme
 histogram, sizes and ratios without decompressing any data. ``stats``
-compresses in memory purely to produce that JSON report.
+compresses in memory purely to produce that JSON report. ``scan`` replays
+a column scan of the table through the simulated object store — optionally
+with an injected fault profile — and reports requests, retries, backoff,
+integrity events and simulated cost (see docs/RELIABILITY.md).
 """
 
 from __future__ import annotations
@@ -26,7 +31,7 @@ from pathlib import Path
 
 from repro.core.compressor import compress_relation
 from repro.core.config import BtrBlocksConfig
-from repro.core.decompressor import decompress_relation
+from repro.core.decompressor import ON_CORRUPT_MODES, decompress_relation
 from repro.core.file_format import relation_from_bytes, relation_to_bytes
 from repro.datagen.csvio import csv_to_relation, relation_to_csv
 from repro.observe import (
@@ -77,11 +82,72 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 
 def _cmd_decompress(args: argparse.Namespace) -> int:
+    registry = MetricsRegistry()
     compressed = relation_from_bytes(Path(args.input).read_bytes())
-    relation = decompress_relation(compressed)
+    with use_registry(registry):
+        relation = decompress_relation(compressed, on_corrupt=args.on_corrupt)
     Path(args.output).write_text(relation_to_csv(relation), encoding="utf-8")
     print(f"{args.input}: restored {relation.row_count} rows, "
           f"{len(relation.columns)} columns -> {args.output}")
+    corrupt = int(registry.get("decompress.corrupt_blocks"))
+    if corrupt:
+        print(f"WARNING: {corrupt} corrupt block(s) degraded via "
+              f"on_corrupt={args.on_corrupt!r} "
+              f"({int(registry.get('decompress.corrupt_rows'))} rows affected)")
+    return 0
+
+
+def _cmd_scan(args: argparse.Namespace) -> int:
+    """Replay a (optionally fault-injected) cloud column scan of a table."""
+    from repro.cloud import FaultProfile, RemoteTable, SimulatedObjectStore
+    from repro.cloud.scan import upload_btrblocks
+
+    compressed = relation_from_bytes(Path(args.input).read_bytes())
+    profile = None
+    rates = {
+        "transient_error_rate": args.fault_transient,
+        "timeout_rate": args.fault_timeout,
+        "throttle_rate": args.fault_throttle,
+        "truncate_rate": args.fault_truncate,
+        "corrupt_rate": args.fault_corrupt,
+    }
+    if any(rate > 0 for rate in rates.values()):
+        profile = FaultProfile(seed=args.seed, **rates)
+    store = SimulatedObjectStore(faults=profile)
+    upload_btrblocks(store, compressed)
+    registry, trace = MetricsRegistry(), SelectionTrace()
+    with use_registry(registry), use_trace(trace):
+        table = RemoteTable.open(store, compressed.name, on_corrupt=args.on_corrupt)
+        names = ([c.strip() for c in args.columns.split(",") if c.strip()]
+                 if args.columns else None)
+        result = table.scan(columns=names)
+    pricing = store.pricing
+    seconds = store.simulated_transfer_seconds()
+    cost = pricing.request_cost(store.stats.get_requests) + pricing.compute_cost(seconds)
+    print(f"{args.input}: scanned {result.row_count} rows x "
+          f"{len(result.columns)} columns from simulated S3")
+    print(f"  requests {store.stats.get_requests}, "
+          f"bytes {store.stats.bytes_downloaded:,}, "
+          f"retries {store.stats.retries}, "
+          f"backoff {store.stats.backoff_seconds:.3f}s")
+    faults = {name.split(".")[-1]: int(registry.get(name)) for name in
+              ("cloud.faults.transient", "cloud.faults.timeout",
+               "cloud.faults.throttle", "cloud.faults.truncated",
+               "cloud.faults.corrupt") if registry.get(name)}
+    if faults:
+        print("  faults injected: " +
+              ", ".join(f"{kind}={count}" for kind, count in faults.items()))
+    refetches = int(registry.get("cloud.table.integrity_refetches"))
+    corrupt = int(registry.get("decompress.corrupt_blocks"))
+    if refetches or corrupt:
+        print(f"  integrity: {refetches} damaged download(s) refetched, "
+              f"{corrupt} block(s) degraded via on_corrupt={args.on_corrupt!r}")
+    print(f"  simulated transfer {seconds:.4f}s, cost ${cost:.6f}")
+    if args.output:
+        Path(args.output).write_text(
+            report_json(registry, trace), encoding="utf-8"
+        )
+        print(f"observability report -> {args.output}")
     return 0
 
 
@@ -122,8 +188,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 def _cmd_inspect(args: argparse.Namespace) -> int:
     compressed = relation_from_bytes(Path(args.input).read_bytes())
+    blocks = [b for c in compressed.columns for b in c.blocks]
+    checksummed = sum(1 for b in blocks if b.checksum is not None)
     print(f"table {compressed.name!r}: {len(compressed.columns)} columns, "
-          f"{compressed.nbytes:,} compressed bytes")
+          f"{compressed.nbytes:,} compressed bytes, "
+          f"{checksummed}/{len(blocks)} blocks CRC32-checksummed")
     header = f"{'column':24s} {'type':8s} {'rows':>9s} {'bytes':>10s} {'blocks':>6s}  schemes"
     print(header)
     print("-" * len(header))
@@ -163,7 +232,33 @@ def build_parser() -> argparse.ArgumentParser:
     decompress = sub.add_parser("decompress", help="decompress a .btr file to CSV")
     decompress.add_argument("input")
     decompress.add_argument("output")
+    decompress.add_argument("--on-corrupt", choices=ON_CORRUPT_MODES, default="raise",
+                            help="policy for checksum-damaged blocks (default raise)")
     decompress.set_defaults(func=_cmd_decompress)
+
+    scan = sub.add_parser(
+        "scan", help="replay a (fault-injectable) cloud column scan of a .btr table"
+    )
+    scan.add_argument("input")
+    scan.add_argument("--columns", metavar="NAMES",
+                      help="comma-separated column names (default: all)")
+    scan.add_argument("--fault-transient", type=float, default=0.0, metavar="P",
+                      help="probability of an injected transient error per GET")
+    scan.add_argument("--fault-timeout", type=float, default=0.0, metavar="P",
+                      help="probability of an injected client timeout per GET")
+    scan.add_argument("--fault-throttle", type=float, default=0.0, metavar="P",
+                      help="probability of an injected throttle (SlowDown) per GET")
+    scan.add_argument("--fault-truncate", type=float, default=0.0, metavar="P",
+                      help="probability a range GET's payload is cut short")
+    scan.add_argument("--fault-corrupt", type=float, default=0.0, metavar="P",
+                      help="probability a served payload has a bit flipped")
+    scan.add_argument("--seed", type=int, default=0,
+                      help="fault-injection RNG seed (default 0)")
+    scan.add_argument("--on-corrupt", choices=ON_CORRUPT_MODES, default="raise",
+                      help="policy for checksum-damaged blocks (default raise)")
+    scan.add_argument("--output", "-o", metavar="PATH",
+                      help="write the observability JSON report to PATH")
+    scan.set_defaults(func=_cmd_scan)
 
     inspect = sub.add_parser("inspect", help="show per-column schemes and sizes")
     inspect.add_argument("input")

@@ -6,17 +6,28 @@ package simulates them: the object store accounts GET requests and bytes,
 and the cost model combines the paper's published price constants with
 decompression throughput measured on this machine, scaled by a documented
 calibration factor (see :mod:`repro.cloud.pricing`).
+
+Real object stores also fail: :mod:`repro.cloud.faults` injects seeded
+transient errors, timeouts, throttling, truncated ranges and bit flips, and
+:mod:`repro.cloud.retry` wraps every GET in exponential backoff + jitter on
+a simulated clock, with retry time flowing into the cost model
+(``docs/RELIABILITY.md``).
 """
 
 from repro.cloud.costmodel import ScanCostModel, ScanMetrics
+from repro.cloud.faults import FaultProfile
 from repro.cloud.objectstore import SimulatedObjectStore
 from repro.cloud.pricing import PricingModel
 from repro.cloud.remote_table import RemoteTable
+from repro.cloud.retry import RetryPolicy, SimulatedClock
 
 __all__ = [
+    "FaultProfile",
     "PricingModel",
     "RemoteTable",
+    "RetryPolicy",
     "ScanCostModel",
     "ScanMetrics",
+    "SimulatedClock",
     "SimulatedObjectStore",
 ]

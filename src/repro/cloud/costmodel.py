@@ -37,11 +37,15 @@ class ScanMetrics:
     network_seconds: float
     cpu_seconds: float
     measured_decompress_seconds: float
+    #: Simulated backoff/timeout wait from the retry layer (zero when the
+    #: store is fault-free). Dead time: it overlaps with neither transfer
+    #: nor decompression, so it extends the wall clock directly.
+    retry_seconds: float = 0.0
 
     @property
     def wall_seconds(self) -> float:
-        """Pipelined scan time: fetch and decompress overlap."""
-        return max(self.network_seconds, self.cpu_seconds)
+        """Pipelined scan time: fetch and decompress overlap; backoff doesn't."""
+        return max(self.network_seconds, self.cpu_seconds) + self.retry_seconds
 
     @property
     def compression_ratio(self) -> float:
@@ -89,8 +93,14 @@ class ScanCostModel:
         uncompressed_bytes: int,
         compressed_bytes: int,
         measured_decompress_seconds: float,
+        retry_seconds: float = 0.0,
     ) -> ScanMetrics:
-        """Turn sizes + measured CPU time into simulated scan metrics."""
+        """Turn sizes + measured CPU time into simulated scan metrics.
+
+        ``retry_seconds`` carries accumulated retry backoff (e.g.
+        ``store.stats.backoff_seconds`` after a faulty scan) into the wall
+        clock and therefore into compute cost.
+        """
         requests = max(1, -(-compressed_bytes // self.pricing.chunk_bytes))
         # Steady-state transfer: with 72 chunks in flight, per-request latency
         # is fully hidden (it matters only for the dependent metadata round
@@ -105,6 +115,7 @@ class ScanCostModel:
             network_seconds=network_seconds,
             cpu_seconds=cpu_seconds,
             measured_decompress_seconds=measured_decompress_seconds,
+            retry_seconds=retry_seconds,
         )
 
     def cost_usd(self, metrics: ScanMetrics) -> float:

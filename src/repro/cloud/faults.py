@@ -1,0 +1,100 @@
+"""Deterministic fault injection for the simulated object store.
+
+Real object stores throttle, time out, drop connections mid-transfer and —
+rarely but measurably — hand back damaged bytes. A :class:`FaultProfile`
+makes the :class:`~repro.cloud.objectstore.SimulatedObjectStore` do the same
+on demand, driven by a seeded RNG so every failure sequence is reproducible:
+the same profile against the same request sequence injects the same faults.
+
+Faults come in two transport classes:
+
+* **request faults** (transient error, timeout, throttle) abort the attempt
+  with a typed :class:`~repro.exceptions.TransientRequestError` subclass that
+  the retry layer in :mod:`repro.cloud.retry` knows how to back off from;
+* **payload faults** (truncated range-GET, bit flips) damage the returned
+  bytes. Truncation is detectable at the transport layer (the client knows
+  the extent it asked for); bit flips are only caught by the per-block CRC32
+  checksums of the v2 column format (see ``docs/RELIABILITY.md``).
+
+Every injected fault increments a ``cloud.faults.*`` counter in the process
+:class:`~repro.observe.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.exceptions import RequestTimeoutError, ThrottledError, TransientRequestError
+from repro.observe import get_registry
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """Per-request fault probabilities for a simulated store.
+
+    Rates are independent probabilities rolled per *attempt* in the order
+    transient → timeout → throttle → (serve) → truncate → corrupt; a request
+    fault short-circuits the attempt, payload faults compose with the served
+    bytes. All rates default to zero, i.e. a profile injects nothing unless
+    asked to.
+    """
+
+    seed: int = 0
+    #: Probability an attempt fails with a generic transient error (S3 500).
+    transient_error_rate: float = 0.0
+    #: Probability an attempt times out client-side.
+    timeout_rate: float = 0.0
+    #: Probability the store throttles the attempt (S3 503 SlowDown).
+    throttle_rate: float = 0.0
+    #: Probability a range-GET's payload is cut short.
+    truncate_rate: float = 0.0
+    #: Probability a served payload has bits flipped.
+    corrupt_rate: float = 0.0
+    #: Bit flips applied to each corrupted payload.
+    corrupt_flips: int = 1
+
+    def rng(self) -> random.Random:
+        """A fresh RNG positioned at the profile's seed."""
+        return random.Random(self.seed)
+
+
+class FaultInjector:
+    """Stateful roller applying one profile to a stream of requests."""
+
+    def __init__(self, profile: FaultProfile) -> None:
+        self.profile = profile
+        self._rng = profile.rng()
+
+    def _roll(self, rate: float) -> bool:
+        return rate > 0.0 and self._rng.random() < rate
+
+    def before_serve(self, key: str) -> None:
+        """Roll the request faults; raises a transient error to abort."""
+        registry = get_registry()
+        if self._roll(self.profile.transient_error_rate):
+            registry.incr("cloud.faults.transient")
+            raise TransientRequestError(f"injected transient error on GET {key}")
+        if self._roll(self.profile.timeout_rate):
+            registry.incr("cloud.faults.timeout")
+            raise RequestTimeoutError(f"injected timeout on GET {key}")
+        if self._roll(self.profile.throttle_rate):
+            registry.incr("cloud.faults.throttle")
+            raise ThrottledError(f"injected throttle (SlowDown) on GET {key}")
+
+    def damage_payload(self, data: bytes, ranged: bool) -> bytes:
+        """Roll the payload faults against served bytes and apply them."""
+        registry = get_registry()
+        if ranged and len(data) > 0 and self._roll(self.profile.truncate_rate):
+            registry.incr("cloud.faults.truncated")
+            data = data[: self._rng.randrange(len(data))]
+        if len(data) > 0 and self._roll(self.profile.corrupt_rate):
+            registry.incr("cloud.faults.corrupt")
+            damaged = bytearray(data)
+            for _ in range(max(1, self.profile.corrupt_flips)):
+                damaged[self._rng.randrange(len(damaged))] ^= 1 << self._rng.randrange(8)
+            data = bytes(damaged)
+        return data
+
+
+__all__ = ["FaultInjector", "FaultProfile"]

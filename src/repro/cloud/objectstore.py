@@ -4,14 +4,29 @@ Stores blobs in memory, serves full- and range-GETs, and accounts exactly
 what the paper's cost model needs: the number of GET requests and the bytes
 transferred. A transfer-time estimate derived from the pricing model turns
 the accounting into simulated wall-clock time.
+
+With a :class:`~repro.cloud.faults.FaultProfile` attached, GETs fail the way
+real object stores do — transient errors, timeouts, throttling, truncated
+ranges, flipped bits — and every public GET path retries transient failures
+with the store's :class:`~repro.cloud.retry.RetryPolicy`. Backoff is taken
+on a :class:`~repro.cloud.retry.SimulatedClock` (accounted, not slept) and
+lands in :attr:`TransferStats.backoff_seconds`, so retries cost simulated
+scan time and dollars but never test wall-time.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 
+from repro.cloud.faults import FaultInjector, FaultProfile
 from repro.cloud.pricing import DEFAULT_PRICING, PricingModel
-from repro.exceptions import FormatError
+from repro.cloud.retry import RetryPolicy, SimulatedClock, call_with_retry
+from repro.exceptions import (
+    FormatError,
+    RangeNotSatisfiableError,
+    TruncatedReadError,
+)
 
 
 @dataclass
@@ -20,19 +35,40 @@ class TransferStats:
 
     get_requests: int = 0
     bytes_downloaded: int = 0
+    #: Attempts beyond the first, across all requests.
+    retries: int = 0
+    #: Simulated seconds spent backing off (and waiting out timeouts).
+    backoff_seconds: float = 0.0
 
     def reset(self) -> None:
         self.get_requests = 0
         self.bytes_downloaded = 0
+        self.retries = 0
+        self.backoff_seconds = 0.0
 
 
 @dataclass
 class SimulatedObjectStore:
-    """An in-memory blob store with S3-like GET semantics and accounting."""
+    """An in-memory blob store with S3-like GET semantics and accounting.
+
+    Billing follows S3: attempts rejected server-side (transient errors,
+    timeouts, throttles) are not billed; attempts that served bytes count
+    one GET request and bill exactly the bytes that arrived — a truncated
+    range bills only what was served before the cut.
+    """
 
     pricing: PricingModel = field(default_factory=lambda: DEFAULT_PRICING)
     _objects: dict[str, bytes] = field(default_factory=dict)
     stats: TransferStats = field(default_factory=TransferStats)
+    #: Optional fault injection; ``None`` serves every request perfectly.
+    faults: FaultProfile | None = None
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    clock: SimulatedClock = field(default_factory=SimulatedClock)
+
+    def __post_init__(self) -> None:
+        self._injector = FaultInjector(self.faults) if self.faults else None
+        seed = self.faults.seed if self.faults else 0
+        self._retry_rng = random.Random(seed ^ 0x5E7B0FF)
 
     # -- bucket operations ----------------------------------------------------
 
@@ -52,33 +88,80 @@ class SimulatedObjectStore:
 
     # -- GET requests ---------------------------------------------------------
 
+    def _attempt(self, key: str, start: int, length: int, ranged: bool) -> bytes:
+        """One billed attempt: roll faults, serve (possibly damaged) bytes.
+
+        A short read against the attempt's known extent raises
+        :class:`TruncatedReadError` so the retry layer refetches — mirroring
+        a client comparing the body against ``Content-Length``.
+        """
+        expected = min(length, len(self._objects[key]) - start)
+        if self._injector is not None:
+            self._injector.before_serve(key)
+        data = self._objects[key][start : start + length]
+        if self._injector is not None:
+            data = self._injector.damage_payload(data, ranged=ranged)
+        self.stats.get_requests += 1
+        self.stats.bytes_downloaded += len(data)
+        if len(data) != expected:
+            raise TruncatedReadError(
+                f"GET {key} [{start}:{start + length}] returned {len(data)} "
+                f"of {expected} bytes"
+            )
+        return data
+
+    def _retrying_get(self, key: str, start: int, length: int, ranged: bool) -> bytes:
+        def on_backoff(delay: float) -> None:
+            self.stats.retries += 1
+
+        def on_wait(delay: float) -> None:
+            self.stats.backoff_seconds += delay
+
+        return call_with_retry(
+            lambda: self._attempt(key, start, length, ranged),
+            self.retry,
+            self.clock,
+            self._retry_rng,
+            on_backoff=on_backoff,
+            on_wait=on_wait,
+            label=f"GET {key}",
+        )
+
     def get(self, key: str) -> bytes:
         """Full-object GET: one request regardless of object size."""
         if key not in self._objects:
             raise FormatError(f"no such object: {key}")
-        data = self._objects[key]
-        self.stats.get_requests += 1
-        self.stats.bytes_downloaded += len(data)
-        return data
+        return self._retrying_get(key, 0, len(self._objects[key]), ranged=False)
 
     def get_range(self, key: str, start: int, length: int) -> bytes:
-        """Range GET (how clients fetch 16 MB chunks and Parquet footers)."""
+        """Range GET (how clients fetch 16 MB chunks and Parquet footers).
+
+        Like S3, a start at or past the object's end (or a negative
+        start/length) is a hard 416 — never a silent short or empty body.
+        A range that *begins* inside the object but runs past its end is
+        satisfiable and returns the suffix, as S3 does.
+        """
         if key not in self._objects:
             raise FormatError(f"no such object: {key}")
-        data = self._objects[key][start : start + length]
-        self.stats.get_requests += 1
-        self.stats.bytes_downloaded += len(data)
-        return data
+        size = len(self._objects[key])
+        if start < 0 or length < 0 or start >= size:
+            raise RangeNotSatisfiableError(
+                f"range [{start}:{start + length}] not satisfiable for "
+                f"{key} ({size} bytes)"
+            )
+        return self._retrying_get(key, start, min(length, size - start), ranged=True)
 
     def get_chunked(self, key: str) -> bytes:
         """Fetch an object in recommended-size chunks (16 MB per request)."""
         if key not in self._objects:
             raise FormatError(f"no such object: {key}")
         size = len(self._objects[key])
+        if size == 0:
+            return self.get(key)
         chunk = self.pricing.chunk_bytes
         parts = [
             self.get_range(key, offset, min(chunk, size - offset))
-            for offset in range(0, max(size, 1), chunk)
+            for offset in range(0, size, chunk)
         ]
         return b"".join(parts)
 
@@ -88,8 +171,13 @@ class SimulatedObjectStore:
         """Wall-clock estimate for the accounted transfers.
 
         Bandwidth-bound bulk time plus per-request latency amortised over the
-        concurrent request slots the client keeps in flight.
+        concurrent request slots the client keeps in flight, plus any backoff
+        the retry layer accumulated.
         """
         bulk = self.stats.bytes_downloaded / self.pricing.s3_bytes_per_second
         latency_waves = -(-self.stats.get_requests // self.pricing.concurrency)
-        return bulk + latency_waves * self.pricing.request_latency_seconds
+        return (
+            bulk
+            + latency_waves * self.pricing.request_latency_seconds
+            + self.stats.backoff_seconds
+        )

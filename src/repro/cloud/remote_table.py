@@ -28,9 +28,9 @@ from repro.cloud.objectstore import SimulatedObjectStore
 from repro.core.access import read_rows
 from repro.core.blocks import CompressedColumn
 from repro.core.decompressor import decompress_column
-from repro.core.file_format import column_from_bytes
+from repro.core.file_format import column_from_bytes, verify_column
 from repro.core.relation import Relation
-from repro.exceptions import FormatError
+from repro.exceptions import FormatError, IntegrityError
 from repro.observe import get_registry
 from repro.query.executor import scan_column
 from repro.query.predicates import Predicate
@@ -51,21 +51,52 @@ def _record_transfer(store: SimulatedObjectStore, requests: int, nbytes: int) ->
 
 
 class RemoteTable:
-    """A lazily-fetched compressed table on an object store."""
+    """A lazily-fetched compressed table on an object store.
 
-    def __init__(self, store: SimulatedObjectStore, name: str, metadata: dict) -> None:
+    ``on_corrupt`` is the degradation policy for checksum-damaged blocks
+    that survive refetching (see :mod:`repro.core.decompressor`); downloads
+    that arrive damaged are refetched up to the store's retry budget first.
+    """
+
+    def __init__(
+        self,
+        store: SimulatedObjectStore,
+        name: str,
+        metadata: dict,
+        on_corrupt: str = "raise",
+    ) -> None:
         self._store = store
         self.name = name
         self._metadata = metadata
         self._columns: dict[str, CompressedColumn] = {}
+        self.on_corrupt = on_corrupt
 
     @classmethod
-    def open(cls, store: SimulatedObjectStore, name: str) -> "RemoteTable":
-        """One GET: the table metadata. No column data is transferred."""
-        raw = store.get(f"{name}/table.meta")
-        _record_transfer(store, 1, len(raw))
-        metadata = json.loads(raw.decode("utf-8"))
-        return cls(store, name, metadata)
+    def open(
+        cls, store: SimulatedObjectStore, name: str, on_corrupt: str = "raise"
+    ) -> "RemoteTable":
+        """One GET: the table metadata. No column data is transferred.
+
+        The metadata file is JSON with no checksum; a download that fails
+        to parse — or parses but lost its required structure (bit flips can
+        produce valid JSON with mangled keys) — is refetched up to the
+        store's retry budget before giving up with a typed error.
+        """
+        attempts = max(1, store.retry.max_attempts)
+        for attempt in range(attempts):
+            raw = store.get(f"{name}/table.meta")
+            _record_transfer(store, 1, len(raw))
+            try:
+                metadata = json.loads(raw.decode("utf-8"))
+                for entry in metadata["columns"]:
+                    entry["name"], entry["file"]
+            except (ValueError, KeyError, TypeError):
+                get_registry().incr("cloud.table.meta_refetches")
+                continue
+            return cls(store, name, metadata, on_corrupt=on_corrupt)
+        raise FormatError(
+            f"metadata for table {name!r} unparseable after {attempts} downloads"
+        )
 
     # -- schema ----------------------------------------------------------------
 
@@ -85,10 +116,20 @@ class RemoteTable:
 
     # -- data ------------------------------------------------------------------
 
-    def fetch_column(self, name: str) -> CompressedColumn:
-        """Download one column file (16 MB chunked GETs); cached afterwards."""
-        if name not in self._columns:
-            entry = self.column_entry(name)
+    def _download_column(self, entry: dict) -> CompressedColumn:
+        """Fetch + parse + checksum-verify one column file, refetching damage.
+
+        Bit flips pass the transport layer silently (a truncated or errored
+        GET is already retried by the store); the per-block CRC32s of the v2
+        format are what detect them. A damaged download is refetched up to
+        the store's retry budget — each refetch is billed like any other GET
+        — before the column is handed to the decode-side ``on_corrupt``
+        policy (or raised, when the policy is ``"raise"``).
+        """
+        registry = get_registry()
+        attempts = max(1, self._store.retry.max_attempts)
+        last_error: "IntegrityError | FormatError | None" = None
+        for attempt in range(attempts):
             before_requests = self._store.stats.get_requests
             payload = self._store.get_chunked(entry["file"])
             _record_transfer(
@@ -96,7 +137,25 @@ class RemoteTable:
                 self._store.stats.get_requests - before_requests,
                 len(payload),
             )
-            self._columns[name] = column_from_bytes(payload)
+            try:
+                column = column_from_bytes(payload)
+                verify_column(column)
+                return column
+            except (IntegrityError, FormatError) as exc:
+                last_error = exc
+                registry.incr("cloud.table.integrity_refetches")
+        registry.incr("cloud.table.integrity_failures")
+        if self.on_corrupt == "raise" or not isinstance(last_error, IntegrityError):
+            # Structurally unparseable downloads cannot be degraded per
+            # block -- there are no blocks to degrade -- so they raise even
+            # under a lenient policy.
+            raise last_error
+        return column_from_bytes(payload)
+
+    def fetch_column(self, name: str) -> CompressedColumn:
+        """Download one column file (16 MB chunked GETs); cached afterwards."""
+        if name not in self._columns:
+            self._columns[name] = self._download_column(self.column_entry(name))
         return self._columns[name]
 
     def matching_rows(self, where: Mapping[str, Predicate]) -> RoaringBitmap:
@@ -123,7 +182,10 @@ class RemoteTable:
             rows = self.matching_rows(where).to_array().astype(np.int64)
             out = [read_rows(self.fetch_column(name), rows) for name in names]
         else:
-            out = [decompress_column(self.fetch_column(name)) for name in names]
+            out = [
+                decompress_column(self.fetch_column(name), on_corrupt=self.on_corrupt)
+                for name in names
+            ]
         return Relation(self.name, out)
 
     def count(self, where: Mapping[str, Predicate]) -> int:

@@ -1,0 +1,113 @@
+"""Retry with exponential backoff + jitter, on a simulated clock.
+
+The store's GET paths wrap every attempt in :func:`call_with_retry`:
+transient failures (injected by a :class:`~repro.cloud.faults.FaultProfile`,
+or a short read detected against the request's known extent) are retried
+with capped exponential backoff and seeded jitter, exactly as the AWS SDKs
+do against S3. Delays go to a :class:`SimulatedClock` — time is *accounted*,
+never slept — so a test exercising thousands of retries still runs in
+milliseconds, while the accumulated backoff flows into the paper's cost
+model as extra scan wall-time (see ``ScanMetrics.retry_seconds``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, TypeVar
+
+from repro.exceptions import (
+    RequestTimeoutError,
+    RetryExhaustedError,
+    TransientRequestError,
+)
+from repro.observe import get_registry
+
+T = TypeVar("T")
+
+
+@dataclass
+class SimulatedClock:
+    """A clock that accumulates sleeps instead of taking them."""
+
+    now_seconds: float = 0.0
+
+    def sleep(self, seconds: float) -> None:
+        self.now_seconds += seconds
+
+    def reset(self) -> None:
+        self.now_seconds = 0.0
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with jitter (AWS-SDK style defaults)."""
+
+    #: Total attempts including the first (4 = one try + three retries).
+    max_attempts: int = 4
+    base_delay_seconds: float = 0.05
+    max_delay_seconds: float = 5.0
+    multiplier: float = 2.0
+    #: Fraction of each delay randomized away ("equal jitter" when 0.5).
+    jitter: float = 0.5
+    #: Simulated client-side wait burned by a timed-out attempt.
+    timeout_seconds: float = 1.0
+
+    def backoff_seconds(self, retry_index: int, rng: random.Random) -> float:
+        """Delay before retry ``retry_index`` (0 = first retry)."""
+        delay = min(
+            self.base_delay_seconds * self.multiplier**retry_index,
+            self.max_delay_seconds,
+        )
+        return delay * (1.0 - self.jitter * rng.random())
+
+
+def call_with_retry(
+    fn: Callable[[], T],
+    policy: RetryPolicy,
+    clock: SimulatedClock,
+    rng: random.Random,
+    on_backoff: "Callable[[float], None] | None" = None,
+    on_wait: "Callable[[float], None] | None" = None,
+    label: str = "request",
+) -> T:
+    """Run ``fn`` until it succeeds or the policy's attempts run out.
+
+    Only :class:`~repro.exceptions.TransientRequestError` (and subclasses)
+    are retried; anything else — 404s, 416s, format errors — propagates
+    immediately. Exhaustion raises :class:`~repro.exceptions.RetryExhaustedError`
+    chained to the last transient failure.
+
+    ``on_backoff`` fires once per retry with its backoff delay; ``on_wait``
+    fires for *any* extra simulated wait (backoff and timed-out attempts'
+    client waits), so callers can count retries and account time separately.
+    """
+    registry = get_registry()
+    failure: TransientRequestError | None = None
+    for attempt in range(max(1, policy.max_attempts)):
+        if attempt:
+            delay = policy.backoff_seconds(attempt - 1, rng)
+            clock.sleep(delay)
+            registry.incr("cloud.retry.attempts")
+            registry.incr("cloud.retry.backoff_seconds", delay)
+            if on_backoff is not None:
+                on_backoff(delay)
+            if on_wait is not None:
+                on_wait(delay)
+        try:
+            return fn()
+        except TransientRequestError as exc:
+            failure = exc
+            if isinstance(exc, RequestTimeoutError):
+                # A timeout burns the client's full wait before the retry.
+                clock.sleep(policy.timeout_seconds)
+                registry.incr("cloud.retry.timeout_wait_seconds", policy.timeout_seconds)
+                if on_wait is not None:
+                    on_wait(policy.timeout_seconds)
+    registry.incr("cloud.retry.exhausted")
+    raise RetryExhaustedError(
+        f"{label} still failing after {policy.max_attempts} attempts: {failure}"
+    ) from failure
+
+
+__all__ = ["RetryPolicy", "SimulatedClock", "call_with_retry"]

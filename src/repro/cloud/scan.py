@@ -17,7 +17,7 @@ cheaper than compressed Parquet in the paper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.cloud.objectstore import SimulatedObjectStore
 from repro.core.blocks import CompressedRelation
@@ -33,19 +33,33 @@ def _record_scan(result: "ColumnScanResult", store: SimulatedObjectStore) -> Non
     registry.incr("cloud.scan.requests", result.requests)
     registry.incr("cloud.scan.bytes", result.bytes_downloaded)
     registry.incr("cloud.scan.cost_usd", result.cost_usd(store))
+    if result.retries:
+        registry.incr("cloud.scan.retries", result.retries)
+    if result.backoff_seconds:
+        registry.incr("cloud.scan.backoff_seconds", result.backoff_seconds)
 
 
 @dataclass
 class ColumnScanResult:
-    """Accounting for one column-granular scan."""
+    """Accounting for one column-granular scan.
+
+    ``retries`` / ``backoff_seconds`` account the retry layer's extra
+    attempts and simulated backoff (zero on a fault-free store); backoff
+    extends the scan's simulated time and therefore its compute cost.
+    """
 
     label: str
     requests: int
     bytes_downloaded: int
     dependent_round_trips: int
+    retries: int = 0
+    backoff_seconds: float = 0.0
+    #: Optionally captured column-file payloads (``keep_payloads=True``),
+    #: keyed by object name; excluded from accounting and comparisons.
+    payloads: "dict[str, bytes] | None" = field(default=None, repr=False, compare=False)
 
     def seconds(self, store: SimulatedObjectStore, data_scale: float = 1.0) -> float:
-        """Simulated time: bulk transfer + serial metadata round trips.
+        """Simulated time: bulk transfer + round trips + retry backoff.
 
         ``data_scale`` linearly scales the byte volume (and the 16 MB chunk
         requests it implies) to model the paper's GB-sized columns when the
@@ -53,7 +67,11 @@ class ColumnScanResult:
         """
         pricing = store.pricing
         bulk = self.bytes_downloaded * data_scale / pricing.s3_bytes_per_second
-        return bulk + self.dependent_round_trips * pricing.request_latency_seconds
+        return (
+            bulk
+            + self.dependent_round_trips * pricing.request_latency_seconds
+            + self.backoff_seconds
+        )
 
     def scaled_requests(self, store: SimulatedObjectStore, data_scale: float = 1.0) -> int:
         if data_scale == 1.0:
@@ -74,20 +92,36 @@ def upload_btrblocks(store: SimulatedObjectStore, compressed: CompressedRelation
 
 
 def scan_btrblocks_columns(
-    store: SimulatedObjectStore, table: str, column_indexes: list[int]
+    store: SimulatedObjectStore,
+    table: str,
+    column_indexes: list[int],
+    keep_payloads: bool = False,
 ) -> ColumnScanResult:
-    """Fetch selected columns: 1 metadata GET, then parallel chunked GETs."""
+    """Fetch selected columns: 1 metadata GET, then parallel chunked GETs.
+
+    Every GET goes through the store's retry layer, so a scan against a
+    fault-injecting store sees retried requests and backoff in its
+    accounting but still receives the exact bytes a fault-free store would
+    serve (pass ``keep_payloads=True`` to capture them for comparison).
+    """
     store.stats.reset()
     import json
 
     meta = json.loads(store.get(f"{table}/table.meta").decode("utf-8"))
+    payloads: dict[str, bytes] | None = {} if keep_payloads else None
     for index in column_indexes:
-        store.get_chunked(meta["columns"][index]["file"])
+        filename = meta["columns"][index]["file"]
+        payload = store.get_chunked(filename)
+        if payloads is not None:
+            payloads[filename] = payload
     result = ColumnScanResult(
         label="btrblocks",
         requests=store.stats.get_requests,
         bytes_downloaded=store.stats.bytes_downloaded,
         dependent_round_trips=2,  # metadata, then (parallel) column fetches
+        retries=store.stats.retries,
+        backoff_seconds=store.stats.backoff_seconds,
+        payloads=payloads,
     )
     _record_scan(result, store)
     return result
@@ -138,6 +172,8 @@ def scan_parquet_like_columns(
         requests=store.stats.get_requests,
         bytes_downloaded=store.stats.bytes_downloaded,
         dependent_round_trips=3,
+        retries=store.stats.retries,
+        backoff_seconds=store.stats.backoff_seconds,
     )
     _record_scan(result, store)
     return result

@@ -11,11 +11,17 @@ from repro.types import ColumnType
 
 @dataclass
 class CompressedBlock:
-    """One compressed 64k-value block: data node bytes + NULL bitmap bytes."""
+    """One compressed 64k-value block: data node bytes + NULL bitmap bytes.
+
+    ``checksum`` is the stored CRC32 of ``data + nulls`` when the block was
+    read from a checksummed (v2) column file; blocks compressed in memory or
+    read from v1 files carry ``None`` and decode without verification.
+    """
 
     count: int
     data: bytes
     nulls: bytes | None = None
+    checksum: int | None = None
 
     @property
     def root_scheme_id(self) -> int:

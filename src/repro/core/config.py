@@ -38,6 +38,12 @@ class BtrBlocksConfig:
     #: Use vectorised (NumPy) decompression kernels; False selects the scalar
     #: fallbacks used for the Section 6.8 ablation.
     vectorized: bool = True
+    #: What decompression does with a block whose payload fails its stored
+    #: CRC32 (or fails to parse, for checksum-less v1 files): "raise" a typed
+    #: IntegrityError, "skip" the block's rows, or emit a "null_block" of the
+    #: declared length with every row NULL (keeps row alignment across
+    #: columns). See docs/RELIABILITY.md.
+    on_corrupt: str = "raise"
     #: Scheme ids to exclude from the pool (for ablation experiments).
     excluded_schemes: frozenset[int] = field(default_factory=frozenset)
     #: Scheme ids to restrict the pool to (None = all registered schemes).

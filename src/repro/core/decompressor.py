@@ -4,21 +4,39 @@ Decompression mirrors the cascade in reverse: every node stores the scheme it
 cascaded into, so decoding is a recursive dispatch over scheme ids (paper
 Section 3.2). The ``vectorized`` flag selects between the NumPy kernels and
 the pure-Python scalar fallbacks used for the Section 6.8 ablation.
+
+Blocks read from checksummed (v2) column files are verified against their
+stored CRC32 before decoding. A damaged block is handled per the
+``on_corrupt`` policy (:class:`~repro.core.config.BtrBlocksConfig`):
+
+* ``"raise"`` (default) — a typed :class:`~repro.exceptions.IntegrityError`;
+* ``"skip"`` — the block's rows are dropped from the reassembled column;
+* ``"null_block"`` — the block contributes its declared row count, every
+  row NULL, so row alignment with sibling columns survives.
+
+Both degrade modes also catch blocks whose payload fails to *parse* (the
+only corruption signal v1 files can give) and record
+``decompress.corrupt_blocks`` / ``decompress.corrupt_rows`` counters.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.bitmap import RoaringBitmap
 from repro.core.blocks import CompressedBlock, CompressedColumn, CompressedRelation
+from repro.core.file_format import verify_block
 from repro.core.relation import Relation
 from repro.encodings import strutil
 from repro.encodings.base import DecompressionContext, Values, get_scheme
 from repro.encodings.wire import unwrap
-from repro.exceptions import TypeMismatchError
+from repro.exceptions import BtrBlocksError, IntegrityError, TypeMismatchError
 from repro.observe import get_registry
 from repro.types import Column, ColumnType, StringArray
+
+ON_CORRUPT_MODES = ("raise", "skip", "null_block")
 
 
 def _decompress_node(blob: bytes, ctype: ColumnType, ctx: DecompressionContext) -> Values:
@@ -57,46 +75,114 @@ _EMPTY_DTYPES = {
 }
 
 
+@dataclass(frozen=True)
+class CorruptBlockResult:
+    """Sentinel a damaged block decodes to under a degrade policy.
+
+    ``emitted`` is the number of rows the block will contribute to the
+    reassembled column: 0 under ``"skip"``, the block's declared value
+    count under ``"null_block"`` (all of them NULL placeholders).
+    """
+
+    emitted: int
+    reason: str = "checksum mismatch"
+
+    def __len__(self) -> int:  # parts are length-inspected during assembly
+        return self.emitted
+
+
 def decode_block(
-    block: CompressedBlock, ctype: ColumnType, ctx: DecompressionContext
-) -> Values:
+    block: CompressedBlock,
+    ctype: ColumnType,
+    ctx: DecompressionContext,
+    on_corrupt: str = "raise",
+) -> "Values | CorruptBlockResult":
     """Decode one compressed block's values (the unit of parallel fan-out).
 
-    Records no metrics; per-column totals are accounted once by
-    :func:`assemble_column` so sequential and parallel runs produce
-    identical counters.
+    Verifies the block's stored CRC32 (when present) first; damage is
+    raised as :class:`IntegrityError` or turned into a
+    :class:`CorruptBlockResult` per ``on_corrupt``. Records no metrics;
+    per-column totals are accounted once by :func:`assemble_column` so
+    sequential and parallel runs produce identical counters.
     """
-    return _decompress_node(block.data, ctype, ctx)
+    if on_corrupt not in ON_CORRUPT_MODES:
+        raise ValueError(f"on_corrupt must be one of {ON_CORRUPT_MODES}, got {on_corrupt!r}")
+    if not verify_block(block):
+        if on_corrupt == "raise":
+            raise IntegrityError(
+                f"block of {block.count} values: payload does not match stored CRC32"
+            )
+        return CorruptBlockResult(block.count if on_corrupt == "null_block" else 0)
+    if on_corrupt == "raise":
+        return _decompress_node(block.data, ctype, ctx)
+    try:
+        return _decompress_node(block.data, ctype, ctx)
+    except BtrBlocksError:
+        # Checksum-less (v1 / in-memory) blocks can only reveal damage by
+        # failing to parse; degrade those the same way.
+        return CorruptBlockResult(
+            block.count if on_corrupt == "null_block" else 0, reason="decode failure"
+        )
 
 
-def assemble_column(compressed: CompressedColumn, parts: list[Values]) -> Column:
+def _null_block_placeholder(ctype: ColumnType, count: int) -> Values:
+    """All-NULL filler values for a damaged block kept for row alignment."""
+    if ctype is ColumnType.STRING:
+        return StringArray.from_pylist([""] * count)
+    return np.zeros(count, dtype=_EMPTY_DTYPES[ctype])
+
+
+def assemble_column(compressed: CompressedColumn, parts: "list[Values | CorruptBlockResult]") -> Column:
     """Reassemble decoded block values (in block order) into a column.
 
     Rebases per-block NULL positions to column offsets, concatenates the
     value parts, and records the column's decompression counters. An empty
     column keeps its logical dtype (int32 / float64) rather than decaying
-    to NumPy's default float64.
+    to NumPy's default float64. :class:`CorruptBlockResult` parts (degraded
+    damaged blocks) contribute either nothing (``skip``) or an all-NULL run
+    of their declared length (``null_block``); later blocks' NULL positions
+    are rebased onto the actually-emitted row offsets.
     """
     registry = get_registry()
     null_positions: list[np.ndarray] = []
+    value_parts: list[Values] = []
     offset = 0
-    for block in compressed.blocks:
+    corrupt_blocks = 0
+    corrupt_rows = 0
+    checksummed = 0
+    for block, part in zip(compressed.blocks, parts):
+        if isinstance(part, CorruptBlockResult):
+            corrupt_blocks += 1
+            corrupt_rows += block.count
+            if part.emitted:
+                null_positions.append(np.arange(offset, offset + part.emitted, dtype=np.int64))
+                value_parts.append(_null_block_placeholder(compressed.ctype, part.emitted))
+                offset += part.emitted
+            continue
+        if block.checksum is not None:
+            checksummed += 1
         if block.nulls is not None:
             positions = RoaringBitmap.deserialize(block.nulls).to_array()
             if positions.size:
                 null_positions.append(positions.astype(np.int64) + offset)
+        value_parts.append(part)
         offset += block.count
     registry.incr("decompress.columns")
     registry.incr("decompress.blocks", len(compressed.blocks))
     registry.incr("decompress.rows", offset)
     registry.incr("decompress.input_bytes", compressed.nbytes)
+    if checksummed:
+        registry.incr("decompress.checksum_verified", checksummed)
+    if corrupt_blocks:
+        registry.incr("decompress.corrupt_blocks", corrupt_blocks)
+        registry.incr("decompress.corrupt_rows", corrupt_rows)
     nulls = None
     if null_positions:
         nulls = RoaringBitmap.from_positions(np.concatenate(null_positions))
     if compressed.ctype is ColumnType.STRING:
-        data: Values = strutil.concat([p for p in parts if isinstance(p, StringArray)])
+        data: Values = strutil.concat([p for p in value_parts if isinstance(p, StringArray)])
     else:
-        arrays = [np.asarray(p) for p in parts if len(p)]
+        arrays = [np.asarray(p) for p in value_parts if len(p)]
         if arrays:
             data = np.concatenate(arrays)
         else:
@@ -105,24 +191,29 @@ def assemble_column(compressed: CompressedColumn, parts: list[Values]) -> Column
 
 
 def decompress_column(
-    compressed: CompressedColumn, vectorized: bool = True
+    compressed: CompressedColumn, vectorized: bool = True, on_corrupt: str = "raise"
 ) -> Column:
     """Reassemble a full column from its compressed blocks."""
     ctx = make_context(vectorized)
     with get_registry().timer("decompress"):
-        parts = [decode_block(block, compressed.ctype, ctx) for block in compressed.blocks]
+        parts = [
+            decode_block(block, compressed.ctype, ctx, on_corrupt=on_corrupt)
+            for block in compressed.blocks
+        ]
     return assemble_column(compressed, parts)
 
 
 def decompress_relation(
-    compressed: CompressedRelation, vectorized: bool = True
+    compressed: CompressedRelation, vectorized: bool = True, on_corrupt: str = "raise"
 ) -> Relation:
     """Reassemble a full relation."""
-    columns = [decompress_column(c, vectorized) for c in compressed.columns]
+    columns = [decompress_column(c, vectorized, on_corrupt=on_corrupt) for c in compressed.columns]
     return Relation(compressed.name, columns)
 
 
 __all__ = [
+    "CorruptBlockResult",
+    "ON_CORRUPT_MODES",
     "assemble_column",
     "decode_block",
     "decompress_block",

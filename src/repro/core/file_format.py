@@ -10,42 +10,113 @@ uses one file per column (Section 6.7). This module implements exactly that:
 * :func:`relation_to_files` / :func:`relation_from_files` — a table as a
   dict of ``{filename: bytes}``: one file per column plus ``<table>.meta``
   describing the schema, counts and per-column sizes.
+
+Two column-file versions exist. v1 (magic ``BTRC``) has no checksums; v2
+(magic ``BTR2``, the default writer output) appends a CRC32 of each block's
+``data + nulls`` bytes to the block header, so damage from a bad download
+or bit rot is detected at block granularity during decode (see
+``docs/RELIABILITY.md``). The reader dispatches on the magic, so v1 files
+keep decoding unchanged.
 """
 
 from __future__ import annotations
 
 import json
 import struct
+import zlib
 
 from repro.core.blocks import CompressedBlock, CompressedColumn, CompressedRelation
-from repro.exceptions import FormatError
+from repro.exceptions import FormatError, IntegrityError
 from repro.types import ColumnType
 
 _COLUMN_MAGIC = b"BTRC"
+_COLUMN_MAGIC_V2 = b"BTR2"
+#: Column-file version written by default.
+FORMAT_VERSION = 2
 _TYPE_CODES = {ColumnType.INTEGER: 0, ColumnType.DOUBLE: 1, ColumnType.STRING: 2}
 _CODE_TYPES = {v: k for k, v in _TYPE_CODES.items()}
 
 
-def column_to_bytes(column: CompressedColumn) -> bytes:
+def block_checksum(data: bytes, nulls: "bytes | None", count: int = 0) -> int:
+    """CRC32 of a block as stored in v2 files.
+
+    Seeded with the declared value count so a damaged count field — which
+    would silently misalign NULL rebasing and row accounting — is caught
+    like any payload flip.
+    """
+    crc = zlib.crc32(struct.pack("<I", count))
+    crc = zlib.crc32(data, crc)
+    if nulls:
+        crc = zlib.crc32(nulls, crc)
+    return crc & 0xFFFFFFFF
+
+
+def verify_block(block: CompressedBlock) -> bool:
+    """True when the block has no checksum or its payload still matches it."""
+    if block.checksum is None:
+        return True
+    return block_checksum(block.data, block.nulls, block.count) == block.checksum
+
+
+def verify_column(column: CompressedColumn) -> None:
+    """Raise :class:`IntegrityError` on the first checksum-damaged block."""
+    for index, block in enumerate(column.blocks):
+        if not verify_block(block):
+            raise IntegrityError(
+                f"column {column.name!r} block {index}: payload does not "
+                f"match stored CRC32"
+            )
+
+
+def column_to_bytes(column: CompressedColumn, version: int = FORMAT_VERSION) -> bytes:
     """Serialize one compressed column to a standalone byte string."""
+    if version not in (1, 2):
+        raise FormatError(f"unknown column format version {version}")
     name_bytes = column.name.encode("utf-8")
     parts = [
-        _COLUMN_MAGIC,
+        _COLUMN_MAGIC if version == 1 else _COLUMN_MAGIC_V2,
         struct.pack("<BH", _TYPE_CODES[column.ctype], len(name_bytes)),
         name_bytes,
         struct.pack("<I", len(column.blocks)),
     ]
+    if version == 2:
+        # Header CRC: covers magic through block_count, so damage to the
+        # type code, name or block count cannot silently reshape the file.
+        parts.append(struct.pack("<I", zlib.crc32(b"".join(parts)) & 0xFFFFFFFF))
     for block in column.blocks:
         nulls = block.nulls or b""
-        parts.append(struct.pack("<III", block.count, len(block.data), len(nulls)))
+        if version == 1:
+            parts.append(struct.pack("<III", block.count, len(block.data), len(nulls)))
+        else:
+            parts.append(
+                struct.pack(
+                    "<IIII",
+                    block.count,
+                    len(block.data),
+                    len(nulls),
+                    block_checksum(block.data, block.nulls, block.count),
+                )
+            )
         parts.append(block.data)
         parts.append(nulls)
     return b"".join(parts)
 
 
 def column_from_bytes(data: bytes) -> CompressedColumn:
-    """Inverse of :func:`column_to_bytes`."""
-    if data[:4] != _COLUMN_MAGIC:
+    """Inverse of :func:`column_to_bytes`; reads v1 and v2 files.
+
+    Structural damage (bad magic, truncated headers or payloads) raises
+    :class:`FormatError` here; checksum mismatches are *not* checked during
+    parsing — blocks carry their stored CRC32 and are verified lazily by
+    :func:`verify_column` or block decode, which is what lets the
+    decompressor degrade at block granularity instead of rejecting the file.
+    """
+    magic = data[:4]
+    if magic == _COLUMN_MAGIC:
+        version = 1
+    elif magic == _COLUMN_MAGIC_V2:
+        version = 2
+    else:
         raise FormatError("bad column file magic")
     type_code, name_len = struct.unpack_from("<BH", data, 4)
     if type_code not in _CODE_TYPES:
@@ -55,29 +126,45 @@ def column_from_bytes(data: bytes) -> CompressedColumn:
     pos += name_len
     (block_count,) = struct.unpack_from("<I", data, pos)
     pos += 4
+    if version == 2:
+        if pos + 4 > len(data):
+            raise FormatError("truncated column header")
+        (header_crc,) = struct.unpack_from("<I", data, pos)
+        if zlib.crc32(data[:pos]) & 0xFFFFFFFF != header_crc:
+            raise IntegrityError("column file header does not match its CRC32")
+        pos += 4
+    header_size = 12 if version == 1 else 16
     column = CompressedColumn(name, _CODE_TYPES[type_code])
     for _ in range(block_count):
-        if pos + 12 > len(data):
+        if pos + header_size > len(data):
             raise FormatError("truncated block header")
-        count, data_len, nulls_len = struct.unpack_from("<III", data, pos)
-        pos += 12
+        if version == 1:
+            count, data_len, nulls_len = struct.unpack_from("<III", data, pos)
+            checksum = None
+        else:
+            count, data_len, nulls_len, checksum = struct.unpack_from("<IIII", data, pos)
+        pos += header_size
         blob = data[pos : pos + data_len]
         pos += data_len
         nulls = data[pos : pos + nulls_len] if nulls_len else None
         pos += nulls_len
-        if len(blob) != data_len:
+        if len(blob) != data_len or (nulls_len and len(nulls or b"") != nulls_len):
             raise FormatError("truncated block payload")
-        column.blocks.append(CompressedBlock(count, blob, nulls))
+        column.blocks.append(CompressedBlock(count, blob, nulls, checksum=checksum))
     return column
 
 
-def relation_to_files(relation: CompressedRelation) -> dict[str, bytes]:
+def relation_to_files(
+    relation: CompressedRelation, version: int = FORMAT_VERSION
+) -> dict[str, bytes]:
     """Serialize a relation to the paper's S3 layout: per-column files + metadata."""
     files: dict[str, bytes] = {}
     meta = {"name": relation.name, "columns": []}
+    if version != 1:
+        meta["format_version"] = version
     for index, column in enumerate(relation.columns):
         filename = f"{relation.name}/col_{index:04d}.btr"
-        payload = column_to_bytes(column)
+        payload = column_to_bytes(column, version=version)
         files[filename] = payload
         meta["columns"].append(
             {
@@ -105,9 +192,11 @@ def relation_from_files(files: dict[str, bytes], name: str) -> CompressedRelatio
     return relation
 
 
-def relation_to_bytes(relation: CompressedRelation) -> bytes:
+def relation_to_bytes(
+    relation: CompressedRelation, version: int = FORMAT_VERSION
+) -> bytes:
     """Single-buffer convenience serialization (metadata + columns inline)."""
-    files = relation_to_files(relation)
+    files = relation_to_files(relation, version=version)
     index = {
         key: len(value) for key, value in files.items()
     }

@@ -23,3 +23,35 @@ class TypeMismatchError(BtrBlocksError):
 
 class FormatError(BtrBlocksError):
     """A serialized file or table does not follow the expected layout."""
+
+
+class IntegrityError(BtrBlocksError):
+    """A block's payload does not match its stored CRC32 checksum."""
+
+
+class ObjectStoreError(BtrBlocksError):
+    """Base class for (simulated) object-store request failures."""
+
+
+class TransientRequestError(ObjectStoreError):
+    """A request failed in a way that a retry may fix (S3 500/503 class)."""
+
+
+class RequestTimeoutError(TransientRequestError):
+    """A request exceeded the client's timeout before completing."""
+
+
+class ThrottledError(TransientRequestError):
+    """The store asked the client to slow down (S3 503 SlowDown)."""
+
+
+class TruncatedReadError(TransientRequestError):
+    """A GET returned fewer bytes than the request's known extent."""
+
+
+class RangeNotSatisfiableError(ObjectStoreError):
+    """A range GET asked for bytes outside the object (S3 416). Not retryable."""
+
+
+class RetryExhaustedError(ObjectStoreError):
+    """A request kept failing after the retry policy's final attempt."""

@@ -41,9 +41,53 @@ def build_report(
         "columns": trace.per_column(),
         "trace": {"decisions_recorded": len(trace), "decisions_dropped": trace.dropped},
     }
+    reliability = _reliability_section(snapshot["counters"])
+    if reliability:
+        report["reliability"] = reliability
     if include_decisions:
         report["decisions"] = [d.to_dict() for d in trace.decisions()]
     return report
+
+
+def _reliability_section(counters: dict) -> dict:
+    """Fault/retry/integrity counters rolled up for quick reading.
+
+    Present only when at least one fault, retry or integrity *event* was
+    recorded, so fault-free reports keep their existing shape. Routine
+    ``decompress.checksum_verified`` accounting (every clean v2 decode
+    records it) rides along in the section but never triggers it.
+    """
+    faults = {
+        name.split(".")[-1]: value
+        for name, value in counters.items()
+        if name.startswith("cloud.faults.")
+    }
+    retries = {
+        name.split(".")[-1]: value
+        for name, value in counters.items()
+        if name.startswith("cloud.retry.")
+    }
+    integrity = {
+        name: value
+        for name, value in counters.items()
+        if name
+        in (
+            "decompress.corrupt_blocks",
+            "decompress.corrupt_rows",
+            "decompress.checksum_verified",
+            "cloud.table.integrity_refetches",
+            "cloud.table.integrity_failures",
+            "cloud.table.meta_refetches",
+        )
+    }
+    events = {
+        name: value
+        for name, value in integrity.items()
+        if name != "decompress.checksum_verified"
+    }
+    if not (faults or retries or events):
+        return {}
+    return {"faults": faults, "retries": retries, "integrity": integrity}
 
 
 def report_json(

@@ -95,12 +95,15 @@ def decompress_relation_parallel(
     compressed: CompressedRelation,
     vectorized: bool = True,
     max_workers: int | None = None,
+    on_corrupt: str = "raise",
 ) -> Relation:
     """Decompress all blocks of all columns concurrently.
 
     The decompression context is stateless, so one instance is shared by
     every task; decoded parts are regrouped per column in block order and
-    reassembled with :func:`assemble_column`.
+    reassembled with :func:`assemble_column`. ``on_corrupt`` applies the
+    same checksum/degradation policy as the sequential API — a damaged
+    block raises (failing the whole run) or degrades per block.
     """
     ctx = make_context(vectorized)
     tasks: list[tuple[int, int]] = []
@@ -111,7 +114,9 @@ def decompress_relation_parallel(
     def worker(task: tuple[int, int]):
         col_idx, block_idx = task
         column = compressed.columns[col_idx]
-        return decode_block(column.blocks[block_idx], column.ctype, ctx)
+        return decode_block(
+            column.blocks[block_idx], column.ctype, ctx, on_corrupt=on_corrupt
+        )
 
     registry = get_registry()
     registry.incr("parallel.decompress_runs")

@@ -58,6 +58,52 @@ class TestCompressDecompress:
         assert "dictionary" in output or "one_value" in output
 
 
+class TestScan:
+    @pytest.fixture
+    def btr_file(self, tmp_path, csv_file):
+        csv_path, relation = csv_file
+        btr_path = tmp_path / "sales.btr"
+        main(["compress", str(csv_path), str(btr_path)])
+        return btr_path, relation
+
+    def test_fault_free_scan(self, btr_file, capsys):
+        btr_path, relation = btr_file
+        capsys.readouterr()
+        assert main(["scan", str(btr_path)]) == 0
+        output = capsys.readouterr().out
+        assert f"scanned {relation.row_count} rows x 3 columns" in output
+        assert "retries 0" in output
+        assert "faults injected" not in output
+
+    def test_faulty_scan_retries_and_reports(self, tmp_path, btr_file, capsys):
+        btr_path, _ = btr_file
+        report_path = tmp_path / "scan.json"
+        capsys.readouterr()
+        assert main([
+            "scan", str(btr_path), "--columns", "price,city",
+            "--fault-transient", "0.5", "--seed", "0",
+            "-o", str(report_path),
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "2 columns" in output
+        assert "faults injected: transient=" in output
+        import json
+
+        report = json.loads(report_path.read_text())
+        assert report["reliability"]["retries"]["attempts"] > 0
+
+    def test_corrupting_scan_degrades_when_asked(self, btr_file, capsys):
+        btr_path, relation = btr_file
+        capsys.readouterr()
+        assert main([
+            "scan", str(btr_path), "--fault-corrupt", "0.6", "--seed", "0",
+            "--on-corrupt", "null_block",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert f"scanned {relation.row_count} rows" in output
+        assert "integrity:" in output
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

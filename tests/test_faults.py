@@ -1,0 +1,399 @@
+"""Unit tests for the fault-injection, retry/backoff and integrity layer.
+
+Deterministic-by-seed behaviour of :class:`FaultProfile`, the S3-style 416
+semantics of ``get_range``, billing rules (server-rejected attempts are
+free, truncated reads bill bytes served), retry accounting on the simulated
+clock, the ``on_corrupt`` degradation policies end to end, and the
+reliability section of JSON reports.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cloud import FaultProfile, RetryPolicy, SimulatedClock, SimulatedObjectStore
+from repro.cloud.faults import FaultInjector
+from repro.cloud.pricing import PricingModel
+from repro.cloud.remote_table import RemoteTable
+from repro.cloud.retry import call_with_retry
+from repro.cloud.scan import upload_btrblocks
+from repro.core.compressor import compress_column, compress_relation
+from repro.core.config import BtrBlocksConfig
+from repro.core.decompressor import decompress_column
+from repro.core.file_format import (
+    block_checksum,
+    column_from_bytes,
+    column_to_bytes,
+    relation_to_files,
+)
+from repro.core.relation import Relation
+from repro.exceptions import (
+    FormatError,
+    IntegrityError,
+    RangeNotSatisfiableError,
+    RetryExhaustedError,
+    ThrottledError,
+    TransientRequestError,
+)
+from repro.observe import MetricsRegistry, use_registry
+from repro.observe.report import build_report
+from repro.types import Column, columns_equal
+
+
+def make_store(profile=None, **kwargs) -> SimulatedObjectStore:
+    return SimulatedObjectStore(faults=profile, **kwargs)
+
+
+@pytest.fixture
+def relation() -> Relation:
+    rng = np.random.default_rng(99)
+    n = 1024
+    return Relation(
+        "t",
+        [
+            Column.ints("a", rng.integers(0, 1000, n).astype(np.int32)),
+            Column.doubles("b", np.round(rng.uniform(0, 10, n), 2)),
+        ],
+    )
+
+
+# -- 416 semantics and billing -------------------------------------------------
+
+
+class TestRangeSemantics:
+    def test_out_of_bounds_start_raises(self):
+        store = make_store()
+        store.put("k", b"0123456789")
+        with pytest.raises(RangeNotSatisfiableError):
+            store.get_range("k", 10, 1)
+        with pytest.raises(RangeNotSatisfiableError):
+            store.get_range("k", 999, 4)
+
+    def test_negative_range_raises(self):
+        store = make_store()
+        store.put("k", b"0123456789")
+        with pytest.raises(RangeNotSatisfiableError):
+            store.get_range("k", -1, 4)
+        with pytest.raises(RangeNotSatisfiableError):
+            store.get_range("k", 0, -4)
+
+    def test_rejected_range_is_not_billed(self):
+        store = make_store()
+        store.put("k", b"0123456789")
+        with pytest.raises(RangeNotSatisfiableError):
+            store.get_range("k", 10, 1)
+        assert store.stats.get_requests == 0
+        assert store.stats.bytes_downloaded == 0
+
+    def test_suffix_overrun_serves_suffix(self):
+        """A range that begins in-bounds but runs past the end is
+        satisfiable (S3 serves the suffix) — never a silent short read."""
+        store = make_store()
+        store.put("k", b"0123456789")
+        assert store.get_range("k", 8, 100) == b"89"
+        assert store.stats.bytes_downloaded == 2  # bills bytes served
+
+    def test_empty_object_chunked_get(self):
+        store = make_store()
+        store.put("k", b"")
+        assert store.get_chunked("k") == b""
+        assert store.stats.get_requests == 1
+
+    def test_missing_key_is_format_error_not_transient(self):
+        store = make_store(FaultProfile(transient_error_rate=1.0))
+        with pytest.raises(FormatError):
+            store.get("nope")
+        with pytest.raises(FormatError):
+            store.get_range("nope", 0, 1)
+
+
+class TestBilling:
+    def test_server_rejected_attempts_unbilled(self):
+        store = make_store(
+            FaultProfile(seed=3, throttle_rate=1.0), retry=RetryPolicy(max_attempts=2)
+        )
+        store.put("k", b"abc")
+        with pytest.raises(RetryExhaustedError):
+            store.get("k")
+        assert store.stats.get_requests == 0
+        assert store.stats.bytes_downloaded == 0
+
+    def test_truncated_read_bills_bytes_served(self):
+        store = make_store(
+            FaultProfile(seed=0, truncate_rate=1.0), retry=RetryPolicy(max_attempts=2)
+        )
+        store.put("k", b"x" * 100)
+        with pytest.raises(RetryExhaustedError):
+            store.get_range("k", 0, 100)
+        assert store.stats.get_requests == 2  # both attempts served bytes
+        assert 0 <= store.stats.bytes_downloaded < 200
+
+
+# -- fault determinism ---------------------------------------------------------
+
+
+class TestFaultDeterminism:
+    def test_same_seed_same_fault_sequence(self):
+        def run(seed: int) -> list[str]:
+            injector = FaultInjector(
+                FaultProfile(seed=seed, transient_error_rate=0.3, throttle_rate=0.3)
+            )
+            outcomes = []
+            for i in range(50):
+                try:
+                    injector.before_serve(f"k{i}")
+                    outcomes.append("ok")
+                except ThrottledError:
+                    outcomes.append("throttle")
+                except TransientRequestError:
+                    outcomes.append("transient")
+            return outcomes
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+    def test_payload_damage_deterministic(self):
+        def damage(seed: int) -> bytes:
+            injector = FaultInjector(FaultProfile(seed=seed, corrupt_rate=1.0))
+            return injector.damage_payload(b"\x00" * 64, ranged=True)
+
+        assert damage(5) == damage(5)
+        assert damage(5) != b"\x00" * 64
+
+    def test_zero_profile_injects_nothing(self):
+        injector = FaultInjector(FaultProfile())
+        payload = b"hello"
+        for i in range(100):
+            injector.before_serve(f"k{i}")
+            assert injector.damage_payload(payload, ranged=True) == payload
+
+
+# -- retry layer ---------------------------------------------------------------
+
+
+class TestRetry:
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(
+            base_delay_seconds=0.1, max_delay_seconds=0.5, multiplier=2.0, jitter=0.0
+        )
+        rng = FaultProfile().rng()
+        delays = [policy.backoff_seconds(i, rng) for i in range(5)]
+        assert delays == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_jitter_shrinks_delay_only(self):
+        policy = RetryPolicy(base_delay_seconds=1.0, multiplier=1.0, jitter=0.5)
+        rng = FaultProfile(seed=11).rng()
+        for i in range(20):
+            delay = policy.backoff_seconds(i, rng)
+            assert 0.5 <= delay <= 1.0
+
+    def test_retry_then_succeed(self):
+        clock = SimulatedClock()
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise TransientRequestError("boom")
+            return "done"
+
+        with use_registry(MetricsRegistry()):
+            out = call_with_retry(
+                flaky, RetryPolicy(max_attempts=4), clock, FaultProfile().rng()
+            )
+        assert out == "done"
+        assert calls["n"] == 3
+        assert clock.now_seconds > 0.0
+
+    def test_non_transient_not_retried(self):
+        clock = SimulatedClock()
+        calls = {"n": 0}
+
+        def broken():
+            calls["n"] += 1
+            raise FormatError("structural")
+
+        with use_registry(MetricsRegistry()), pytest.raises(FormatError):
+            call_with_retry(
+                broken, RetryPolicy(max_attempts=5), clock, FaultProfile().rng()
+            )
+        assert calls["n"] == 1
+        assert clock.now_seconds == 0.0
+
+    def test_exhausted_error_chains_last_failure(self):
+        with use_registry(MetricsRegistry()), pytest.raises(RetryExhaustedError) as info:
+            call_with_retry(
+                lambda: (_ for _ in ()).throw(ThrottledError("SlowDown")),
+                RetryPolicy(max_attempts=2),
+                SimulatedClock(),
+                FaultProfile().rng(),
+            )
+        assert isinstance(info.value.__cause__, ThrottledError)
+
+    def test_exhausted_error_is_not_transient(self):
+        """RetryExhaustedError must not itself be retryable, or an outer
+        retry loop would multiply the attempt budget."""
+        assert not issubclass(RetryExhaustedError, TransientRequestError)
+
+    def test_retry_counters_recorded(self):
+        registry = MetricsRegistry()
+        store = make_store(
+            FaultProfile(seed=1, transient_error_rate=0.3),
+            retry=RetryPolicy(max_attempts=12),
+        )
+        store.put("k", b"payload" * 100)
+        with use_registry(registry):
+            for _ in range(20):
+                assert store.get("k") == b"payload" * 100
+        counters = registry.snapshot()["counters"]
+        assert counters["cloud.faults.transient"] > 0
+        assert counters["cloud.retry.attempts"] == store.stats.retries > 0
+        assert counters["cloud.retry.backoff_seconds"] == pytest.approx(
+            store.stats.backoff_seconds
+        )
+
+    def test_backoff_lands_in_simulated_transfer_time(self):
+        store = make_store(
+            FaultProfile(seed=2, transient_error_rate=0.5),
+            retry=RetryPolicy(max_attempts=8),
+        )
+        store.put("k", b"z" * 4096)
+        for _ in range(10):
+            store.get("k")
+        assert store.stats.backoff_seconds > 0.0
+        baseline = make_store()
+        baseline.put("k", b"z" * 4096)
+        for _ in range(10):
+            baseline.get("k")
+        extra = store.simulated_transfer_seconds() - baseline.simulated_transfer_seconds()
+        assert extra == pytest.approx(store.stats.backoff_seconds)
+
+
+# -- on_corrupt degradation end to end -----------------------------------------
+
+
+def _damaged_column_blob() -> bytes:
+    column = compress_column(
+        Column.ints("v", np.arange(500, dtype=np.int32)),
+        BtrBlocksConfig(block_size=128),  # several blocks; damage hits one
+    )
+    blob = bytearray(column_to_bytes(column))
+    blob[-3] ^= 0x40  # inside the last block's payload
+    return bytes(blob)
+
+
+class TestOnCorrupt:
+    def test_raise_is_default(self):
+        column = column_from_bytes(_damaged_column_blob())
+        with pytest.raises(IntegrityError):
+            decompress_column(column)
+
+    def test_skip_drops_damaged_rows(self):
+        column = column_from_bytes(_damaged_column_blob())
+        out = decompress_column(column, on_corrupt="skip")
+        assert 0 < len(out.data) < 500
+
+    def test_null_block_preserves_row_count(self):
+        column = column_from_bytes(_damaged_column_blob())
+        out = decompress_column(column, on_corrupt="null_block")
+        assert len(out.data) == 500
+        assert out.nulls is not None and len(out.nulls) > 0
+
+    def test_unknown_mode_rejected(self):
+        column = column_from_bytes(_damaged_column_blob())
+        with pytest.raises(ValueError):
+            decompress_column(column, on_corrupt="pretend")
+
+    def test_checksum_seeded_with_count(self):
+        assert block_checksum(b"abc", None, 1) != block_checksum(b"abc", None, 2)
+
+
+def _corrupting_table(relation, max_attempts, on_corrupt="raise"):
+    """A RemoteTable over an always-corrupting store, built with known-good
+    metadata so the corruption lands on the checksummed column path."""
+    store = make_store(
+        FaultProfile(seed=4, corrupt_rate=1.0),
+        retry=RetryPolicy(max_attempts=max_attempts),
+    )
+    files = relation_to_files(compress_relation(relation))
+    store.put_many(files)
+    metadata = json.loads(files["t/table.meta"])
+    return RemoteTable(store, "t", metadata, on_corrupt=on_corrupt)
+
+
+class TestRemoteTableIntegrity:
+    def test_persistent_corruption_degrades_or_raises(self, relation):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            table = _corrupting_table(relation, max_attempts=3)
+            with pytest.raises(IntegrityError):
+                table.scan(columns=["a"])
+        counters = registry.snapshot()["counters"]
+        assert counters["cloud.table.integrity_refetches"] == 3
+        assert counters["cloud.table.integrity_failures"] == 1
+
+    def test_persistent_corruption_null_block_scan(self, relation):
+        table = _corrupting_table(relation, max_attempts=2, on_corrupt="null_block")
+        out = table.scan(columns=["a"])
+        assert len(out.columns[0].data) == len(relation.columns[0].data)
+
+    def test_unparseable_metadata_refetched_then_typed_error(self, relation):
+        """Corrupted metadata (plain JSON, no checksum) is refetched up to
+        the retry budget and then fails with FormatError, never a raw
+        JSONDecodeError."""
+        registry = MetricsRegistry()
+        store = make_store(
+            FaultProfile(seed=4, corrupt_rate=1.0), retry=RetryPolicy(max_attempts=3)
+        )
+        with use_registry(registry):
+            upload_btrblocks(store, compress_relation(relation))
+            with pytest.raises(FormatError):
+                RemoteTable.open(store, "t")
+        assert registry.snapshot()["counters"]["cloud.table.meta_refetches"] == 3
+
+    def test_transient_faults_do_not_reach_integrity_layer(self, relation):
+        registry = MetricsRegistry()
+        store = make_store(
+            FaultProfile(seed=5, transient_error_rate=0.3),
+            retry=RetryPolicy(max_attempts=8),
+        )
+        with use_registry(registry):
+            upload_btrblocks(store, compress_relation(relation))
+            table = RemoteTable.open(store, "t")
+            out = table.scan()
+        for original, restored in zip(relation.columns, out.columns):
+            assert columns_equal(original, restored)
+        counters = registry.snapshot()["counters"]
+        assert counters.get("cloud.table.integrity_refetches", 0) == 0
+
+
+# -- reports -------------------------------------------------------------------
+
+
+class TestReliabilityReport:
+    def test_fault_free_report_has_no_reliability_section(self, relation):
+        registry = MetricsRegistry()
+        store = make_store()
+        with use_registry(registry):
+            upload_btrblocks(store, compress_relation(relation))
+            RemoteTable.open(store, "t").scan()
+            report = build_report(registry)
+        assert "reliability" not in report
+
+    def test_faulty_scan_report_rolls_up_reliability(self, relation):
+        registry = MetricsRegistry()
+        store = make_store(
+            FaultProfile(seed=6, transient_error_rate=0.4, timeout_rate=0.1),
+            retry=RetryPolicy(max_attempts=10),
+        )
+        with use_registry(registry):
+            upload_btrblocks(store, compress_relation(relation))
+            RemoteTable.open(store, "t").scan()
+            report = build_report(registry)
+        reliability = report["reliability"]
+        assert reliability["faults"]["transient"] > 0
+        assert reliability["retries"]["attempts"] > 0
+        assert reliability["retries"]["backoff_seconds"] > 0.0

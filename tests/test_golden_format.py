@@ -104,12 +104,22 @@ def scheme_fixtures() -> dict[str, bytes]:
 
 
 def file_fixtures() -> dict[str, bytes]:
-    """Column-file and relation-file serializations of a fixed relation."""
+    """Column-file and relation-file serializations of a fixed relation.
+
+    Both container versions are frozen: the original checksum-less v1 files
+    keep their seed-era names (and exact bytes — the v1 writer must never
+    drift, old files in the wild depend on it), while the CRC32-checksummed
+    v2 files live alongside under ``*.v2.*`` names.
+    """
     relation = _fixture_relation()
     compressed = compress_relation(relation)
-    fixtures = {"relation.btr": relation_to_bytes(compressed)}
+    fixtures = {
+        "relation.btr": relation_to_bytes(compressed, version=1),
+        "relation.v2.btr": relation_to_bytes(compressed, version=2),
+    }
     for column in compressed.columns:
-        fixtures[f"column_{column.name}.btrc"] = column_to_bytes(column)
+        fixtures[f"column_{column.name}.btrc"] = column_to_bytes(column, version=1)
+        fixtures[f"column_{column.name}.v2.btrc"] = column_to_bytes(column, version=2)
     return fixtures
 
 
@@ -167,13 +177,55 @@ def test_node_header_layout():
 
 
 def test_column_file_header_layout():
-    """Column file = b"BTRC" + u8 type code + u16 name length + name..."""
+    """v1 column file = b"BTRC" + u8 type code + u16 name length + name..."""
     column = compress_column(Column.ints("answer", _i32([1, 2, 3])))
-    blob = column_to_bytes(column)
+    blob = column_to_bytes(column, version=1)
     assert blob[:4] == _COLUMN_MAGIC == b"BTRC"
     type_code, name_len = struct.unpack_from("<BH", blob, 4)
     assert type_code == 0  # integer
     assert blob[7 : 7 + name_len] == b"answer"
+
+
+def test_column_file_v2_header_layout():
+    """v2 = b"BTR2" magic + header CRC32; block headers gain a CRC32 of
+    (count, data, nulls)."""
+    import zlib
+
+    column = compress_column(Column.ints("answer", _i32([1, 2, 3])))
+    blob = column_to_bytes(column)  # v2 is the default writer output
+    assert blob[:4] == b"BTR2"
+    pos = 7 + len(b"answer") + 4  # fixed header + name + u32 block_count
+    (header_crc,) = struct.unpack_from("<I", blob, pos)
+    assert header_crc == zlib.crc32(blob[:pos]) & 0xFFFFFFFF
+    pos += 4
+    count, data_len, nulls_len, checksum = struct.unpack_from("<IIII", blob, pos)
+    assert count == 3
+    block_data = blob[pos + 16 : pos + 16 + data_len]
+    expected = zlib.crc32(block_data, zlib.crc32(struct.pack("<I", count)))
+    assert checksum == expected & 0xFFFFFFFF
+
+
+def test_v1_and_v2_fixtures_decode_identically(fixtures):
+    """Backward compat: committed v1 files decode unchanged through the new
+    reader, bit-identical to their v2 siblings."""
+    from repro.core.decompressor import decompress_column
+    from repro.core.file_format import column_from_bytes
+    from repro.types import columns_equal
+
+    for name in ("runs", "price", "city"):
+        v1 = column_from_bytes((GOLDEN_DIR / f"column_{name}.btrc").read_bytes())
+        v2 = column_from_bytes((GOLDEN_DIR / f"column_{name}.v2.btrc").read_bytes())
+        assert all(b.checksum is None for b in v1.blocks)
+        assert all(b.checksum is not None for b in v2.blocks)
+        assert columns_equal(decompress_column(v1), decompress_column(v2))
+
+    original = _fixture_relation()
+    for rel_name in ("relation.btr", "relation.v2.btr"):
+        from repro.core.file_format import relation_from_bytes
+
+        restored = relation_from_bytes((GOLDEN_DIR / rel_name).read_bytes())
+        for column, expected in zip(restored.columns, original.columns):
+            assert columns_equal(decompress_column(column), expected)
 
 
 def test_relation_file_header_is_json_index():
