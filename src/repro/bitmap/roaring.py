@@ -305,6 +305,10 @@ class RoaringBitmap:
                 raise CorruptBlockError("truncated roaring bitmap header")
             key, kind, card, size = np.frombuffer(data, dtype=np.uint32, count=4, offset=offset)
             offset += 16
+            if int(key) > 0xFFFF:
+                # Keys are the high 16 bits of a 32-bit position; anything
+                # larger would overflow position reconstruction (key << 16).
+                raise CorruptBlockError(f"roaring container key {int(key)} exceeds 16 bits")
             raw = data[offset : offset + int(size)]
             if len(raw) != int(size):
                 raise CorruptBlockError("truncated roaring bitmap payload")
@@ -314,7 +318,17 @@ class RoaringBitmap:
             elif kind == _KIND_BITMAP:
                 payload = np.frombuffer(raw, dtype=np.uint64)
             elif kind == _KIND_RUN:
+                if size % 4:
+                    raise CorruptBlockError("run container payload not (start, length) pairs")
                 payload = np.frombuffer(raw, dtype=np.uint16).reshape(-1, 2)
+                # 16 payload bytes can declare up to 64K positions per pair;
+                # bound the expansion so corrupt run lengths cannot blow an
+                # allocation past a container's 2^16 value space.
+                extent = int((payload[:, 1].astype(np.int64) + 1).sum()) if len(payload) else 0
+                if extent > 65536:
+                    raise CorruptBlockError(
+                        f"run container declares {extent} positions, max is 65536"
+                    )
             else:
                 raise CorruptBlockError(f"unknown container kind {kind}")
             bm._keys.append(int(key))

@@ -9,6 +9,8 @@ Usage (also via ``python -m repro``)::
     python -m repro stats     data.csv  [--decisions] [--output report.json]
     python -m repro scan      out.btr   [--columns a,b] [--fault-transient P]
                               [--fault-truncate P] [--fault-corrupt P] ...
+    python -m repro write     out.btr   [--fault-put-transient P] [--fault-torn P]
+                              [--crash-after N] [--recover] ...
     python -m repro bench     [--rows N] [--workers 1,2,4] [--output BENCH.json]
                               [--compare BASELINE.json] [--threshold 0.30]
 
@@ -20,7 +22,12 @@ histogram, sizes and ratios without decompressing any data. ``stats``
 compresses in memory purely to produce that JSON report. ``scan`` replays
 a column scan of the table through the simulated object store — optionally
 with an injected fault profile — and reports requests, retries, backoff,
-integrity events and simulated cost (see docs/RELIABILITY.md).
+integrity events and simulated cost (see docs/RELIABILITY.md). ``write``
+replays the transactional *upload*: the table commits through the
+multipart + manifest protocol under injected PUT faults (torn writes,
+duplicate delivery, throttles, a writer crash at step N), then reports the
+write-side billing — and, with ``--recover``, what a recovery sweep
+reclaimed after a crash.
 """
 
 from __future__ import annotations
@@ -83,9 +90,23 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 def _cmd_decompress(args: argparse.Namespace) -> int:
     registry = MetricsRegistry()
+    limits = None
+    if args.max_rows_per_block or args.max_bytes_per_block:
+        from dataclasses import replace
+
+        from repro.core.config import DEFAULT_DECODE_LIMITS
+
+        overrides = {}
+        if args.max_rows_per_block:
+            overrides["max_rows_per_block"] = args.max_rows_per_block
+        if args.max_bytes_per_block:
+            overrides["max_bytes_per_block"] = args.max_bytes_per_block
+        limits = replace(DEFAULT_DECODE_LIMITS, **overrides)
     compressed = relation_from_bytes(Path(args.input).read_bytes())
     with use_registry(registry):
-        relation = decompress_relation(compressed, on_corrupt=args.on_corrupt)
+        relation = decompress_relation(
+            compressed, on_corrupt=args.on_corrupt, limits=limits
+        )
     Path(args.output).write_text(relation_to_csv(relation), encoding="utf-8")
     print(f"{args.input}: restored {relation.row_count} rows, "
           f"{len(relation.columns)} columns -> {args.output}")
@@ -149,6 +170,83 @@ def _cmd_scan(args: argparse.Namespace) -> int:
         )
         print(f"observability report -> {args.output}")
     return 0
+
+
+def _cmd_write(args: argparse.Namespace) -> int:
+    """Replay a transactional table write against the simulated store."""
+    from repro.cloud import (
+        FaultProfile,
+        RemoteTable,
+        SimulatedObjectStore,
+        TableWriter,
+        WriteCostModel,
+        recover,
+    )
+    from repro.exceptions import ObjectStoreError, WriterCrashError
+
+    compressed = relation_from_bytes(Path(args.input).read_bytes())
+    rates = {
+        "put_transient_error_rate": args.fault_put_transient,
+        "put_timeout_rate": args.fault_put_timeout,
+        "put_throttle_rate": args.fault_put_throttle,
+        "torn_write_rate": args.fault_torn,
+        "duplicate_delivery_rate": args.fault_duplicate,
+    }
+    profile = None
+    if any(rate > 0 for rate in rates.values()) or args.crash_after >= 0:
+        profile = FaultProfile(
+            seed=args.seed, crash_after_put_ops=args.crash_after, **rates
+        )
+    store = SimulatedObjectStore(faults=profile)
+    registry, trace = MetricsRegistry(), SelectionTrace()
+    status = 0
+    with use_registry(registry), use_trace(trace):
+        writer = TableWriter(store)
+        try:
+            version = writer.write(compressed)
+            print(f"{args.input}: committed {compressed.name!r} version {version} "
+                  f"({len(compressed.columns)} columns)")
+        except WriterCrashError as exc:
+            status = 1
+            print(f"{args.input}: writer crashed before commit ({exc})")
+        except ObjectStoreError as exc:
+            status = 1
+            print(f"{args.input}: write failed and rolled back "
+                  f"({type(exc).__name__}: {exc})")
+        stats = store.stats
+        print(f"  put requests {stats.put_requests}, "
+              f"bytes uploaded {stats.bytes_uploaded:,}, "
+              f"retries {stats.put_retries}, "
+              f"backoff {stats.put_backoff_seconds:.3f}s")
+        faults = {name.split(".")[-1]: int(registry.get(name)) for name in
+                  ("cloud.faults.put_transient", "cloud.faults.put_timeout",
+                   "cloud.faults.put_throttle", "cloud.faults.torn_write",
+                   "cloud.faults.duplicate_delivery", "cloud.faults.writer_crash")
+                  if registry.get(name)}
+        if faults:
+            print("  faults injected: " +
+                  ", ".join(f"{kind}={count}" for kind, count in faults.items()))
+        cost_model = WriteCostModel(store.pricing)
+        metrics = cost_model.from_stats(compressed.name, stats)
+        print(f"  simulated upload {store.simulated_upload_seconds():.4f}s, "
+              f"cost ${cost_model.cost_usd(metrics):.6f}")
+        if args.recover:
+            # Recovery runs as a fresh process: the dead writer's fault
+            # profile no longer applies.
+            store.set_faults(None)
+            report = recover(store, compressed.name)
+            print(f"  recovery: aborted {report.aborted_uploads} upload(s), "
+                  f"deleted {report.deleted_objects} orphaned object(s), "
+                  f"reclaimed {report.reclaimed_bytes:,} staged bytes")
+            try:
+                table = RemoteTable.open(store, compressed.name)
+                print(f"  readable version after recovery: {table.version}")
+            except Exception:
+                print("  no committed version is visible (nothing was published)")
+    if args.output:
+        Path(args.output).write_text(report_json(registry, trace), encoding="utf-8")
+        print(f"observability report -> {args.output}")
+    return status
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -234,6 +332,10 @@ def build_parser() -> argparse.ArgumentParser:
     decompress.add_argument("output")
     decompress.add_argument("--on-corrupt", choices=ON_CORRUPT_MODES, default="raise",
                             help="policy for checksum-damaged blocks (default raise)")
+    decompress.add_argument("--max-rows-per-block", type=int, metavar="N",
+                            help="decode limit: reject blocks declaring more rows")
+    decompress.add_argument("--max-bytes-per-block", type=int, metavar="N",
+                            help="decode limit: reject blocks declaring larger payloads")
     decompress.set_defaults(func=_cmd_decompress)
 
     scan = sub.add_parser(
@@ -259,6 +361,31 @@ def build_parser() -> argparse.ArgumentParser:
     scan.add_argument("--output", "-o", metavar="PATH",
                       help="write the observability JSON report to PATH")
     scan.set_defaults(func=_cmd_scan)
+
+    write = sub.add_parser(
+        "write",
+        help="replay a transactional (fault-injectable) table write to simulated S3",
+    )
+    write.add_argument("input")
+    write.add_argument("--fault-put-transient", type=float, default=0.0, metavar="P",
+                       help="probability of an injected transient error per PUT-class request")
+    write.add_argument("--fault-put-timeout", type=float, default=0.0, metavar="P",
+                       help="probability of an injected client timeout per PUT-class request")
+    write.add_argument("--fault-put-throttle", type=float, default=0.0, metavar="P",
+                       help="probability of an injected throttle per PUT-class request")
+    write.add_argument("--fault-torn", type=float, default=0.0, metavar="P",
+                       help="probability a byte-carrying PUT is torn (prefix lands, then failure)")
+    write.add_argument("--fault-duplicate", type=float, default=0.0, metavar="P",
+                       help="probability a PUT is applied but its response is lost")
+    write.add_argument("--crash-after", type=int, default=-1, metavar="N",
+                       help="kill the writer after N PUT-class protocol steps (-1 = never)")
+    write.add_argument("--seed", type=int, default=0,
+                       help="fault-injection RNG seed (default 0)")
+    write.add_argument("--recover", action="store_true",
+                       help="after the write (or crash), sweep orphaned staged parts/objects")
+    write.add_argument("--output", "-o", metavar="PATH",
+                       help="write the observability JSON report to PATH")
+    write.set_defaults(func=_cmd_write)
 
     inspect = sub.add_parser("inspect", help="show per-column schemes and sizes")
     inspect.add_argument("input")

@@ -20,8 +20,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.cloud.pricing import DEFAULT_PRICING, PricingModel
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only, avoids an import cycle
+    from repro.cloud.objectstore import TransferStats
 from repro.core.relation import Relation
 from repro.formats import FormatAdapter
 
@@ -121,4 +125,69 @@ class ScanCostModel:
     def cost_usd(self, metrics: ScanMetrics) -> float:
         return self.pricing.compute_cost(metrics.wall_seconds) + self.pricing.request_cost(
             metrics.requests
+        )
+
+
+@dataclass
+class WriteMetrics:
+    """Billing view of one table write (committed or crashed).
+
+    ``put_requests``/``bytes_uploaded`` come straight from the store's
+    :class:`~repro.cloud.objectstore.TransferStats`, so they already include
+    every billed *attempt*: a torn write bills the prefix that landed, a
+    duplicate-delivered retry bills twice, and parts staged for a version
+    that never commits are billed all the same — S3 charges for uploading
+    parts whether or not the upload completes. Aborts/deletes are free, so
+    ``recover()`` costs nothing beyond the bytes already sunk.
+    """
+
+    label: str
+    put_requests: int
+    bytes_uploaded: int
+    put_retries: int = 0
+    backoff_seconds: float = 0.0
+    #: Bytes reclaimed from staged-but-never-committed parts (recovery sweep).
+    aborted_bytes: int = 0
+
+    @property
+    def wall_seconds(self) -> float:
+        """Upload wall clock: ingress-bandwidth-bound plus retry dead time."""
+        return (
+            self.bytes_uploaded / DEFAULT_PRICING.s3_bytes_per_second
+            + self.backoff_seconds
+        )
+
+
+class WriteCostModel:
+    """Bills the write path with S3 PUT semantics (see WriteMetrics)."""
+
+    def __init__(self, pricing: PricingModel | None = None) -> None:
+        self.pricing = pricing or DEFAULT_PRICING
+
+    def from_stats(
+        self, label: str, stats: "TransferStats", aborted_bytes: int = 0
+    ) -> WriteMetrics:
+        """Snapshot a store's accumulated write-side accounting."""
+        return WriteMetrics(
+            label=label,
+            put_requests=stats.put_requests,
+            bytes_uploaded=stats.bytes_uploaded,
+            put_retries=stats.put_retries,
+            backoff_seconds=stats.put_backoff_seconds,
+            aborted_bytes=aborted_bytes,
+        )
+
+    def cost_usd(self, metrics: WriteMetrics) -> float:
+        """PUT-request charges plus EC2 time for the upload wall clock.
+
+        Ingress bandwidth is free; the money is requests + instance time.
+        Wasted (aborted) bytes show up only through the requests and wall
+        time they already consumed — there is no refund line.
+        """
+        upload_seconds = (
+            metrics.bytes_uploaded / self.pricing.s3_bytes_per_second
+            + metrics.backoff_seconds
+        )
+        return self.pricing.put_cost(metrics.put_requests) + self.pricing.compute_cost(
+            upload_seconds
         )

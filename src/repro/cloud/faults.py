@@ -16,6 +16,23 @@ Faults come in two transport classes:
   the extent it asked for); bit flips are only caught by the per-block CRC32
   checksums of the v2 column format (see ``docs/RELIABILITY.md``).
 
+The write path has its own fault classes, rolled per PUT-class attempt
+(simple PUTs, multipart initiate/part/complete):
+
+* **request faults** (``put_transient_error_rate`` / ``put_timeout_rate`` /
+  ``put_throttle_rate``) reject the attempt before any byte lands;
+* **torn writes** (``torn_write_rate``) apply a *prefix* of the payload and
+  then fail — the hazard that makes naive single-object PUTs unsafe and
+  multipart-staged commits necessary;
+* **duplicate delivery** (``duplicate_delivery_rate``) applies the full
+  write server-side but loses the response, so the client retries a request
+  that already happened — the reason part uploads and completes must be
+  idempotent;
+* **writer crash** (``crash_after_put_ops``) kills the writer outright at
+  the Nth PUT-class protocol step with a non-retryable
+  :class:`~repro.exceptions.WriterCrashError`, which is how the crash-matrix
+  suite exercises every step of the commit protocol.
+
 Every injected fault increments a ``cloud.faults.*`` counter in the process
 :class:`~repro.observe.MetricsRegistry`.
 """
@@ -25,7 +42,12 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
-from repro.exceptions import RequestTimeoutError, ThrottledError, TransientRequestError
+from repro.exceptions import (
+    RequestTimeoutError,
+    ThrottledError,
+    TransientRequestError,
+    WriterCrashError,
+)
 from repro.observe import get_registry
 
 
@@ -53,6 +75,22 @@ class FaultProfile:
     corrupt_rate: float = 0.0
     #: Bit flips applied to each corrupted payload.
     corrupt_flips: int = 1
+    # -- write-path faults ----------------------------------------------------
+    #: Probability a PUT-class attempt fails with a transient error (S3 500).
+    put_transient_error_rate: float = 0.0
+    #: Probability a PUT-class attempt times out client-side.
+    put_timeout_rate: float = 0.0
+    #: Probability the store throttles a PUT-class attempt (503 SlowDown).
+    put_throttle_rate: float = 0.0
+    #: Probability a byte-carrying PUT is torn: a prefix lands, then failure.
+    torn_write_rate: float = 0.0
+    #: Probability a PUT-class attempt is applied but the response is lost,
+    #: so the client retries a write that already happened.
+    duplicate_delivery_rate: float = 0.0
+    #: Kill the writer (non-retryable WriterCrashError) once this many
+    #: PUT-class operations have completed; every later PUT-class op also
+    #: fails. Negative = disabled. 0 kills the very first operation.
+    crash_after_put_ops: int = -1
 
     def rng(self) -> random.Random:
         """A fresh RNG positioned at the profile's seed."""
@@ -65,6 +103,9 @@ class FaultInjector:
     def __init__(self, profile: FaultProfile) -> None:
         self.profile = profile
         self._rng = profile.rng()
+        #: PUT-class operations attempted so far (crash-step bookkeeping).
+        self.put_ops = 0
+        self._crashed = False
 
     def _roll(self, rate: float) -> bool:
         return rate > 0.0 and self._rng.random() < rate
@@ -96,5 +137,64 @@ class FaultInjector:
             data = bytes(damaged)
         return data
 
+    # -- write path -----------------------------------------------------------
 
-__all__ = ["FaultInjector", "FaultProfile"]
+    def roll_put(self, op: str, key: str, size: int = 0) -> "PutOutcome":
+        """Roll write-path faults for one PUT-class attempt.
+
+        ``op`` labels the protocol step (``put`` / ``initiate`` / ``part`` /
+        ``complete`` / ``abort``). Request faults raise; torn writes and
+        duplicate deliveries return a :class:`PutOutcome` telling the store
+        how many bytes to apply and which error to raise *after* applying
+        them. Abort rolls only the crash check — a dead writer cannot abort,
+        but the store itself never rejects a cleanup request.
+        """
+        registry = get_registry()
+        self.put_ops += 1
+        crash_after = self.profile.crash_after_put_ops
+        if self._crashed or (0 <= crash_after < self.put_ops):
+            self._crashed = True
+            registry.incr("cloud.faults.writer_crash")
+            raise WriterCrashError(
+                f"injected writer crash at PUT-class op #{self.put_ops} ({op} {key})"
+            )
+        if op == "abort":
+            return PutOutcome(size)
+        if self._roll(self.profile.put_transient_error_rate):
+            registry.incr("cloud.faults.put_transient")
+            raise TransientRequestError(f"injected transient error on {op} {key}")
+        if self._roll(self.profile.put_timeout_rate):
+            registry.incr("cloud.faults.put_timeout")
+            raise RequestTimeoutError(f"injected timeout on {op} {key}")
+        if self._roll(self.profile.put_throttle_rate):
+            registry.incr("cloud.faults.put_throttle")
+            raise ThrottledError(f"injected throttle (SlowDown) on {op} {key}")
+        if size > 0 and op in ("put", "part") and self._roll(self.profile.torn_write_rate):
+            registry.incr("cloud.faults.torn_write")
+            return PutOutcome(self._rng.randrange(size), torn=True)
+        if self._roll(self.profile.duplicate_delivery_rate):
+            registry.incr("cloud.faults.duplicate_delivery")
+            return PutOutcome(size, duplicate=True)
+        return PutOutcome(size)
+
+
+@dataclass(frozen=True)
+class PutOutcome:
+    """How much of one PUT-class attempt the server durably applied.
+
+    ``torn`` — only ``applied_bytes`` of the payload landed and the attempt
+    must fail with :class:`~repro.exceptions.TornWriteError` after applying
+    them. ``duplicate`` — the full write landed but the response was lost,
+    so the attempt must fail with a plain transient error after applying.
+    """
+
+    applied_bytes: int
+    torn: bool = False
+    duplicate: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return not (self.torn or self.duplicate)
+
+
+__all__ = ["FaultInjector", "FaultProfile", "PutOutcome"]

@@ -12,20 +12,48 @@ with the store's :class:`~repro.cloud.retry.RetryPolicy`. Backoff is taken
 on a :class:`~repro.cloud.retry.SimulatedClock` (accounted, not slept) and
 lands in :attr:`TransferStats.backoff_seconds`, so retries cost simulated
 scan time and dollars but never test wall-time.
+
+The write side mirrors S3's upload semantics:
+
+* ``put`` is a naive single-object PUT. It retries transient faults, but a
+  **torn write** that exhausts the retry budget (or a writer crash) leaves a
+  partially-written object *visible* — exactly the hazard real lake writers
+  must design around.
+* The **multipart protocol** (``initiate_multipart`` / ``upload_part`` /
+  ``complete_multipart`` / ``abort_multipart``) stages parts invisibly:
+  nothing is listable or readable until ``complete_multipart`` installs the
+  assembled object in one atomic step. Part uploads and completes are
+  idempotent, so duplicate delivery on retry is harmless; a torn part can
+  never complete (mirroring S3's ETag check). ``put_many`` routes through
+  this path and rolls back on failure, so a mid-batch error leaves none of
+  the batch visible (a writer *crash* mid-complete can still expose a
+  prefix — crash-consistent multi-object commits need the manifest protocol
+  of :class:`~repro.cloud.remote_table.TableWriter`).
+
+Billing follows S3 on both sides: attempts the server rejects are free;
+attempts that moved bytes bill one request and exactly the bytes that
+arrived (a torn write bills the prefix that landed, a duplicate-delivered
+retry bills twice). Aborts and deletes are free, as on S3.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from typing import Callable, Iterable
 
 from repro.cloud.faults import FaultInjector, FaultProfile
 from repro.cloud.pricing import DEFAULT_PRICING, PricingModel
 from repro.cloud.retry import RetryPolicy, SimulatedClock, call_with_retry
 from repro.exceptions import (
     FormatError,
+    MultipartUploadError,
+    NoSuchUploadError,
     RangeNotSatisfiableError,
+    TornWriteError,
+    TransientRequestError,
     TruncatedReadError,
+    WriterCrashError,
 )
 
 
@@ -35,26 +63,76 @@ class TransferStats:
 
     get_requests: int = 0
     bytes_downloaded: int = 0
-    #: Attempts beyond the first, across all requests.
+    #: Attempts beyond the first, across all GET requests.
     retries: int = 0
     #: Simulated seconds spent backing off (and waiting out timeouts).
     backoff_seconds: float = 0.0
+    #: Billed PUT-class requests (simple PUTs, initiates, parts, completes).
+    put_requests: int = 0
+    #: Bytes the server durably applied across billed PUT-class attempts.
+    bytes_uploaded: int = 0
+    #: Attempts beyond the first, across all PUT-class requests.
+    put_retries: int = 0
+    #: Simulated seconds spent backing off on the write path.
+    put_backoff_seconds: float = 0.0
 
     def reset(self) -> None:
         self.get_requests = 0
         self.bytes_downloaded = 0
         self.retries = 0
         self.backoff_seconds = 0.0
+        self.put_requests = 0
+        self.bytes_uploaded = 0
+        self.put_retries = 0
+        self.put_backoff_seconds = 0.0
+
+
+@dataclass
+class _Part:
+    """One staged multipart part; ``complete`` is False for torn uploads."""
+
+    data: bytes
+    complete: bool = True
+
+
+@dataclass
+class _MultipartUpload:
+    """Server-side state of one in-progress multipart upload."""
+
+    upload_id: str
+    key: str
+    parts: dict[int, _Part] = field(default_factory=dict)
+    completed: bool = False
+    aborted: bool = False
+
+    @property
+    def pending(self) -> bool:
+        return not (self.completed or self.aborted)
+
+    def staged_bytes(self) -> int:
+        return sum(len(part.data) for part in self.parts.values())
+
+
+@dataclass(frozen=True)
+class UploadInfo:
+    """Public view of one multipart upload (for recovery sweeps)."""
+
+    upload_id: str
+    key: str
+    staged_bytes: int
 
 
 @dataclass
 class SimulatedObjectStore:
-    """An in-memory blob store with S3-like GET semantics and accounting.
+    """An in-memory blob store with S3-like GET/PUT semantics and accounting.
 
     Billing follows S3: attempts rejected server-side (transient errors,
     timeouts, throttles) are not billed; attempts that served bytes count
     one GET request and bill exactly the bytes that arrived — a truncated
-    range bills only what was served before the cut.
+    range bills only what was served before the cut. PUT-class attempts are
+    billed symmetrically: rejected attempts are free, attempts the server
+    applied (fully, torn, or with a lost response) bill one request plus
+    the bytes that landed. Aborts and deletes are free.
     """
 
     pricing: PricingModel = field(default_factory=lambda: DEFAULT_PRICING)
@@ -69,22 +147,255 @@ class SimulatedObjectStore:
         self._injector = FaultInjector(self.faults) if self.faults else None
         seed = self.faults.seed if self.faults else 0
         self._retry_rng = random.Random(seed ^ 0x5E7B0FF)
+        self._uploads: dict[str, _MultipartUpload] = {}
+        self._upload_counter = 0
+
+    def set_faults(self, profile: FaultProfile | None) -> None:
+        """Swap the fault profile (e.g. to read back after a writer crash)."""
+        self.faults = profile
+        self._injector = FaultInjector(profile) if profile else None
+
+    @property
+    def fault_injector(self) -> FaultInjector | None:
+        """The live injector (protocol-step bookkeeping for crash tests)."""
+        return self._injector
 
     # -- bucket operations ----------------------------------------------------
 
+    def _retrying_put(self, attempt: Callable[[], None], label: str) -> None:
+        def on_backoff(delay: float) -> None:
+            self.stats.put_retries += 1
+
+        def on_wait(delay: float) -> None:
+            self.stats.put_backoff_seconds += delay
+
+        call_with_retry(
+            attempt,
+            self.retry,
+            self.clock,
+            self._retry_rng,
+            on_backoff=on_backoff,
+            on_wait=on_wait,
+            label=label,
+        )
+
+    def _put_attempt(
+        self,
+        op: str,
+        key: str,
+        size: int,
+        apply: Callable[[int], None],
+        billed: bool = True,
+    ) -> None:
+        """One PUT-class attempt: roll faults, apply bytes, bill, fail late.
+
+        ``apply`` receives the byte count the server durably applied (the
+        full ``size`` normally, a prefix for a torn write). Rejected
+        attempts raise before applying or billing; torn and duplicate
+        deliveries apply and bill first, then raise a retryable error.
+        """
+        outcome = None
+        if self._injector is not None:
+            outcome = self._injector.roll_put(op, key, size)
+        applied = size if outcome is None else outcome.applied_bytes
+        apply(applied)
+        if billed:
+            self.stats.put_requests += 1
+            self.stats.bytes_uploaded += applied
+        if outcome is not None and outcome.torn:
+            raise TornWriteError(
+                f"{op} {key}: connection lost after {applied} of {size} bytes"
+            )
+        if outcome is not None and outcome.duplicate:
+            raise TransientRequestError(
+                f"{op} {key}: write applied but response lost"
+            )
+
     def put(self, key: str, data: bytes) -> None:
-        """Upload an object (uploads are not billed in the paper's model)."""
-        self._objects[key] = data
+        """Naive single-object PUT (retried, but *not* atomic under faults).
+
+        A torn write applies a prefix before failing; if retries exhaust —
+        or the writer crashes — that prefix stays visible. Crash-safe
+        writers stage through the multipart protocol instead.
+        """
+
+        def attempt() -> None:
+            self._put_attempt(
+                "put", key, len(data), lambda applied: self._install(key, data[:applied])
+            )
+
+        self._retrying_put(attempt, f"PUT {key}")
+
+    def _install(self, key: str, data: bytes) -> None:
+        self._objects[key] = bytes(data)
 
     def put_many(self, files: dict[str, bytes]) -> None:
-        for key, data in files.items():
-            self.put(key, data)
+        """All-or-nothing batch upload via the multipart/commit path.
+
+        Every object is fully staged (invisibly) before the first one is
+        completed, and any failure rolls the batch back — readers never see
+        a partial batch. The one exception is an injected *writer crash*
+        mid-completion: a dead writer cannot roll back, which is exactly
+        why crash-consistent table commits go through
+        :class:`~repro.cloud.remote_table.TableWriter`'s manifest instead.
+        """
+        staged: list[tuple[str, str]] = []
+        previous: dict[str, bytes | None] = {}
+        completed: list[str] = []
+        try:
+            for key, data in files.items():
+                upload_id = self.initiate_multipart(key)
+                staged.append((upload_id, key))
+                self.upload_parts(upload_id, data)
+            for upload_id, key in staged:
+                previous[key] = self._objects.get(key)
+                self.complete_multipart(upload_id)
+                completed.append(key)
+        except WriterCrashError:
+            raise  # a dead writer performs no rollback
+        except BaseException:
+            for key in completed:
+                if previous[key] is None:
+                    self._objects.pop(key, None)
+                else:
+                    self._objects[key] = previous[key]
+            for upload_id, key in staged:
+                upload = self._uploads.get(upload_id)
+                if upload is not None and upload.pending:
+                    try:
+                        self.abort_multipart(upload_id)
+                    except WriterCrashError:  # pragma: no cover - defensive
+                        break
+            raise
+
+    def delete(self, key: str) -> int:
+        """Remove an object; returns the bytes freed. Free, as on S3."""
+        return len(self._objects.pop(key, b""))
 
     def keys(self, prefix: str = "") -> list[str]:
         return sorted(k for k in self._objects if k.startswith(prefix))
 
     def object_size(self, key: str) -> int:
         return len(self._objects[key])
+
+    # -- multipart uploads -----------------------------------------------------
+
+    def initiate_multipart(self, key: str) -> str:
+        """Start a multipart upload; staged parts stay invisible until
+        :meth:`complete_multipart`. A duplicate-delivered initiate leaves an
+        orphaned upload behind (the client never learned its id), which a
+        recovery sweep reclaims — exactly S3's lost-response behaviour."""
+        created: list[str] = []
+
+        def attempt() -> None:
+            def apply(_applied: int) -> None:
+                self._upload_counter += 1
+                upload_id = f"mpu-{self._upload_counter:06d}"
+                self._uploads[upload_id] = _MultipartUpload(upload_id, key)
+                created.append(upload_id)
+
+            self._put_attempt("initiate", key, 0, apply)
+
+        self._retrying_put(attempt, f"POST {key}?uploads")
+        return created[-1]
+
+    def _pending_upload(self, upload_id: str) -> _MultipartUpload:
+        upload = self._uploads.get(upload_id)
+        if upload is None or not upload.pending:
+            raise NoSuchUploadError(f"no pending multipart upload {upload_id!r}")
+        return upload
+
+    def upload_part(self, upload_id: str, part_number: int, data: bytes) -> None:
+        """Stage one part. Re-uploading a part number overwrites it, so the
+        retry after a torn or duplicate-delivered attempt is idempotent."""
+        if part_number < 1:
+            raise MultipartUploadError(f"part numbers start at 1, got {part_number}")
+        upload = self._pending_upload(upload_id)
+
+        def attempt() -> None:
+            def apply(applied: int) -> None:
+                upload.parts[part_number] = _Part(
+                    bytes(data[:applied]), complete=(applied == len(data))
+                )
+
+            self._put_attempt(
+                "part", f"{upload.key}#part{part_number}", len(data), apply
+            )
+
+        self._retrying_put(attempt, f"PUT {upload.key}?partNumber={part_number}")
+
+    def upload_parts(self, upload_id: str, data: bytes, part_size: int | None = None) -> int:
+        """Stage an object's bytes as chunked parts; returns the part count."""
+        size = part_size or self.pricing.chunk_bytes
+        count = 0
+        for offset in range(0, len(data), size):
+            count += 1
+            self.upload_part(upload_id, count, data[offset : offset + size])
+        return count
+
+    def complete_multipart(self, upload_id: str) -> None:
+        """Assemble the staged parts and install the object atomically.
+
+        The object becomes visible in one step — concurrent readers see
+        either the old object or the new one, never a mix. Completing an
+        already-completed upload is a no-op success, which is what makes
+        the retry after a duplicate-delivered complete safe. A torn part
+        can never complete (S3's ETag check): the upload must re-send it
+        or abort.
+        """
+        upload = self._uploads.get(upload_id)
+        if upload is None or upload.aborted:
+            raise NoSuchUploadError(f"no multipart upload {upload_id!r}")
+        if not upload.completed:
+            torn = sorted(n for n, part in upload.parts.items() if not part.complete)
+            if torn:
+                raise MultipartUploadError(
+                    f"upload {upload_id!r}: part(s) {torn} were never fully uploaded"
+                )
+
+        def attempt() -> None:
+            def apply(_applied: int) -> None:
+                if upload.completed:
+                    return
+                upload.completed = True
+                self._objects[upload.key] = b"".join(
+                    part.data for _, part in sorted(upload.parts.items())
+                )
+
+            self._put_attempt("complete", upload.key, 0, apply)
+
+        self._retrying_put(attempt, f"POST {upload.key}?complete")
+
+    def abort_multipart(self, upload_id: str) -> int:
+        """Discard a pending upload's staged parts; returns bytes reclaimed.
+
+        Free, as on S3. Idempotence caveat: like S3, aborting an unknown or
+        finalized upload id raises :class:`NoSuchUploadError`.
+        """
+        upload = self._pending_upload(upload_id)
+        reclaimed = upload.staged_bytes()
+
+        def attempt() -> None:
+            def apply(_applied: int) -> None:
+                upload.parts.clear()
+                upload.aborted = True
+
+            self._put_attempt("abort", upload.key, 0, apply, billed=False)
+
+        self._retrying_put(attempt, f"DELETE {upload.key}?uploadId={upload_id}")
+        return reclaimed
+
+    def pending_uploads(self, prefix: str = "") -> list[UploadInfo]:
+        """In-progress (never completed, never aborted) uploads under a prefix."""
+        return [
+            UploadInfo(u.upload_id, u.key, u.staged_bytes())
+            for u in sorted(self._uploads.values(), key=lambda u: u.upload_id)
+            if u.pending and u.key.startswith(prefix)
+        ]
+
+    def staged_bytes(self, prefix: str = "") -> int:
+        """Total bytes sitting in staged (uncommitted) parts under a prefix."""
+        return sum(info.staged_bytes for info in self.pending_uploads(prefix))
 
     # -- GET requests ---------------------------------------------------------
 
@@ -180,4 +491,14 @@ class SimulatedObjectStore:
             bulk
             + latency_waves * self.pricing.request_latency_seconds
             + self.stats.backoff_seconds
+        )
+
+    def simulated_upload_seconds(self) -> float:
+        """Wall-clock estimate for the accounted uploads (same shape)."""
+        bulk = self.stats.bytes_uploaded / self.pricing.s3_bytes_per_second
+        latency_waves = -(-self.stats.put_requests // self.pricing.concurrency)
+        return (
+            bulk
+            + latency_waves * self.pricing.request_latency_seconds
+            + self.stats.put_backoff_seconds
         )

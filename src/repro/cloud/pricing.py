@@ -30,6 +30,10 @@ class PricingModel:
 
     ec2_usd_per_hour: float = 3.89
     s3_usd_per_1000_get: float = 0.0004
+    #: S3 PUT/COPY/POST/LIST class requests (initiate, part, complete) are an
+    #: order of magnitude pricier than GETs: $0.005 per 1,000 [5]. Ingress
+    #: bandwidth itself is free; aborts and deletes are free requests.
+    s3_usd_per_1000_put: float = 0.005
     network_gbit: float = 100.0
     s3_client_gbit: float = 91.0
     chunk_bytes: int = 16 * 1024 * 1024
@@ -45,6 +49,9 @@ class PricingModel:
 
     def request_cost(self, requests: int) -> float:
         return requests / 1000.0 * self.s3_usd_per_1000_get
+
+    def put_cost(self, requests: int) -> float:
+        return requests / 1000.0 * self.s3_usd_per_1000_put
 
     def compute_cost(self, seconds: float) -> float:
         return seconds / 3600.0 * self.ec2_usd_per_hour

@@ -7,6 +7,14 @@ lazily — and only the columns a query touches — then predicates evaluate in
 the compressed domain. Requests and bytes are accounted by the store, so
 the cost of any access pattern is measurable.
 
+The write side is transactional. A :class:`TableWriter` stages every column
+object and a manifest through the store's multipart protocol, then commits
+by completing the *versioned manifest object* — the single atomic step that
+makes a new version observable. Readers resolve the latest manifest (or a
+pinned version), so an interrupted writer is never visible: until the
+manifest lands, the staged parts and even fully-written data objects are
+dead weight that :func:`recover` sweeps.
+
 Example::
 
     store = SimulatedObjectStore()
@@ -19,21 +27,49 @@ Example::
 from __future__ import annotations
 
 import json
-from typing import Iterable, Mapping
+import re
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping
 
 import numpy as np
 
 from repro.bitmap import RoaringBitmap
 from repro.cloud.objectstore import SimulatedObjectStore
 from repro.core.access import read_rows
-from repro.core.blocks import CompressedColumn
+from repro.core.blocks import CompressedColumn, CompressedRelation
+from repro.core.config import DecodeLimits
 from repro.core.decompressor import decompress_column
-from repro.core.file_format import column_from_bytes, verify_column
+from repro.core.file_format import FORMAT_VERSION, column_from_bytes, column_to_bytes, verify_column
 from repro.core.relation import Relation
-from repro.exceptions import FormatError, IntegrityError
+from repro.exceptions import (
+    CommitConflictError,
+    FormatError,
+    IntegrityError,
+    NoSuchUploadError,
+    WriterCrashError,
+)
 from repro.observe import get_registry
 from repro.query.executor import scan_column
 from repro.query.predicates import Predicate
+
+#: Directory (key prefix) holding one manifest object per committed version.
+MANIFEST_DIR = "_manifests"
+
+_VERSION_DIR_RE = re.compile(r"^v(\d{6})/")
+
+
+def manifest_key(name: str, version: int) -> str:
+    """Key of the manifest object that commits ``version`` of ``name``.
+
+    Zero-padded so the lexicographically greatest manifest key is the
+    latest version — resolving "current" needs one LIST, no parsing race.
+    """
+    return f"{name}/{MANIFEST_DIR}/{version:06d}.json"
+
+
+def version_prefix(name: str, version: int) -> str:
+    """Key prefix under which one version's data objects are staged."""
+    return f"{name}/v{version:06d}/"
 
 
 def _record_transfer(store: SimulatedObjectStore, requests: int, nbytes: int) -> None:
@@ -64,38 +100,94 @@ class RemoteTable:
         name: str,
         metadata: dict,
         on_corrupt: str = "raise",
+        version: "int | None" = None,
+        decode_limits: "DecodeLimits | None" = None,
     ) -> None:
         self._store = store
         self.name = name
         self._metadata = metadata
         self._columns: dict[str, CompressedColumn] = {}
         self.on_corrupt = on_corrupt
+        #: Committed version this handle reads, or ``None`` for the legacy
+        #: unversioned ``table.meta`` layout.
+        self.version = version
+        self.decode_limits = decode_limits
 
-    @classmethod
-    def open(
-        cls, store: SimulatedObjectStore, name: str, on_corrupt: str = "raise"
-    ) -> "RemoteTable":
-        """One GET: the table metadata. No column data is transferred.
+    @staticmethod
+    def _fetch_json(
+        store: SimulatedObjectStore, key: str, validate: Callable[[dict], None]
+    ) -> dict:
+        """GET + parse a JSON object, refetching while it fails validation.
 
-        The metadata file is JSON with no checksum; a download that fails
-        to parse — or parses but lost its required structure (bit flips can
-        produce valid JSON with mangled keys) — is refetched up to the
-        store's retry budget before giving up with a typed error.
+        JSON metadata carries no checksum; a download that fails to parse —
+        or parses but lost its required structure (bit flips can produce
+        valid JSON with mangled keys) — is refetched up to the store's
+        retry budget before giving up with a typed error.
         """
         attempts = max(1, store.retry.max_attempts)
         for attempt in range(attempts):
-            raw = store.get(f"{name}/table.meta")
+            raw = store.get(key)
             _record_transfer(store, 1, len(raw))
             try:
                 metadata = json.loads(raw.decode("utf-8"))
-                for entry in metadata["columns"]:
-                    entry["name"], entry["file"]
+                validate(metadata)
             except (ValueError, KeyError, TypeError):
                 get_registry().incr("cloud.table.meta_refetches")
                 continue
-            return cls(store, name, metadata, on_corrupt=on_corrupt)
-        raise FormatError(
-            f"metadata for table {name!r} unparseable after {attempts} downloads"
+            return metadata
+        raise FormatError(f"metadata object {key!r} unparseable after {attempts} downloads")
+
+    @classmethod
+    def open(
+        cls,
+        store: SimulatedObjectStore,
+        name: str,
+        on_corrupt: str = "raise",
+        version: "int | None" = None,
+        decode_limits: "DecodeLimits | None" = None,
+    ) -> "RemoteTable":
+        """Resolve the table's commit point; no column data is transferred.
+
+        Versioned tables (written by :class:`TableWriter`) resolve through
+        the manifest directory: one LIST picks the latest manifest (or the
+        pinned ``version``), one GET fetches it. Because the manifest is
+        the last object a commit writes — and lands atomically via the
+        multipart protocol — an interrupted writer's staged garbage is
+        never observable here: every manifest this LIST can see describes a
+        fully-uploaded version. Tables uploaded the legacy way (a bare
+        ``table.meta``, no manifests) fall back to that single GET.
+        """
+
+        def validate(metadata: dict) -> None:
+            for entry in metadata["columns"]:
+                entry["name"], entry["file"]
+
+        manifests = store.keys(f"{name}/{MANIFEST_DIR}/")
+        if version is not None:
+            key = manifest_key(name, version)
+            if key not in manifests:
+                raise FormatError(f"table {name!r} has no committed version {version}")
+        elif manifests:
+            key = max(manifests)
+        else:
+            # Legacy unversioned layout (e.g. upload_btrblocks).
+            metadata = cls._fetch_json(store, f"{name}/table.meta", validate)
+            return cls(
+                store, name, metadata, on_corrupt=on_corrupt, decode_limits=decode_limits
+            )
+
+        def validate_manifest(metadata: dict) -> None:
+            validate(metadata)
+            int(metadata["version"])
+
+        metadata = cls._fetch_json(store, key, validate_manifest)
+        return cls(
+            store,
+            name,
+            metadata,
+            on_corrupt=on_corrupt,
+            version=int(metadata["version"]),
+            decode_limits=decode_limits,
         )
 
     # -- schema ----------------------------------------------------------------
@@ -138,7 +230,7 @@ class RemoteTable:
                 len(payload),
             )
             try:
-                column = column_from_bytes(payload)
+                column = column_from_bytes(payload, limits=self.decode_limits)
                 verify_column(column)
                 return column
             except (IntegrityError, FormatError) as exc:
@@ -150,7 +242,7 @@ class RemoteTable:
             # block -- there are no blocks to degrade -- so they raise even
             # under a lenient policy.
             raise last_error
-        return column_from_bytes(payload)
+        return column_from_bytes(payload, limits=self.decode_limits)
 
     def fetch_column(self, name: str) -> CompressedColumn:
         """Download one column file (16 MB chunked GETs); cached afterwards."""
@@ -183,10 +275,216 @@ class RemoteTable:
             out = [read_rows(self.fetch_column(name), rows) for name in names]
         else:
             out = [
-                decompress_column(self.fetch_column(name), on_corrupt=self.on_corrupt)
+                decompress_column(
+                    self.fetch_column(name),
+                    on_corrupt=self.on_corrupt,
+                    limits=self.decode_limits,
+                )
                 for name in names
             ]
         return Relation(self.name, out)
 
     def count(self, where: Mapping[str, Predicate]) -> int:
         return len(self.matching_rows(where))
+
+
+class TableWriter:
+    """Crash-consistent table commits via staged uploads + a manifest.
+
+    The commit protocol, in PUT-class protocol steps:
+
+    1. every column object is staged through the multipart protocol under
+       the new version's prefix (initiate + parts);
+    2. the manifest object is staged the same way;
+    3. the column uploads are completed (objects exist, but nothing
+       references them yet);
+    4. the manifest upload is completed — **the commit point**. The
+       manifest appears atomically, so a reader either resolves the
+       previous version or the complete new one, never a mix.
+
+    A writer that dies anywhere before step 4 has changed nothing a reader
+    can observe; its staged parts and orphaned data objects are reclaimed
+    by :func:`recover`. A writer that fails without dying aborts its own
+    staged uploads and deletes its own completed objects before re-raising.
+
+    ``writer_id`` namespaces the data-object keys so two writers racing to
+    the same version number cannot clobber each other's staged objects;
+    the loser detects the existing manifest at its commit point and raises
+    :class:`~repro.exceptions.CommitConflictError` (re-stage at a fresh
+    version to resolve).
+    """
+
+    def __init__(self, store: SimulatedObjectStore, writer_id: str = "w0") -> None:
+        self._store = store
+        self.writer_id = writer_id
+
+    def committed_versions(self, name: str) -> list[int]:
+        """Versions with a manifest, ascending. One LIST, no data GETs."""
+        versions = []
+        prefix = f"{name}/{MANIFEST_DIR}/"
+        for key in self._store.keys(prefix):
+            stem = key[len(prefix) :]
+            if stem.endswith(".json") and stem[:-5].isdigit():
+                versions.append(int(stem[:-5]))
+        return sorted(versions)
+
+    def next_version(self, name: str) -> int:
+        committed = self.committed_versions(name)
+        return committed[-1] + 1 if committed else 1
+
+    def write(
+        self,
+        compressed: CompressedRelation,
+        version: "int | None" = None,
+        format_version: int = FORMAT_VERSION,
+    ) -> int:
+        """Stage and atomically commit one table version; returns it.
+
+        Raises :class:`~repro.exceptions.CommitConflictError` if another
+        writer committed the version first (nothing of this attempt stays
+        behind). Any other failure rolls the staging back; only a writer
+        *crash* leaves garbage, which :func:`recover` reclaims.
+        """
+        name = compressed.name
+        registry = get_registry()
+        if version is None:
+            version = self.next_version(name)
+        commit_key = manifest_key(name, version)
+        if self._store.keys(commit_key):
+            registry.incr("cloud.write.commit_conflicts")
+            raise CommitConflictError(
+                f"table {name!r} version {version} is already committed"
+            )
+        manifest: dict = {"name": name, "version": version, "columns": []}
+        if format_version != 1:
+            manifest["format_version"] = format_version
+        payloads: dict[str, bytes] = {}
+        for index, column in enumerate(compressed.columns):
+            key = f"{version_prefix(name, version)}{self.writer_id}-col_{index:04d}.btr"
+            payload = column_to_bytes(column, version=format_version)
+            payloads[key] = payload
+            manifest["columns"].append(
+                {
+                    "name": column.name,
+                    "type": column.ctype.value,
+                    "file": key,
+                    "rows": column.count,
+                    "bytes": len(payload),
+                    "blocks": len(column.blocks),
+                }
+            )
+        payloads[commit_key] = json.dumps(manifest).encode("utf-8")
+
+        staged: list[tuple[str, str]] = []
+        completed: list[str] = []
+        store = self._store
+        try:
+            for key, payload in payloads.items():
+                upload_id = store.initiate_multipart(key)
+                staged.append((upload_id, key))
+                store.upload_parts(upload_id, payload)
+                registry.incr("cloud.write.objects_staged")
+                registry.incr("cloud.write.bytes_staged", len(payload))
+            for upload_id, key in staged[:-1]:
+                store.complete_multipart(upload_id)
+                completed.append(key)
+            # Commit point. Re-check for a racing winner as late as
+            # possible; the manifest completing is what publishes us.
+            if store.keys(commit_key):
+                registry.incr("cloud.write.commit_conflicts")
+                raise CommitConflictError(
+                    f"table {name!r} version {version}: another writer committed first"
+                )
+            store.complete_multipart(staged[-1][0])
+        except WriterCrashError:
+            raise  # a dead writer cleans up nothing; recover() will
+        except BaseException:
+            for key in completed:
+                store.delete(key)
+            for upload_id, key in staged:
+                try:
+                    store.abort_multipart(upload_id)
+                except NoSuchUploadError:
+                    pass  # already completed (and deleted above)
+                except WriterCrashError:
+                    break
+            raise
+        registry.incr("cloud.write.tables_committed")
+        registry.incr("cloud.write.rows_committed", compressed.columns[0].count if compressed.columns else 0)
+        return version
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """What one :func:`recover` sweep reclaimed."""
+
+    aborted_uploads: int
+    reclaimed_part_bytes: int
+    deleted_objects: int
+    deleted_bytes: int
+
+    @property
+    def reclaimed_bytes(self) -> int:
+        return self.reclaimed_part_bytes + self.deleted_bytes
+
+    def to_dict(self) -> dict:
+        return {
+            "aborted_uploads": self.aborted_uploads,
+            "reclaimed_part_bytes": self.reclaimed_part_bytes,
+            "deleted_objects": self.deleted_objects,
+            "deleted_bytes": self.deleted_bytes,
+            "reclaimed_bytes": self.reclaimed_bytes,
+        }
+
+
+def recover(store: SimulatedObjectStore, name: str) -> RecoveryReport:
+    """Sweep a crashed writer's garbage from one table's prefix.
+
+    Two kinds of garbage exist, matching the two pre-commit failure zones:
+    pending multipart uploads (parts staged, never completed — including
+    uploads orphaned by a duplicate-delivered initiate) and data objects in
+    version directories that no committed manifest references (the writer
+    died between completing columns and completing the manifest, or lost a
+    commit race). Committed versions and the legacy unversioned layout are
+    never touched. Aborts and deletes are free requests, so recovery costs
+    nothing beyond the bytes already sunk.
+    """
+    registry = get_registry()
+    aborted = 0
+    part_bytes = 0
+    for info in store.pending_uploads(f"{name}/"):
+        part_bytes += store.abort_multipart(info.upload_id)
+        aborted += 1
+
+    referenced: set[str] = set()
+    unreadable: set[int] = set()
+    manifest_prefix = f"{name}/{MANIFEST_DIR}/"
+    for key in store.keys(manifest_prefix):
+        stem = key[len(manifest_prefix) :]
+        version = int(stem[:-5]) if stem.endswith(".json") and stem[:-5].isdigit() else None
+        try:
+            manifest = json.loads(store.get(key).decode("utf-8"))
+            referenced.update(entry["file"] for entry in manifest["columns"])
+        except (ValueError, KeyError, TypeError):
+            # Conservative: an unreadable manifest still pins its version's
+            # data — never delete what might be committed.
+            if version is not None:
+                unreadable.add(version)
+
+    deleted = 0
+    deleted_bytes = 0
+    table_prefix = f"{name}/"
+    for key in store.keys(table_prefix):
+        match = _VERSION_DIR_RE.match(key[len(table_prefix) :])
+        if match is None:
+            continue
+        version = int(match.group(1))
+        if version in unreadable or key in referenced:
+            continue
+        deleted_bytes += store.delete(key)
+        deleted += 1
+
+    registry.incr("cloud.write.recovered_uploads", aborted)
+    registry.incr("cloud.write.recovered_objects", deleted)
+    registry.incr("cloud.write.recovered_bytes", part_bytes + deleted_bytes)
+    return RecoveryReport(aborted, part_bytes, deleted, deleted_bytes)

@@ -16,6 +16,7 @@ from repro.core.config import BtrBlocksConfig
 from repro.core.relation import Relation
 from repro.core.selector import SchemeSelector, values_nbytes
 from repro.encodings.base import CompressionContext, Values
+from repro.encodings.uncompressed import UNCOMPRESSED_BY_TYPE
 from repro.encodings.wire import wrap
 from repro.observe import get_registry
 from repro.types import Column, ColumnType
@@ -28,7 +29,28 @@ def _compress_node(
     # Claim the trace record now: cascade children picked inside
     # scheme.compress() will each produce their own decision.
     decision = selector.take_last_decision()
-    payload = scheme.compress(values, ctx)
+    try:
+        payload = scheme.compress(values, ctx)
+    except Exception:
+        # A scheme that passed viability + sampling can still fail against
+        # the full block (sample-blind edge values, overflow in a child
+        # transform). Dropping to Uncompressed sacrifices ratio for this
+        # one block instead of aborting the whole column.
+        fallback = UNCOMPRESSED_BY_TYPE[ctype]
+        if scheme.scheme_id == fallback.scheme_id:
+            raise  # Uncompressed itself failing is not recoverable
+        registry = get_registry()
+        registry.incr("compressor.fallback.total")
+        registry.incr(f"compressor.fallback.{scheme.name}")
+        if selector.cache is not None:
+            # Never let sticky selection hand the failing scheme to the
+            # next block.
+            selector.cache.invalidate(ctype)
+        scheme = fallback
+        payload = scheme.compress(values, ctx)
+        if decision is not None:
+            decision.chosen = scheme.name
+            decision.fallback = True
     framed = wrap(scheme.scheme_id, len(values), payload)
     if decision is not None:
         decision.finish(len(framed))

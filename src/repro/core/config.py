@@ -11,6 +11,35 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 
+@dataclass(frozen=True)
+class DecodeLimits:
+    """Hard ceilings enforced while decoding *untrusted* column bytes.
+
+    Length and count fields in a column file are attacker-controlled: four
+    header bytes can declare 2^32 rows and make a naive decoder allocate
+    gigabytes before any payload check runs (a decompression bomb). Every
+    declared count/length is validated against these ceilings — and against
+    the actual payload size — *before* the corresponding allocation, and a
+    violation raises the typed
+    :class:`~repro.exceptions.DecodeLimitError`. The defaults are far above
+    anything the compressor emits (blocks hold 64,000 values) yet small
+    enough to keep a malicious file from exhausting memory.
+    """
+
+    #: Max declared values per block (writer default is 64,000 per block).
+    max_rows_per_block: int = 1 << 24
+    #: Max bytes in one block's data or NULL-bitmap payload.
+    max_bytes_per_block: int = 1 << 30
+    #: Max blocks in one column file.
+    max_blocks_per_column: int = 1 << 20
+    #: Max bytes in a column's declared name.
+    max_name_bytes: int = 4096
+
+
+#: Ceilings applied when the caller does not supply their own.
+DEFAULT_DECODE_LIMITS = DecodeLimits()
+
+
 @dataclass
 class BtrBlocksConfig:
     """Tuning parameters of the compression pipeline."""
@@ -63,6 +92,8 @@ class BtrBlocksConfig:
     #: Invalidate the cache when a reused scheme's achieved ratio drops below
     #: this fraction of the ratio measured when the entry was validated.
     sticky_drift_ratio: float = 0.7
+    #: Ceilings for decoding untrusted bytes (see :class:`DecodeLimits`).
+    decode_limits: DecodeLimits = field(default_factory=DecodeLimits)
 
     def sample_size(self) -> int:
         """Total sampled values per block."""

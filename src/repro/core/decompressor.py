@@ -27,12 +27,20 @@ import numpy as np
 
 from repro.bitmap import RoaringBitmap
 from repro.core.blocks import CompressedBlock, CompressedColumn, CompressedRelation
+from repro.core.config import DecodeLimits
 from repro.core.file_format import verify_block
 from repro.core.relation import Relation
 from repro.encodings import strutil
 from repro.encodings.base import DecompressionContext, Values, get_scheme
 from repro.encodings.wire import unwrap
-from repro.exceptions import BtrBlocksError, IntegrityError, TypeMismatchError
+from repro.exceptions import (
+    BtrBlocksError,
+    CorruptBlockError,
+    DecodeLimitError,
+    FormatError,
+    IntegrityError,
+    TypeMismatchError,
+)
 from repro.observe import get_registry
 from repro.types import Column, ColumnType, StringArray
 
@@ -41,18 +49,52 @@ ON_CORRUPT_MODES = ("raise", "skip", "null_block")
 
 def _decompress_node(blob: bytes, ctype: ColumnType, ctx: DecompressionContext) -> Values:
     scheme_id, count, payload = unwrap(blob)
+    # Untrusted-input gate: the wire header's count is what schemes size
+    # their output allocations from, at every cascade level. Bound it (and
+    # the payload) before any scheme code runs, and hold schemes to their
+    # declared count afterwards so a lying header cannot smuggle a
+    # different row count into reassembly.
+    if count > ctx.limits.max_rows_per_block:
+        raise DecodeLimitError(
+            f"block declares {count} values, limit is {ctx.limits.max_rows_per_block}"
+        )
+    if len(payload) > ctx.limits.max_bytes_per_block:
+        raise DecodeLimitError(
+            f"block payload of {len(payload)} bytes exceeds limit "
+            f"{ctx.limits.max_bytes_per_block}"
+        )
     scheme = get_scheme(scheme_id)
     if scheme.ctype is not ctype:
         raise TypeMismatchError(
             f"block encoded as {scheme.ctype.value} but read as {ctype.value}"
         )
-    return scheme.decompress(payload, count, ctx)
+    try:
+        values = scheme.decompress(payload, count, ctx)
+    except (BtrBlocksError, MemoryError):
+        raise
+    except Exception as exc:
+        # Scheme decoders trust their payload's internal structure (zlib
+        # streams, struct offsets, index arrays); malformed v1 files reach
+        # them unchecksummed. Everything they throw at garbage becomes the
+        # typed error the degrade policies and callers are written against.
+        raise CorruptBlockError(
+            f"{scheme.name} failed on malformed payload: {exc!r}"
+        ) from exc
+    if len(values) != count:
+        raise FormatError(
+            f"block declared {count} values but {scheme.name} decoded {len(values)}"
+        )
+    return values
 
 
-def make_context(vectorized: bool = True, fuse_rle_dict: bool = True) -> DecompressionContext:
+def make_context(
+    vectorized: bool = True,
+    fuse_rle_dict: bool = True,
+    limits: "DecodeLimits | None" = None,
+) -> DecompressionContext:
     """A decompression context that recursively dispatches on scheme ids."""
     return DecompressionContext(
-        _decompress_node, vectorized=vectorized, fuse_rle_dict=fuse_rle_dict
+        _decompress_node, vectorized=vectorized, fuse_rle_dict=fuse_rle_dict, limits=limits
     )
 
 
@@ -107,6 +149,14 @@ def decode_block(
     """
     if on_corrupt not in ON_CORRUPT_MODES:
         raise ValueError(f"on_corrupt must be one of {ON_CORRUPT_MODES}, got {on_corrupt!r}")
+    if block.count > ctx.limits.max_rows_per_block:
+        # An oversized declared count is an adversarial signal, not mere
+        # damage: even the degrade policies must not allocate a null block
+        # of that length, so this raises under every on_corrupt mode.
+        raise DecodeLimitError(
+            f"block declares {block.count} values, limit is "
+            f"{ctx.limits.max_rows_per_block}"
+        )
     if not verify_block(block):
         if on_corrupt == "raise":
             raise IntegrityError(
@@ -191,10 +241,13 @@ def assemble_column(compressed: CompressedColumn, parts: "list[Values | CorruptB
 
 
 def decompress_column(
-    compressed: CompressedColumn, vectorized: bool = True, on_corrupt: str = "raise"
+    compressed: CompressedColumn,
+    vectorized: bool = True,
+    on_corrupt: str = "raise",
+    limits: "DecodeLimits | None" = None,
 ) -> Column:
     """Reassemble a full column from its compressed blocks."""
-    ctx = make_context(vectorized)
+    ctx = make_context(vectorized, limits=limits)
     with get_registry().timer("decompress"):
         parts = [
             decode_block(block, compressed.ctype, ctx, on_corrupt=on_corrupt)
@@ -204,10 +257,16 @@ def decompress_column(
 
 
 def decompress_relation(
-    compressed: CompressedRelation, vectorized: bool = True, on_corrupt: str = "raise"
+    compressed: CompressedRelation,
+    vectorized: bool = True,
+    on_corrupt: str = "raise",
+    limits: "DecodeLimits | None" = None,
 ) -> Relation:
     """Reassemble a full relation."""
-    columns = [decompress_column(c, vectorized, on_corrupt=on_corrupt) for c in compressed.columns]
+    columns = [
+        decompress_column(c, vectorized, on_corrupt=on_corrupt, limits=limits)
+        for c in compressed.columns
+    ]
     return Relation(compressed.name, columns)
 
 

@@ -26,7 +26,8 @@ import struct
 import zlib
 
 from repro.core.blocks import CompressedBlock, CompressedColumn, CompressedRelation
-from repro.exceptions import FormatError, IntegrityError
+from repro.core.config import DEFAULT_DECODE_LIMITS, DecodeLimits
+from repro.exceptions import DecodeLimitError, FormatError, IntegrityError
 from repro.types import ColumnType
 
 _COLUMN_MAGIC = b"BTRC"
@@ -102,15 +103,24 @@ def column_to_bytes(column: CompressedColumn, version: int = FORMAT_VERSION) -> 
     return b"".join(parts)
 
 
-def column_from_bytes(data: bytes) -> CompressedColumn:
+def column_from_bytes(
+    data: bytes, limits: "DecodeLimits | None" = None
+) -> CompressedColumn:
     """Inverse of :func:`column_to_bytes`; reads v1 and v2 files.
 
-    Structural damage (bad magic, truncated headers or payloads) raises
-    :class:`FormatError` here; checksum mismatches are *not* checked during
-    parsing — blocks carry their stored CRC32 and are verified lazily by
-    :func:`verify_column` or block decode, which is what lets the
-    decompressor degrade at block granularity instead of rejecting the file.
+    The input is treated as untrusted. Structural damage (bad magic,
+    truncated headers or payloads, declared extents that exceed the actual
+    file size) raises :class:`FormatError`; declared counts and lengths are
+    additionally checked against ``limits`` (default
+    :data:`~repro.core.config.DEFAULT_DECODE_LIMITS`) *before* any slice or
+    allocation, raising :class:`DecodeLimitError`, so an adversarial file
+    cannot request a giant allocation with a few header bytes. Checksum
+    mismatches are *not* checked during parsing — blocks carry their stored
+    CRC32 and are verified lazily by :func:`verify_column` or block decode,
+    which is what lets the decompressor degrade at block granularity
+    instead of rejecting the file.
     """
+    limits = limits or DEFAULT_DECODE_LIMITS
     magic = data[:4]
     if magic == _COLUMN_MAGIC:
         version = 1
@@ -118,11 +128,23 @@ def column_from_bytes(data: bytes) -> CompressedColumn:
         version = 2
     else:
         raise FormatError("bad column file magic")
+    if len(data) < 11:
+        raise FormatError("truncated column header")
     type_code, name_len = struct.unpack_from("<BH", data, 4)
     if type_code not in _CODE_TYPES:
         raise FormatError(f"unknown column type code {type_code}")
+    if name_len > limits.max_name_bytes:
+        raise DecodeLimitError(
+            f"declared column name length {name_len} exceeds limit "
+            f"{limits.max_name_bytes}"
+        )
     pos = 7
-    name = data[pos : pos + name_len].decode("utf-8")
+    if pos + name_len + 4 > len(data):
+        raise FormatError("truncated column header")
+    try:
+        name = data[pos : pos + name_len].decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise FormatError(f"column name is not valid UTF-8: {exc}") from exc
     pos += name_len
     (block_count,) = struct.unpack_from("<I", data, pos)
     pos += 4
@@ -134,6 +156,16 @@ def column_from_bytes(data: bytes) -> CompressedColumn:
             raise IntegrityError("column file header does not match its CRC32")
         pos += 4
     header_size = 12 if version == 1 else 16
+    if block_count > limits.max_blocks_per_column:
+        raise DecodeLimitError(
+            f"declared block count {block_count} exceeds limit "
+            f"{limits.max_blocks_per_column}"
+        )
+    if block_count * header_size > len(data) - pos:
+        raise FormatError(
+            f"declared block count {block_count} exceeds the file's "
+            f"{len(data) - pos} remaining bytes"
+        )
     column = CompressedColumn(name, _CODE_TYPES[type_code])
     for _ in range(block_count):
         if pos + header_size > len(data):
@@ -143,13 +175,23 @@ def column_from_bytes(data: bytes) -> CompressedColumn:
             checksum = None
         else:
             count, data_len, nulls_len, checksum = struct.unpack_from("<IIII", data, pos)
+        if count > limits.max_rows_per_block:
+            raise DecodeLimitError(
+                f"declared block row count {count} exceeds limit "
+                f"{limits.max_rows_per_block}"
+            )
+        if data_len > limits.max_bytes_per_block or nulls_len > limits.max_bytes_per_block:
+            raise DecodeLimitError(
+                f"declared block payload ({data_len} + {nulls_len} bytes) "
+                f"exceeds limit {limits.max_bytes_per_block}"
+            )
         pos += header_size
+        if data_len + nulls_len > len(data) - pos:
+            raise FormatError("truncated block payload")
         blob = data[pos : pos + data_len]
         pos += data_len
         nulls = data[pos : pos + nulls_len] if nulls_len else None
         pos += nulls_len
-        if len(blob) != data_len or (nulls_len and len(nulls or b"") != nulls_len):
-            raise FormatError("truncated block payload")
         column.blocks.append(CompressedBlock(count, blob, nulls, checksum=checksum))
     return column
 

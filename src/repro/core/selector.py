@@ -117,6 +117,13 @@ class SelectionCache:
                 estimated_ratio=estimated_ratio,
             )
 
+    def invalidate(self, ctype: ColumnType) -> None:
+        """Drop the entry outright (the cached scheme failed mid-encode)."""
+        with self._lock:
+            if ctype in self._entries:
+                del self._entries[ctype]
+                get_registry().incr("selector.sticky.invalidations")
+
     def observe(self, decision: "SelectionDecision") -> None:
         """Feed back a finished block's achieved ratio (drift detection)."""
         if decision.achieved_ratio is None:

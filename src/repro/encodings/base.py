@@ -19,7 +19,7 @@ from repro.exceptions import UnknownSchemeError
 from repro.types import ColumnType, StringArray
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.core.config import BtrBlocksConfig
+    from repro.core.config import BtrBlocksConfig, DecodeLimits
     from repro.core.stats import Stats
 
 Values = Union[np.ndarray, StringArray]
@@ -79,17 +79,26 @@ class CompressionContext:
 
 
 class DecompressionContext:
-    """Carries the vectorised/scalar switch through recursive decompression."""
+    """Carries the vectorised/scalar switch through recursive decompression.
+
+    ``limits`` are the untrusted-input ceilings every cascade level checks
+    declared counts and payload sizes against before allocating (defaults
+    to :data:`~repro.core.config.DEFAULT_DECODE_LIMITS`).
+    """
 
     def __init__(
         self,
         decompress_fn: Callable[[bytes, ColumnType, "DecompressionContext"], Values],
         vectorized: bool = True,
         fuse_rle_dict: bool = True,
+        limits: "DecodeLimits | None" = None,
     ) -> None:
+        from repro.core.config import DEFAULT_DECODE_LIMITS
+
         self._decompress_fn = decompress_fn
         self.vectorized = vectorized
         self.fuse_rle_dict = fuse_rle_dict
+        self.limits = limits if limits is not None else DEFAULT_DECODE_LIMITS
 
     def decompress_child(self, blob: bytes, ctype: ColumnType) -> Values:
         return self._decompress_fn(blob, ctype, self)

@@ -189,7 +189,7 @@ class DictString(Scheme):
         if kind == _POOL_FSST:
             return FSST_SCHEME.decompress(data, count, ctx)
         reader = Reader(data)
-        return StringArray(reader.array(), reader.array())
+        return strutil.untrusted_strings(reader.array(), reader.array())
 
     def decompress(self, payload: bytes, count: int, ctx: DecompressionContext) -> StringArray:
         reader = Reader(payload)

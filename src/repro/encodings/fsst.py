@@ -438,9 +438,11 @@ class FSSTString(Scheme):
     def decompress(self, payload: bytes, count: int, ctx: DecompressionContext) -> StringArray:
         reader = Reader(payload)
         _symbol_count = reader.u8()
-        symbols = StringArray(reader.array(), reader.array())
+        symbols = strutil.untrusted_strings(reader.array(), reader.array())
         stream = reader.blob()
         lengths = ctx.decompress_child(reader.blob(), ColumnType.INTEGER)
+        if lengths.size and int(lengths.min()) < 0:
+            raise CorruptBlockError("negative FSST string length")
         if ctx.vectorized:
             buffer = decode_stream_vectorized(stream, symbols)
         else:

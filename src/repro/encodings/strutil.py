@@ -4,7 +4,29 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.exceptions import CorruptBlockError
 from repro.types import StringArray
+
+
+def untrusted_strings(buffer: np.ndarray, offsets: np.ndarray) -> StringArray:
+    """Wrap wire-deserialized ``(buffer, offsets)`` after structural checks.
+
+    Offsets in a decoded payload are attacker-controlled. Non-monotonic
+    offsets yield negative or wildly oversized per-string lengths, which
+    :func:`gather` then multiplies into its output allocation — a few
+    flipped bytes requesting petabytes. Reject the shape before anything
+    derives an allocation from it; endpoint validation (first offset 0,
+    last == buffer size) lives in :class:`StringArray` itself.
+    """
+    offsets = np.asarray(offsets)
+    if offsets.ndim != 1 or offsets.size == 0:
+        raise CorruptBlockError("string offsets are missing")
+    if not np.issubdtype(offsets.dtype, np.integer):
+        raise CorruptBlockError(f"string offsets have non-integer dtype {offsets.dtype}")
+    offsets = offsets.astype(np.int64, copy=False)
+    if offsets.size > 1 and np.any(np.diff(offsets) < 0):
+        raise CorruptBlockError("string offsets are not monotonically non-decreasing")
+    return StringArray(buffer, offsets)
 
 
 def encode_distinct(strings: StringArray) -> tuple[np.ndarray, StringArray]:

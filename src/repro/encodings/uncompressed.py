@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.encodings.strutil import untrusted_strings
 from repro.encodings.base import (
     CompressionContext,
     DecompressionContext,
@@ -63,8 +64,7 @@ class UncompressedString(Scheme):
     def decompress(self, payload: bytes, count: int, ctx: DecompressionContext) -> StringArray:
         reader = Reader(payload)
         buffer = reader.array()
-        offsets = reader.array().astype(np.int64)
-        return StringArray(buffer, offsets)
+        return untrusted_strings(buffer, reader.array())
 
 
 INT = register_scheme(UncompressedInt())

@@ -25,6 +25,15 @@ class FormatError(BtrBlocksError):
     """A serialized file or table does not follow the expected layout."""
 
 
+class DecodeLimitError(FormatError):
+    """A declared count or length exceeds the configured decode limits.
+
+    Raised *before* any allocation happens, so malformed or adversarial
+    files cannot trigger decompression bombs (see
+    :class:`~repro.core.config.DecodeLimits`).
+    """
+
+
 class IntegrityError(BtrBlocksError):
     """A block's payload does not match its stored CRC32 checksum."""
 
@@ -49,9 +58,35 @@ class TruncatedReadError(TransientRequestError):
     """A GET returned fewer bytes than the request's known extent."""
 
 
+class TornWriteError(TransientRequestError):
+    """A PUT-class request failed mid-transfer after part of the payload
+    was durably applied. Retryable: a full re-upload overwrites the torn
+    prefix (which is why naive single-object PUTs need the multipart
+    protocol to be crash-safe)."""
+
+
 class RangeNotSatisfiableError(ObjectStoreError):
     """A range GET asked for bytes outside the object (S3 416). Not retryable."""
 
 
 class RetryExhaustedError(ObjectStoreError):
     """A request kept failing after the retry policy's final attempt."""
+
+
+class MultipartUploadError(ObjectStoreError):
+    """A multipart upload was used in a way the protocol forbids."""
+
+
+class NoSuchUploadError(MultipartUploadError):
+    """An operation referenced an unknown or already-finalized upload id."""
+
+
+class CommitConflictError(ObjectStoreError):
+    """Two writers raced to commit the same table version; the loser must
+    re-stage against a fresh version number. Not retryable as-is."""
+
+
+class WriterCrashError(BtrBlocksError):
+    """Injected writer death: the fault profile killed the writer at a
+    protocol step. Deliberately *not* a TransientRequestError — a dead
+    process cannot retry — so it propagates through every retry layer."""

@@ -52,10 +52,12 @@ def build_report(
 def _reliability_section(counters: dict) -> dict:
     """Fault/retry/integrity counters rolled up for quick reading.
 
-    Present only when at least one fault, retry or integrity *event* was
-    recorded, so fault-free reports keep their existing shape. Routine
-    ``decompress.checksum_verified`` accounting (every clean v2 decode
-    records it) rides along in the section but never triggers it.
+    Present only when at least one fault, retry, integrity, write-recovery
+    or encoder-fallback *event* was recorded, so fault-free reports keep
+    their existing shape. Routine accounting that every clean run records —
+    ``decompress.checksum_verified``, and the ``cloud.write.*`` staging /
+    commit counters of an uneventful write — rides along in the section
+    (when it triggers) but never triggers it.
     """
     faults = {
         name.split(".")[-1]: value
@@ -80,14 +82,35 @@ def _reliability_section(counters: dict) -> dict:
             "cloud.table.meta_refetches",
         )
     }
+    write = {
+        name.split(".")[-1]: value
+        for name, value in counters.items()
+        if name.startswith("cloud.write.")
+    }
+    fallbacks = {
+        name[len("compressor.fallback.") :]: value
+        for name, value in counters.items()
+        if name.startswith("compressor.fallback.")
+    }
     events = {
         name: value
         for name, value in integrity.items()
         if name != "decompress.checksum_verified"
     }
-    if not (faults or retries or events):
+    write_events = {
+        name: value
+        for name, value in write.items()
+        if name in ("recovered_uploads", "recovered_objects", "recovered_bytes", "commit_conflicts")
+        and value
+    }
+    if not (faults or retries or events or write_events or fallbacks):
         return {}
-    return {"faults": faults, "retries": retries, "integrity": integrity}
+    section = {"faults": faults, "retries": retries, "integrity": integrity}
+    if write:
+        section["write"] = write
+    if fallbacks:
+        section["fallbacks"] = fallbacks
+    return section
 
 
 def report_json(

@@ -42,6 +42,9 @@ class SelectionDecision:
     #: True when the scheme came from the sticky selection cache (no sample
     #: compression ran for this block).
     cached: bool = False
+    #: True when the originally-picked scheme raised mid-encode and the
+    #: block fell back to Uncompressed (``chosen`` reflects the fallback).
+    fallback: bool = False
 
     def finish(self, compressed_bytes: int) -> None:
         """Record the real outcome once the block has been encoded."""
@@ -66,6 +69,7 @@ class SelectionDecision:
             "achieved_ratio": self.achieved_ratio,
             "selection_seconds": self.selection_seconds,
             "cached": self.cached,
+            "fallback": self.fallback,
         }
 
 

