@@ -3,8 +3,12 @@
 Runs the same harness as ``python -m repro bench`` at CI scale
 (``REPRO_BENCH_ROWS``), writes the fresh ``BENCH_<date>.json`` report (to
 ``REPRO_BENCH_OUTPUT`` when set, so CI can upload it as an artifact), and
-fails when any throughput metric drops more than ``REPRO_BENCH_THRESHOLD``
-(default 30%) below the committed ``benchmarks/BENCH_baseline.json``.
+fails when any throughput metric — compress or decompress MB/s — drops
+more than ``REPRO_BENCH_THRESHOLD`` (default 30%) below the committed
+``benchmarks/BENCH_baseline.json``. When ``REPRO_BENCH_OVERLAP`` is set,
+the pipelined-scan fetch-vs-decode overlap breakdown is additionally
+written there as its own JSON artifact, making the network/CPU-bound
+crossover visible per CI run.
 
 Regenerate the baseline after an intentional performance change::
 
@@ -60,6 +64,23 @@ def test_perf_regression_vs_baseline():
             for mode, entry in selection.items()
         ],
     )
+    pipeline = report["pipeline"]
+    print_table(
+        f"Pipelined scan fetch-vs-decode overlap (readahead={pipeline['readahead']})",
+        ["fetch s", "decode s", "serial s", "wall s", "overlap s", "speedup"],
+        [[pipeline["fetch_seconds"], pipeline["decode_seconds"],
+          pipeline["serial_seconds"], pipeline["wall_seconds"],
+          pipeline["overlap_seconds"], pipeline["speedup"]]],
+    )
+    overlap_path = os.environ.get("REPRO_BENCH_OVERLAP")
+    if overlap_path:
+        import json
+
+        with open(overlap_path, "w", encoding="utf-8") as fh:
+            json.dump({"meta": report["meta"], "pipeline": pipeline},
+                      fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"overlap breakdown -> {overlap_path}")
     print(f"\nreport -> {output}")
 
     if not BASELINE_PATH.exists():

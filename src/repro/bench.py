@@ -8,13 +8,20 @@ single ``BENCH_<date>.json`` report:
 * parallel scaling of the block-level ``(column, block)`` pipeline on a
   single wide column, per worker count;
 * scheme-selection overhead as a percentage of total compression time, with
-  and without the sticky selection cache.
+  and without the sticky selection cache;
+* the fetch-vs-decode overlap of a pipelined cloud scan against the
+  simulated object store — how much of the serial (fetch + decode) time the
+  readahead window hides, i.e. whether the scan is network- or CPU-bound
+  at this decode speed (paper Fig. 1).
 
 CI runs this scaled down (``--rows``) and compares the fresh report against
 the committed ``benchmarks/BENCH_baseline.json``: any throughput metric more
-than ``threshold`` (default 30%) below the baseline fails the job. Ratios
-and scheme choices are reported for inspection but not gated — they are
-covered bit-exactly by the golden fixtures.
+than ``threshold`` (default 30%) below the baseline fails the job — both
+compress and decompress MB/s are gated. Ratios and scheme choices are
+reported for inspection but not gated — they are covered bit-exactly by the
+golden fixtures. ``--decode-only`` restricts the run to the read path
+(scheme decompression + the pipelined scan), for quickly iterating on
+decode changes without paying the compress-side measurements.
 """
 
 from __future__ import annotations
@@ -129,27 +136,33 @@ SCHEME_WORKLOADS: dict[str, Callable[[int, np.random.Generator], Column]] = {
 }
 
 
-def bench_schemes(rows: int, repeats: int, seed: int) -> dict:
-    """Compress/decompress throughput per scheme-targeted workload."""
+def bench_schemes(rows: int, repeats: int, seed: int, decode_only: bool = False) -> dict:
+    """Compress/decompress throughput per scheme-targeted workload.
+
+    ``decode_only`` skips the compress-side timing (each workload is still
+    compressed once to produce the artifact being decoded).
+    """
     out: dict[str, dict] = {}
     for name, make in SCHEME_WORKLOADS.items():
         rng = np.random.default_rng(seed)
         relation = Relation(name, [make(rows, rng)])
         compressed = compress_relation(relation)
-        compress_seconds = _best_seconds(lambda: compress_relation(relation), repeats)
         decompress_seconds = _best_seconds(lambda: decompress_relation(compressed), repeats)
         schemes: dict[str, int] = {}
         for column in compressed.columns:
             for scheme, count in column.scheme_histogram().items():
                 schemes[scheme] = schemes.get(scheme, 0) + count
-        out[name] = {
+        entry = {
             "rows": relation.row_count,
             "input_mb": _mb(relation.nbytes),
             "ratio": relation.nbytes / compressed.nbytes if compressed.nbytes else None,
-            "compress_mb_s": _mb(relation.nbytes) / compress_seconds,
             "decompress_mb_s": _mb(relation.nbytes) / decompress_seconds,
             "schemes_used": schemes,
         }
+        if not decode_only:
+            compress_seconds = _best_seconds(lambda: compress_relation(relation), repeats)
+            entry["compress_mb_s"] = _mb(relation.nbytes) / compress_seconds
+        out[name] = entry
     return out
 
 
@@ -174,6 +187,7 @@ def bench_parallel(rows: int, workers: Sequence[int], repeats: int, seed: int) -
             lambda: decompress_relation_parallel(compressed, max_workers=count), repeats
         )
     base = compress_seconds.get("1")
+    decompress_base = decompress_seconds.get("1")
     return {
         "rows": relation.row_count,
         "input_mb": _mb(relation.nbytes),
@@ -183,9 +197,15 @@ def bench_parallel(rows: int, workers: Sequence[int], repeats: int, seed: int) -
         "compress_mb_s": {
             k: _mb(relation.nbytes) / v for k, v in compress_seconds.items()
         },
+        "decompress_mb_s": {
+            k: _mb(relation.nbytes) / v for k, v in decompress_seconds.items()
+        },
         "compress_speedup": {
             k: base / v for k, v in compress_seconds.items()
         } if base else {},
+        "decompress_speedup": {
+            k: decompress_base / v for k, v in decompress_seconds.items()
+        } if decompress_base else {},
     }
 
 
@@ -218,17 +238,63 @@ def bench_selection(rows: int, seed: int) -> dict:
     }
 
 
+def bench_pipeline(rows: int, seed: int, readahead: int | None = None) -> dict:
+    """Fetch-vs-decode overlap of a pipelined scan against the simulated store.
+
+    Uploads a small table (one integer column per packing-heavy workload)
+    and scans it with :func:`~repro.cloud.scan.
+    scan_btrblocks_columns_pipelined`. The returned breakdown separates
+    simulated fetch time from measured decode time and reports how much of
+    their serial sum the readahead window hides — the paper's Fig. 1
+    network/CPU-bound crossover for this host's decode speed. Fetch times
+    come from the pricing model's constants and decode times from this
+    machine, so like the ``parallel`` section the numbers are reported but
+    never gated.
+    """
+    from repro.cloud import SimulatedObjectStore
+    from repro.cloud.scan import scan_btrblocks_columns_pipelined, upload_btrblocks
+    from repro.core.config import DEFAULT_SCAN_READAHEAD
+
+    if readahead is None:
+        readahead = DEFAULT_SCAN_READAHEAD
+    rng = np.random.default_rng(seed)
+    relation = Relation("pipe", [
+        Column.ints("bp", _w_bitpack(rows, rng).data),
+        Column.ints("rl", _w_rle(rows, rng).data),
+    ])
+    compressed = compress_relation(relation)
+    store = SimulatedObjectStore()
+    upload_btrblocks(store, compressed)
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        _result, report = scan_btrblocks_columns_pipelined(
+            store, relation.name, [0, 1], readahead=readahead
+        )
+    return {
+        "rows": relation.row_count,
+        "input_mb": _mb(relation.nbytes),
+        "compressed_mb": _mb(compressed.nbytes),
+        **report.to_dict(),
+    }
+
+
 def run_bench(
     rows: int = DEFAULT_ROWS,
     workers: Sequence[int] = DEFAULT_WORKERS,
     repeats: int = DEFAULT_REPEATS,
     seed: int = DEFAULT_SEED,
     date: str | None = None,
+    decode_only: bool = False,
 ) -> dict:
-    """The full benchmark report (the JSON written to ``BENCH_<date>.json``)."""
+    """The full benchmark report (the JSON written to ``BENCH_<date>.json``).
+
+    ``decode_only`` restricts the run to the read path: scheme decompression
+    throughput plus the pipelined-scan overlap breakdown, skipping the
+    compress-side ``parallel`` and ``selection`` sections.
+    """
     import numpy
 
-    return {
+    report = {
         "meta": {
             "date": date or time.strftime("%Y-%m-%d"),
             "rows": rows,
@@ -237,11 +303,15 @@ def run_bench(
             "seed": seed,
             "cpu_count": os.cpu_count(),
             "numpy": numpy.__version__,
+            "decode_only": decode_only,
         },
-        "schemes": bench_schemes(rows, repeats, seed),
-        "parallel": bench_parallel(rows, workers, repeats, seed),
-        "selection": bench_selection(rows, seed),
+        "schemes": bench_schemes(rows, repeats, seed, decode_only=decode_only),
+        "pipeline": bench_pipeline(rows, seed),
     }
+    if not decode_only:
+        report["parallel"] = bench_parallel(rows, workers, repeats, seed)
+        report["selection"] = bench_selection(rows, seed)
+    return report
 
 
 # -- baseline comparison -------------------------------------------------------
@@ -265,15 +335,18 @@ def compare(current: dict, baseline: dict, threshold: float = DEFAULT_THRESHOLD)
     """Throughput regressions of ``current`` vs ``baseline``.
 
     Returns one message per ``*_mb_s`` metric that dropped more than
-    ``threshold`` (a fraction) below the baseline value. Metrics present in
-    only one report are ignored — adding a workload must not fail CI. The
-    ``parallel`` section is reported but never gated: its timings scale with
-    the host's core count, which the committed baseline cannot predict.
+    ``threshold`` (a fraction) below the baseline value — this gates both
+    ``compress_mb_s`` and ``decompress_mb_s`` in the ``schemes`` section.
+    Metrics present in only one report are ignored — adding a workload must
+    not fail CI. The ``parallel`` and ``pipeline`` sections are reported but
+    never gated: parallel timings scale with the host's core count, and the
+    pipeline breakdown mixes simulated fetch constants with host decode
+    speed; neither is something the committed baseline can predict.
     """
     base = dict(_throughput_metrics(baseline))
     regressions = []
     for path, value in _throughput_metrics(current):
-        if path.startswith("parallel."):
+        if path.startswith(("parallel.", "pipeline.")):
             continue
         reference = base.get(path)
         if reference is None or reference <= 0:
@@ -300,6 +373,7 @@ def write_report(report: dict, path: str) -> None:
 __all__ = [
     "SCHEME_WORKLOADS",
     "bench_parallel",
+    "bench_pipeline",
     "bench_schemes",
     "bench_selection",
     "compare",

@@ -13,6 +13,7 @@ Usage (also via ``python -m repro``)::
                               [--crash-after N] [--recover] ...
     python -m repro bench     [--rows N] [--workers 1,2,4] [--output BENCH.json]
                               [--compare BASELINE.json] [--threshold 0.30]
+                              [--decode-only]
 
 ``compress`` ingests a CSV (with type inference), compresses it and writes
 the single-buffer BtrBlocks serialization; ``--trace`` additionally dumps
@@ -255,21 +256,31 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     workers = [int(w) for w in args.workers.split(",") if w.strip()]
     report = bench.run_bench(
-        rows=args.rows, workers=workers, repeats=args.repeats, seed=args.seed
+        rows=args.rows, workers=workers, repeats=args.repeats, seed=args.seed,
+        decode_only=args.decode_only,
     )
     output = args.output or f"BENCH_{report['meta']['date']}.json"
     bench.write_report(report, output)
     print(f"benchmark report -> {output}")
     for name, entry in report["schemes"].items():
-        print(f"  {name:14s} compress {entry['compress_mb_s']:8.1f} MB/s  "
+        compress = (f"compress {entry['compress_mb_s']:8.1f} MB/s  "
+                    if "compress_mb_s" in entry else "")
+        print(f"  {name:14s} {compress}"
               f"decompress {entry['decompress_mb_s']:8.1f} MB/s  "
               f"ratio {entry['ratio']:.1f}x")
-    scaling = report["parallel"]["compress_speedup"]
-    print("  parallel speedup: " +
-          ", ".join(f"{w}w={s:.2f}x" for w, s in sorted(scaling.items(), key=lambda kv: int(kv[0]))))
-    overhead = report["selection"]["full"]["selection_overhead_pct"]
-    if overhead is not None:
-        print(f"  selection overhead: {overhead:.1f}% of compression time")
+    if "parallel" in report:
+        scaling = report["parallel"]["compress_speedup"]
+        print("  parallel speedup: " +
+              ", ".join(f"{w}w={s:.2f}x" for w, s in sorted(scaling.items(), key=lambda kv: int(kv[0]))))
+    if "selection" in report:
+        overhead = report["selection"]["full"]["selection_overhead_pct"]
+        if overhead is not None:
+            print(f"  selection overhead: {overhead:.1f}% of compression time")
+    pipeline = report["pipeline"]
+    print(f"  pipelined scan (readahead {pipeline['readahead']}): "
+          f"fetch {pipeline['fetch_seconds']:.4f}s + decode {pipeline['decode_seconds']:.4f}s "
+          f"serial -> wall {pipeline['wall_seconds']:.4f}s "
+          f"(overlap {pipeline['overlap_seconds']:.4f}s, {pipeline['speedup']:.2f}x)")
     if args.compare:
         regressions = bench.compare(
             report, bench.load_report(args.compare), threshold=args.threshold
@@ -421,6 +432,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="compare against a baseline report; exit 1 on regression")
     bench.add_argument("--threshold", type=float, default=0.30,
                        help="allowed fractional throughput drop vs baseline (default 0.30)")
+    bench.add_argument("--decode-only", action="store_true",
+                       help="measure only the read path (scheme decompression + "
+                            "pipelined scan), skipping compress-side sections")
     bench.set_defaults(func=_cmd_bench)
 
     return parser

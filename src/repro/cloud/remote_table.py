@@ -35,17 +35,31 @@ import numpy as np
 
 from repro.bitmap import RoaringBitmap
 from repro.cloud.objectstore import SimulatedObjectStore
+from repro.cloud.pipeline import (
+    ColumnPipelineStats,
+    PipelinedScanReport,
+    pipelined_fetch_column,
+)
 from repro.core.access import read_rows
 from repro.core.blocks import CompressedColumn, CompressedRelation
-from repro.core.config import DecodeLimits
+from repro.core.cache import ByteBudgetLRU, DecodeCache
+from repro.core.config import (
+    DEFAULT_COLUMN_CACHE_BYTES,
+    DEFAULT_DECODE_CACHE_BYTES,
+    DEFAULT_SCAN_READAHEAD,
+    DecodeLimits,
+)
 from repro.core.decompressor import decompress_column
 from repro.core.file_format import FORMAT_VERSION, column_from_bytes, column_to_bytes, verify_column
 from repro.core.relation import Relation
 from repro.exceptions import (
     CommitConflictError,
+    CorruptBlockError,
     FormatError,
     IntegrityError,
     NoSuchUploadError,
+    TypeMismatchError,
+    UnknownSchemeError,
     WriterCrashError,
 )
 from repro.observe import get_registry
@@ -102,11 +116,23 @@ class RemoteTable:
         on_corrupt: str = "raise",
         version: "int | None" = None,
         decode_limits: "DecodeLimits | None" = None,
+        decode_cache_bytes: "int | None" = None,
+        column_cache_bytes: "int | None" = None,
+        readahead: "int | None" = None,
     ) -> None:
         self._store = store
         self.name = name
         self._metadata = metadata
-        self._columns: dict[str, CompressedColumn] = {}
+        #: Downloaded compressed columns, bounded by byte budget (LRU).
+        self._columns = ByteBudgetLRU(
+            DEFAULT_COLUMN_CACHE_BYTES if column_cache_bytes is None else column_cache_bytes,
+            metric_prefix="cloud.table.column_cache",
+        )
+        if decode_cache_bytes is None:
+            decode_cache_bytes = DEFAULT_DECODE_CACHE_BYTES
+        #: Decoded-block cache shared by every scan through this handle.
+        self.decode_cache = DecodeCache(decode_cache_bytes) if decode_cache_bytes > 0 else None
+        self.readahead = DEFAULT_SCAN_READAHEAD if readahead is None else readahead
         self.on_corrupt = on_corrupt
         #: Committed version this handle reads, or ``None`` for the legacy
         #: unversioned ``table.meta`` layout.
@@ -145,6 +171,9 @@ class RemoteTable:
         on_corrupt: str = "raise",
         version: "int | None" = None,
         decode_limits: "DecodeLimits | None" = None,
+        decode_cache_bytes: "int | None" = None,
+        column_cache_bytes: "int | None" = None,
+        readahead: "int | None" = None,
     ) -> "RemoteTable":
         """Resolve the table's commit point; no column data is transferred.
 
@@ -173,7 +202,14 @@ class RemoteTable:
             # Legacy unversioned layout (e.g. upload_btrblocks).
             metadata = cls._fetch_json(store, f"{name}/table.meta", validate)
             return cls(
-                store, name, metadata, on_corrupt=on_corrupt, decode_limits=decode_limits
+                store,
+                name,
+                metadata,
+                on_corrupt=on_corrupt,
+                decode_limits=decode_limits,
+                decode_cache_bytes=decode_cache_bytes,
+                column_cache_bytes=column_cache_bytes,
+                readahead=readahead,
             )
 
         def validate_manifest(metadata: dict) -> None:
@@ -188,6 +224,9 @@ class RemoteTable:
             on_corrupt=on_corrupt,
             version=int(metadata["version"]),
             decode_limits=decode_limits,
+            decode_cache_bytes=decode_cache_bytes,
+            column_cache_bytes=column_cache_bytes,
+            readahead=readahead,
         )
 
     # -- schema ----------------------------------------------------------------
@@ -244,11 +283,24 @@ class RemoteTable:
             raise last_error
         return column_from_bytes(payload, limits=self.decode_limits)
 
+    def _column_cache_key(self, entry: dict):
+        """Cache identity for one column's bytes: object key + version."""
+        return (entry["file"], self.version)
+
     def fetch_column(self, name: str) -> CompressedColumn:
-        """Download one column file (16 MB chunked GETs); cached afterwards."""
-        if name not in self._columns:
-            self._columns[name] = self._download_column(self.column_entry(name))
-        return self._columns[name]
+        """Download one column file (16 MB chunked GETs); cached afterwards.
+
+        The cache is an LRU bounded by ``column_cache_bytes`` of compressed
+        data (``cloud.table.column_cache.{hit,miss,evict}`` metrics), so
+        scanning a table wider than the budget re-downloads cold columns
+        instead of growing without bound.
+        """
+        entry = self.column_entry(name)
+        column = self._columns.get(entry["file"])
+        if column is None:
+            column = self._download_column(entry)
+            self._columns.put(entry["file"], column, column.nbytes)
+        return column
 
     def matching_rows(self, where: Mapping[str, Predicate]) -> RoaringBitmap:
         """Conjunctive predicate evaluation; downloads only the filter columns."""
@@ -279,10 +331,117 @@ class RemoteTable:
                     self.fetch_column(name),
                     on_corrupt=self.on_corrupt,
                     limits=self.decode_limits,
+                    cache=self.decode_cache,
+                    cache_key=self._column_cache_key(self.column_entry(name)),
                 )
                 for name in names
             ]
         return Relation(self.name, out)
+
+    def scan_pipelined(
+        self,
+        columns: "Iterable[str] | None" = None,
+        readahead: "int | None" = None,
+    ) -> "tuple[Relation, PipelinedScanReport]":
+        """Full-column projection with readahead GETs overlapped with decode.
+
+        Each column object downloads in chunk-size range GETs with up to
+        ``readahead`` requests in flight ahead of the decoder, which parses
+        and decodes blocks as their bytes complete (see
+        :mod:`repro.cloud.pipeline`). The store's simulated clock advances
+        by the *pipelined* wall time — ``max(fetch, decode)`` per step plus
+        pipeline fill — rather than the serial sum, and the returned report
+        breaks that saving down. A column whose streamed bytes turn out
+        damaged or unparsable falls back to the refetching
+        :meth:`_download_column` path (counted in
+        ``cloud.scan.pipeline.fallbacks``), so results are identical to
+        :meth:`scan` under every ``on_corrupt`` policy.
+        """
+        registry = get_registry()
+        registry.incr("cloud.table.scans")
+        if readahead is None:
+            readahead = self.readahead
+        names = list(columns) if columns is not None else self.column_names()
+        hits_before = registry.get("decode.cache.hit")
+        misses_before = registry.get("decode.cache.miss")
+        out = []
+        stats: list[ColumnPipelineStats] = []
+        fallbacks = 0
+        for name in names:
+            entry = self.column_entry(name)
+            cache_key = self._column_cache_key(entry)
+            cached = self._columns.get(entry["file"])
+            if cached is not None:
+                out.append(
+                    decompress_column(
+                        cached,
+                        on_corrupt=self.on_corrupt,
+                        limits=self.decode_limits,
+                        cache=self.decode_cache,
+                        cache_key=cache_key,
+                    )
+                )
+                continue
+            try:
+                column, compressed, column_stats = pipelined_fetch_column(
+                    self._store,
+                    entry["file"],
+                    readahead=readahead,
+                    rows_hint=entry.get("rows"),
+                    limits=self.decode_limits,
+                    cache=self.decode_cache,
+                    cache_key=cache_key,
+                )
+            except (
+                IntegrityError,
+                FormatError,
+                CorruptBlockError,
+                TypeMismatchError,
+                UnknownSchemeError,
+            ):
+                # Streamed bytes were damaged (or the metadata row count
+                # lied): refetch through the retrying download path, which
+                # owns the refetch budget and final on_corrupt decision —
+                # exactly what the batch path does with a damaged download.
+                registry.incr("cloud.scan.pipeline.fallbacks")
+                fallbacks += 1
+                compressed = self._download_column(entry)
+                self._columns.put(entry["file"], compressed, compressed.nbytes)
+                out.append(
+                    decompress_column(
+                        compressed,
+                        on_corrupt=self.on_corrupt,
+                        limits=self.decode_limits,
+                        cache=self.decode_cache,
+                        cache_key=cache_key,
+                    )
+                )
+                continue
+            self._columns.put(entry["file"], compressed, compressed.nbytes)
+            _record_transfer(self._store, column_stats.requests, column_stats.bytes_fetched)
+            stats.append(column_stats)
+            out.append(column)
+        report = PipelinedScanReport.from_columns(
+            stats,
+            readahead,
+            fallbacks=fallbacks,
+            cache_hits=int(registry.get("decode.cache.hit") - hits_before),
+            cache_misses=int(registry.get("decode.cache.miss") - misses_before),
+        )
+        # Retry backoff already advanced the clock inside call_with_retry;
+        # advance it by the rest of the pipelined wall time.
+        self._store.clock.sleep(max(0.0, report.wall_seconds - report.retry_seconds))
+        registry.incr_many(
+            [
+                ("cloud.scan.pipeline.scans", 1),
+                ("cloud.scan.pipeline.chunks", report.chunks),
+                ("cloud.scan.pipeline.fetch_seconds", report.fetch_seconds),
+                ("cloud.scan.pipeline.decode_seconds", report.decode_seconds),
+                ("cloud.scan.pipeline.wall_seconds", report.wall_seconds),
+                ("cloud.scan.pipeline.overlap_seconds", report.overlap_seconds),
+            ]
+        )
+        return Relation(self.name, out), report
 
     def count(self, where: Mapping[str, Predicate]) -> int:
         return len(self.matching_rows(where))

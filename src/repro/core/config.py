@@ -39,6 +39,13 @@ class DecodeLimits:
 #: Ceilings applied when the caller does not supply their own.
 DEFAULT_DECODE_LIMITS = DecodeLimits()
 
+#: Default byte budget for the decoded-block cache on remote scans.
+DEFAULT_DECODE_CACHE_BYTES = 64 << 20
+#: Default byte budget for RemoteTable's downloaded-column cache.
+DEFAULT_COLUMN_CACHE_BYTES = 256 << 20
+#: Default chunk-fetch readahead window for pipelined remote scans.
+DEFAULT_SCAN_READAHEAD = 4
+
 
 @dataclass
 class BtrBlocksConfig:
@@ -94,6 +101,15 @@ class BtrBlocksConfig:
     sticky_drift_ratio: float = 0.7
     #: Ceilings for decoding untrusted bytes (see :class:`DecodeLimits`).
     decode_limits: DecodeLimits = field(default_factory=DecodeLimits)
+    #: Byte budget for the decoded-block LRU used by remote scans
+    #: (``decode.cache.{hit,miss,evict}`` metrics); 0 disables it.
+    decode_cache_bytes: int = DEFAULT_DECODE_CACHE_BYTES
+    #: Byte budget for RemoteTable's compressed-column LRU
+    #: (``cloud.table.column_cache.{hit,miss,evict}`` metrics).
+    column_cache_bytes: int = DEFAULT_COLUMN_CACHE_BYTES
+    #: How many chunk GETs a pipelined remote scan keeps in flight ahead
+    #: of the decoder (the readahead window K).
+    scan_readahead: int = DEFAULT_SCAN_READAHEAD
 
     def sample_size(self) -> int:
         """Total sampled values per block."""

@@ -87,14 +87,74 @@ def _decompress_node(blob: bytes, ctype: ColumnType, ctx: DecompressionContext) 
     return values
 
 
+def _decompress_node_into(
+    blob: bytes, ctype: ColumnType, ctx: DecompressionContext, out: np.ndarray
+) -> None:
+    """Zero-copy variant of :func:`_decompress_node`: decode into ``out``.
+
+    Applies the same untrusted-input gates, then dispatches to the scheme's
+    ``decompress_into``. ``out`` is a writable view of exactly the declared
+    value count; a header whose count disagrees with the slot is rejected
+    *before* any scheme code runs (the legacy path detects the same
+    corruption after decoding, as a length mismatch). On failure ``out``
+    may hold partial data — callers degrade or re-raise, never read it.
+    """
+    scheme_id, count, payload = unwrap(blob)
+    if count > ctx.limits.max_rows_per_block:
+        raise DecodeLimitError(
+            f"block declares {count} values, limit is {ctx.limits.max_rows_per_block}"
+        )
+    if len(payload) > ctx.limits.max_bytes_per_block:
+        raise DecodeLimitError(
+            f"block payload of {len(payload)} bytes exceeds limit "
+            f"{ctx.limits.max_bytes_per_block}"
+        )
+    if count != len(out):
+        raise FormatError(
+            f"block declared {count} values but its slot holds {len(out)}"
+        )
+    scheme = get_scheme(scheme_id)
+    if scheme.ctype is not ctype:
+        raise TypeMismatchError(
+            f"block encoded as {scheme.ctype.value} but read as {ctype.value}"
+        )
+    try:
+        scheme.decompress_into(payload, count, ctx, out)
+    except (BtrBlocksError, MemoryError):
+        raise
+    except Exception as exc:
+        raise CorruptBlockError(
+            f"{scheme.name} failed on malformed payload: {exc!r}"
+        ) from exc
+
+
+#: Contexts are immutable and stateless, so default-limit ones are shared.
+_DEFAULT_CONTEXTS: dict[tuple[bool, bool], DecompressionContext] = {}
+
+
 def make_context(
     vectorized: bool = True,
     fuse_rle_dict: bool = True,
     limits: "DecodeLimits | None" = None,
 ) -> DecompressionContext:
     """A decompression context that recursively dispatches on scheme ids."""
+    if limits is None:
+        ctx = _DEFAULT_CONTEXTS.get((vectorized, fuse_rle_dict))
+        if ctx is None:
+            ctx = DecompressionContext(
+                _decompress_node,
+                vectorized=vectorized,
+                fuse_rle_dict=fuse_rle_dict,
+                decompress_into_fn=_decompress_node_into,
+            )
+            _DEFAULT_CONTEXTS[(vectorized, fuse_rle_dict)] = ctx
+        return ctx
     return DecompressionContext(
-        _decompress_node, vectorized=vectorized, fuse_rle_dict=fuse_rle_dict, limits=limits
+        _decompress_node,
+        vectorized=vectorized,
+        fuse_rle_dict=fuse_rle_dict,
+        limits=limits,
+        decompress_into_fn=_decompress_node_into,
     )
 
 
@@ -175,6 +235,52 @@ def decode_block(
         )
 
 
+def decode_block_into(
+    block: CompressedBlock,
+    ctype: ColumnType,
+    ctx: DecompressionContext,
+    out: np.ndarray,
+    on_corrupt: str = "raise",
+) -> "CorruptBlockResult | None":
+    """Zero-copy variant of :func:`decode_block`: decode into ``out``.
+
+    ``out`` is a writable slice of the preallocated column array holding
+    exactly ``block.count`` elements. Returns ``None`` on success (the slice
+    is fully written) or a :class:`CorruptBlockResult` under a degrade
+    policy — a ``null_block`` result leaves the slice zero-filled (the NULL
+    placeholder), a ``skip`` result leaves it unspecified (the assembly
+    compaction pass drops it). Identical verification order, error types and
+    degrade semantics to :func:`decode_block`; records no metrics.
+    """
+    if on_corrupt not in ON_CORRUPT_MODES:
+        raise ValueError(f"on_corrupt must be one of {ON_CORRUPT_MODES}, got {on_corrupt!r}")
+    if block.count > ctx.limits.max_rows_per_block:
+        raise DecodeLimitError(
+            f"block declares {block.count} values, limit is "
+            f"{ctx.limits.max_rows_per_block}"
+        )
+    if not verify_block(block):
+        if on_corrupt == "raise":
+            raise IntegrityError(
+                f"block of {block.count} values: payload does not match stored CRC32"
+            )
+        if on_corrupt == "null_block":
+            out[:] = 0
+            return CorruptBlockResult(block.count)
+        return CorruptBlockResult(0)
+    if on_corrupt == "raise":
+        _decompress_node_into(block.data, ctype, ctx, out)
+        return None
+    try:
+        _decompress_node_into(block.data, ctype, ctx, out)
+        return None
+    except BtrBlocksError:
+        if on_corrupt == "null_block":
+            out[:] = 0  # overwrite any partial decode with the NULL placeholder
+            return CorruptBlockResult(block.count, reason="decode failure")
+        return CorruptBlockResult(0, reason="decode failure")
+
+
 def _null_block_placeholder(ctype: ColumnType, count: int) -> Values:
     """All-NULL filler values for a damaged block kept for row alignment."""
     if ctype is ColumnType.STRING:
@@ -217,15 +323,18 @@ def assemble_column(compressed: CompressedColumn, parts: "list[Values | CorruptB
                 null_positions.append(positions.astype(np.int64) + offset)
         value_parts.append(part)
         offset += block.count
-    registry.incr("decompress.columns")
-    registry.incr("decompress.blocks", len(compressed.blocks))
-    registry.incr("decompress.rows", offset)
-    registry.incr("decompress.input_bytes", compressed.nbytes)
+    counters = [
+        ("decompress.columns", 1),
+        ("decompress.blocks", len(compressed.blocks)),
+        ("decompress.rows", offset),
+        ("decompress.input_bytes", compressed.nbytes),
+    ]
     if checksummed:
-        registry.incr("decompress.checksum_verified", checksummed)
+        counters.append(("decompress.checksum_verified", checksummed))
     if corrupt_blocks:
-        registry.incr("decompress.corrupt_blocks", corrupt_blocks)
-        registry.incr("decompress.corrupt_rows", corrupt_rows)
+        counters.append(("decompress.corrupt_blocks", corrupt_blocks))
+        counters.append(("decompress.corrupt_rows", corrupt_rows))
+    registry.incr_many(counters)
     nulls = None
     if null_positions:
         nulls = RoaringBitmap.from_positions(np.concatenate(null_positions))
@@ -240,20 +349,154 @@ def assemble_column(compressed: CompressedColumn, parts: "list[Values | CorruptB
     return Column(compressed.name, compressed.ctype, data, nulls)
 
 
+def preallocate_column(
+    compressed: CompressedColumn, limits: "DecodeLimits | None" = None
+) -> np.ndarray:
+    """Allocate the full column array the zero-copy path decodes into.
+
+    Every block's declared count is held to ``max_rows_per_block`` *before*
+    sizing the allocation, so a lying header cannot trigger an allocation
+    bomb that the per-block gate would only catch afterwards.
+    """
+    if limits is None:
+        from repro.core.config import DEFAULT_DECODE_LIMITS
+
+        limits = DEFAULT_DECODE_LIMITS
+    total = 0
+    for block in compressed.blocks:
+        if block.count > limits.max_rows_per_block:
+            raise DecodeLimitError(
+                f"block declares {block.count} values, limit is "
+                f"{limits.max_rows_per_block}"
+            )
+        total += block.count
+    return np.empty(total, dtype=_EMPTY_DTYPES[compressed.ctype])
+
+
+def assemble_column_preallocated(
+    compressed: CompressedColumn,
+    data: np.ndarray,
+    parts: "list[CorruptBlockResult | None]",
+) -> Column:
+    """Finish a zero-copy column decode: nulls, compaction, counters.
+
+    ``data`` is the preallocated array whose fixed per-block slices
+    :func:`decode_block_into` already filled; ``parts`` holds one entry per
+    block — ``None`` for a successful decode, :class:`CorruptBlockResult`
+    for a degraded one. Rebases NULL positions exactly like
+    :func:`assemble_column` and records the identical counters. Skipped
+    blocks leave holes that are compacted by shifting later segments down
+    (rare: only under ``on_corrupt="skip"`` with actual damage), after
+    which the array is trimmed to the emitted row count.
+    """
+    registry = get_registry()
+    null_positions: list[np.ndarray] = []
+    write_offset = 0
+    read_offset = 0
+    corrupt_blocks = 0
+    corrupt_rows = 0
+    checksummed = 0
+    for block, part in zip(compressed.blocks, parts):
+        if part is not None:
+            corrupt_blocks += 1
+            corrupt_rows += block.count
+            if part.emitted:
+                if write_offset != read_offset:
+                    data[write_offset : write_offset + part.emitted] = data[
+                        read_offset : read_offset + part.emitted
+                    ]
+                null_positions.append(
+                    np.arange(write_offset, write_offset + part.emitted, dtype=np.int64)
+                )
+                write_offset += part.emitted
+            read_offset += block.count
+            continue
+        if block.checksum is not None:
+            checksummed += 1
+        if block.nulls is not None:
+            positions = RoaringBitmap.deserialize(block.nulls).to_array()
+            if positions.size:
+                null_positions.append(positions.astype(np.int64) + write_offset)
+        if write_offset != read_offset:
+            data[write_offset : write_offset + block.count] = data[
+                read_offset : read_offset + block.count
+            ]
+        write_offset += block.count
+        read_offset += block.count
+    counters = [
+        ("decompress.columns", 1),
+        ("decompress.blocks", len(compressed.blocks)),
+        ("decompress.rows", write_offset),
+        ("decompress.input_bytes", compressed.nbytes),
+    ]
+    if checksummed:
+        counters.append(("decompress.checksum_verified", checksummed))
+    if corrupt_blocks:
+        counters.append(("decompress.corrupt_blocks", corrupt_blocks))
+        counters.append(("decompress.corrupt_rows", corrupt_rows))
+    registry.incr_many(counters)
+    nulls = None
+    if null_positions:
+        nulls = RoaringBitmap.from_positions(np.concatenate(null_positions))
+    if write_offset != data.size:
+        data = data[:write_offset].copy()
+    return Column(compressed.name, compressed.ctype, data, nulls)
+
+
 def decompress_column(
     compressed: CompressedColumn,
     vectorized: bool = True,
     on_corrupt: str = "raise",
     limits: "DecodeLimits | None" = None,
+    cache=None,
+    cache_key=None,
 ) -> Column:
-    """Reassemble a full column from its compressed blocks."""
+    """Reassemble a full column from its compressed blocks.
+
+    Numeric columns take the zero-copy path: one allocation sized from the
+    block headers, every block decoding straight into its slice. Strings
+    and the scalar ablation keep the legacy per-block assembly.
+
+    With a :class:`~repro.core.cache.DecodeCache` and a ``cache_key``
+    identifying this column's bytes (object key + version for remote
+    columns), successfully decoded checksummed blocks are served from and
+    inserted into the cache. A hit still verifies the block in hand
+    against its stored CRC32 first, so a damaged download follows the
+    same ``on_corrupt`` path as an uncached decode — cached rows can
+    never mask fresh corruption.
+    """
     ctx = make_context(vectorized, limits=limits)
+    if not vectorized or compressed.ctype is ColumnType.STRING:
+        with get_registry().timer("decompress"):
+            parts = [
+                decode_block(block, compressed.ctype, ctx, on_corrupt=on_corrupt)
+                for block in compressed.blocks
+            ]
+        return assemble_column(compressed, parts)
+    use_cache = cache is not None and cache_key is not None
     with get_registry().timer("decompress"):
-        parts = [
-            decode_block(block, compressed.ctype, ctx, on_corrupt=on_corrupt)
-            for block in compressed.blocks
-        ]
-    return assemble_column(compressed, parts)
+        data = preallocate_column(compressed, ctx.limits)
+        offset = 0
+        results: list[CorruptBlockResult | None] = []
+        for index, block in enumerate(compressed.blocks):
+            out = data[offset : offset + block.count]
+            offset += block.count
+            key = None
+            if use_cache and block.checksum is not None:
+                key = (cache_key, index, block.checksum)
+                # Copy the cached rows first (cheap), then hold the block in
+                # hand to its CRC: a hit may never mask fresh damage, and a
+                # miss must not pay the checksum twice (decode verifies it).
+                if cache.get_into(key, out) and verify_block(block):
+                    results.append(None)
+                    continue
+            part = decode_block_into(
+                block, compressed.ctype, ctx, out, on_corrupt=on_corrupt
+            )
+            if part is None and key is not None:
+                cache.put(key, out)
+            results.append(part)
+    return assemble_column_preallocated(compressed, data, results)
 
 
 def decompress_relation(
@@ -274,9 +517,12 @@ __all__ = [
     "CorruptBlockResult",
     "ON_CORRUPT_MODES",
     "assemble_column",
+    "assemble_column_preallocated",
     "decode_block",
+    "decode_block_into",
     "decompress_block",
     "decompress_column",
     "decompress_relation",
     "make_context",
+    "preallocate_column",
 ]

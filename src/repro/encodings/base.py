@@ -15,7 +15,7 @@ from typing import TYPE_CHECKING, Callable, Union
 
 import numpy as np
 
-from repro.exceptions import UnknownSchemeError
+from repro.exceptions import FormatError, UnknownSchemeError
 from repro.types import ColumnType, StringArray
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -92,16 +92,35 @@ class DecompressionContext:
         vectorized: bool = True,
         fuse_rle_dict: bool = True,
         limits: "DecodeLimits | None" = None,
+        decompress_into_fn: "Callable[[bytes, ColumnType, DecompressionContext, np.ndarray], None] | None" = None,
     ) -> None:
         from repro.core.config import DEFAULT_DECODE_LIMITS
 
         self._decompress_fn = decompress_fn
+        self._decompress_into_fn = decompress_into_fn
         self.vectorized = vectorized
         self.fuse_rle_dict = fuse_rle_dict
         self.limits = limits if limits is not None else DEFAULT_DECODE_LIMITS
 
     def decompress_child(self, blob: bytes, ctype: ColumnType) -> Values:
         return self._decompress_fn(blob, ctype, self)
+
+    def decompress_child_into(self, blob: bytes, ctype: ColumnType, out: np.ndarray) -> None:
+        """Decode a child sequence directly into the ``out`` view.
+
+        Cascades the zero-copy path one level deeper when the context was
+        built with an into-dispatcher; otherwise decodes normally and copies
+        (one intermediate, same bytes).
+        """
+        if self._decompress_into_fn is not None:
+            self._decompress_into_fn(blob, ctype, self, out)
+            return
+        values = self._decompress_fn(blob, ctype, self)
+        if len(values) != len(out):
+            raise FormatError(
+                f"child block decoded {len(values)} values into a {len(out)}-value slot"
+            )
+        np.copyto(out, np.asarray(values), casting="unsafe")
 
 
 class Scheme(ABC):
@@ -158,6 +177,26 @@ class Scheme(ABC):
     @abstractmethod
     def decompress(self, payload: bytes, count: int, ctx: DecompressionContext) -> Values:
         """Inverse of :meth:`compress`; must return bitwise-identical values."""
+
+    def decompress_into(
+        self, payload: bytes, count: int, ctx: DecompressionContext, out: np.ndarray
+    ) -> None:
+        """Decode ``count`` values directly into the NumPy view ``out``.
+
+        ``out`` is a writable view of exactly ``count`` elements with the
+        column's logical dtype (int32 / float64) — typically a slice of a
+        preallocated column array. The default decodes via
+        :meth:`decompress` and copies, which is already zero-intermediate
+        for schemes whose decode is a buffer view (Uncompressed); schemes
+        with a cheaper direct path (fill, gather, repeat) override it.
+        Only numeric schemes participate; strings always assemble legacy.
+        """
+        values = self.decompress(payload, count, ctx)
+        if len(values) != count:
+            raise FormatError(
+                f"block declared {count} values but {self.name} decoded {len(values)}"
+            )
+        np.copyto(out, np.asarray(values), casting="unsafe")
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} id={self.scheme_id} {self.ctype.value}>"

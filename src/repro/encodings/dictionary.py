@@ -25,8 +25,9 @@ from repro.encodings.base import (
     SchemeId,
     register_scheme,
 )
-from repro.encodings.rle import _RLEBase
+from repro.encodings.rle import _RLEBase, repeat_into
 from repro.encodings.wire import Reader, Writer, unwrap
+from repro.exceptions import FormatError
 from repro.types import ColumnType, StringArray
 
 _POOL_RAW = 0
@@ -92,6 +93,35 @@ class _NumericDict(Scheme):
         for i, code in enumerate(codes.tolist()):
             out[i] = uniq[code]
         return out
+
+    def decompress_into(
+        self, payload: bytes, count: int, ctx: DecompressionContext, out: np.ndarray
+    ) -> None:
+        if not ctx.vectorized:
+            super().decompress_into(payload, count, ctx, out)
+            return
+        reader = Reader(payload)
+        uniq = reader.array()
+        codes_blob = reader.blob()
+        if uniq.dtype != out.dtype:
+            values = self.decompress(payload, count, ctx)
+            if len(values) != count:
+                raise FormatError(
+                    f"block declared {count} values but {self.name} decoded {len(values)}"
+                )
+            np.copyto(out, values, casting="unsafe")
+            return
+        fused = _try_fused_rle(codes_blob, ctx)
+        if fused is not None:
+            run_codes, run_lengths = fused
+            repeat_into(uniq[run_codes], np.asarray(run_lengths), count, out)
+            return
+        codes = ctx.decompress_child(codes_blob, ColumnType.INTEGER)
+        if len(codes) != count:
+            raise FormatError(
+                f"block declared {count} values but {self.name} decoded {len(codes)}"
+            )
+        np.take(uniq, codes, out=out)
 
 
 def _try_fused_rle(codes_blob: bytes, ctx: DecompressionContext):

@@ -33,6 +33,7 @@ from repro.encodings.bitpack import (
     unpack_pages_scalar,
 )
 from repro.encodings.wire import Reader, Writer
+from repro.exceptions import CorruptBlockError
 from repro.types import ColumnType
 
 _EXCEPTION_COST_BITS = 8 + 64
@@ -95,18 +96,19 @@ class FastPFOR(Scheme):
         writer.blob(pack_pages(packed_deltas, widths))
         return writer.getvalue()
 
-    def decompress(self, payload: bytes, count: int, ctx: DecompressionContext) -> np.ndarray:
+    def _decode_pages(self, payload: bytes, ctx: DecompressionContext) -> np.ndarray:
         reader = Reader(payload)
         refs = reader.array()
-        widths = reader.array().astype(np.int64)
-        exc_per_page = reader.array().astype(np.int64)
-        exc_slots = reader.array().astype(np.int64)
+        widths = reader.array()
+        exc_per_page = reader.array()
+        exc_slots = reader.array()
         exc_values = reader.array()
         packed = reader.blob()
         if ctx.vectorized:
             deltas = unpack_pages(packed, widths)
-            exc_pages = np.repeat(np.arange(widths.size), exc_per_page)
-            deltas[exc_pages, exc_slots] = exc_values
+            if exc_values.size:
+                exc_pages = np.repeat(np.arange(widths.size), exc_per_page)
+                deltas[exc_pages, exc_slots] = exc_values
         else:
             deltas = unpack_pages_scalar(packed, widths)
             exc_index = 0
@@ -114,8 +116,26 @@ class FastPFOR(Scheme):
                 for _ in range(exc_count):
                     deltas[page, exc_slots[exc_index]] = exc_values[exc_index]
                     exc_index += 1
-        values = deltas.astype(np.int64) + refs[:, None]
+        # In-place modular add; bit-identical to widening to int64 first
+        # because the final int32 cast truncates mod 2^32 either way (the
+        # unsafe cast is the same modular int32 -> uint64 conversion as
+        # ``refs.astype(np.uint64)``, minus the temporary).
+        np.add(deltas, refs[:, None], out=deltas, casting="unsafe")
+        return deltas
+
+    def decompress(self, payload: bytes, count: int, ctx: DecompressionContext) -> np.ndarray:
+        values = self._decode_pages(payload, ctx)
         return values.reshape(-1)[:count].astype(np.int32)
+
+    def decompress_into(
+        self, payload: bytes, count: int, ctx: DecompressionContext, out: np.ndarray
+    ) -> None:
+        values = self._decode_pages(payload, ctx).reshape(-1)
+        if values.size < count:
+            raise CorruptBlockError(
+                f"bit-packed pages hold {values.size} values, {count} declared"
+            )
+        np.copyto(out, values[:count], casting="unsafe")
 
 
 FASTPFOR_SCHEME = register_scheme(FastPFOR())

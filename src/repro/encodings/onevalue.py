@@ -17,6 +17,7 @@ from repro.encodings.base import (
     register_scheme,
 )
 from repro.encodings.wire import Reader, Writer
+from repro.exceptions import CorruptBlockError
 from repro.types import ColumnType, StringArray
 
 
@@ -35,6 +36,11 @@ class OneValueInt(Scheme):
         value = Reader(payload).i64()
         return np.full(count, value, dtype=np.int32)
 
+    def decompress_into(
+        self, payload: bytes, count: int, ctx: DecompressionContext, out: np.ndarray
+    ) -> None:
+        out.fill(np.int32(Reader(payload).i64()))
+
 
 class OneValueDouble(Scheme):
     scheme_id = SchemeId.ONE_VALUE_DOUBLE
@@ -51,6 +57,16 @@ class OneValueDouble(Scheme):
     def decompress(self, payload: bytes, count: int, ctx: DecompressionContext) -> np.ndarray:
         value = Reader(payload).array()
         return np.repeat(value, count)
+
+    def decompress_into(
+        self, payload: bytes, count: int, ctx: DecompressionContext, out: np.ndarray
+    ) -> None:
+        value = Reader(payload).array()
+        if value.size != 1:
+            raise CorruptBlockError(
+                f"one_value payload holds {value.size} values, expected 1"
+            )
+        out.fill(value[0])
 
 
 class OneValueString(Scheme):

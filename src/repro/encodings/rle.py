@@ -20,7 +20,7 @@ from repro.encodings.base import (
     register_scheme,
 )
 from repro.encodings.wire import Reader, Writer
-from repro.exceptions import CorruptBlockError
+from repro.exceptions import CorruptBlockError, FormatError
 from repro.types import ColumnType
 
 
@@ -39,6 +39,27 @@ def split_runs(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     starts = np.concatenate(([0], changes))
     ends = np.concatenate((changes, [values.size]))
     return values[starts], (ends - starts).astype(np.int32)
+
+
+def repeat_into(run_values: np.ndarray, run_lengths: np.ndarray, count: int, out: np.ndarray) -> None:
+    """Replicate runs straight into ``out`` (``np.repeat`` has no ``out=``).
+
+    A single run — the OneValue-shaped case RLE often degenerates to —
+    broadcasts with ``fill`` and touches each output byte once. Everything
+    else replicates through one ``np.repeat`` intermediate and a copy into
+    the view; malformed lengths surface exactly like the legacy path (a
+    negative length raises inside ``np.repeat``, a total that disagrees
+    with the declared count is a :class:`FormatError`).
+    """
+    if run_values.size == 1 and run_values.dtype == out.dtype and int(run_lengths[0]) == count:
+        out.fill(run_values[0])
+        return
+    values = np.repeat(run_values, run_lengths)
+    if len(values) != count:
+        raise FormatError(
+            f"block declared {count} values but rle decoded {len(values)}"
+        )
+    np.copyto(out, values, casting="unsafe")
 
 
 class _RLEBase(Scheme):
@@ -79,6 +100,15 @@ class _RLEBase(Scheme):
                 out[pos + i] = value
             pos += length
         return out
+
+    def decompress_into(
+        self, payload: bytes, count: int, ctx: DecompressionContext, out: np.ndarray
+    ) -> None:
+        if not ctx.vectorized:
+            super().decompress_into(payload, count, ctx, out)
+            return
+        run_values, run_lengths = self.decode_runs(payload, ctx, self.ctype)
+        repeat_into(np.asarray(run_values), np.asarray(run_lengths), count, out)
 
 
 class RLEInt(_RLEBase):

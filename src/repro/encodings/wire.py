@@ -21,6 +21,8 @@ import numpy as np
 from repro.exceptions import CorruptBlockError
 
 _HEADER = struct.Struct("<BI")
+_ARRAY_HEAD = struct.Struct("<BI")
+_U32 = struct.Struct("<I")
 
 _DTYPE_CODES: dict[str, int] = {
     "uint8": 0,
@@ -109,7 +111,12 @@ class Reader:
         return struct.unpack("<B", self._take(1))[0]
 
     def u32(self) -> int:
-        return struct.unpack("<I", self._take(4))[0]
+        end = self._pos + 4
+        if end > len(self._data):
+            raise CorruptBlockError("truncated payload")
+        value = _U32.unpack_from(self._data, self._pos)[0]
+        self._pos = end
+        return value
 
     def i64(self) -> int:
         return struct.unpack("<q", self._take(8))[0]
@@ -118,16 +125,40 @@ class Reader:
         return struct.unpack("<d", self._take(8))[0]
 
     def array(self) -> np.ndarray:
-        code, size = struct.unpack("<BI", self._take(5))
+        """A length- and dtype-prefixed array, viewing the payload in place.
+
+        The returned array is a read-only ``frombuffer`` view at the
+        current offset — no byte-slice copy on the decode hot path.
+        """
+        data = self._data
+        head = self._pos + 5
+        if head > len(data):
+            raise CorruptBlockError("truncated payload")
+        code, size = _ARRAY_HEAD.unpack_from(data, self._pos)
         dtype = _CODE_DTYPES.get(code)
         if dtype is None:
             raise CorruptBlockError(f"unknown dtype code {code}")
-        raw = self._take(size)
-        return np.frombuffer(raw, dtype=dtype)
+        stop = head + size
+        if stop > len(data):
+            raise CorruptBlockError("truncated payload")
+        count, rem = divmod(size, dtype.itemsize)
+        if rem:
+            # Same error np.frombuffer raises on a partial trailing item.
+            raise ValueError("buffer size must be a multiple of element size")
+        self._pos = stop
+        return np.frombuffer(data, dtype=dtype, count=count, offset=head)
 
     def blob(self) -> bytes:
-        size = struct.unpack("<I", self._take(4))[0]
-        return self._take(size)
+        data = self._data
+        head = self._pos + 4
+        if head > len(data):
+            raise CorruptBlockError("truncated payload")
+        size = _U32.unpack_from(data, self._pos)[0]
+        stop = head + size
+        if stop > len(data):
+            raise CorruptBlockError("truncated payload")
+        self._pos = stop
+        return data[head:stop]
 
     def remaining(self) -> int:
         return len(self._data) - self._pos

@@ -53,6 +53,13 @@ class MetricsRegistry:
         with self._lock:
             self._counters[name] = self._counters.get(name, 0) + amount
 
+    def incr_many(self, items: "list[tuple[str, float]]") -> None:
+        """Add several counters under one lock acquisition (hot paths)."""
+        with self._lock:
+            counters = self._counters
+            for name, amount in items:
+                counters[name] = counters.get(name, 0) + amount
+
     def observe_seconds(self, name: str, seconds: float) -> None:
         """Accumulate one timed phase invocation."""
         with self._lock:

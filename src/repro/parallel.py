@@ -24,10 +24,18 @@ from typing import Callable, Sequence, TypeVar
 from repro.core.blocks import CompressedColumn, CompressedRelation
 from repro.core.compressor import compress_column_block, iter_block_ranges
 from repro.core.config import BtrBlocksConfig
-from repro.core.decompressor import assemble_column, decode_block, make_context
+from repro.core.decompressor import (
+    assemble_column,
+    assemble_column_preallocated,
+    decode_block,
+    decode_block_into,
+    make_context,
+    preallocate_column,
+)
 from repro.core.relation import Relation
 from repro.core.selector import SchemeSelector, SelectionCache
 from repro.observe import get_registry
+from repro.types import ColumnType
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -100,22 +108,42 @@ def decompress_relation_parallel(
     """Decompress all blocks of all columns concurrently.
 
     The decompression context is stateless, so one instance is shared by
-    every task; decoded parts are regrouped per column in block order and
-    reassembled with :func:`assemble_column`. ``on_corrupt`` applies the
-    same checksum/degradation policy as the sequential API — a damaged
-    block raises (failing the whole run) or degrades per block.
+    every task. Numeric columns take the zero-copy path: each column's full
+    array is preallocated up front and every block task decodes into its own
+    disjoint slice, so workers never contend and reassembly is a metadata
+    pass (:func:`assemble_column_preallocated`) instead of a concatenation.
+    String columns (and the scalar ablation) keep the legacy per-block
+    parts. ``on_corrupt`` applies the same checksum/degradation policy as
+    the sequential API — a damaged block raises (failing the whole run) or
+    degrades per block.
     """
     ctx = make_context(vectorized)
-    tasks: list[tuple[int, int]] = []
+    buffers = [
+        preallocate_column(column, ctx.limits)
+        if vectorized and column.ctype is not ColumnType.STRING
+        else None
+        for column in compressed.columns
+    ]
+    tasks: list[tuple[int, int, int]] = []
     for col_idx, column in enumerate(compressed.columns):
-        for block_idx in range(len(column.blocks)):
-            tasks.append((col_idx, block_idx))
+        offset = 0
+        for block_idx, block in enumerate(column.blocks):
+            tasks.append((col_idx, block_idx, offset))
+            offset += block.count
 
-    def worker(task: tuple[int, int]):
-        col_idx, block_idx = task
+    def worker(task: tuple[int, int, int]):
+        col_idx, block_idx, start = task
         column = compressed.columns[col_idx]
-        return decode_block(
-            column.blocks[block_idx], column.ctype, ctx, on_corrupt=on_corrupt
+        block = column.blocks[block_idx]
+        buffer = buffers[col_idx]
+        if buffer is None:
+            return decode_block(block, column.ctype, ctx, on_corrupt=on_corrupt)
+        return decode_block_into(
+            block,
+            column.ctype,
+            ctx,
+            buffer[start : start + block.count],
+            on_corrupt=on_corrupt,
         )
 
     registry = get_registry()
@@ -123,10 +151,12 @@ def decompress_relation_parallel(
     with registry.timer("decompress.parallel"):
         parts = _run_tasks(worker, tasks, max_workers)
     grouped: list[list] = [[] for _ in compressed.columns]
-    for (col_idx, _), values in zip(tasks, parts):
+    for (col_idx, _, _), values in zip(tasks, parts):
         grouped[col_idx].append(values)
     columns = [
-        assemble_column(column, parts)
-        for column, parts in zip(compressed.columns, grouped)
+        assemble_column_preallocated(column, buffer, column_parts)
+        if buffer is not None
+        else assemble_column(column, column_parts)
+        for column, buffer, column_parts in zip(compressed.columns, buffers, grouped)
     ]
     return Relation(compressed.name, columns)

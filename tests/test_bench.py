@@ -15,7 +15,7 @@ def report():
 
 class TestRunBench:
     def test_report_sections(self, report):
-        assert set(report) == {"meta", "schemes", "parallel", "selection"}
+        assert set(report) == {"meta", "schemes", "parallel", "selection", "pipeline"}
         assert report["meta"]["rows"] == 256
         assert report["meta"]["workers"] == [1, 2]
 
@@ -32,6 +32,31 @@ class TestRunBench:
         assert set(parallel["compress_seconds"]) == {"1", "2"}
         assert parallel["compress_speedup"]["1"] == 1.0
         assert parallel["cpu_count"] >= 1
+
+    def test_parallel_section_reports_decompress_throughput(self, report):
+        parallel = report["parallel"]
+        assert set(parallel["decompress_mb_s"]) == {"1", "2"}
+        assert all(v > 0 for v in parallel["decompress_mb_s"].values())
+        assert parallel["decompress_speedup"]["1"] == 1.0
+
+    def test_pipeline_section(self, report):
+        pipeline = report["pipeline"]
+        assert pipeline["columns"] == 2
+        assert pipeline["chunks"] >= 2
+        assert pipeline["fetch_seconds"] > 0
+        assert pipeline["decode_seconds"] > 0
+        # The pipelined wall can never exceed fetching then decoding serially.
+        assert pipeline["wall_seconds"] <= pipeline["serial_seconds"] + 1e-9
+        assert pipeline["speedup"] >= 1.0
+        assert pipeline["fallbacks"] == 0
+
+    def test_decode_only_skips_compress_side(self):
+        report = run_bench(rows=256, workers=(1,), repeats=1, decode_only=True)
+        assert set(report) == {"meta", "schemes", "pipeline"}
+        assert report["meta"]["decode_only"] is True
+        for name, entry in report["schemes"].items():
+            assert "compress_mb_s" not in entry, name
+            assert entry["decompress_mb_s"] > 0, name
 
     def test_selection_section(self, report):
         selection = report["selection"]
@@ -67,6 +92,17 @@ class TestCompare:
         current = {"parallel": {"compress_mb_s": {"1": 1.0}}}
         assert compare(current, self.BASE) == []
 
+    def test_gates_decompress_throughput(self):
+        current = {"schemes": {"rle": {"compress_mb_s": 100.0, "decompress_mb_s": 100.0}}}
+        regressions = compare(current, self.BASE, threshold=0.30)
+        assert len(regressions) == 1
+        assert "schemes.rle.decompress_mb_s" in regressions[0]
+
+    def test_never_gates_pipeline_section(self):
+        base = dict(self.BASE, pipeline={"decode_mb_s": 100.0})
+        current = {"pipeline": {"decode_mb_s": 1.0}}
+        assert compare(current, base) == []
+
     def test_non_throughput_fields_ignored(self):
         base = {"schemes": {"rle": {"ratio": 50.0, "input_mb": 2.0}}}
         current = {"schemes": {"rle": {"ratio": 1.0, "input_mb": 0.1}}}
@@ -97,3 +133,11 @@ class TestBenchCli:
         assert main(["bench", "--rows", "256", "--workers", "1", "--repeats", "1",
                      "--output", str(out), "--compare", str(baseline)]) == 1
         assert "regression" in capsys.readouterr().out
+
+    def test_decode_only_flag(self, tmp_path, capsys):
+        out = tmp_path / "decode.json"
+        assert main(["bench", "--rows", "256", "--workers", "1", "--repeats", "1",
+                     "--decode-only", "--output", str(out)]) == 0
+        report = json.loads(out.read_text())
+        assert set(report) == {"meta", "schemes", "pipeline"}
+        assert "pipelined scan" in capsys.readouterr().out

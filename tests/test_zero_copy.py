@@ -1,0 +1,226 @@
+"""Bit-identity of the zero-copy decode path and the decode cache.
+
+The tentpole contract: ``decompress_column``'s preallocated ``out=`` path
+and cache-served decodes must be byte-equal to the legacy per-block
+assembly (``decode_block`` + ``assemble_column``) for every scheme family ×
+dtype × NULL layout — including when ~5% of blocks are damaged, under every
+``on_corrupt`` mode. A warm cache must never mask fresh corruption, and
+``DecodeLimits`` must bind before the cache can serve anything.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+
+import numpy as np
+import pytest
+
+from repro.bitmap import RoaringBitmap
+from repro.core.cache import DecodeCache
+from repro.core.compressor import compress_column
+from repro.core.config import BtrBlocksConfig, DEFAULT_DECODE_LIMITS
+from repro.core.decompressor import (
+    ON_CORRUPT_MODES,
+    assemble_column,
+    decode_block,
+    decompress_column,
+    make_context,
+)
+from repro.core.file_format import column_from_bytes, column_to_bytes
+from repro.exceptions import DecodeLimitError, IntegrityError
+from repro.observe import MetricsRegistry, use_registry
+from repro.types import Column, ColumnType, StringArray
+
+SEED = int(os.environ.get("REPRO_FAULT_SEED", "418"), 0)
+ROWS = 3000
+#: Small blocks so every column spans several of them (~6 at ROWS=3000) —
+#: multi-block is what exercises slice offsets and compaction.
+CONFIG = BtrBlocksConfig(block_size=512)
+
+
+def _scheme_columns() -> "dict[str, Column]":
+    """One workload per scheme family, shaped to make that scheme win."""
+    rng = np.random.default_rng(SEED)
+    fastpfor = rng.integers(0, 64, ROWS)
+    outliers = rng.random(ROWS) < 0.02
+    fastpfor[outliers] = rng.integers(2**20, 2**28, int(outliers.sum()))
+    vocab = [f"category-{i:04d}" for i in range(64)]
+    return {
+        "one_value": Column.ints("v", np.full(ROWS, 7, dtype=np.int64)),
+        "rle": Column.ints("v", np.repeat(rng.integers(0, 50, ROWS // 20 + 1), 20)[:ROWS]),
+        "frequency": Column.ints(
+            "v", np.where(rng.random(ROWS) < 0.9, 42, rng.integers(0, 10_000, ROWS))
+        ),
+        "bitpack": Column.ints("v", rng.integers(0, 255, ROWS)),
+        "fastpfor": Column.ints("v", fastpfor),
+        "pseudodecimal": Column.doubles("v", np.round(rng.uniform(0, 10_000, ROWS), 2)),
+        "dictionary": Column.strings(
+            "v", [vocab[i] for i in rng.integers(0, len(vocab), ROWS)]
+        ),
+        "fsst": Column.strings(
+            "v", [f"https://example.com/api/v2/item/{int(x):08x}" for x in
+                  rng.integers(0, 2**31, ROWS)]
+        ),
+    }
+
+
+NULL_LAYOUTS = {
+    "no_nulls": None,
+    "sparse_nulls": lambda n: np.arange(0, n, 97),
+    "dense_nulls": lambda n: np.arange(0, n, 2),
+}
+
+
+def _with_nulls(column: Column, layout: str) -> Column:
+    make = NULL_LAYOUTS[layout]
+    if make is None:
+        return column
+    nulls = RoaringBitmap.from_positions(make(len(column)))
+    return Column(column.name, column.ctype, column.data, nulls)
+
+
+def _compressed(column: Column):
+    """A checksummed (v2) in-memory column, as a remote read would see it."""
+    return column_from_bytes(column_to_bytes(compress_column(column, CONFIG)))
+
+
+def _legacy_decode(compressed, on_corrupt: str = "raise") -> Column:
+    """The pre-tentpole path: per-block decode + concatenating assembly."""
+    ctx = make_context(True)
+    parts = [
+        decode_block(block, compressed.ctype, ctx, on_corrupt=on_corrupt)
+        for block in compressed.blocks
+    ]
+    return assemble_column(compressed, parts)
+
+
+def _assert_bit_identical(a: Column, b: Column) -> None:
+    assert a.name == b.name and a.ctype is b.ctype
+    if a.ctype is ColumnType.STRING:
+        assert isinstance(a.data, StringArray) and isinstance(b.data, StringArray)
+        assert np.array_equal(a.data.offsets, b.data.offsets)
+        assert np.array_equal(a.data.buffer, b.data.buffer)
+    else:
+        assert a.data.dtype == b.data.dtype
+        assert a.data.tobytes() == b.data.tobytes()
+    assert (a.nulls or RoaringBitmap()) == (b.nulls or RoaringBitmap())
+
+
+def _damage(compressed, rate: float = 0.05):
+    """Flip one payload byte in ~rate of the blocks (at least one)."""
+    damaged = column_from_bytes(column_to_bytes(compressed))
+    rng = np.random.default_rng(SEED + 1)
+    hits = [i for i in range(len(damaged.blocks)) if rng.random() < rate]
+    if not hits:
+        hits = [len(damaged.blocks) // 2]
+    for index in hits:
+        block = damaged.blocks[index]
+        data = bytearray(block.data)
+        data[len(data) // 2] ^= 0x40
+        damaged.blocks[index] = dataclasses.replace(block, data=bytes(data))
+    return damaged, hits
+
+
+_CASES = [
+    (scheme, layout)
+    for scheme in _scheme_columns()
+    for layout in NULL_LAYOUTS
+]
+
+
+@pytest.fixture(scope="module")
+def columns():
+    return _scheme_columns()
+
+
+@pytest.mark.parametrize("scheme,layout", _CASES, ids=[f"{s}-{l}" for s, l in _CASES])
+def test_zero_copy_matches_legacy(columns, scheme, layout):
+    compressed = _compressed(_with_nulls(columns[scheme], layout))
+    assert len(compressed.blocks) > 1
+    _assert_bit_identical(decompress_column(compressed), _legacy_decode(compressed))
+
+
+@pytest.mark.parametrize("scheme,layout", _CASES, ids=[f"{s}-{l}" for s, l in _CASES])
+def test_cache_hit_matches_legacy(columns, scheme, layout):
+    compressed = _compressed(_with_nulls(columns[scheme], layout))
+    registry = MetricsRegistry()
+    cache = DecodeCache(64 << 20)
+    with use_registry(registry):
+        first = decompress_column(compressed, cache=cache, cache_key=("obj", 1))
+        second = decompress_column(compressed, cache=cache, cache_key=("obj", 1))
+    legacy = _legacy_decode(compressed)
+    _assert_bit_identical(first, legacy)
+    _assert_bit_identical(second, legacy)
+    if compressed.ctype is not ColumnType.STRING:
+        # Numeric columns take the cached zero-copy path: the first pass
+        # misses and fills, the second is served entirely from the cache.
+        assert registry.get("decode.cache.miss") == len(compressed.blocks)
+        assert registry.get("decode.cache.hit") == len(compressed.blocks)
+
+
+@pytest.mark.parametrize("mode", [m for m in ON_CORRUPT_MODES if m != "raise"])
+@pytest.mark.parametrize("scheme,layout", _CASES, ids=[f"{s}-{l}" for s, l in _CASES])
+def test_damaged_blocks_degrade_identically(columns, scheme, layout, mode):
+    compressed = _compressed(_with_nulls(columns[scheme], layout))
+    damaged, hits = _damage(compressed)
+    assert hits
+    _assert_bit_identical(
+        decompress_column(damaged, on_corrupt=mode),
+        _legacy_decode(damaged, on_corrupt=mode),
+    )
+
+
+@pytest.mark.parametrize("scheme,layout", _CASES, ids=[f"{s}-{l}" for s, l in _CASES])
+def test_damaged_blocks_raise_identically(columns, scheme, layout):
+    damaged, _hits = _damage(_compressed(_with_nulls(columns[scheme], layout)))
+    with pytest.raises(IntegrityError):
+        decompress_column(damaged)
+    with pytest.raises(IntegrityError):
+        _legacy_decode(damaged)
+
+
+@pytest.mark.parametrize("mode", ON_CORRUPT_MODES)
+def test_warm_cache_never_masks_damage(columns, mode):
+    """A cache warmed with the clean rows must not hide later corruption.
+
+    The damaged block keeps its stored checksum, so its cache key still
+    matches the clean entry — the hit-side CRC re-check is the only thing
+    standing between a warm cache and silently serving stale rows.
+    """
+    compressed = _compressed(columns["bitpack"])
+    cache = DecodeCache(64 << 20)
+    key = ("obj", 1)
+    decompress_column(compressed, cache=cache, cache_key=key)
+    assert len(cache) == len(compressed.blocks)
+    damaged, _hits = _damage(compressed)
+    if mode == "raise":
+        with pytest.raises(IntegrityError):
+            decompress_column(damaged, on_corrupt=mode, cache=cache, cache_key=key)
+    else:
+        _assert_bit_identical(
+            decompress_column(damaged, on_corrupt=mode, cache=cache, cache_key=key),
+            _legacy_decode(damaged, on_corrupt=mode),
+        )
+
+
+def test_decode_limits_bind_before_cache(columns):
+    """``max_rows_per_block`` rejects the column even with every block cached."""
+    compressed = _compressed(columns["bitpack"])
+    cache = DecodeCache(64 << 20)
+    decompress_column(compressed, cache=cache, cache_key=("obj", 1))
+    limits = dataclasses.replace(DEFAULT_DECODE_LIMITS, max_rows_per_block=100)
+    with pytest.raises(DecodeLimitError):
+        decompress_column(compressed, limits=limits, cache=cache, cache_key=("obj", 1))
+
+
+def test_cache_capacity_zero_never_serves(columns):
+    compressed = _compressed(columns["rle"])
+    registry = MetricsRegistry()
+    cache = DecodeCache(0)
+    with use_registry(registry):
+        decompress_column(compressed, cache=cache, cache_key=("obj", 1))
+        out = decompress_column(compressed, cache=cache, cache_key=("obj", 1))
+    assert registry.get("decode.cache.hit") == 0
+    assert len(cache) == 0
+    _assert_bit_identical(out, _legacy_decode(compressed))
