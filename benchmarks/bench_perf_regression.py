@@ -8,7 +8,9 @@ more than ``REPRO_BENCH_THRESHOLD`` (default 30%) below the committed
 ``benchmarks/BENCH_baseline.json``. When ``REPRO_BENCH_OVERLAP`` is set,
 the pipelined-scan fetch-vs-decode overlap breakdown is additionally
 written there as its own JSON artifact, making the network/CPU-bound
-crossover visible per CI run.
+crossover visible per CI run; ``REPRO_BENCH_SELECTIVE`` likewise writes
+the zone-map selectivity sweep (bytes fetched at 1/10/50/100%
+selectivity) as its own artifact.
 
 Regenerate the baseline after an intentional performance change::
 
@@ -72,6 +74,17 @@ def test_perf_regression_vs_baseline():
           pipeline["serial_seconds"], pipeline["wall_seconds"],
           pipeline["overlap_seconds"], pipeline["speedup"]]],
     )
+    selective = report["selective_scan"]
+    print_table(
+        f"Selective scan — bytes fetched vs selectivity "
+        f"(rows={selective['rows']}, table={selective['table_bytes']}B)",
+        ["selectivity", "rows", "bytes fetched", "GETs", "pruned blocks", "wall s"],
+        [
+            [label, point["rows_returned"], point["bytes_fetched"],
+             point["get_requests"], point["pruned_blocks"], point["decode_s"]]
+            for label, point in selective["sweep"].items()
+        ],
+    )
     overlap_path = os.environ.get("REPRO_BENCH_OVERLAP")
     if overlap_path:
         import json
@@ -81,6 +94,15 @@ def test_perf_regression_vs_baseline():
                       fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"overlap breakdown -> {overlap_path}")
+    selective_path = os.environ.get("REPRO_BENCH_SELECTIVE")
+    if selective_path:
+        import json
+
+        with open(selective_path, "w", encoding="utf-8") as fh:
+            json.dump({"meta": report["meta"], "selective_scan": selective},
+                      fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"selective-scan sweep -> {selective_path}")
     print(f"\nreport -> {output}")
 
     if not BASELINE_PATH.exists():

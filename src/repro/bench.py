@@ -12,7 +12,11 @@ single ``BENCH_<date>.json`` report:
 * the fetch-vs-decode overlap of a pipelined cloud scan against the
   simulated object store — how much of the serial (fetch + decode) time the
   readahead window hides, i.e. whether the scan is network- or CPU-bound
-  at this decode speed (paper Fig. 1).
+  at this decode speed (paper Fig. 1);
+* a selectivity sweep of the zone-map-pruned remote scan (``selective_scan``
+  section, printed by ``repro bench --selective-scan``): bytes fetched and
+  wall seconds at ~1/10/50/100% selectivity over a clustered table, showing
+  bytes moved scaling with selectivity rather than table size.
 
 CI runs this scaled down (``--rows``) and compares the fresh report against
 the committed ``benchmarks/BENCH_baseline.json``: any throughput metric more
@@ -278,6 +282,62 @@ def bench_pipeline(rows: int, seed: int, readahead: int | None = None) -> dict:
     }
 
 
+def bench_selective_scan(rows: int, seed: int, block_size: int = 4000) -> dict:
+    """Bytes fetched and decode time across a selectivity sweep.
+
+    Commits a clustered table (sort key + double payload) through
+    :class:`~repro.cloud.remote_table.TableWriter`, then runs
+    ``scan(where=Between(...))`` at ~1% / 10% / 50% / 100% selectivity with a
+    cold :class:`RemoteTable` per point, so every byte a query needs is a
+    fresh GET. With the manifest zone maps doing their job, bytes fetched
+    scale with selectivity instead of table size — the paper's pruning
+    story (Section 2.1) made measurable. Like ``pipeline``, the numbers are
+    reported, never gated.
+    """
+    from repro.cloud import SimulatedObjectStore
+    from repro.cloud.remote_table import RemoteTable, TableWriter
+    from repro.query.predicates import Between
+
+    rng = np.random.default_rng(seed)
+    keys = np.sort(rng.integers(0, 1_000_000, rows)).astype(np.int32)
+    payload = rng.uniform(0.0, 1000.0, rows)
+    relation = Relation("selective", [
+        Column.ints("k", keys),
+        Column.doubles("payload", payload),
+    ])
+    compressed = compress_relation(relation, BtrBlocksConfig(block_size=block_size))
+    store = SimulatedObjectStore()
+    TableWriter(store).write(compressed)
+
+    sweep = {}
+    lo = int(keys[0])
+    for label, fraction in (("1%", 0.01), ("10%", 0.10), ("50%", 0.50), ("100%", 1.0)):
+        hi = int(keys[min(rows - 1, max(0, int(rows * fraction) - 1))])
+        table = RemoteTable.open(store, "selective")
+        registry = MetricsRegistry()
+        before_bytes = store.stats.bytes_downloaded
+        before_requests = store.stats.get_requests
+        start = time.perf_counter()
+        with use_registry(registry):
+            result = table.scan(columns=["payload"], where={"k": Between(lo, hi)})
+        elapsed = time.perf_counter() - start
+        sweep[label] = {
+            "selectivity": fraction,
+            "rows_returned": len(result.columns[0]),
+            "bytes_fetched": store.stats.bytes_downloaded - before_bytes,
+            "get_requests": store.stats.get_requests - before_requests,
+            "pruned_blocks": int(registry.get("cloud.scan.pruned_blocks")),
+            "pruned_bytes": int(registry.get("cloud.scan.pruned_bytes")),
+            "decode_s": elapsed,
+        }
+    return {
+        "rows": rows,
+        "block_size": block_size,
+        "table_bytes": compressed.nbytes,
+        "sweep": sweep,
+    }
+
+
 def run_bench(
     rows: int = DEFAULT_ROWS,
     workers: Sequence[int] = DEFAULT_WORKERS,
@@ -307,6 +367,7 @@ def run_bench(
         },
         "schemes": bench_schemes(rows, repeats, seed, decode_only=decode_only),
         "pipeline": bench_pipeline(rows, seed),
+        "selective_scan": bench_selective_scan(rows, seed),
     }
     if not decode_only:
         report["parallel"] = bench_parallel(rows, workers, repeats, seed)
@@ -346,7 +407,7 @@ def compare(current: dict, baseline: dict, threshold: float = DEFAULT_THRESHOLD)
     base = dict(_throughput_metrics(baseline))
     regressions = []
     for path, value in _throughput_metrics(current):
-        if path.startswith(("parallel.", "pipeline.")):
+        if path.startswith(("parallel.", "pipeline.", "selective_scan.")):
             continue
         reference = base.get(path)
         if reference is None or reference <= 0:

@@ -13,7 +13,7 @@ Usage (also via ``python -m repro``)::
                               [--crash-after N] [--recover] ...
     python -m repro bench     [--rows N] [--workers 1,2,4] [--output BENCH.json]
                               [--compare BASELINE.json] [--threshold 0.30]
-                              [--decode-only]
+                              [--decode-only] [--selective-scan]
 
 ``compress`` ingests a CSV (with type inference), compresses it and writes
 the single-buffer BtrBlocks serialization; ``--trace`` additionally dumps
@@ -281,6 +281,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
           f"fetch {pipeline['fetch_seconds']:.4f}s + decode {pipeline['decode_seconds']:.4f}s "
           f"serial -> wall {pipeline['wall_seconds']:.4f}s "
           f"(overlap {pipeline['overlap_seconds']:.4f}s, {pipeline['speedup']:.2f}x)")
+    if args.selective_scan:
+        selective = report["selective_scan"]
+        print(f"  selective scan ({selective['rows']:,} rows, "
+              f"{selective['table_bytes']:,} compressed bytes):")
+        full = selective["sweep"]["100%"]["bytes_fetched"] or 1
+        for label, point in selective["sweep"].items():
+            print(f"    {label:>4s} selectivity: {point['rows_returned']:>8,} rows, "
+                  f"{point['bytes_fetched']:>10,} bytes fetched "
+                  f"({100.0 * point['bytes_fetched'] / full:5.1f}% of full), "
+                  f"{point['get_requests']} GETs, {point['decode_s']:.4f}s")
     if args.compare:
         regressions = bench.compare(
             report, bench.load_report(args.compare), threshold=args.threshold
@@ -435,6 +445,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--decode-only", action="store_true",
                        help="measure only the read path (scheme decompression + "
                             "pipelined scan), skipping compress-side sections")
+    bench.add_argument("--selective-scan", action="store_true",
+                       help="print the zone-map selectivity sweep (bytes fetched "
+                            "at 1/10/50/100%% selectivity); the section is always "
+                            "in the JSON report")
     bench.set_defaults(func=_cmd_bench)
 
     return parser

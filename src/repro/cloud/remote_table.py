@@ -41,7 +41,8 @@ from repro.cloud.pipeline import (
     pipelined_fetch_column,
 )
 from repro.core.access import read_rows
-from repro.core.blocks import CompressedColumn, CompressedRelation
+from repro.core.blocks import CompressedBlock, CompressedColumn, CompressedRelation
+from repro.core.blockstats import stats_from_json
 from repro.core.cache import ByteBudgetLRU, DecodeCache
 from repro.core.config import (
     DEFAULT_COLUMN_CACHE_BYTES,
@@ -50,7 +51,15 @@ from repro.core.config import (
     DecodeLimits,
 )
 from repro.core.decompressor import decompress_column
-from repro.core.file_format import FORMAT_VERSION, column_from_bytes, column_to_bytes, verify_column
+from repro.core.file_format import (
+    FORMAT_VERSION,
+    block_from_region,
+    column_from_bytes,
+    column_meta_entry,
+    column_to_bytes,
+    verify_block,
+    verify_column,
+)
 from repro.core.relation import Relation
 from repro.exceptions import (
     CommitConflictError,
@@ -58,13 +67,16 @@ from repro.exceptions import (
     FormatError,
     IntegrityError,
     NoSuchUploadError,
+    RangeNotSatisfiableError,
     TypeMismatchError,
     UnknownSchemeError,
     WriterCrashError,
 )
+from repro.metadata import ColumnZoneMap
 from repro.observe import get_registry
-from repro.query.executor import scan_column
+from repro.query.executor import scan_block, scan_column
 from repro.query.predicates import Predicate
+from repro.types import Column, ColumnType
 
 #: Directory (key prefix) holding one manifest object per committed version.
 MANIFEST_DIR = "_manifests"
@@ -100,12 +112,27 @@ def _record_transfer(store: SimulatedObjectStore, requests: int, nbytes: int) ->
     )
 
 
+class _PrunedPathUnavailable(Exception):
+    """Internal control flow: abandon block-level pruning for one column and
+    fall back to the plain fetch-and-filter path (never escapes this module)."""
+
+
 class RemoteTable:
     """A lazily-fetched compressed table on an object store.
 
     ``on_corrupt`` is the degradation policy for checksum-damaged blocks
     that survive refetching (see :mod:`repro.core.decompressor`); downloads
     that arrive damaged are refetched up to the store's retry budget first.
+
+    Tables committed with statistics (``config.collect_stats``, the default)
+    carry a zone map and per-block byte ranges in their manifest. Predicate
+    scans consult them *before any data bytes move*: blocks whose statistics
+    cannot match are skipped entirely, surviving blocks arrive through
+    ranged GETs and are answered in the compressed domain
+    (``cloud.scan.pruned_blocks`` / ``cloud.scan.pruned_bytes`` metrics). A
+    manifest whose statistics are damaged or stale never changes results:
+    the scan degrades to full fetch-and-filter (``cloud.scan.zonemap.invalid``)
+    — or raises a typed error when ``on_corrupt`` is ``"raise"``.
     """
 
     def __init__(
@@ -138,6 +165,10 @@ class RemoteTable:
         #: unversioned ``table.meta`` layout.
         self.version = version
         self.decode_limits = decode_limits
+        #: Validated manifest zone maps per column; ``None`` = known absent
+        #: or rejected (``cloud.scan.zonemap.invalid``).
+        self._zone_maps: "dict[str, ColumnZoneMap | None]" = {}
+        self._block_ranges_cache: "dict[str, list[tuple[int, int]] | None]" = {}
 
     @staticmethod
     def _fetch_json(
@@ -302,11 +333,255 @@ class RemoteTable:
             self._columns.put(entry["file"], column, column.nbytes)
         return column
 
+    # -- manifest-level zone maps ----------------------------------------------
+
+    def _discard_zone_map(self, entry: dict, reason: str) -> None:
+        """Stop trusting one column's persisted statistics.
+
+        Counted in ``cloud.scan.zonemap.invalid``. Under the ``"raise"``
+        policy damaged metadata is an error like damaged data; lenient
+        policies degrade to the full fetch-and-filter path, which never
+        consults the statistics and therefore cannot return wrong rows.
+        """
+        get_registry().incr("cloud.scan.zonemap.invalid")
+        self._zone_maps[entry["name"]] = None
+        self._block_ranges_cache[entry["name"]] = None
+        if self.on_corrupt == "raise":
+            raise IntegrityError(
+                f"table {self.name!r} column {entry['name']!r}: persisted "
+                f"zone map rejected: {reason}"
+            )
+
+    def _zone_map(self, entry: dict) -> "ColumnZoneMap | None":
+        """The column's manifest zone map, validated; ``None`` when absent
+        or previously rejected."""
+        name = entry["name"]
+        if name in self._zone_maps:
+            return self._zone_maps[name]
+        self._zone_maps[name] = None
+        stats_json = entry.get("stats")
+        if stats_json is None:
+            return None
+        try:
+            stats = stats_from_json(stats_json)
+            if len(stats) != entry["blocks"]:
+                raise FormatError(
+                    f"{len(stats)} stats entries for {entry['blocks']} blocks"
+                )
+            if sum(s.row_count for s in stats) != entry["rows"]:
+                raise FormatError("stats row counts do not sum to the column's rows")
+        except (FormatError, KeyError, TypeError, ValueError) as exc:
+            self._discard_zone_map(entry, str(exc))
+            return None
+        zone_map = ColumnZoneMap(name, ColumnType(entry["type"]), stats)
+        self._zone_maps[name] = zone_map
+        return zone_map
+
+    def _block_byte_ranges(self, entry: dict) -> "list[tuple[int, int]] | None":
+        """Validated per-block byte extents from the manifest, or ``None``."""
+        name = entry["name"]
+        if name in self._block_ranges_cache:
+            return self._block_ranges_cache[name]
+        self._block_ranges_cache[name] = None
+        declared = entry.get("block_ranges")
+        if declared is None:
+            return None
+        try:
+            ranges: list[tuple[int, int]] = []
+            end = 0
+            for item in declared:
+                offset, size = int(item[0]), int(item[1])
+                if size < 16 or offset < end or offset + size > entry["bytes"]:
+                    raise FormatError(f"block range [{offset}, {size}] is not plausible")
+                ranges.append((offset, size))
+                end = offset + size
+            if len(ranges) != entry["blocks"]:
+                raise FormatError(
+                    f"{len(ranges)} block ranges for {entry['blocks']} blocks"
+                )
+        except (FormatError, IndexError, TypeError, ValueError) as exc:
+            self._discard_zone_map(entry, str(exc))
+            return None
+        self._block_ranges_cache[name] = ranges
+        return ranges
+
+    def _check_block_against_stats(self, entry: dict, index: int, block, stats) -> None:
+        """Cross-check a block in hand against its persisted statistics.
+
+        Catches *stale* statistics — internally consistent entries written
+        for different data — the moment any described block is actually
+        read: the entry's bound CRC32 must equal the block's, and the row
+        counts must agree.
+        """
+        if block.count != stats.row_count:
+            self._discard_zone_map(
+                entry,
+                f"block {index} holds {block.count} rows, statistics claim "
+                f"{stats.row_count}",
+            )
+            raise _PrunedPathUnavailable()
+        if (
+            stats.checksum is not None
+            and block.checksum is not None
+            and block.checksum != stats.checksum
+        ):
+            self._discard_zone_map(
+                entry, f"block {index} checksum does not match its statistics entry"
+            )
+            raise _PrunedPathUnavailable()
+
+    def _fetch_pruned_block(
+        self,
+        entry: dict,
+        index: int,
+        ranges: "list[tuple[int, int]]",
+        zone_map: ColumnZoneMap,
+    ) -> CompressedBlock:
+        """One surviving block via a ranged GET, checksum-verified.
+
+        Damage that implicates the *metadata* (an implausible range, a
+        structural mismatch, a stale stats binding) rejects the zone map;
+        payload damage is refetched up to the store's retry budget and then
+        handed to the ``on_corrupt`` policy exactly like a damaged full
+        download — ``raise`` raises, lenient policies fall back to the full
+        fetch-and-filter path (``cloud.scan.zonemap.fallbacks``).
+        """
+        cache_key = (entry["file"], self.version, index)
+        block = self._columns.get(cache_key)
+        if block is not None:
+            return block
+        registry = get_registry()
+        stats = zone_map.entries[index]
+        offset, size = ranges[index]
+        attempts = max(1, self._store.retry.max_attempts)
+        for _ in range(attempts):
+            before = self._store.stats.get_requests
+            try:
+                payload = self._store.get_range(entry["file"], offset, size)
+            except RangeNotSatisfiableError as exc:
+                self._discard_zone_map(entry, f"block range not satisfiable: {exc}")
+                raise _PrunedPathUnavailable() from exc
+            _record_transfer(
+                self._store, self._store.stats.get_requests - before, len(payload)
+            )
+            try:
+                block = block_from_region(payload, count_hint=stats.row_count)
+            except FormatError as exc:
+                self._discard_zone_map(entry, str(exc))
+                raise _PrunedPathUnavailable() from exc
+            self._check_block_against_stats(entry, index, block, stats)
+            if verify_block(block):
+                self._columns.put(cache_key, block, block.nbytes)
+                return block
+            registry.incr("cloud.table.integrity_refetches")
+        registry.incr("cloud.table.integrity_failures")
+        registry.incr("cloud.scan.zonemap.fallbacks")
+        if self.on_corrupt == "raise":
+            raise IntegrityError(
+                f"column {entry['name']!r} block {index}: payload does not "
+                f"match stored CRC32"
+            )
+        raise _PrunedPathUnavailable()
+
+    def _pruned_matching_rows(
+        self, entry: dict, predicate: Predicate
+    ) -> "RoaringBitmap | None":
+        """Zone-map-pruned predicate evaluation for one column.
+
+        Skipped blocks cost no GETs; surviving blocks arrive by ranged GET
+        (or from cache) and are answered in the compressed domain. Returns
+        ``None`` when the manifest carries no usable statistics.
+        """
+        zone_map = self._zone_map(entry)
+        if zone_map is None:
+            return None
+        registry = get_registry()
+        registry.incr("cloud.scan.zonemap.consulted")
+        survivors = zone_map.pruned_blocks(predicate)
+        survivor_set = set(survivors)
+        pruned = [i for i in range(len(zone_map.entries)) if i not in survivor_set]
+        registry.incr("cloud.scan.pruned_blocks", len(pruned))
+        ranges = self._block_byte_ranges(entry)
+        if ranges is not None:
+            registry.incr(
+                "cloud.scan.pruned_bytes", sum(ranges[i][1] for i in pruned)
+            )
+        if not survivors:
+            return RoaringBitmap()
+        cached = self._columns.get(entry["file"])
+        if cached is None and ranges is None:
+            return None  # nothing cached and no extents to range-GET with
+        offsets = zone_map.block_offsets()
+        ctype = ColumnType(entry["type"])
+        positions = []
+        for index in survivors:
+            if cached is not None:
+                if index >= len(cached.blocks):
+                    self._discard_zone_map(
+                        entry, f"statistics describe a block {index} the column lacks"
+                    )
+                    raise _PrunedPathUnavailable()
+                block = cached.blocks[index]
+                self._check_block_against_stats(
+                    entry, index, block, zone_map.entries[index]
+                )
+            else:
+                block = self._fetch_pruned_block(entry, index, ranges, zone_map)
+            nulls = RoaringBitmap.deserialize(block.nulls) if block.nulls else None
+            mask = scan_block(block.data, ctype, predicate, nulls)
+            hits = np.nonzero(mask)[0]
+            if hits.size:
+                positions.append(hits + offsets[index])
+        if not positions:
+            return RoaringBitmap()
+        return RoaringBitmap.from_positions(np.concatenate(positions))
+
+    def _read_rows_pruned(self, entry: dict, rows: np.ndarray) -> "Column | None":
+        """Materialise specific rows of one column fetching only their blocks.
+
+        Builds a sparse column — ranged-GET blocks where requested rows
+        live, zero-byte placeholders (sized from the statistics) elsewhere —
+        and hands it to the ordinary :func:`read_rows`, which never decodes
+        a block without requested rows. Returns ``None`` when pruning
+        metadata is unavailable or the whole column is already cached.
+        """
+        zone_map = self._zone_map(entry)
+        ranges = self._block_byte_ranges(entry)
+        if zone_map is None or ranges is None:
+            return None
+        if self._columns.get(entry["file"]) is not None:
+            return None  # full column in cache: no GET to save
+        offsets = np.asarray(zone_map.block_offsets(), dtype=np.int64)
+        needed = set(
+            int(i) for i in np.unique(np.searchsorted(offsets, rows, side="right") - 1)
+        )
+        blocks = []
+        for index, stats in enumerate(zone_map.entries):
+            if index in needed:
+                blocks.append(self._fetch_pruned_block(entry, index, ranges, zone_map))
+            else:
+                blocks.append(CompressedBlock(stats.row_count, b""))
+        sparse = CompressedColumn(entry["name"], ColumnType(entry["type"]), blocks)
+        return read_rows(sparse, rows)
+
+    # -- predicate evaluation --------------------------------------------------
+
     def matching_rows(self, where: Mapping[str, Predicate]) -> RoaringBitmap:
-        """Conjunctive predicate evaluation; downloads only the filter columns."""
+        """Conjunctive predicate evaluation; downloads only the filter columns.
+
+        Columns whose manifest carries validated statistics are pruned at
+        block granularity before any data bytes move; the rest download
+        whole and scan in the compressed domain as before.
+        """
         result: RoaringBitmap | None = None
         for column_name, predicate in where.items():
-            matches = scan_column(self.fetch_column(column_name), predicate)
+            entry = self.column_entry(column_name)
+            try:
+                matches = self._pruned_matching_rows(entry, predicate)
+            except _PrunedPathUnavailable:
+                matches = None
+            if matches is None:
+                matches = scan_column(self.fetch_column(column_name), predicate)
             result = matches if result is None else (result & matches)
             if result is not None and len(result) == 0:
                 return result
@@ -319,12 +594,18 @@ class RemoteTable:
         columns: "Iterable[str] | None" = None,
         where: "Mapping[str, Predicate] | None" = None,
     ) -> Relation:
-        """Projection + filter, downloading only the touched columns."""
+        """Projection + filter, downloading only the touched columns.
+
+        With a predicate and a stats-bearing manifest, projection columns
+        are fetched at block granularity too: only blocks containing
+        matching rows are range-GET'd, so bytes moved scale with selectivity
+        rather than table size.
+        """
         get_registry().incr("cloud.table.scans")
         names = list(columns) if columns is not None else self.column_names()
         if where:
             rows = self.matching_rows(where).to_array().astype(np.int64)
-            out = [read_rows(self.fetch_column(name), rows) for name in names]
+            out = [self._materialise_rows(name, rows) for name in names]
         else:
             out = [
                 decompress_column(
@@ -338,10 +619,22 @@ class RemoteTable:
             ]
         return Relation(self.name, out)
 
+    def _materialise_rows(self, name: str, rows: np.ndarray) -> Column:
+        """Rows of one column: block-pruned when possible, else full fetch."""
+        entry = self.column_entry(name)
+        try:
+            column = self._read_rows_pruned(entry, rows)
+        except _PrunedPathUnavailable:
+            column = None
+        if column is None:
+            column = read_rows(self.fetch_column(name), rows)
+        return column
+
     def scan_pipelined(
         self,
         columns: "Iterable[str] | None" = None,
         readahead: "int | None" = None,
+        where: "Mapping[str, Predicate] | None" = None,
     ) -> "tuple[Relation, PipelinedScanReport]":
         """Full-column projection with readahead GETs overlapped with decode.
 
@@ -362,6 +655,17 @@ class RemoteTable:
         if readahead is None:
             readahead = self.readahead
         names = list(columns) if columns is not None else self.column_names()
+        if where:
+            # Predicate scans consult the manifest zone maps first: pruned
+            # blocks cost no GETs at all, surviving blocks arrive through
+            # ranged GETs (see matching_rows). Those selective fetches are
+            # already minimal, so no chunk pipeline runs; columns without
+            # usable statistics fall back to the batch fetch-and-filter
+            # path, identical to :meth:`scan`.
+            rows = self.matching_rows(where).to_array().astype(np.int64)
+            out = [self._materialise_rows(name, rows) for name in names]
+            report = PipelinedScanReport.from_columns([], readahead)
+            return Relation(self.name, out), report
         hits_before = registry.get("decode.cache.hit")
         misses_before = registry.get("decode.cache.miss")
         out = []
@@ -496,8 +800,15 @@ class TableWriter:
         compressed: CompressedRelation,
         version: "int | None" = None,
         format_version: int = FORMAT_VERSION,
+        with_stats: "bool | None" = None,
     ) -> int:
         """Stage and atomically commit one table version; returns it.
+
+        Columns compressed with statistics (the default) commit them twice:
+        as a checksummed footer inside each column object, and as zone-map
+        entries — bound to each block's CRC32, with per-block byte ranges —
+        inside the manifest, where :class:`RemoteTable` prunes GETs with
+        them. ``with_stats=False`` writes a stats-less table.
 
         Raises :class:`~repro.exceptions.CommitConflictError` if another
         writer committed the version first (nothing of this attempt stays
@@ -520,17 +831,12 @@ class TableWriter:
         payloads: dict[str, bytes] = {}
         for index, column in enumerate(compressed.columns):
             key = f"{version_prefix(name, version)}{self.writer_id}-col_{index:04d}.btr"
-            payload = column_to_bytes(column, version=format_version)
+            payload = column_to_bytes(column, version=format_version, with_stats=with_stats)
             payloads[key] = payload
             manifest["columns"].append(
-                {
-                    "name": column.name,
-                    "type": column.ctype.value,
-                    "file": key,
-                    "rows": column.count,
-                    "bytes": len(payload),
-                    "blocks": len(column.blocks),
-                }
+                column_meta_entry(
+                    column, key, len(payload), format_version, with_stats
+                )
             )
         payloads[commit_key] = json.dumps(manifest).encode("utf-8")
 

@@ -3,10 +3,14 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.encodings.base import get_scheme
 from repro.encodings.wire import unwrap
 from repro.types import ColumnType
+
+if TYPE_CHECKING:
+    from repro.core.blockstats import BlockStats
 
 
 @dataclass
@@ -16,12 +20,16 @@ class CompressedBlock:
     ``checksum`` is the stored CRC32 of ``data + nulls`` when the block was
     read from a checksummed (v2) column file; blocks compressed in memory or
     read from v1 files carry ``None`` and decode without verification.
+    ``stats`` is the block's zone-map record (min/max, null count, string
+    digest) when it was collected at compression time or read back from a
+    stats-bearing v2 file; it never participates in decoding.
     """
 
     count: int
     data: bytes
     nulls: bytes | None = None
     checksum: int | None = None
+    stats: "BlockStats | None" = None
 
     @property
     def root_scheme_id(self) -> int:
@@ -41,11 +49,24 @@ class CompressedBlock:
 
 @dataclass
 class CompressedColumn:
-    """A column as a sequence of compressed blocks."""
+    """A column as a sequence of compressed blocks.
+
+    ``stats_invalid`` is set by the file parsers when a stats footer was
+    present but damaged (bad CRC, truncated, count mismatch): data decodes
+    normally, but readers must not trust — and must report — the statistics.
+    """
 
     name: str
     ctype: ColumnType
     blocks: list[CompressedBlock] = field(default_factory=list)
+    stats_invalid: bool = False
+
+    @property
+    def block_stats(self) -> "list | None":
+        """Per-block stats when every block carries them, else ``None``."""
+        if not self.blocks or any(block.stats is None for block in self.blocks):
+            return None
+        return [block.stats for block in self.blocks]
 
     @property
     def count(self) -> int:

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from repro.bitmap import RoaringBitmap
 from repro.core.blocks import CompressedBlock, CompressedColumn, CompressedRelation
+from repro.core.blockstats import compute_block_stats
 from repro.core.config import BtrBlocksConfig
 from repro.core.relation import Relation
 from repro.core.selector import SchemeSelector, values_nbytes
@@ -113,7 +114,10 @@ def compress_column_block(
     selector.begin_block(index)
     data = compress_block(chunk.data, column.ctype, selector=selector)
     nulls = chunk.nulls.serialize() if chunk.nulls is not None else None
-    return CompressedBlock(len(chunk), data, nulls)
+    stats = None
+    if selector.config.collect_stats:
+        stats = compute_block_stats(chunk, selector.config.stats_bloom_max_distinct)
+    return CompressedBlock(len(chunk), data, nulls, stats=stats)
 
 
 def compress_column(

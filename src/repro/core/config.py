@@ -74,6 +74,12 @@ class BtrBlocksConfig:
     #: Use vectorised (NumPy) decompression kernels; False selects the scalar
     #: fallbacks used for the Section 6.8 ablation.
     vectorized: bool = True
+    #: Collect per-block statistics (min/max, null count, string digest)
+    #: during compression; they ride along into v2 column files and table
+    #: manifests, where zone-map pruning reads them (docs/FORMAT.md §7).
+    collect_stats: bool = True
+    #: Per-block string Bloom digests are skipped above this distinct count.
+    stats_bloom_max_distinct: int = 512
     #: What decompression does with a block whose payload fails its stored
     #: CRC32 (or fails to parse, for checksum-less v1 files): "raise" a typed
     #: IntegrityError, "skip" the block's rows, or emit a "null_block" of the

@@ -17,15 +17,30 @@ Two column-file versions exist. v1 (magic ``BTRC``) has no checksums; v2
 or bit rot is detected at block granularity during decode (see
 ``docs/RELIABILITY.md``). The reader dispatches on the magic, so v1 files
 keep decoding unchanged.
+
+v2 files additionally carry the column's per-block statistics as a
+self-checking ``ZMAP`` footer *after* the last block (``docs/FORMAT.md``
+§7) — readers that stop at the declared block count never see it, which is
+what keeps stats-bearing files readable by pre-footer readers, and lets a
+damaged footer drop the statistics without touching the data. The same
+statistics go into ``table.meta`` / manifest column entries as zone-map
+JSON plus per-block byte ranges (:func:`column_meta_entry`), which is what
+``RemoteTable`` uses to prune and range-GET individual blocks.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import struct
 import zlib
 
 from repro.core.blocks import CompressedBlock, CompressedColumn, CompressedRelation
+from repro.core.blockstats import (
+    stats_footer_from_bytes,
+    stats_footer_to_bytes,
+    stats_to_json,
+)
 from repro.core.config import DEFAULT_DECODE_LIMITS, DecodeLimits
 from repro.exceptions import DecodeLimitError, FormatError, IntegrityError
 from repro.types import ColumnType
@@ -69,10 +84,29 @@ def verify_column(column: CompressedColumn) -> None:
             )
 
 
-def column_to_bytes(column: CompressedColumn, version: int = FORMAT_VERSION) -> bytes:
-    """Serialize one compressed column to a standalone byte string."""
+def column_to_bytes(
+    column: CompressedColumn,
+    version: int = FORMAT_VERSION,
+    with_stats: "bool | None" = None,
+) -> bytes:
+    """Serialize one compressed column to a standalone byte string.
+
+    v2 files whose blocks all carry statistics gain a CRC32-protected stats
+    footer after the last block (see :mod:`repro.core.blockstats`); readers
+    that stop at the declared block count — including every pre-stats reader
+    — never see it, so the block layout is unchanged. ``with_stats=False``
+    suppresses the footer; ``True`` requires stats on every block. v1 files
+    are frozen and never carry one.
+    """
     if version not in (1, 2):
         raise FormatError(f"unknown column format version {version}")
+    stats = column.block_stats if version == 2 else None
+    if with_stats and stats is None:
+        raise FormatError(
+            "with_stats=True requires statistics on every block of a v2 column"
+        )
+    if with_stats is False:
+        stats = None
     name_bytes = column.name.encode("utf-8")
     parts = [
         _COLUMN_MAGIC if version == 1 else _COLUMN_MAGIC_V2,
@@ -100,7 +134,55 @@ def column_to_bytes(column: CompressedColumn, version: int = FORMAT_VERSION) -> 
             )
         parts.append(block.data)
         parts.append(nulls)
+    if stats is not None:
+        parts.append(stats_footer_to_bytes(stats))
     return b"".join(parts)
+
+
+def column_block_ranges(
+    column: CompressedColumn, version: int = FORMAT_VERSION
+) -> "list[tuple[int, int]]":
+    """Byte extent ``(offset, length)`` of each block region — block header
+    through NULL bitmap — inside :func:`column_to_bytes` output.
+
+    These are what the manifest records so a pruning reader can range-GET
+    individual surviving blocks without the rest of the column file.
+    """
+    if version not in (1, 2):
+        raise FormatError(f"unknown column format version {version}")
+    pos = 7 + len(column.name.encode("utf-8")) + 4 + (4 if version == 2 else 0)
+    header_size = 12 if version == 1 else 16
+    ranges = []
+    for block in column.blocks:
+        size = header_size + len(block.data) + len(block.nulls or b"")
+        ranges.append((pos, size))
+        pos += size
+    return ranges
+
+
+def block_from_region(data: bytes, count_hint: "int | None" = None) -> CompressedBlock:
+    """Parse one v2 block region (as fetched by a ranged GET) into a block.
+
+    The bytes are untrusted: the declared payload extents must exactly fill
+    the region, and ``count_hint`` (the manifest's row count for this block)
+    must match the declared count when given. Checksum verification is the
+    caller's job, as everywhere else.
+    """
+    if len(data) < 16:
+        raise FormatError("block region shorter than its header")
+    count, data_len, nulls_len, checksum = struct.unpack_from("<IIII", data, 0)
+    if 16 + data_len + nulls_len != len(data):
+        raise FormatError(
+            f"block region declares {data_len} + {nulls_len} payload bytes "
+            f"but spans {len(data) - 16}"
+        )
+    if count_hint is not None and count != count_hint:
+        raise FormatError(
+            f"block region declares {count} rows, manifest stats say {count_hint}"
+        )
+    blob = data[16 : 16 + data_len]
+    nulls = data[16 + data_len :] if nulls_len else None
+    return CompressedBlock(count, blob, nulls, checksum=checksum)
 
 
 def column_from_bytes(
@@ -193,7 +275,40 @@ def column_from_bytes(
         nulls = data[pos : pos + nulls_len] if nulls_len else None
         pos += nulls_len
         column.blocks.append(CompressedBlock(count, blob, nulls, checksum=checksum))
+    if version == 2 and pos < len(data):
+        _attach_stats_footer(column, data[pos:])
     return column
+
+
+def _attach_stats_footer(column: CompressedColumn, trailer: bytes) -> None:
+    """Parse a v2 column file's trailing stats section onto its blocks.
+
+    Damage never fails the read — block payloads carry their own checksums,
+    so a broken footer only costs pruning. The column is flagged
+    ``stats_invalid`` so consumers can count and report the loss. Trailing
+    bytes that are not a stats footer at all are ignored (room for future
+    sections).
+    """
+    if trailer[:4] != b"ZMAP":
+        return
+    try:
+        entries = stats_footer_from_bytes(trailer)
+        if len(entries) != len(column.blocks):
+            raise FormatError(
+                f"stats footer has {len(entries)} entries for "
+                f"{len(column.blocks)} blocks"
+            )
+        for block, entry in zip(column.blocks, entries):
+            if entry.row_count != block.count:
+                raise FormatError(
+                    f"stats footer row count {entry.row_count} does not match "
+                    f"block count {block.count}"
+                )
+    except FormatError:
+        column.stats_invalid = True
+        return
+    for block, entry in zip(column.blocks, entries):
+        block.stats = entry
 
 
 class ColumnStreamParser:
@@ -233,6 +348,9 @@ class ColumnStreamParser:
     def feed(self, chunk: bytes) -> list[CompressedBlock]:
         """Consume one chunk; returns the blocks it completed (in order)."""
         if self._done:
+            # Trailing bytes after the last block may be a stats footer;
+            # keep them for :meth:`finish`.
+            self._buf += chunk
             return []
         self._buf += chunk
         completed: list[CompressedBlock] = []
@@ -258,6 +376,8 @@ class ColumnStreamParser:
             raise FormatError(
                 f"column stream ended after {have} of {self.block_count} blocks"
             )
+        if self.version == 2 and self._buf:
+            _attach_stats_footer(self.column, bytes(self._buf))
         return self.column
 
     def _parse_header(self) -> bool:
@@ -334,8 +454,50 @@ class ColumnStreamParser:
         return block
 
 
+def column_meta_entry(
+    column: CompressedColumn,
+    filename: str,
+    payload_len: int,
+    version: int = FORMAT_VERSION,
+    with_stats: "bool | None" = None,
+) -> dict:
+    """One column's entry for a table manifest / ``table.meta``.
+
+    When the column carries per-block statistics (and ``with_stats`` is not
+    ``False``), the entry additionally records ``block_ranges`` — each
+    block's byte extent inside the file — and ``stats``, the CRC32-protected
+    zone-map entries with each one bound to its block's content CRC32. That
+    pair is everything a remote reader needs to skip or range-GET individual
+    blocks before any data bytes move.
+    """
+    entry = {
+        "name": column.name,
+        "type": column.ctype.value,
+        "file": filename,
+        "rows": column.count,
+        "bytes": payload_len,
+        "blocks": len(column.blocks),
+    }
+    stats = column.block_stats if version == 2 and with_stats is not False else None
+    if stats is not None:
+        entry["block_ranges"] = [
+            [offset, size] for offset, size in column_block_ranges(column, version)
+        ]
+        bound = [
+            dataclasses.replace(
+                entry_stats,
+                checksum=block_checksum(block.data, block.nulls, block.count),
+            )
+            for entry_stats, block in zip(stats, column.blocks)
+        ]
+        entry["stats"] = stats_to_json(bound)
+    return entry
+
+
 def relation_to_files(
-    relation: CompressedRelation, version: int = FORMAT_VERSION
+    relation: CompressedRelation,
+    version: int = FORMAT_VERSION,
+    with_stats: "bool | None" = None,
 ) -> dict[str, bytes]:
     """Serialize a relation to the paper's S3 layout: per-column files + metadata."""
     files: dict[str, bytes] = {}
@@ -344,17 +506,10 @@ def relation_to_files(
         meta["format_version"] = version
     for index, column in enumerate(relation.columns):
         filename = f"{relation.name}/col_{index:04d}.btr"
-        payload = column_to_bytes(column, version=version)
+        payload = column_to_bytes(column, version=version, with_stats=with_stats)
         files[filename] = payload
         meta["columns"].append(
-            {
-                "name": column.name,
-                "type": column.ctype.value,
-                "file": filename,
-                "rows": column.count,
-                "bytes": len(payload),
-                "blocks": len(column.blocks),
-            }
+            column_meta_entry(column, filename, len(payload), version, with_stats)
         )
     files[f"{relation.name}/table.meta"] = json.dumps(meta).encode("utf-8")
     return files
@@ -373,10 +528,12 @@ def relation_from_files(files: dict[str, bytes], name: str) -> CompressedRelatio
 
 
 def relation_to_bytes(
-    relation: CompressedRelation, version: int = FORMAT_VERSION
+    relation: CompressedRelation,
+    version: int = FORMAT_VERSION,
+    with_stats: "bool | None" = None,
 ) -> bytes:
     """Single-buffer convenience serialization (metadata + columns inline)."""
-    files = relation_to_files(relation, version=version)
+    files = relation_to_files(relation, version=version, with_stats=with_stats)
     index = {
         key: len(value) for key, value in files.items()
     }

@@ -1,10 +1,17 @@
-"""Per-block zone maps (min / max / null count) and pruning scans.
+"""Per-block zone maps (min / max / null count / string digest) and pruning.
 
 A :class:`ColumnZoneMap` lives in a separate metadata object — never inside
 the compressed column file — mirroring the paper's "one file per column plus
 a metadata file" S3 layout. ``pruned_scan`` consults it first, so blocks
-whose [min, max] range cannot satisfy the predicate are skipped without
-reading (or downloading) a single compressed byte.
+whose statistics cannot satisfy the predicate are skipped without reading
+(or downloading) a single compressed byte.
+
+The per-block record itself is :class:`~repro.core.blockstats.BlockStats`
+(re-exported here as :data:`ZoneMapEntry`): numeric min/max, null count,
+conservative string byte-bounds and an optional Bloom digest of the block's
+distinct strings. The same record is what v2 column files and table
+manifests persist, so an in-memory zone map and a manifest-derived one
+prune identically.
 """
 
 from __future__ import annotations
@@ -16,27 +23,23 @@ import numpy as np
 
 from repro.bitmap import RoaringBitmap
 from repro.core.blocks import CompressedColumn
+from repro.core.blockstats import (
+    BlockStats,
+    ZoneMapEntry,
+    compute_block_stats,
+    stats_entry_from_json,
+    stats_entry_to_json,
+)
 from repro.query.executor import scan_block
-from repro.query.predicates import IsNull, Predicate
+from repro.query.predicates import Predicate
 from repro.types import Column, ColumnType
 
-
-@dataclass(frozen=True)
-class ZoneMapEntry:
-    """Statistics for one 64k block."""
-
-    row_count: int
-    null_count: int
-    minimum: float | None
-    maximum: float | None
-
-    def may_match(self, predicate: Predicate) -> bool:
-        """Conservative test: ``False`` guarantees no row in the block matches."""
-        if isinstance(predicate, IsNull):
-            return self.null_count > 0
-        if self.null_count == self.row_count:
-            return False  # all NULL: value predicates never match
-        return predicate.may_match_range(self.minimum, self.maximum)
+__all__ = [
+    "ZoneMapEntry",
+    "ColumnZoneMap",
+    "build_zone_map",
+    "pruned_scan",
+]
 
 
 @dataclass
@@ -45,11 +48,18 @@ class ColumnZoneMap:
 
     column_name: str
     ctype: ColumnType
-    entries: list[ZoneMapEntry]
+    entries: list[BlockStats]
 
     def pruned_blocks(self, predicate: Predicate) -> list[int]:
         """Indices of blocks that *may* contain matches."""
         return [i for i, entry in enumerate(self.entries) if entry.may_match(predicate)]
+
+    def block_offsets(self) -> list[int]:
+        """Starting row of each block plus the total (cumulative counts)."""
+        offsets = [0]
+        for entry in self.entries:
+            offsets.append(offsets[-1] + entry.row_count)
+        return offsets
 
     # -- serialization (a standalone metadata object) -------------------------
 
@@ -57,44 +67,41 @@ class ColumnZoneMap:
         payload = {
             "column": self.column_name,
             "type": self.ctype.value,
-            "entries": [
-                [e.row_count, e.null_count, e.minimum, e.maximum] for e in self.entries
-            ],
+            "entries": [stats_entry_to_json(e) for e in self.entries],
         }
         return json.dumps(payload).encode("utf-8")
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "ColumnZoneMap":
         payload = json.loads(data.decode("utf-8"))
-        entries = [
-            ZoneMapEntry(row_count, null_count, minimum, maximum)
-            for row_count, null_count, minimum, maximum in payload["entries"]
-        ]
+        entries = []
+        for item in payload["entries"]:
+            if len(item) == 4:  # pre-stats files: [rows, nulls, min, max]
+                row_count, null_count, minimum, maximum = item
+                entries.append(BlockStats(row_count, null_count, minimum, maximum))
+            else:
+                entries.append(stats_entry_from_json(item))
         return cls(payload["column"], ColumnType(payload["type"]), entries)
 
 
-def build_zone_map(column: Column, block_size: int = 64_000) -> ColumnZoneMap:
+def build_zone_map(
+    column: Column,
+    block_size: int = 64_000,
+    bloom_max_distinct: "int | None" = None,
+) -> ColumnZoneMap:
     """Collect per-block statistics from the uncompressed column.
 
     Call this alongside compression — the block boundaries must match the
-    compressor's ``block_size``.
+    compressor's ``block_size``. (Compression itself already attaches the
+    same records to its blocks when ``config.collect_stats`` is on; this
+    helper covers data that was never compressed here.)
     """
     entries = []
     total = len(column)
-    null_mask = column.null_mask()
+    kwargs = {} if bloom_max_distinct is None else {"bloom_max_distinct": bloom_max_distinct}
     for start in range(0, max(total, 1), block_size):
         stop = min(start + block_size, total)
-        nulls = int(null_mask[start:stop].sum())
-        minimum = maximum = None
-        if column.ctype is not ColumnType.STRING:
-            values = np.asarray(column.data[start:stop], dtype=np.float64)
-            valid = values[~null_mask[start:stop]]
-            if column.ctype is ColumnType.DOUBLE:
-                valid = valid[np.isfinite(valid)]
-            if valid.size:
-                minimum = float(valid.min())
-                maximum = float(valid.max())
-        entries.append(ZoneMapEntry(stop - start, nulls, minimum, maximum))
+        entries.append(compute_block_stats(column.slice(start, stop), **kwargs))
         if total == 0:
             break
     return ColumnZoneMap(column.name, column.ctype, entries)

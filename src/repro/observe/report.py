@@ -44,6 +44,9 @@ def build_report(
     reliability = _reliability_section(snapshot["counters"])
     if reliability:
         report["reliability"] = reliability
+    scans = _scan_section(snapshot["counters"])
+    if scans:
+        report["scans"] = scans
     if include_decisions:
         report["decisions"] = [d.to_dict() for d in trace.decisions()]
     return report
@@ -111,6 +114,23 @@ def _reliability_section(counters: dict) -> dict:
     if fallbacks:
         section["fallbacks"] = fallbacks
     return section
+
+
+def _scan_section(counters: dict) -> dict:
+    """Zone-map pruning rolled up: what predicate pushdown saved (and what
+    it rejected). Present only when a scan consulted persisted statistics."""
+    if not counters.get("cloud.scan.zonemap.consulted") and not counters.get(
+        "cloud.scan.zonemap.invalid"
+    ):
+        return {}
+    return {
+        "zone_maps_consulted": counters.get("cloud.scan.zonemap.consulted", 0),
+        "zone_maps_invalid": counters.get("cloud.scan.zonemap.invalid", 0),
+        "zone_map_fallbacks": counters.get("cloud.scan.zonemap.fallbacks", 0),
+        "pruned_blocks": counters.get("cloud.scan.pruned_blocks", 0),
+        "pruned_bytes": counters.get("cloud.scan.pruned_bytes", 0),
+        "bytes_fetched": counters.get("cloud.table.bytes", 0),
+    }
 
 
 def report_json(

@@ -54,16 +54,25 @@ class CompressedTable:
         config: BtrBlocksConfig | None = None,
         with_zone_maps: bool = True,
     ) -> "CompressedTable":
-        """Compress a relation and (by default) build its zone maps."""
+        """Compress a relation and (by default) build its zone maps.
+
+        Compression already collects per-block statistics (unless
+        ``config.collect_stats`` is off), so zone maps — string columns
+        included — normally come straight off the compressed blocks; columns
+        compressed without stats fall back to a separate collection pass.
+        """
         compressed = compress_relation(relation, config)
         zone_maps = {}
         if with_zone_maps:
             block_size = (config or BtrBlocksConfig()).block_size
-            zone_maps = {
-                column.name: build_zone_map(column, block_size)
-                for column in relation.columns
-                if column.ctype is not ColumnType.STRING
-            }
+            for column, compressed_column in zip(relation.columns, compressed.columns):
+                stats = compressed_column.block_stats
+                if stats is not None:
+                    zone_maps[column.name] = ColumnZoneMap(
+                        column.name, column.ctype, stats
+                    )
+                else:
+                    zone_maps[column.name] = build_zone_map(column, block_size)
         return cls(compressed, zone_maps)
 
     # -- properties ------------------------------------------------------------

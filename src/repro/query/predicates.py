@@ -47,6 +47,20 @@ class Predicate(ABC):
         """Could any value in [minimum, maximum] match? Default: maybe."""
         return True
 
+    def may_match_bytes(self, minimum: bytes, maximum: "bytes | None") -> bool:
+        """Conservative test against a block's *string* bounds.
+
+        ``minimum`` may be a truncated prefix of the real minimum (prefixes
+        compare lower, so it stays a valid lower bound); ``maximum`` is
+        ``None`` when the upper bound is unknown. Default: maybe.
+        """
+        return True
+
+    def bloom_probes(self) -> "list[bytes] | None":
+        """Byte values whose joint Bloom absence rules the block out, or
+        ``None`` when this predicate cannot use a distinct-value digest."""
+        return None
+
     def evaluate_scalar(self, value) -> bool:
         """Match test for one value (used on One Value / dictionary entries)."""
         if isinstance(value, bytes):
@@ -69,6 +83,17 @@ class Equals(Predicate):
             return True
         return minimum <= self.value <= maximum
 
+    def may_match_bytes(self, minimum, maximum) -> bool:
+        if not isinstance(self.value, (bytes, str)):
+            return True
+        needle = _as_bytes(self.value)
+        return minimum <= needle and (maximum is None or needle <= maximum)
+
+    def bloom_probes(self):
+        if isinstance(self.value, (bytes, str)):
+            return [_as_bytes(self.value)]
+        return None
+
 
 @dataclass(frozen=True)
 class GreaterThan(Predicate):
@@ -88,6 +113,12 @@ class GreaterThan(Predicate):
         if maximum is None or isinstance(self.value, (bytes, str)):
             return True
         return maximum >= self.value if self.inclusive else maximum > self.value
+
+    def may_match_bytes(self, minimum, maximum) -> bool:
+        if maximum is None or not isinstance(self.value, (bytes, str)):
+            return True
+        needle = _as_bytes(self.value)
+        return maximum >= needle if self.inclusive else maximum > needle
 
 
 @dataclass(frozen=True)
@@ -109,6 +140,12 @@ class LessThan(Predicate):
             return True
         return minimum <= self.value if self.inclusive else minimum < self.value
 
+    def may_match_bytes(self, minimum, maximum) -> bool:
+        if not isinstance(self.value, (bytes, str)):
+            return True
+        needle = _as_bytes(self.value)
+        return minimum <= needle if self.inclusive else minimum < needle
+
 
 @dataclass(frozen=True)
 class Between(Predicate):
@@ -126,6 +163,14 @@ class Between(Predicate):
         if minimum is None or maximum is None or isinstance(self.low, (bytes, str)):
             return True
         return not (maximum < self.low or minimum > self.high)
+
+    def may_match_bytes(self, minimum, maximum) -> bool:
+        if not isinstance(self.low, (bytes, str)):
+            return True
+        lo, hi = _as_bytes(self.low), _as_bytes(self.high)  # type: ignore[arg-type]
+        if minimum > hi:
+            return False
+        return maximum is None or maximum >= lo
 
 
 @dataclass(frozen=True)
@@ -147,6 +192,19 @@ class In(Predicate):
         if any(isinstance(v, (bytes, str)) for v in self.values):
             return True
         return any(minimum <= v <= maximum for v in self.values)
+
+    def may_match_bytes(self, minimum, maximum) -> bool:
+        if not all(isinstance(v, (bytes, str)) for v in self.values):
+            return True
+        return any(
+            minimum <= _as_bytes(v) and (maximum is None or _as_bytes(v) <= maximum)
+            for v in self.values
+        )
+
+    def bloom_probes(self):
+        if self.values and all(isinstance(v, (bytes, str)) for v in self.values):
+            return [_as_bytes(v) for v in self.values]
+        return None
 
 
 @dataclass(frozen=True)

@@ -15,7 +15,9 @@ def report():
 
 class TestRunBench:
     def test_report_sections(self, report):
-        assert set(report) == {"meta", "schemes", "parallel", "selection", "pipeline"}
+        assert set(report) == {
+            "meta", "schemes", "parallel", "selection", "pipeline", "selective_scan",
+        }
         assert report["meta"]["rows"] == 256
         assert report["meta"]["workers"] == [1, 2]
 
@@ -52,7 +54,7 @@ class TestRunBench:
 
     def test_decode_only_skips_compress_side(self):
         report = run_bench(rows=256, workers=(1,), repeats=1, decode_only=True)
-        assert set(report) == {"meta", "schemes", "pipeline"}
+        assert set(report) == {"meta", "schemes", "pipeline", "selective_scan"}
         assert report["meta"]["decode_only"] is True
         for name, entry in report["schemes"].items():
             assert "compress_mb_s" not in entry, name
@@ -139,5 +141,5 @@ class TestBenchCli:
         assert main(["bench", "--rows", "256", "--workers", "1", "--repeats", "1",
                      "--decode-only", "--output", str(out)]) == 0
         report = json.loads(out.read_text())
-        assert set(report) == {"meta", "schemes", "pipeline"}
+        assert set(report) == {"meta", "schemes", "pipeline", "selective_scan"}
         assert "pipelined scan" in capsys.readouterr().out

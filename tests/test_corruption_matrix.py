@@ -294,3 +294,234 @@ class TestContainers:
     def test_lzb_garbage(self, rng):
         for _ in range(30):
             _attempt(lambda: lzb.decompress(bytes([2]) + rng.bytes(40)))
+
+
+# -- persisted statistics (zone maps): damaged stats never change an answer ----
+#
+# Zone maps are pure pruning metadata, so they get a contract *stronger*
+# than the trichotomy above: any damage to the statistics — footer byte
+# flips, truncation, tampered or stale manifest entries — must either be
+# rejected up front (``on_corrupt="raise"`` -> IntegrityError) or degrade
+# to the full fetch-and-filter path and return exactly the clean answer.
+# Wrong rows are never acceptable, because the data itself is intact.
+
+
+def _stats_relation() -> "Relation":
+    """Two same-shape int columns with disjoint value ranges per block, so
+    stale statistics (one column's stats describing the other) both prune
+    wrongly *and* leave overlap for a mid-range predicate to fetch through."""
+    n = 4000
+    forward = np.arange(n, dtype=np.int32)
+    return Relation(
+        "zm",
+        [
+            Column.ints("fwd", forward),
+            Column.ints("rev", forward[::-1].copy()),
+            Column.doubles("pay", np.round(np.linspace(0.0, 99.0, n), 2)),
+        ],
+    )
+
+
+def _committed(relation):
+    from repro.cloud import SimulatedObjectStore
+    from repro.cloud.remote_table import TableWriter
+    from repro.core.compressor import compress_relation
+    from repro.core.config import BtrBlocksConfig
+
+    store = SimulatedObjectStore()
+    TableWriter(store).write(
+        compress_relation(relation, BtrBlocksConfig(block_size=512))
+    )
+    return store
+
+
+def _stats_column_blob():
+    """A multi-block int column with its stats footer, plus the footer's
+    byte offset inside the serialized file."""
+    from repro.core.config import BtrBlocksConfig
+    from repro.core.file_format import column_block_ranges
+
+    column = compress_column(
+        Column.ints("v", np.arange(2000, dtype=np.int32)),
+        BtrBlocksConfig(block_size=512),
+    )
+    blob = column_to_bytes(column)
+    offset, size = column_block_ranges(column)[-1]
+    return column, blob, offset + size
+
+
+class TestZoneMapCorruption:
+    _shared: dict = {}
+
+    def setup_method(self):
+        from repro.query.predicates import Between
+
+        if not self._shared:
+            relation = _stats_relation()
+            self._shared["relation"] = relation
+            self._shared["clean"] = None
+        self.relation = self._shared["relation"]
+        self.where = {"fwd": Between(1900, 2100)}
+        if self._shared["clean"] is None:
+            self._shared["clean"] = self._scan(
+                _committed(self.relation), "raise", where=self.where
+            )
+        self.clean_filtered = self._shared["clean"]
+
+    @staticmethod
+    def _scan(store, on_corrupt, where=None, registry=None):
+        from repro.cloud.remote_table import RemoteTable
+        from repro.observe import MetricsRegistry, use_registry
+
+        registry = registry if registry is not None else MetricsRegistry()
+        with use_registry(registry):
+            table = RemoteTable.open(store, "zm", on_corrupt=on_corrupt)
+            return table.scan(columns=["fwd", "pay"], where=where)
+
+    def _scan_clean_equal(self, store, on_corrupt, registry=None):
+        from repro.types import columns_equal
+
+        got = self._scan(store, on_corrupt, where=self.where, registry=registry)
+        for mine, theirs in zip(got.columns, self.clean_filtered.columns):
+            assert columns_equal(mine, theirs)
+
+    # -- the column-file footer ------------------------------------------------
+
+    def test_footer_flip_matrix(self):
+        """A flip anywhere in the trailing ZMAP section can at worst drop
+        the statistics; decoded data must stay bit-identical, always."""
+        column, blob, footer_start = _stats_column_blob()
+        assert footer_start < len(blob), "fixture must carry a stats footer"
+        clean = decompress_column(column_from_bytes(blob))
+        rng = np.random.default_rng(MATRIX_SEED ^ 0x2AAF)
+        positions = set(range(footer_start, min(footer_start + 32, len(blob))))
+        positions |= {len(blob) - i for i in range(1, 6)}
+        positions |= {int(p) for p in rng.integers(footer_start, len(blob), 16)}
+        for position in sorted(positions):
+            for pattern in (0xFF, 0x01):
+                damaged = bytearray(blob)
+                damaged[position] ^= pattern
+                restored = column_from_bytes(bytes(damaged))
+                out = decompress_column(restored)
+                assert values_equal(ColumnType.INTEGER, clean.data, out.data), (
+                    f"footer byte {position} ^ {pattern:#x} changed decoded data"
+                )
+                if restored.block_stats is not None and not restored.stats_invalid:
+                    # CRC32 catches every single-byte flip, so surviving
+                    # stats can only mean the flip landed in ignorable
+                    # trailing garbage after a non-ZMAP magic.
+                    assert [s.row_count for s in restored.block_stats] == [
+                        b.count for b in column.blocks
+                    ]
+
+    def test_footer_truncation_matrix(self):
+        column, blob, footer_start = _stats_column_blob()
+        clean = decompress_column(column_from_bytes(blob))
+        for keep in range(footer_start, len(blob), max(1, (len(blob) - footer_start) // 12)):
+            restored = column_from_bytes(blob[:keep])
+            out = decompress_column(restored)
+            assert values_equal(ColumnType.INTEGER, clean.data, out.data)
+            assert restored.block_stats is None
+
+    # -- the manifest ----------------------------------------------------------
+
+    def _tampered_store(self, mutate):
+        """A committed table whose manifest was rewritten by ``mutate``."""
+        import json
+
+        from repro.cloud.remote_table import manifest_key
+
+        store = _committed(self.relation)
+        key = manifest_key("zm", 1)
+        manifest = json.loads(store.get(key))
+        mutate(manifest)
+        store.put(key, json.dumps(manifest).encode("utf-8"))
+        return store
+
+    def test_flipped_manifest_stats_raise_or_degrade(self):
+        """Edited stats entries fail the section CRC: ``raise`` refuses,
+        lenient policies answer from the full fetch-and-filter path."""
+        from repro.exceptions import IntegrityError
+        from repro.observe import MetricsRegistry
+
+        def mutate(manifest):
+            entry = manifest["columns"][0]["stats"]["entries"][2]
+            entry[2], entry[3] = 10**9, 2 * 10**9  # min/max now exclude all
+
+        with pytest.raises(IntegrityError):
+            self._scan(self._tampered_store(mutate), "raise", where=self.where)
+        for policy in ("skip", "null_block"):
+            registry = MetricsRegistry()
+            self._scan_clean_equal(self._tampered_store(mutate), policy, registry)
+            assert registry.get("cloud.scan.zonemap.invalid") >= 1
+
+    def test_truncated_manifest_stats_raise_or_degrade(self):
+        from repro.exceptions import IntegrityError
+        from repro.observe import MetricsRegistry
+
+        def drop_entry(manifest):
+            del manifest["columns"][0]["stats"]["entries"][-1]
+
+        def resigned_drop(manifest):
+            # Re-sign the CRC so only the entry-count check can object.
+            from repro.core.blockstats import _entries_crc
+
+            section = manifest["columns"][0]["stats"]
+            del section["entries"][-1]
+            section["crc"] = _entries_crc(section["entries"])
+
+        for mutate in (drop_entry, resigned_drop):
+            with pytest.raises(IntegrityError):
+                self._scan(self._tampered_store(mutate), "raise", where=self.where)
+            registry = MetricsRegistry()
+            self._scan_clean_equal(self._tampered_store(mutate), "skip", registry)
+            assert registry.get("cloud.scan.zonemap.invalid") >= 1
+
+    def test_implausible_block_ranges_raise_or_degrade(self):
+        from repro.exceptions import IntegrityError
+        from repro.observe import MetricsRegistry
+
+        def mutate(manifest):
+            manifest["columns"][0]["block_ranges"][1][1] = 10**9  # beyond file
+
+        with pytest.raises(IntegrityError):
+            self._scan(self._tampered_store(mutate), "raise", where=self.where)
+        registry = MetricsRegistry()
+        self._scan_clean_equal(self._tampered_store(mutate), "null_block", registry)
+        assert registry.get("cloud.scan.zonemap.invalid") >= 1
+
+    def test_stale_stats_caught_by_checksum_binding(self):
+        """Statistics written for *different data* — internally consistent,
+        CRC valid — are unmasked the moment any described block is fetched:
+        its content CRC32 does not match the entry's binding. The scan falls
+        back and answers from the real data."""
+        from repro.observe import MetricsRegistry
+
+        def swap_stats(manifest):
+            cols = {c["name"]: c for c in manifest["columns"]}
+            # fwd's blocks hold ascending ranges, rev's descending: rev's
+            # stats over fwd mis-describe every block, but the mid-range
+            # predicate still leaves the middle blocks unpruned.
+            cols["fwd"]["stats"], cols["rev"]["stats"] = (
+                cols["rev"]["stats"],
+                cols["fwd"]["stats"],
+            )
+
+        registry = MetricsRegistry()
+        self._scan_clean_equal(self._tampered_store(swap_stats), "skip", registry)
+        assert registry.get("cloud.scan.zonemap.invalid") >= 1
+
+    def test_missing_stats_is_not_an_error(self):
+        """A manifest without statistics (older writer) is not damage: every
+        policy answers identically, zero invalid-counter events."""
+        from repro.observe import MetricsRegistry
+
+        def strip(manifest):
+            for column in manifest["columns"]:
+                column.pop("stats", None)
+                column.pop("block_ranges", None)
+
+        for policy in ("raise", "skip", "null_block"):
+            registry = MetricsRegistry()
+            self._scan_clean_equal(self._tampered_store(strip), policy, registry)
+            assert registry.get("cloud.scan.zonemap.invalid") == 0

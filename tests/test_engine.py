@@ -119,11 +119,15 @@ class TestAggregate:
 
 
 class TestZoneMapIntegration:
-    def test_zone_maps_built_for_numeric_columns(self, table):
+    def test_zone_maps_built_for_every_column(self, table):
         _, compressed = table
         assert "id" in compressed.zone_maps
         assert "price" in compressed.zone_maps
-        assert "city" not in compressed.zone_maps
+        # Strings get zone maps too now: byte-prefix bounds plus a Bloom
+        # digest for low-cardinality blocks.
+        assert "city" in compressed.zone_maps
+        city = compressed.zone_maps["city"]
+        assert all(e.min_bytes is not None for e in city.entries)
 
     def test_without_zone_maps_results_identical(self, table, rng):
         relation, with_maps = table

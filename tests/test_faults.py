@@ -281,7 +281,12 @@ def _damaged_column_blob() -> bytes:
         BtrBlocksConfig(block_size=128),  # several blocks; damage hits one
     )
     blob = bytearray(column_to_bytes(column))
-    blob[-3] ^= 0x40  # inside the last block's payload
+    # Aim at the last *block's* payload explicitly — the file now ends with
+    # the statistics footer, which the decoder doesn't checksum-gate.
+    from repro.core.file_format import column_block_ranges
+
+    offset, size = column_block_ranges(column)[-1]
+    blob[offset + size - 3] ^= 0x40
     return bytes(blob)
 
 

@@ -104,23 +104,48 @@ def scheme_fixtures() -> dict[str, bytes]:
 
 
 def file_fixtures() -> dict[str, bytes]:
-    """Column-file and relation-file serializations of a fixed relation.
+    """Column-file, relation-file and manifest serializations of a fixed
+    relation.
 
-    Both container versions are frozen: the original checksum-less v1 files
-    keep their seed-era names (and exact bytes — the v1 writer must never
-    drift, old files in the wild depend on it), while the CRC32-checksummed
-    v2 files live alongside under ``*.v2.*`` names.
+    Three container generations are frozen: the original checksum-less v1
+    files keep their seed-era names (and exact bytes — the v1 writer must
+    never drift, old files in the wild depend on it); the CRC32-checksummed
+    v2 files live alongside under ``*.v2.*`` names, written stats-less so
+    their bytes stayed stable when the statistics footer was introduced; and
+    the stats-bearing files — v2 plus the trailing ``ZMAP`` footer, the
+    writer's default — under ``*.v2s.*``, together with the committed table
+    manifest (``manifest.v2s.json``) that carries the same statistics as
+    zone-map entries.
     """
     relation = _fixture_relation()
     compressed = compress_relation(relation)
     fixtures = {
         "relation.btr": relation_to_bytes(compressed, version=1),
-        "relation.v2.btr": relation_to_bytes(compressed, version=2),
+        "relation.v2.btr": relation_to_bytes(compressed, version=2, with_stats=False),
+        "relation.v2s.btr": relation_to_bytes(compressed, version=2, with_stats=True),
+        "manifest.v2s.json": _manifest_fixture_bytes(compressed),
     }
     for column in compressed.columns:
         fixtures[f"column_{column.name}.btrc"] = column_to_bytes(column, version=1)
-        fixtures[f"column_{column.name}.v2.btrc"] = column_to_bytes(column, version=2)
+        fixtures[f"column_{column.name}.v2.btrc"] = column_to_bytes(
+            column, version=2, with_stats=False
+        )
+        fixtures[f"column_{column.name}.v2s.btrc"] = column_to_bytes(
+            column, version=2, with_stats=True
+        )
     return fixtures
+
+
+def _manifest_fixture_bytes(compressed) -> bytes:
+    """The committed version-1 manifest of the fixed relation, statistics,
+    block byte ranges and all. Fully deterministic: fixed inputs, fixed
+    selector seed, fixed writer id."""
+    from repro.cloud import SimulatedObjectStore
+    from repro.cloud.remote_table import TableWriter, manifest_key
+
+    store = SimulatedObjectStore()
+    TableWriter(store).write(compressed, version=1)
+    return store.get(manifest_key(compressed.name, 1))
 
 
 def all_fixtures() -> dict[str, bytes]:
@@ -142,6 +167,8 @@ def test_regen_writes_fixtures(fixtures):
             stale.unlink()
         for stale in GOLDEN_DIR.glob("*.btr*"):
             stale.unlink()
+        for stale in GOLDEN_DIR.glob("*.json"):
+            stale.unlink()
         for name, blob in fixtures.items():
             (GOLDEN_DIR / name).write_bytes(blob)
     missing = [name for name in fixtures if not (GOLDEN_DIR / name).exists()]
@@ -149,7 +176,11 @@ def test_regen_writes_fixtures(fixtures):
 
 
 def test_no_orphan_fixtures(fixtures):
-    on_disk = {p.name for p in GOLDEN_DIR.iterdir() if p.suffix in {".bin", ".btr", ".btrc"}}
+    on_disk = {
+        p.name
+        for p in GOLDEN_DIR.iterdir()
+        if p.suffix in {".bin", ".btr", ".btrc", ".json"}
+    }
     assert on_disk == set(fixtures), "fixture set drifted from the test's inputs"
 
 
@@ -207,7 +238,7 @@ def test_column_file_v2_header_layout():
 
 def test_v1_and_v2_fixtures_decode_identically(fixtures):
     """Backward compat: committed v1 files decode unchanged through the new
-    reader, bit-identical to their v2 siblings."""
+    reader, bit-identical to their v2 and stats-bearing v2s siblings."""
     from repro.core.decompressor import decompress_column
     from repro.core.file_format import column_from_bytes
     from repro.types import columns_equal
@@ -215,17 +246,67 @@ def test_v1_and_v2_fixtures_decode_identically(fixtures):
     for name in ("runs", "price", "city"):
         v1 = column_from_bytes((GOLDEN_DIR / f"column_{name}.btrc").read_bytes())
         v2 = column_from_bytes((GOLDEN_DIR / f"column_{name}.v2.btrc").read_bytes())
+        v2s = column_from_bytes((GOLDEN_DIR / f"column_{name}.v2s.btrc").read_bytes())
         assert all(b.checksum is None for b in v1.blocks)
         assert all(b.checksum is not None for b in v2.blocks)
-        assert columns_equal(decompress_column(v1), decompress_column(v2))
+        # Stats ride only in the footer: v1 and stats-less v2 readers see none.
+        assert all(b.stats is None for b in v1.blocks)
+        assert all(b.stats is None for b in v2.blocks)
+        assert v2s.block_stats is not None and not v2s.stats_invalid
+        decoded = decompress_column(v1)
+        assert columns_equal(decoded, decompress_column(v2))
+        assert columns_equal(decoded, decompress_column(v2s))
 
     original = _fixture_relation()
-    for rel_name in ("relation.btr", "relation.v2.btr"):
+    for rel_name in ("relation.btr", "relation.v2.btr", "relation.v2s.btr"):
         from repro.core.file_format import relation_from_bytes
 
         restored = relation_from_bytes((GOLDEN_DIR / rel_name).read_bytes())
         for column, expected in zip(restored.columns, original.columns):
             assert columns_equal(decompress_column(column), expected)
+
+
+def test_stats_footer_layout(fixtures):
+    """Trailing stats section = b"ZMAP" + u8 version + u32 entry count +
+    packed entries + u32 CRC32 over everything before it."""
+    import zlib
+
+    from repro.core.blockstats import stats_footer_from_bytes
+    from repro.core.file_format import column_from_bytes
+
+    plain = (GOLDEN_DIR / "column_runs.v2.btrc").read_bytes()
+    blob = (GOLDEN_DIR / "column_runs.v2s.btrc").read_bytes()
+    assert blob[: len(plain)] == plain, "stats must append, never rewrite"
+    footer = blob[len(plain) :]
+    assert footer[:4] == b"ZMAP"
+    assert footer[4] == 1  # footer version
+    (count,) = struct.unpack_from("<I", footer, 5)
+    column = column_from_bytes(blob)
+    assert count == len(column.blocks)
+    (crc,) = struct.unpack_from("<I", footer, len(footer) - 4)
+    assert crc == zlib.crc32(footer[:-4]) & 0xFFFFFFFF
+    entries = stats_footer_from_bytes(footer)
+    assert [e.row_count for e in entries] == [b.count for b in column.blocks]
+
+
+def test_manifest_carries_stats_and_block_ranges(fixtures):
+    """The committed manifest freezes the pruning contract: per-column
+    ``block_ranges`` byte extents and checksum-bound ``stats`` entries."""
+    import json
+
+    from repro.core.blockstats import stats_from_json
+
+    manifest = json.loads((GOLDEN_DIR / "manifest.v2s.json").read_bytes())
+    assert manifest["name"] == "golden"
+    assert manifest["format_version"] == 2
+    for entry in manifest["columns"]:
+        assert entry["blocks"] == len(entry["block_ranges"])
+        for offset, size in entry["block_ranges"]:
+            assert offset >= 0 and size >= 16
+        stats = stats_from_json(entry["stats"])
+        assert len(stats) == entry["blocks"]
+        assert sum(s.row_count for s in stats) == entry["rows"]
+        assert all(s.checksum is not None for s in stats)
 
 
 def test_relation_file_header_is_json_index():

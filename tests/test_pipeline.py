@@ -234,12 +234,30 @@ class TestColumnStreamParser:
             assert mine.checksum == theirs.checksum
 
     def test_truncated_stream_raises(self):
-        blob = self._column_bytes()
+        column = compress_column(
+            Column.ints("v", np.random.default_rng(5).integers(0, 1000, 2000)),
+            BtrBlocksConfig(block_size=512),
+        )
+        blob = column_to_bytes(column, with_stats=False)
         parser = ColumnStreamParser()
         parser.feed(blob[:-5])
         assert not parser.complete
         with pytest.raises(FormatError):
             parser.finish()
+
+    def test_truncated_stats_footer_drops_stats_only(self):
+        # Every block arrived; only the trailing statistics footer is cut
+        # short. Data decodes fine — the stats are just marked invalid.
+        blob = self._column_bytes()
+        parser = ColumnStreamParser()
+        parser.feed(blob[:-5])
+        assert parser.complete
+        column = parser.finish()
+        assert column.stats_invalid
+        assert column.block_stats is None
+        batch = column_from_bytes(self._column_bytes())
+        for mine, theirs in zip(column.blocks, batch.blocks):
+            assert mine.data == theirs.data
 
     def test_bad_magic_parity_with_batch_parser(self):
         blob = self._column_bytes()
@@ -369,7 +387,12 @@ class TestScanPipelined:
             store = _uploaded_store(compressed, pricing=SMALL_CHUNKS)
             key = f"{relation.name}/col_0000.btr"
             blob = bytearray(store.get(key))
-            blob[-3] ^= 0x20  # payload of the last block: CRC must catch it
+            # Damage the payload of the last *block* (the file now ends with
+            # the stats footer, so -3 would only graze the statistics).
+            from repro.core.file_format import column_block_ranges
+
+            offset, size = column_block_ranges(compressed.columns[0])[-1]
+            blob[offset + size - 3] ^= 0x20  # CRC must catch it
             store.put(key, bytes(blob))
             store.stats.reset()
             return store

@@ -63,9 +63,10 @@ class TestLazyFetch:
         table = RemoteTable.open(store, "sales")
         store.stats.reset()
         table.scan(columns=["price"], where={"price": Between(10.0, 20.0)})
-        # Only the price file was fetched (filter and projection coincide).
+        # Only the price file was touched (filter and projection coincide);
+        # with zone-map pruning the ranged GETs fetch at most the file.
         price_bytes = store.object_size(table.column_entry("price")["file"])
-        assert store.stats.bytes_downloaded == price_bytes
+        assert 0 < store.stats.bytes_downloaded <= price_bytes
 
 
 class TestQueryResults:

@@ -1,0 +1,78 @@
+"""Selective-scan acceptance: bytes moved must scale with selectivity.
+
+The zone-map pushdown exists for exactly one measurable reason — a 1%
+query over clustered data should move a small fraction of the bytes a
+full scan moves, because whole blocks (and their GETs) are pruned from
+the manifest before any data is requested. This runs the same sweep as
+``repro bench --selective-scan`` at test size and gates the ratio.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import bench_selective_scan
+from repro.cloud import SimulatedObjectStore
+from repro.cloud.remote_table import RemoteTable, TableWriter
+from repro.core.compressor import compress_relation
+from repro.core.config import BtrBlocksConfig
+from repro.core.relation import Relation
+from repro.query.predicates import Between
+from repro.types import Column
+
+
+def test_selectivity_sweep_bytes_scale():
+    report = bench_selective_scan(rows=40_000, seed=7, block_size=2000)
+    sweep = report["sweep"]
+    assert set(sweep) == {"1%", "10%", "50%", "100%"}
+    full = sweep["100%"]
+    assert full["rows_returned"] == 40_000
+    # The acceptance bar: a 1% query moves < 25% of the full scan's bytes.
+    assert sweep["1%"]["bytes_fetched"] < 0.25 * full["bytes_fetched"], (
+        f"1% selectivity fetched {sweep['1%']['bytes_fetched']} of "
+        f"{full['bytes_fetched']} bytes — pruning is not engaging"
+    )
+    # Bytes grow monotonically with selectivity on clustered data.
+    ordered = [sweep[k]["bytes_fetched"] for k in ("1%", "10%", "50%", "100%")]
+    assert ordered == sorted(ordered)
+    # Narrow queries also prune whole blocks, not just bytes.
+    assert sweep["1%"]["pruned_blocks"] > 0
+    assert sweep["1%"]["pruned_bytes"] > 0
+    for point in sweep.values():
+        assert point["decode_s"] >= 0.0
+        assert point["get_requests"] >= 1
+
+
+def test_sweep_rows_match_selectivity():
+    report = bench_selective_scan(rows=20_000, seed=11, block_size=1000)
+    sweep = report["sweep"]
+    for label, fraction in (("1%", 0.01), ("10%", 0.10), ("50%", 0.50)):
+        returned = sweep[label]["rows_returned"]
+        # Duplicated keys at the range boundary blur the edge a little.
+        assert 0 < returned <= 20_000
+        assert abs(returned - 20_000 * fraction) < 20_000 * 0.05, label
+
+
+def test_point_query_fetches_few_blocks():
+    """Single-value lookup on a clustered key: the purest pruning win."""
+    rows = 30_000
+    keys = np.arange(rows, dtype=np.int32)
+    relation = Relation(
+        "points",
+        [
+            Column.ints("k", keys),
+            Column.doubles("v", np.linspace(0.0, 1.0, rows)),
+        ],
+    )
+    store = SimulatedObjectStore()
+    TableWriter(store).write(
+        compress_relation(relation, BtrBlocksConfig(block_size=1000))
+    )
+    table = RemoteTable.open(store, "points")
+    store.stats.reset()
+    result = table.scan(columns=["v"], where={"k": Between(15_000, 15_010)})
+    assert len(result.columns[0]) == 11
+    full = store.object_size(table.column_entry("k")["file"]) + store.object_size(
+        table.column_entry("v")["file"]
+    )
+    assert store.stats.bytes_downloaded < 0.25 * full

@@ -37,14 +37,25 @@ class TestBuildZoneMap:
         assert zm.entries[0].null_count == 1
         assert zm.entries[1].null_count == 2
 
-    def test_string_columns_have_no_min_max(self):
+    def test_string_columns_get_byte_bounds(self):
         column = Column.strings("s", ["a", "b"] * 500)
         zm = build_zone_map(column, block_size=1000)
+        # Strings carry conservative byte-prefix bounds (and a Bloom filter
+        # for low-cardinality blocks) instead of numeric min/max.
         assert zm.entries[0].minimum is None
+        assert zm.entries[0].min_bytes == b"a"
+        assert zm.entries[0].bloom is not None
 
-    def test_non_finite_doubles_skipped(self):
+    def test_infinities_kept_nan_skipped(self):
+        # +/-inf are real, ordered values: dropping them from the bounds
+        # would let GreaterThan(huge) prune a block that contains inf.
+        # Only NaN (unordered) is excluded.
         column = Column.doubles("d", np.array([np.inf, 1.0, -np.inf, 5.0] * 10))
         zm = build_zone_map(column, block_size=1000)
+        assert zm.entries[0].minimum == -np.inf
+        assert zm.entries[0].maximum == np.inf
+        nan_column = Column.doubles("d", np.array([np.nan, 1.0, np.nan, 5.0] * 10))
+        zm = build_zone_map(nan_column, block_size=1000)
         assert zm.entries[0].minimum == 1.0
         assert zm.entries[0].maximum == 5.0
 
