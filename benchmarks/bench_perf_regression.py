@@ -30,10 +30,12 @@ BASELINE_PATH = Path(__file__).parent / "BENCH_baseline.json"
 
 
 def test_perf_regression_vs_baseline():
+    parallel_rows = os.environ.get("REPRO_BENCH_PARALLEL_ROWS")
     report = run_bench(
         rows=bench_rows(),
         workers=(1, 2, 4),
         repeats=int(os.environ.get("REPRO_BENCH_REPEATS", "3")),
+        parallel_rows=int(parallel_rows) if parallel_rows else None,
     )
     output = os.environ.get("REPRO_BENCH_OUTPUT", f"BENCH_{report['meta']['date']}.json")
     write_report(report, output)
@@ -46,14 +48,17 @@ def test_perf_regression_vs_baseline():
             for name, entry in report["schemes"].items()
         ],
     )
-    speedups = report["parallel"]["compress_speedup"]
+    parallel = report["parallel"]
     print_table(
         "Parallel block-pipeline scaling "
-        f"(cpu_count={report['parallel']['cpu_count']})",
-        ["workers", "seconds", "speedup"],
+        f"({parallel['rows']:,} rows, cpu_count={parallel['cpu_count']}, "
+        f"affinity={parallel['cpu_affinity']})",
+        ["backend", "workers", "comp s", "comp x", "dec s", "dec x"],
         [
-            [w, report["parallel"]["compress_seconds"][w], speedups[w]]
-            for w in sorted(speedups, key=int)
+            [backend, w, entry["compress_seconds"][w], entry["compress_speedup"][w],
+             entry["decompress_seconds"][w], entry["decompress_speedup"][w]]
+            for backend, entry in parallel["backends"].items()
+            for w in sorted(entry["compress_seconds"], key=int)
         ],
     )
     selection = report["selection"]

@@ -1,0 +1,71 @@
+"""Multi-core scaling gate for the shared-memory process backend.
+
+The process pool is the one backend that is supposed to *multiply* with
+cores (the thread pool measures GIL-serialised work). This benchmark runs
+the parallel-scaling section with ``backend="process"`` on the rescaled
+workload (``REPRO_BENCH_PARALLEL_ROWS``, default 1M rows — a single-worker
+wall comfortably past clock noise) and gates decompression speedup at 4
+workers against ``REPRO_BENCH_MIN_SPEEDUP`` (default 1.8x).
+
+The gate only means something on real cores: hosts where fewer than 4 CPUs
+are *usable* (``sched_getaffinity``, not ``cpu_count`` — containers pin
+affinity below the host count) skip cleanly rather than fail noisily.
+
+The measured section is always written to ``REPRO_BENCH_SCALING_OUTPUT``
+(default ``BENCH_process_scaling.json``) before the gate is evaluated, so
+CI uploads the numbers even from a failing run.
+"""
+
+import json
+import os
+
+import pytest
+
+from _harness import print_table
+from repro.bench import DEFAULT_PARALLEL_ROWS, bench_parallel
+from repro import procpool
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+@pytest.mark.skipif(not procpool.available(), reason="no multiprocessing start method")
+def test_process_backend_scales_on_multicore():
+    usable = _usable_cpus()
+    if usable < 4:
+        pytest.skip(f"process-scaling gate needs >=4 usable CPUs (have {usable})")
+
+    rows = int(os.environ.get("REPRO_BENCH_PARALLEL_ROWS", str(DEFAULT_PARALLEL_ROWS)))
+    repeats = int(os.environ.get("REPRO_BENCH_REPEATS", "3"))
+    section = bench_parallel(
+        rows, workers=(1, 2, 4), repeats=repeats, seed=42, backends=("process",)
+    )
+    process = section["backends"]["process"]
+
+    print_table(
+        f"Process-backend scaling ({section['rows']:,} rows, "
+        f"cpu_count={section['cpu_count']}, affinity={section['cpu_affinity']})",
+        ["workers", "comp s", "comp x", "dec s", "dec x"],
+        [
+            [w, process["compress_seconds"][w], process["compress_speedup"][w],
+             process["decompress_seconds"][w], process["decompress_speedup"][w]]
+            for w in sorted(process["compress_seconds"], key=int)
+        ],
+    )
+
+    output = os.environ.get("REPRO_BENCH_SCALING_OUTPUT", "BENCH_process_scaling.json")
+    with open(output, "w", encoding="utf-8") as fh:
+        json.dump({"parallel": section}, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"process-scaling section -> {output}")
+
+    minimum = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "1.8"))
+    speedup = process["decompress_speedup"]["4"]
+    assert speedup >= minimum, (
+        f"process-backend decompress speedup at 4 workers is {speedup:.2f}x, "
+        f"below the {minimum:.1f}x gate (affinity={section['cpu_affinity']})"
+    )

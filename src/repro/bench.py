@@ -46,10 +46,33 @@ from repro.parallel import compress_relation_parallel, decompress_relation_paral
 from repro.types import Column
 
 DEFAULT_ROWS = 200_000
+#: The parallel section needs enough work per call that a single-worker run
+#: is well past clock noise (>= 50 ms wall); at smaller ``--rows`` the
+#: scaling workload is scaled *up* to this floor independently.
+DEFAULT_PARALLEL_ROWS = 1_000_000
 DEFAULT_WORKERS = (1, 2, 4)
 DEFAULT_REPEATS = 3
 DEFAULT_THRESHOLD = 0.30
 DEFAULT_SEED = 42
+
+
+def _cpu_affinity() -> "int | None":
+    """Usable CPUs for this process (container/cgroup-aware), else None."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return None
+
+
+def default_bench_backends() -> "tuple[str, ...]":
+    """Backends worth measuring on this host: thread always; process when
+    the pool exists and more than one CPU is actually usable."""
+    from repro import procpool
+
+    affinity = _cpu_affinity() or os.cpu_count() or 1
+    if procpool.available() and affinity >= 2:
+        return ("thread", "process")
+    return ("thread",)
 
 
 def _mb(nbytes: float) -> float:
@@ -170,46 +193,84 @@ def bench_schemes(rows: int, repeats: int, seed: int, decode_only: bool = False)
     return out
 
 
-def bench_parallel(rows: int, workers: Sequence[int], repeats: int, seed: int) -> dict:
-    """Block-level scaling on one wide column, per worker count.
+def bench_parallel(
+    rows: int,
+    workers: Sequence[int],
+    repeats: int,
+    seed: int,
+    backends: "Sequence[str] | None" = None,
+) -> dict:
+    """Block-level scaling on one wide column, per backend and worker count.
 
-    Speedups are relative to ``workers=1`` (the inline, pool-free path).
-    Real scaling needs real cores: on a single-CPU host every worker count
-    measures GIL-serialised work plus pool overhead, so ``cpu_count`` is
-    recorded alongside for interpretation.
+    Speedups are relative to each backend's ``workers=1`` run (the inline,
+    pool-free path — identical work on every backend). Real scaling needs
+    real cores: threads measure GIL-serialised work plus pool overhead,
+    the process backend is what actually multiplies — so both
+    ``cpu_count`` and ``cpu_affinity`` (the usable subset in containers)
+    are recorded alongside for interpretation. Callers should size ``rows``
+    so the single-worker wall is comfortably past clock noise
+    (:data:`DEFAULT_PARALLEL_ROWS`); ``run_bench`` does this independently
+    of the scheme-bench row count.
     """
+    from repro import procpool
+
+    if backends is None:
+        backends = default_bench_backends()
     rng = np.random.default_rng(seed)
-    relation = Relation("wide", [_w_rle(rows, rng)])
+    # Three numeric columns spanning fast (RLE) and slow (FastPFOR,
+    # pseudodecimal) decoders: at DEFAULT_PARALLEL_ROWS the single-worker
+    # decompress wall is comfortably past 50ms, so per-worker deltas
+    # measure scaling rather than clock noise.
+    relation = Relation(
+        "wide", [_w_rle(rows, rng), _w_fastpfor(rows, rng), _w_pseudodecimal(rows, rng)]
+    )
     compressed = compress_relation_parallel(relation, max_workers=1)
-    compress_seconds: dict[str, float] = {}
-    decompress_seconds: dict[str, float] = {}
-    for count in workers:
-        compress_seconds[str(count)] = _best_seconds(
-            lambda: compress_relation_parallel(relation, max_workers=count), repeats
-        )
-        decompress_seconds[str(count)] = _best_seconds(
-            lambda: decompress_relation_parallel(compressed, max_workers=count), repeats
-        )
-    base = compress_seconds.get("1")
-    decompress_base = decompress_seconds.get("1")
+    input_mb = _mb(relation.nbytes)
+    by_backend: dict[str, dict] = {}
+    try:
+        for backend in backends:
+            compress_seconds: dict[str, float] = {}
+            decompress_seconds: dict[str, float] = {}
+            for count in workers:
+                compress_seconds[str(count)] = _best_seconds(
+                    lambda: compress_relation_parallel(
+                        relation, max_workers=count, backend=backend
+                    ),
+                    repeats,
+                )
+                decompress_seconds[str(count)] = _best_seconds(
+                    lambda: decompress_relation_parallel(
+                        compressed, max_workers=count, backend=backend
+                    ),
+                    repeats,
+                )
+            base = compress_seconds.get("1")
+            decompress_base = decompress_seconds.get("1")
+            by_backend[backend] = {
+                "compress_seconds": compress_seconds,
+                "decompress_seconds": decompress_seconds,
+                "compress_mb_s": {
+                    k: input_mb / v for k, v in compress_seconds.items()
+                },
+                "decompress_mb_s": {
+                    k: input_mb / v for k, v in decompress_seconds.items()
+                },
+                "compress_speedup": {
+                    k: base / v for k, v in compress_seconds.items()
+                } if base else {},
+                "decompress_speedup": {
+                    k: decompress_base / v for k, v in decompress_seconds.items()
+                } if decompress_base else {},
+            }
+    finally:
+        if "process" in backends:
+            procpool.shutdown_pool()
     return {
         "rows": relation.row_count,
-        "input_mb": _mb(relation.nbytes),
+        "input_mb": input_mb,
         "cpu_count": os.cpu_count(),
-        "compress_seconds": compress_seconds,
-        "decompress_seconds": decompress_seconds,
-        "compress_mb_s": {
-            k: _mb(relation.nbytes) / v for k, v in compress_seconds.items()
-        },
-        "decompress_mb_s": {
-            k: _mb(relation.nbytes) / v for k, v in decompress_seconds.items()
-        },
-        "compress_speedup": {
-            k: base / v for k, v in compress_seconds.items()
-        } if base else {},
-        "decompress_speedup": {
-            k: decompress_base / v for k, v in decompress_seconds.items()
-        } if decompress_base else {},
+        "cpu_affinity": _cpu_affinity(),
+        "backends": by_backend,
     }
 
 
@@ -345,23 +406,37 @@ def run_bench(
     seed: int = DEFAULT_SEED,
     date: str | None = None,
     decode_only: bool = False,
+    parallel_rows: "int | None" = None,
+    backends: "Sequence[str] | None" = None,
 ) -> dict:
     """The full benchmark report (the JSON written to ``BENCH_<date>.json``).
 
     ``decode_only`` restricts the run to the read path: scheme decompression
     throughput plus the pipelined-scan overlap breakdown, skipping the
-    compress-side ``parallel`` and ``selection`` sections.
+    compress-side ``parallel`` and ``selection`` sections. The parallel
+    section's workload is sized by ``parallel_rows`` — defaulting to
+    ``max(rows, DEFAULT_PARALLEL_ROWS)`` so scaled-down smoke runs still
+    measure parallelism over a wall time that can show it — and runs once
+    per execution backend (``backends``; default: thread, plus process when
+    this host can use it).
     """
     import numpy
 
+    if parallel_rows is None:
+        parallel_rows = max(rows, DEFAULT_PARALLEL_ROWS)
+    if backends is None:
+        backends = default_bench_backends()
     report = {
         "meta": {
             "date": date or time.strftime("%Y-%m-%d"),
             "rows": rows,
+            "parallel_rows": parallel_rows,
             "workers": list(workers),
+            "backends": list(backends),
             "repeats": repeats,
             "seed": seed,
             "cpu_count": os.cpu_count(),
+            "cpu_affinity": _cpu_affinity(),
             "numpy": numpy.__version__,
             "decode_only": decode_only,
         },
@@ -370,7 +445,9 @@ def run_bench(
         "selective_scan": bench_selective_scan(rows, seed),
     }
     if not decode_only:
-        report["parallel"] = bench_parallel(rows, workers, repeats, seed)
+        report["parallel"] = bench_parallel(
+            parallel_rows, workers, repeats, seed, backends=backends
+        )
         report["selection"] = bench_selection(rows, seed)
     return report
 
@@ -432,8 +509,10 @@ def write_report(report: dict, path: str) -> None:
 
 
 __all__ = [
+    "DEFAULT_PARALLEL_ROWS",
     "SCHEME_WORKLOADS",
     "bench_parallel",
+    "default_bench_backends",
     "bench_pipeline",
     "bench_schemes",
     "bench_selection",

@@ -4,21 +4,28 @@ Usage (also via ``python -m repro``)::
 
     python -m repro compress  data.csv  out.btr   [--block-size N] [--depth N]
                                                   [--trace report.json]
+                                                  [--backend thread|process|auto] [--jobs N]
     python -m repro decompress out.btr  back.csv  [--on-corrupt MODE]
+                                                  [--backend thread|process|auto] [--jobs N]
     python -m repro inspect   out.btr
     python -m repro stats     data.csv  [--decisions] [--output report.json]
     python -m repro scan      out.btr   [--columns a,b] [--fault-transient P]
-                              [--fault-truncate P] [--fault-corrupt P] ...
+                              [--fault-truncate P] [--fault-corrupt P]
+                              [--backend thread|process|auto] [--jobs N] ...
     python -m repro write     out.btr   [--fault-put-transient P] [--fault-torn P]
                               [--crash-after N] [--recover] ...
     python -m repro bench     [--rows N] [--workers 1,2,4] [--output BENCH.json]
+                              [--backend thread,process] [--parallel-rows N]
                               [--compare BASELINE.json] [--threshold 0.30]
                               [--decode-only] [--selective-scan]
 
 ``compress`` ingests a CSV (with type inference), compresses it and writes
 the single-buffer BtrBlocks serialization; ``--trace`` additionally dumps
 the observability report (per-column schemes, estimated vs. achieved
-ratios, phase timings) as JSON. ``inspect`` prints the per-column scheme
+ratios, phase timings) as JSON. ``--backend`` selects the parallel
+execution backend (``thread``, shared-memory ``process`` pool, or
+``auto``) for compress, decompress and scan-side block decode; ``--jobs``
+caps its worker count. Output bytes are identical across backends. ``inspect`` prints the per-column scheme
 histogram, sizes and ratios without decompressing any data. ``stats``
 compresses in memory purely to produce that JSON report. ``scan`` replays
 a column scan of the table through the simulated object store — optionally
@@ -51,13 +58,31 @@ from repro.observe import (
 )
 
 
+def _shutdown_process_pool(backend: "str | None") -> None:
+    """Tear down the warm worker pool after a one-shot CLI command."""
+    if backend in ("process", "auto"):
+        from repro import procpool
+
+        procpool.shutdown_pool()
+
+
 def _cmd_compress(args: argparse.Namespace) -> int:
     text = Path(args.input).read_text(encoding="utf-8")
     relation = csv_to_relation(text, name=Path(args.input).stem)
     config = BtrBlocksConfig(block_size=args.block_size, max_cascade_depth=args.depth)
     registry, trace = MetricsRegistry(), SelectionTrace()
     with use_registry(registry), use_trace(trace):
-        compressed = compress_relation(relation, config)
+        if args.backend:
+            from repro.parallel import compress_relation_parallel
+
+            try:
+                compressed = compress_relation_parallel(
+                    relation, config, max_workers=args.jobs, backend=args.backend
+                )
+            finally:
+                _shutdown_process_pool(args.backend)
+        else:
+            compressed = compress_relation(relation, config)
     payload = relation_to_bytes(compressed)
     Path(args.output).write_bytes(payload)
     ratio = relation.nbytes / compressed.nbytes if compressed.nbytes else float("inf")
@@ -105,9 +130,23 @@ def _cmd_decompress(args: argparse.Namespace) -> int:
         limits = replace(DEFAULT_DECODE_LIMITS, **overrides)
     compressed = relation_from_bytes(Path(args.input).read_bytes())
     with use_registry(registry):
-        relation = decompress_relation(
-            compressed, on_corrupt=args.on_corrupt, limits=limits
-        )
+        if args.backend:
+            from repro.parallel import decompress_relation_parallel
+
+            try:
+                relation = decompress_relation_parallel(
+                    compressed,
+                    max_workers=args.jobs,
+                    on_corrupt=args.on_corrupt,
+                    limits=limits,
+                    backend=args.backend,
+                )
+            finally:
+                _shutdown_process_pool(args.backend)
+        else:
+            relation = decompress_relation(
+                compressed, on_corrupt=args.on_corrupt, limits=limits
+            )
     Path(args.output).write_text(relation_to_csv(relation), encoding="utf-8")
     print(f"{args.input}: restored {relation.row_count} rows, "
           f"{len(relation.columns)} columns -> {args.output}")
@@ -139,10 +178,19 @@ def _cmd_scan(args: argparse.Namespace) -> int:
     upload_btrblocks(store, compressed)
     registry, trace = MetricsRegistry(), SelectionTrace()
     with use_registry(registry), use_trace(trace):
-        table = RemoteTable.open(store, compressed.name, on_corrupt=args.on_corrupt)
-        names = ([c.strip() for c in args.columns.split(",") if c.strip()]
-                 if args.columns else None)
-        result = table.scan(columns=names)
+        try:
+            table = RemoteTable.open(
+                store,
+                compressed.name,
+                on_corrupt=args.on_corrupt,
+                parallel_backend=args.backend,
+                decode_workers=args.jobs,
+            )
+            names = ([c.strip() for c in args.columns.split(",") if c.strip()]
+                     if args.columns else None)
+            result = table.scan(columns=names)
+        finally:
+            _shutdown_process_pool(args.backend)
     pricing = store.pricing
     seconds = store.simulated_transfer_seconds()
     cost = pricing.request_cost(store.stats.get_requests) + pricing.compute_cost(seconds)
@@ -255,9 +303,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from repro import bench
 
     workers = [int(w) for w in args.workers.split(",") if w.strip()]
+    backends = ([b.strip() for b in args.backend.split(",") if b.strip()]
+                if args.backend else None)
     report = bench.run_bench(
         rows=args.rows, workers=workers, repeats=args.repeats, seed=args.seed,
-        decode_only=args.decode_only,
+        decode_only=args.decode_only, parallel_rows=args.parallel_rows,
+        backends=backends,
     )
     output = args.output or f"BENCH_{report['meta']['date']}.json"
     bench.write_report(report, output)
@@ -269,9 +320,21 @@ def _cmd_bench(args: argparse.Namespace) -> int:
               f"decompress {entry['decompress_mb_s']:8.1f} MB/s  "
               f"ratio {entry['ratio']:.1f}x")
     if "parallel" in report:
-        scaling = report["parallel"]["compress_speedup"]
-        print("  parallel speedup: " +
-              ", ".join(f"{w}w={s:.2f}x" for w, s in sorted(scaling.items(), key=lambda kv: int(kv[0]))))
+        parallel = report["parallel"]
+        affinity = parallel.get("cpu_affinity")
+        print(f"  parallel scaling ({parallel['rows']:,} rows, "
+              f"cpu_count {parallel['cpu_count']}, "
+              f"affinity {affinity if affinity is not None else 'n/a'}):")
+        for name, entry in parallel["backends"].items():
+            for kind in ("compress", "decompress"):
+                scaling = entry[f"{kind}_speedup"]
+                if not scaling:
+                    continue
+                line = ", ".join(
+                    f"{w}w={s:.2f}x"
+                    for w, s in sorted(scaling.items(), key=lambda kv: int(kv[0]))
+                )
+                print(f"    {name:8s} {kind:10s} {line}")
     if "selection" in report:
         overhead = report["selection"]["full"]["selection_overhead_pct"]
         if overhead is not None:
@@ -332,6 +395,18 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_backend_args(sub: argparse.ArgumentParser) -> None:
+    """Shared execution-backend flags for compress/decompress/scan."""
+    from repro.core.config import PARALLEL_BACKENDS
+
+    sub.add_argument("--backend", choices=sorted(PARALLEL_BACKENDS),
+                     help="parallel execution backend: 'thread' (default), "
+                          "'process' (shared-memory worker pool) or 'auto'")
+    sub.add_argument("--jobs", type=int, metavar="N",
+                     help="worker count for the parallel backend "
+                          "(default: one per usable core)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -346,6 +421,7 @@ def build_parser() -> argparse.ArgumentParser:
     compress.add_argument("--depth", type=int, default=3)
     compress.add_argument("--trace", metavar="PATH",
                           help="write the observability JSON report to PATH")
+    _add_backend_args(compress)
     compress.set_defaults(func=_cmd_compress)
 
     decompress = sub.add_parser("decompress", help="decompress a .btr file to CSV")
@@ -357,6 +433,7 @@ def build_parser() -> argparse.ArgumentParser:
                             help="decode limit: reject blocks declaring more rows")
     decompress.add_argument("--max-bytes-per-block", type=int, metavar="N",
                             help="decode limit: reject blocks declaring larger payloads")
+    _add_backend_args(decompress)
     decompress.set_defaults(func=_cmd_decompress)
 
     scan = sub.add_parser(
@@ -381,6 +458,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="policy for checksum-damaged blocks (default raise)")
     scan.add_argument("--output", "-o", metavar="PATH",
                       help="write the observability JSON report to PATH")
+    _add_backend_args(scan)
     scan.set_defaults(func=_cmd_scan)
 
     write = sub.add_parser(
@@ -433,6 +511,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="rows per workload (default 200000)")
     bench.add_argument("--workers", default="1,2,4",
                        help="comma-separated worker counts for the scaling section")
+    bench.add_argument("--backend", metavar="NAMES",
+                       help="comma-separated execution backends for the scaling "
+                            "section, e.g. 'thread,process' (default: thread, "
+                            "plus process when the host can use it)")
+    bench.add_argument("--parallel-rows", type=int, metavar="N",
+                       help="rows for the parallel-scaling workload (default: "
+                            f"max(--rows, {1_000_000:,}) so the single-worker "
+                            "wall is measurable)")
     bench.add_argument("--repeats", type=int, default=3,
                        help="timed repetitions per measurement; best is kept")
     bench.add_argument("--seed", type=int, default=42)

@@ -146,6 +146,8 @@ class RemoteTable:
         decode_cache_bytes: "int | None" = None,
         column_cache_bytes: "int | None" = None,
         readahead: "int | None" = None,
+        parallel_backend: "str | None" = None,
+        decode_workers: "int | None" = None,
     ) -> None:
         self._store = store
         self.name = name
@@ -165,6 +167,12 @@ class RemoteTable:
         #: unversioned ``table.meta`` layout.
         self.version = version
         self.decode_limits = decode_limits
+        #: Decode execution backend ("thread" | "process" | "auto"; ``None``
+        #: = thread). Process decodes run on the shared-memory pool in
+        #: :mod:`repro.procpool`; see :func:`repro.parallel.resolve_backend`.
+        self.parallel_backend = parallel_backend
+        #: Worker count for the process backend (``None`` = usable CPUs).
+        self.decode_workers = decode_workers
         #: Validated manifest zone maps per column; ``None`` = known absent
         #: or rejected (``cloud.scan.zonemap.invalid``).
         self._zone_maps: "dict[str, ColumnZoneMap | None]" = {}
@@ -205,6 +213,8 @@ class RemoteTable:
         decode_cache_bytes: "int | None" = None,
         column_cache_bytes: "int | None" = None,
         readahead: "int | None" = None,
+        parallel_backend: "str | None" = None,
+        decode_workers: "int | None" = None,
     ) -> "RemoteTable":
         """Resolve the table's commit point; no column data is transferred.
 
@@ -241,6 +251,8 @@ class RemoteTable:
                 decode_cache_bytes=decode_cache_bytes,
                 column_cache_bytes=column_cache_bytes,
                 readahead=readahead,
+                parallel_backend=parallel_backend,
+                decode_workers=decode_workers,
             )
 
         def validate_manifest(metadata: dict) -> None:
@@ -258,6 +270,8 @@ class RemoteTable:
             decode_cache_bytes=decode_cache_bytes,
             column_cache_bytes=column_cache_bytes,
             readahead=readahead,
+            parallel_backend=parallel_backend,
+            decode_workers=decode_workers,
         )
 
     # -- schema ----------------------------------------------------------------
@@ -589,6 +603,37 @@ class RemoteTable:
             return RoaringBitmap.from_positions(np.arange(self.row_count))
         return result
 
+    def _decompress_remote_column(self, compressed, cache_key) -> Column:
+        """Decode one downloaded column through the configured backend.
+
+        The thread/inline path keeps the decoded-block cache; the process
+        backend bypasses it (its workers cannot be handed the parent-side
+        cached arrays) and applies the worker-death policy of
+        :func:`repro.parallel.decompress_relation_parallel` — a killed
+        worker raises :class:`~repro.exceptions.WorkerDiedError` under
+        ``on_corrupt="raise"`` and reruns on the thread path otherwise.
+        """
+        from repro.parallel import decompress_column_parallel, resolve_backend
+
+        backend = resolve_backend(
+            self.parallel_backend, None, len(compressed.blocks), self.decode_workers
+        )
+        if backend == "process":
+            return decompress_column_parallel(
+                compressed,
+                max_workers=self.decode_workers,
+                on_corrupt=self.on_corrupt,
+                limits=self.decode_limits,
+                backend="process",
+            )
+        return decompress_column(
+            compressed,
+            on_corrupt=self.on_corrupt,
+            limits=self.decode_limits,
+            cache=self.decode_cache,
+            cache_key=cache_key,
+        )
+
     def scan(
         self,
         columns: "Iterable[str] | None" = None,
@@ -608,12 +653,9 @@ class RemoteTable:
             out = [self._materialise_rows(name, rows) for name in names]
         else:
             out = [
-                decompress_column(
+                self._decompress_remote_column(
                     self.fetch_column(name),
-                    on_corrupt=self.on_corrupt,
-                    limits=self.decode_limits,
-                    cache=self.decode_cache,
-                    cache_key=self._column_cache_key(self.column_entry(name)),
+                    self._column_cache_key(self.column_entry(name)),
                 )
                 for name in names
             ]
@@ -676,15 +718,7 @@ class RemoteTable:
             cache_key = self._column_cache_key(entry)
             cached = self._columns.get(entry["file"])
             if cached is not None:
-                out.append(
-                    decompress_column(
-                        cached,
-                        on_corrupt=self.on_corrupt,
-                        limits=self.decode_limits,
-                        cache=self.decode_cache,
-                        cache_key=cache_key,
-                    )
-                )
+                out.append(self._decompress_remote_column(cached, cache_key))
                 continue
             try:
                 column, compressed, column_stats = pipelined_fetch_column(
@@ -695,6 +729,8 @@ class RemoteTable:
                     limits=self.decode_limits,
                     cache=self.decode_cache,
                     cache_key=cache_key,
+                    backend=self.parallel_backend,
+                    max_workers=self.decode_workers,
                 )
             except (
                 IntegrityError,
@@ -711,15 +747,7 @@ class RemoteTable:
                 fallbacks += 1
                 compressed = self._download_column(entry)
                 self._columns.put(entry["file"], compressed, compressed.nbytes)
-                out.append(
-                    decompress_column(
-                        compressed,
-                        on_corrupt=self.on_corrupt,
-                        limits=self.decode_limits,
-                        cache=self.decode_cache,
-                        cache_key=cache_key,
-                    )
-                )
+                out.append(self._decompress_remote_column(compressed, cache_key))
                 continue
             self._columns.put(entry["file"], compressed, compressed.nbytes)
             _record_transfer(self._store, column_stats.requests, column_stats.bytes_fetched)

@@ -100,6 +100,25 @@ def iter_block_ranges(total: int, block_size: int):
         yield index, start, min(start + block_size, total)
 
 
+def compress_chunk_block(
+    chunk: Column, index: int, selector: SchemeSelector
+) -> CompressedBlock:
+    """Compress one already-sliced block chunk of a column.
+
+    The chunk carries the column's name/type plus the block's values and
+    rebased NULLs, so this is a self-contained work unit: process-pool
+    workers rebuild the chunk from shared memory and call this directly.
+    """
+    selector.trace_column = chunk.name
+    selector.begin_block(index)
+    data = compress_block(chunk.data, chunk.ctype, selector=selector)
+    nulls = chunk.nulls.serialize() if chunk.nulls is not None else None
+    stats = None
+    if selector.config.collect_stats:
+        stats = compute_block_stats(chunk, selector.config.stats_bloom_max_distinct)
+    return CompressedBlock(len(chunk), data, nulls, stats=stats)
+
+
 def compress_column_block(
     column: Column, index: int, start: int, stop: int, selector: SchemeSelector
 ) -> CompressedBlock:
@@ -109,15 +128,7 @@ def compress_column_block(
     the result depends only on ``(column, index, config, seed)`` — never on
     which other blocks the selector processed before.
     """
-    chunk = column.slice(start, stop)
-    selector.trace_column = column.name
-    selector.begin_block(index)
-    data = compress_block(chunk.data, column.ctype, selector=selector)
-    nulls = chunk.nulls.serialize() if chunk.nulls is not None else None
-    stats = None
-    if selector.config.collect_stats:
-        stats = compute_block_stats(chunk, selector.config.stats_bloom_max_distinct)
-    return CompressedBlock(len(chunk), data, nulls, stats=stats)
+    return compress_chunk_block(column.slice(start, stop), index, selector)
 
 
 def compress_column(

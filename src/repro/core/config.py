@@ -46,6 +46,12 @@ DEFAULT_COLUMN_CACHE_BYTES = 256 << 20
 #: Default chunk-fetch readahead window for pipelined remote scans.
 DEFAULT_SCAN_READAHEAD = 4
 
+#: Execution backends the block-parallel pipeline can run on.
+PARALLEL_BACKENDS = ("thread", "process", "auto")
+#: ``"auto"`` only dispatches to the process pool when a call carries at
+#: least this many block tasks — below it, fork/IPC overhead dominates.
+DEFAULT_PROCESS_MIN_TASKS = 4
+
 
 @dataclass
 class BtrBlocksConfig:
@@ -116,6 +122,16 @@ class BtrBlocksConfig:
     #: How many chunk GETs a pipelined remote scan keeps in flight ahead
     #: of the decoder (the readahead window K).
     scan_readahead: int = DEFAULT_SCAN_READAHEAD
+    #: Execution backend for block-parallel compress/decompress: "thread"
+    #: (the GIL-bound pool), "process" (shared-memory process pool — real
+    #: multi-core scaling), or "auto" (process when ≥2 usable CPUs and the
+    #: call is large enough to amortise IPC, thread otherwise). Output is
+    #: bit-identical across backends; the thread/inline path remains the
+    #: fallback when a process worker dies.
+    parallel_backend: str = "thread"
+    #: "auto" keeps calls with fewer block tasks than this on the thread
+    #: path (process-pool dispatch has per-call shm + pickling overhead).
+    process_min_tasks: int = DEFAULT_PROCESS_MIN_TASKS
 
     def sample_size(self) -> int:
         """Total sampled values per block."""

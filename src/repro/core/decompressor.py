@@ -350,13 +350,22 @@ def assemble_column(compressed: CompressedColumn, parts: "list[Values | CorruptB
 
 
 def preallocate_column(
-    compressed: CompressedColumn, limits: "DecodeLimits | None" = None
+    compressed: CompressedColumn,
+    limits: "DecodeLimits | None" = None,
+    buffer=None,
 ) -> np.ndarray:
     """Allocate the full column array the zero-copy path decodes into.
 
     Every block's declared count is held to ``max_rows_per_block`` *before*
     sizing the allocation, so a lying header cannot trigger an allocation
     bomb that the per-block gate would only catch afterwards.
+
+    ``buffer`` retargets the column at caller-owned memory (a
+    ``multiprocessing.shared_memory`` segment slice, for the process
+    backend): the same validation runs, then the returned array is a view
+    over exactly the column's rows at the start of ``buffer`` instead of a
+    fresh allocation — workers in other processes decode into the same
+    physical pages.
     """
     if limits is None:
         from repro.core.config import DEFAULT_DECODE_LIMITS
@@ -370,7 +379,10 @@ def preallocate_column(
                 f"{limits.max_rows_per_block}"
             )
         total += block.count
-    return np.empty(total, dtype=_EMPTY_DTYPES[compressed.ctype])
+    dtype = _EMPTY_DTYPES[compressed.ctype]
+    if buffer is None:
+        return np.empty(total, dtype=dtype)
+    return np.frombuffer(buffer, dtype=dtype, count=total)
 
 
 def assemble_column_preallocated(

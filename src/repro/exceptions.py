@@ -90,3 +90,13 @@ class WriterCrashError(BtrBlocksError):
     """Injected writer death: the fault profile killed the writer at a
     protocol step. Deliberately *not* a TransientRequestError — a dead
     process cannot retry — so it propagates through every retry layer."""
+
+
+class WorkerDiedError(BtrBlocksError):
+    """A process-pool worker died (killed, segfaulted, OOM'd) mid-task.
+
+    The pool it belonged to is discarded — a broken pool poisons every
+    future submitted to it — and the caller either re-raises this typed
+    error (``on_corrupt="raise"``) or falls back to the thread/inline
+    execution path, which recomputes the whole call from the still-intact
+    inputs. Never a hang, never a torn column."""

@@ -104,7 +104,15 @@ class MetricsRegistry:
 
     def merge(self, other: "MetricsRegistry") -> None:
         """Fold another registry's totals into this one (worker hand-off)."""
-        snap = other.snapshot()
+        self.merge_snapshot(other.snapshot())
+
+    def merge_snapshot(self, snap: dict) -> None:
+        """Fold a :meth:`snapshot` dict into this registry.
+
+        Process-pool workers record into a private registry and ship its
+        snapshot (plain dicts pickle; registries hold a lock and do not)
+        back for the parent to fold in.
+        """
         with self._lock:
             for name, value in snap["counters"].items():
                 self._counters[name] = self._counters.get(name, 0) + value

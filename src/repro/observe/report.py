@@ -47,6 +47,9 @@ def build_report(
     scans = _scan_section(snapshot["counters"])
     if scans:
         report["scans"] = scans
+    parallel = _parallel_section(snapshot["counters"])
+    if parallel:
+        report["parallel"] = parallel
     if include_decisions:
         report["decisions"] = [d.to_dict() for d in trace.decisions()]
     return report
@@ -130,6 +133,40 @@ def _scan_section(counters: dict) -> dict:
         "pruned_blocks": counters.get("cloud.scan.pruned_blocks", 0),
         "pruned_bytes": counters.get("cloud.scan.pruned_bytes", 0),
         "bytes_fetched": counters.get("cloud.table.bytes", 0),
+    }
+
+
+def _parallel_section(counters: dict) -> dict:
+    """Execution-backend activity rolled up: which backend ran, process-pool
+    lifecycle (starts, warm reuses, tasks, worker deaths, fallbacks) and
+    shared-memory traffic. Present only when a backend-routed call or a
+    shared-memory segment was recorded."""
+    backend_counters = {
+        name: value
+        for name, value in counters.items()
+        if name.startswith(("parallel.backend.", "parallel.shm."))
+    }
+    if not backend_counters:
+        return {}
+    return {
+        "backend_runs": {
+            "thread": counters.get("parallel.backend.thread.runs", 0),
+            "process": counters.get("parallel.backend.process.runs", 0),
+            "inline": counters.get("parallel.inline_runs", 0),
+        },
+        "process_pool": {
+            "starts": counters.get("parallel.backend.process.pool_starts", 0),
+            "reuses": counters.get("parallel.backend.process.pool_reuses", 0),
+            "tasks": counters.get("parallel.backend.process.tasks", 0),
+            "worker_deaths": counters.get("parallel.backend.process.worker_deaths", 0),
+            "fallbacks": counters.get("parallel.backend.fallbacks", 0),
+            "sticky_fallbacks": counters.get("parallel.backend.sticky_fallbacks", 0),
+        },
+        "shared_memory": {
+            "segments": counters.get("parallel.shm.segments", 0),
+            "bytes": counters.get("parallel.shm.bytes", 0),
+            "unlinked": counters.get("parallel.shm.unlinked", 0),
+        },
     }
 
 

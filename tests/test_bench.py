@@ -10,7 +10,10 @@ from repro.cli import main
 
 @pytest.fixture(scope="module")
 def report():
-    return run_bench(rows=256, workers=(1, 2), repeats=1)
+    return run_bench(
+        rows=256, workers=(1, 2), repeats=1,
+        parallel_rows=512, backends=("thread",),
+    )
 
 
 class TestRunBench:
@@ -20,6 +23,19 @@ class TestRunBench:
         }
         assert report["meta"]["rows"] == 256
         assert report["meta"]["workers"] == [1, 2]
+        assert report["meta"]["parallel_rows"] == 512
+        assert report["meta"]["backends"] == ["thread"]
+        assert "cpu_affinity" in report["meta"]
+
+    def test_parallel_rows_defaults_to_measurable_floor(self):
+        from repro.bench import DEFAULT_PARALLEL_ROWS, default_bench_backends
+
+        meta = run_bench(
+            rows=256, workers=(1,), repeats=1, decode_only=True
+        )["meta"]
+        assert meta["parallel_rows"] == DEFAULT_PARALLEL_ROWS
+        assert meta["backends"] == list(default_bench_backends())
+        assert "thread" in meta["backends"]
 
     def test_every_workload_measured(self, report):
         assert set(report["schemes"]) == set(SCHEME_WORKLOADS)
@@ -31,15 +47,18 @@ class TestRunBench:
 
     def test_parallel_section(self, report):
         parallel = report["parallel"]
-        assert set(parallel["compress_seconds"]) == {"1", "2"}
-        assert parallel["compress_speedup"]["1"] == 1.0
+        assert parallel["rows"] == 512
         assert parallel["cpu_count"] >= 1
+        assert set(parallel["backends"]) == {"thread"}
+        thread = parallel["backends"]["thread"]
+        assert set(thread["compress_seconds"]) == {"1", "2"}
+        assert thread["compress_speedup"]["1"] == 1.0
 
     def test_parallel_section_reports_decompress_throughput(self, report):
-        parallel = report["parallel"]
-        assert set(parallel["decompress_mb_s"]) == {"1", "2"}
-        assert all(v > 0 for v in parallel["decompress_mb_s"].values())
-        assert parallel["decompress_speedup"]["1"] == 1.0
+        thread = report["parallel"]["backends"]["thread"]
+        assert set(thread["decompress_mb_s"]) == {"1", "2"}
+        assert all(v > 0 for v in thread["decompress_mb_s"].values())
+        assert thread["decompress_speedup"]["1"] == 1.0
 
     def test_pipeline_section(self, report):
         pipeline = report["pipeline"]
@@ -73,7 +92,7 @@ class TestRunBench:
 class TestCompare:
     BASE = {
         "schemes": {"rle": {"compress_mb_s": 100.0, "decompress_mb_s": 500.0}},
-        "parallel": {"compress_mb_s": {"1": 50.0}},
+        "parallel": {"backends": {"thread": {"compress_mb_s": {"1": 50.0}}}},
     }
 
     def test_flags_regression_beyond_threshold(self):
@@ -91,7 +110,7 @@ class TestCompare:
         assert compare(current, self.BASE) == []
 
     def test_never_gates_parallel_section(self):
-        current = {"parallel": {"compress_mb_s": {"1": 1.0}}}
+        current = {"parallel": {"backends": {"process": {"compress_mb_s": {"1": 1.0}}}}}
         assert compare(current, self.BASE) == []
 
     def test_gates_decompress_throughput(self):
@@ -114,17 +133,20 @@ class TestCompare:
 class TestBenchCli:
     def test_writes_report_and_compares_clean(self, tmp_path, capsys):
         out = tmp_path / "BENCH_test.json"
-        assert main(["bench", "--rows", "256", "--workers", "1", "--repeats", "1",
-                     "--output", str(out)]) == 0
+        small = ["--rows", "256", "--workers", "1", "--repeats", "1",
+                 "--parallel-rows", "512", "--backend", "thread"]
+        assert main(["bench", *small, "--output", str(out)]) == 0
         report = json.loads(out.read_text())
         assert set(report["schemes"]) == set(SCHEME_WORKLOADS)
+        assert report["meta"]["backends"] == ["thread"]
         # Comparing a report against itself can never regress.
-        assert main(["bench", "--rows", "256", "--workers", "1", "--repeats", "1",
+        assert main(["bench", *small,
                      "--output", str(tmp_path / "b2.json"), "--compare", str(out),
                      "--threshold", "0.99"]) == 0
 
     def test_exit_code_on_regression(self, tmp_path, capsys):
-        report = run_bench(rows=256, workers=(1,), repeats=1)
+        report = run_bench(rows=256, workers=(1,), repeats=1,
+                           parallel_rows=512, backends=("thread",))
         doctored = json.loads(json.dumps(report))
         for entry in doctored["schemes"].values():
             entry["compress_mb_s"] *= 1e6  # impossible baseline
@@ -133,6 +155,7 @@ class TestBenchCli:
         assert load_report(str(baseline))["schemes"]
         out = tmp_path / "current.json"
         assert main(["bench", "--rows", "256", "--workers", "1", "--repeats", "1",
+                     "--parallel-rows", "512", "--backend", "thread",
                      "--output", str(out), "--compare", str(baseline)]) == 1
         assert "regression" in capsys.readouterr().out
 

@@ -1,0 +1,416 @@
+"""Tests for the shared-memory process execution backend.
+
+The tentpole contract: the process pool must be *invisible* except for
+speed — compressed bytes and decompressed values bit-identical to the
+sequential path for every scheme family × NULL layout, counter totals in
+parity, and a worker killed at any stage of any task yielding either the
+typed :class:`WorkerDiedError` (``on_corrupt="raise"``) or a clean thread
+fallback — never a hang, a torn column, or a leaked ``/dev/shm`` segment.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro import procpool
+from repro.bitmap import RoaringBitmap
+from repro.core.compressor import compress_relation
+from repro.core.config import BtrBlocksConfig
+from repro.core.decompressor import decompress_relation
+from repro.core.relation import Relation
+from repro.exceptions import WorkerDiedError
+from repro.observe import MetricsRegistry, SelectionTrace, use_registry, use_trace
+from repro.parallel import (
+    collect_futures,
+    compress_relation_parallel,
+    decompress_relation_parallel,
+    resolve_backend,
+)
+from repro.types import Column, ColumnType, StringArray
+
+pytestmark = pytest.mark.skipif(
+    not procpool.available(), reason="no multiprocessing start method"
+)
+
+ROWS = 2000
+#: Small blocks so every column spans several (~4 at ROWS=2000) — the
+#: worker-death matrix needs more than one task in flight.
+CONFIG = BtrBlocksConfig(block_size=512)
+WORKERS = 2
+
+KILL_STAGES = ("fetch-handoff", "mid-decode", "pre-assemble")
+
+
+def _scheme_columns() -> "dict[str, Column]":
+    """One workload per scheme family, shaped to make that scheme win."""
+    rng = np.random.default_rng(418)
+    fastpfor = rng.integers(0, 64, ROWS)
+    outliers = rng.random(ROWS) < 0.02
+    fastpfor[outliers] = rng.integers(2**20, 2**28, int(outliers.sum()))
+    vocab = [f"category-{i:04d}" for i in range(64)]
+    return {
+        "one_value": Column.ints("v", np.full(ROWS, 7, dtype=np.int64)),
+        "rle": Column.ints("v", np.repeat(rng.integers(0, 50, ROWS // 20 + 1), 20)[:ROWS]),
+        "frequency": Column.ints(
+            "v", np.where(rng.random(ROWS) < 0.9, 42, rng.integers(0, 10_000, ROWS))
+        ),
+        "bitpack": Column.ints("v", rng.integers(0, 255, ROWS)),
+        "fastpfor": Column.ints("v", fastpfor),
+        "pseudodecimal": Column.doubles("v", np.round(rng.uniform(0, 10_000, ROWS), 2)),
+        "dictionary": Column.strings(
+            "v", [vocab[i] for i in rng.integers(0, len(vocab), ROWS)]
+        ),
+        "fsst": Column.strings(
+            "v", [f"https://example.com/api/v2/item/{int(x):08x}" for x in
+                  rng.integers(0, 2**31, ROWS)]
+        ),
+    }
+
+
+NULL_LAYOUTS = {
+    "no_nulls": None,
+    "sparse_nulls": lambda n: np.arange(0, n, 97),
+    "dense_nulls": lambda n: np.arange(0, n, 2),
+}
+
+
+def _with_nulls(column: Column, layout: str) -> Column:
+    make = NULL_LAYOUTS[layout]
+    if make is None:
+        return column
+    nulls = RoaringBitmap.from_positions(make(len(column)))
+    return Column(column.name, column.ctype, column.data, nulls)
+
+
+def _assert_bit_identical(a: Column, b: Column) -> None:
+    assert a.name == b.name and a.ctype is b.ctype
+    if a.ctype is ColumnType.STRING:
+        assert isinstance(a.data, StringArray) and isinstance(b.data, StringArray)
+        assert np.array_equal(a.data.offsets, b.data.offsets)
+        assert np.array_equal(a.data.buffer, b.data.buffer)
+    else:
+        assert a.data.dtype == b.data.dtype
+        assert a.data.tobytes() == b.data.tobytes()
+    assert (a.nulls or RoaringBitmap()) == (b.nulls or RoaringBitmap())
+
+
+def _assert_no_leaked_segments() -> None:
+    """Every segment this process created must be unlinked again."""
+    assert procpool._ACTIVE_SEGMENTS == set()
+    if os.path.isdir("/dev/shm"):
+        assert glob.glob(f"/dev/shm/btrb-{os.getpid()}-*") == []
+
+
+_CASES = [(s, l) for s in _scheme_columns() for l in NULL_LAYOUTS]
+
+
+@pytest.fixture(scope="module")
+def columns():
+    return _scheme_columns()
+
+
+@pytest.fixture
+def test_hooks():
+    """Arm the fork-inherited failure hooks against a fresh pool.
+
+    The hooks are copied into workers when the pool forks, so the warm pool
+    (forked without them) must be discarded first; the teardown clears the
+    hooks and discards the poisoned pool so later tests fork clean workers.
+    """
+    procpool.shutdown_pool()
+    yield
+    procpool._TEST_KILL = None
+    procpool._TEST_INTERRUPT_AFTER_SUBMITS = None
+    procpool.shutdown_pool()
+    _assert_no_leaked_segments()
+
+
+# -- bit-identity --------------------------------------------------------------
+
+
+@pytest.mark.parametrize("scheme,layout", _CASES, ids=[f"{s}-{l}" for s, l in _CASES])
+def test_process_backend_bit_identical(columns, scheme, layout):
+    """Compressed bytes AND decompressed values match the sequential path."""
+    relation = Relation("t", [_with_nulls(columns[scheme], layout)])
+    sequential = compress_relation(relation, CONFIG)
+    via_process = compress_relation_parallel(
+        relation, CONFIG, max_workers=WORKERS, backend="process"
+    )
+    for seq_col, proc_col in zip(sequential.columns, via_process.columns):
+        assert [b.data for b in seq_col.blocks] == [b.data for b in proc_col.blocks]
+        assert [b.nulls for b in seq_col.blocks] == [b.nulls for b in proc_col.blocks]
+        assert [b.checksum for b in seq_col.blocks] == [
+            b.checksum for b in proc_col.blocks
+        ]
+    back = decompress_relation_parallel(
+        sequential, max_workers=WORKERS, backend="process"
+    )
+    for a, b in zip(decompress_relation(sequential).columns, back.columns):
+        _assert_bit_identical(a, b)
+    _assert_no_leaked_segments()
+
+
+def test_compress_counter_parity(columns):
+    """Worker-side metric snapshots merge to the sequential totals."""
+    relation = Relation("t", [columns["rle"], columns["pseudodecimal"], columns["fsst"]])
+    seq_reg, par_reg = MetricsRegistry(), MetricsRegistry()
+    seq_trace, par_trace = SelectionTrace(), SelectionTrace()
+    with use_registry(seq_reg), use_trace(seq_trace):
+        compress_relation(relation, CONFIG)
+    with use_registry(par_reg), use_trace(par_trace):
+        compress_relation_parallel(
+            relation, CONFIG, max_workers=WORKERS, backend="process"
+        )
+    seq, par = seq_reg.snapshot()["counters"], par_reg.snapshot()["counters"]
+    for name in (
+        "compress.blocks", "compress.rows", "compress.input_bytes",
+        "compress.output_bytes", "compress.columns", "selector.picks",
+    ):
+        assert par[name] == seq[name], name
+    assert len(par_trace) == len(seq_trace)
+
+
+# -- backend resolution --------------------------------------------------------
+
+
+class TestResolveBackend:
+    def test_defaults_to_config_backend(self):
+        assert resolve_backend(None, BtrBlocksConfig()) == "thread"
+        assert resolve_backend(None, None) == "thread"
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ValueError, match="unknown parallel backend"):
+            resolve_backend("fiber")
+
+    def test_auto_needs_multiple_workers(self):
+        assert resolve_backend("auto", max_workers=1, task_count=10_000) == "thread"
+
+    def test_auto_needs_enough_tasks(self):
+        assert resolve_backend("auto", max_workers=4, task_count=1) == "thread"
+        assert resolve_backend("auto", max_workers=4, task_count=10_000) == "process"
+
+    def test_sticky_selection_stays_on_threads(self, columns):
+        """Sticky caches are shared mutable state — never shipped to workers."""
+        config = BtrBlocksConfig(block_size=512, sticky_selection=True)
+        registry = MetricsRegistry()
+        relation = Relation("t", [columns["rle"]])
+        with use_registry(registry):
+            compressed = compress_relation_parallel(
+                relation, config, max_workers=WORKERS, backend="process"
+            )
+        counters = registry.snapshot()["counters"]
+        assert counters["parallel.backend.sticky_fallbacks"] == 1
+        assert counters["parallel.backend.thread.runs"] == 1
+        assert "parallel.backend.process.runs" not in counters
+        back = decompress_relation(compressed)
+        _assert_bit_identical(relation.columns[0], back.columns[0])
+
+
+# -- error semantics -----------------------------------------------------------
+
+
+class TestCollectFutures:
+    def test_raises_lowest_index_error(self):
+        """The same failing inputs raise the same error, whatever the timing."""
+
+        def task(i: int) -> int:
+            if i in (1, 3):
+                time.sleep(0.01 if i == 3 else 0.05)
+                raise ValueError(f"task {i}")
+            return i
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            futures = [pool.submit(task, i) for i in range(5)]
+            with pytest.raises(ValueError, match="task 1"):
+                collect_futures(futures)
+        # Nothing may still be running once collect_futures has raised.
+        assert all(f.done() or f.cancelled() for f in futures)
+
+    def test_empty_and_success(self):
+        assert collect_futures([]) == []
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            futures = [pool.submit(lambda i=i: i * i) for i in range(4)]
+            assert collect_futures(futures) == [0, 1, 4, 9]
+
+
+# -- worker-death matrix -------------------------------------------------------
+
+
+class TestWorkerDeath:
+    @pytest.mark.parametrize("stage", KILL_STAGES)
+    def test_decompress_raise_mode_surfaces_typed_error(self, columns, stage, test_hooks):
+        compressed = compress_relation(Relation("t", [columns["bitpack"]]), CONFIG)
+        registry = MetricsRegistry()
+        procpool._TEST_KILL = stage
+        with use_registry(registry):
+            with pytest.raises(WorkerDiedError):
+                decompress_relation_parallel(
+                    compressed, max_workers=WORKERS, backend="process",
+                    on_corrupt="raise",
+                )
+        counters = registry.snapshot()["counters"]
+        assert counters["parallel.backend.process.worker_deaths"] == 1
+        _assert_no_leaked_segments()
+
+    @pytest.mark.parametrize("stage", KILL_STAGES)
+    def test_decompress_degraded_modes_fall_back_to_threads(
+        self, columns, stage, test_hooks
+    ):
+        relation = Relation("t", [_with_nulls(columns["rle"], "sparse_nulls")])
+        compressed = compress_relation(relation, CONFIG)
+        registry = MetricsRegistry()
+        procpool._TEST_KILL = stage
+        with use_registry(registry):
+            back = decompress_relation_parallel(
+                compressed, max_workers=WORKERS, backend="process",
+                on_corrupt="skip",
+            )
+        _assert_bit_identical(relation.columns[0], back.columns[0])
+        counters = registry.snapshot()["counters"]
+        assert counters["parallel.backend.process.worker_deaths"] == 1
+        assert counters["parallel.backend.fallbacks"] == 1
+        _assert_no_leaked_segments()
+
+    @pytest.mark.parametrize("stage", KILL_STAGES)
+    def test_compress_falls_back_bit_identically(self, columns, stage, test_hooks):
+        """Compression inputs are untouched by a death — retry must match."""
+        relation = Relation("t", [_with_nulls(columns["fsst"], "sparse_nulls")])
+        sequential = compress_relation(relation, CONFIG)
+        registry = MetricsRegistry()
+        procpool._TEST_KILL = stage
+        with use_registry(registry):
+            recovered = compress_relation_parallel(
+                relation, CONFIG, max_workers=WORKERS, backend="process"
+            )
+        for seq_col, rec_col in zip(sequential.columns, recovered.columns):
+            assert [b.data for b in seq_col.blocks] == [b.data for b in rec_col.blocks]
+        counters = registry.snapshot()["counters"]
+        assert counters["parallel.backend.process.worker_deaths"] == 1
+        assert counters["parallel.backend.fallbacks"] == 1
+        _assert_no_leaked_segments()
+
+    def test_interrupt_mid_submit_leaks_nothing(self, columns, test_hooks):
+        """A Ctrl-C between submits still unlinks every segment."""
+        compressed = compress_relation(Relation("t", [columns["bitpack"]]), CONFIG)
+        procpool._TEST_INTERRUPT_AFTER_SUBMITS = 1
+        with pytest.raises(KeyboardInterrupt):
+            procpool.decompress_relation_process(compressed, max_workers=WORKERS)
+        _assert_no_leaked_segments()
+
+    def test_segments_unlinked_after_success(self, columns):
+        compressed = compress_relation(Relation("t", [columns["bitpack"]]), CONFIG)
+        decompress_relation_parallel(compressed, max_workers=WORKERS, backend="process")
+        _assert_no_leaked_segments()
+
+
+# -- pool lifecycle ------------------------------------------------------------
+
+
+class TestPoolLifecycle:
+    def test_pool_is_reused_while_worker_count_matches(self, columns):
+        procpool.shutdown_pool()
+        compressed = compress_relation(Relation("t", [columns["rle"]]), CONFIG)
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            for _ in range(3):
+                decompress_relation_parallel(
+                    compressed, max_workers=WORKERS, backend="process"
+                )
+        counters = registry.snapshot()["counters"]
+        assert counters["parallel.backend.process.pool_starts"] == 1
+        assert counters["parallel.backend.process.pool_reuses"] == 2
+        assert counters["parallel.backend.process.runs"] == 3
+
+    def test_changing_worker_count_restarts_pool(self, columns):
+        procpool.shutdown_pool()
+        compressed = compress_relation(Relation("t", [columns["rle"]]), CONFIG)
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            decompress_relation_parallel(compressed, max_workers=2, backend="process")
+            decompress_relation_parallel(compressed, max_workers=3, backend="process")
+        assert registry.snapshot()["counters"]["parallel.backend.process.pool_starts"] == 2
+
+    def test_report_rolls_up_backend_activity(self, columns):
+        from repro.observe.report import build_report
+
+        procpool.shutdown_pool()
+        compressed = compress_relation(Relation("t", [columns["rle"]]), CONFIG)
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            decompress_relation_parallel(
+                compressed, max_workers=WORKERS, backend="process"
+            )
+        report = build_report(registry, SelectionTrace())
+        parallel = report["parallel"]
+        assert parallel["backend_runs"]["process"] == 1
+        assert parallel["process_pool"]["starts"] == 1
+        assert parallel["process_pool"]["worker_deaths"] == 0
+        assert parallel["shared_memory"]["segments"] == 2
+        assert parallel["shared_memory"]["unlinked"] == 2
+
+
+# -- remote scans --------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def remote_store(columns):
+    from repro.cloud import SimulatedObjectStore, TableWriter
+
+    relation = Relation("events", [
+        Column.ints("ids", np.arange(ROWS, dtype=np.int64)),
+        _with_nulls(columns["pseudodecimal"], "sparse_nulls"),
+    ])
+    compressed = compress_relation(relation, CONFIG)
+    store = SimulatedObjectStore()
+    TableWriter(store).write(compressed)
+    return store, relation
+
+
+class TestRemoteScans:
+    def test_batch_scan_matches_across_backends(self, remote_store):
+        from repro.cloud import RemoteTable
+
+        store, relation = remote_store
+        plain = RemoteTable.open(store, "events").scan()
+        via_process = RemoteTable.open(
+            store, "events", parallel_backend="process", decode_workers=WORKERS
+        ).scan()
+        for a, b in zip(plain.columns, via_process.columns):
+            _assert_bit_identical(a, b)
+        _assert_no_leaked_segments()
+
+    def test_pipelined_scan_matches_across_backends(self, remote_store):
+        from repro.cloud import RemoteTable
+
+        store, relation = remote_store
+        plain, _ = RemoteTable.open(store, "events").scan_pipelined()
+        via_process, _ = RemoteTable.open(
+            store, "events", parallel_backend="process", decode_workers=WORKERS
+        ).scan_pipelined()
+        for a, b in zip(plain.columns, via_process.columns):
+            _assert_bit_identical(a, b)
+        _assert_no_leaked_segments()
+
+    def test_pipelined_scan_survives_worker_death(self, remote_store, test_hooks):
+        """Block bytes are intact in the parent: death means redecode, not
+        failure — the scan completes with identical results."""
+        from repro.cloud import RemoteTable
+
+        store, relation = remote_store
+        plain, _ = RemoteTable.open(store, "events").scan_pipelined()
+        registry = MetricsRegistry()
+        procpool._TEST_KILL = "mid-decode"
+        with use_registry(registry):
+            recovered, _ = RemoteTable.open(
+                store, "events", parallel_backend="process", decode_workers=WORKERS
+            ).scan_pipelined()
+        for a, b in zip(plain.columns, recovered.columns):
+            _assert_bit_identical(a, b)
+        assert registry.snapshot()["counters"]["parallel.backend.fallbacks"] >= 1
+        _assert_no_leaked_segments()
