@@ -399,6 +399,32 @@ def bench_selective_scan(rows: int, seed: int, block_size: int = 4000) -> dict:
     }
 
 
+def bench_serve(
+    tenant_sweep: "tuple[int, ...]" = (1, 4, 16),
+    rows: int = 4000,
+    tables: int = 3,
+    requests_per_tenant: int = 8,
+    seed: int = 2024_08,
+    max_concurrency: int = 4,
+    queue_limit: int = 64,
+) -> dict:
+    """Multi-tenant serving sweep (``repro serve-bench``): p50/p99 latency,
+    shared-cache hit rate and $/query per tenant count, all on simulated
+    time. Thin façade over :func:`repro.serve.bench.run_serve_bench` so the
+    CLI and CI jobs import one bench module."""
+    from repro.serve.bench import run_serve_bench
+
+    return run_serve_bench(
+        tenant_sweep=tenant_sweep,
+        rows=rows,
+        tables=tables,
+        requests_per_tenant=requests_per_tenant,
+        seed=seed,
+        max_concurrency=max_concurrency,
+        queue_limit=queue_limit,
+    )
+
+
 def run_bench(
     rows: int = DEFAULT_ROWS,
     workers: Sequence[int] = DEFAULT_WORKERS,

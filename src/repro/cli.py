@@ -15,6 +15,7 @@ Usage (also via ``python -m repro``)::
     python -m repro write     out.btr   [--fault-put-transient P] [--fault-torn P]
                               [--crash-after N] [--recover] ...
     python -m repro bench     [--rows N] [--workers 1,2,4] [--output BENCH.json]
+    python -m repro serve-bench [--tenants 1,4,16] [--requests N] [--output serve.json]
                               [--backend thread,process] [--parallel-rows N]
                               [--compare BASELINE.json] [--threshold 0.30]
                               [--decode-only] [--selective-scan]
@@ -41,6 +42,8 @@ reclaimed after a crash.
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from pathlib import Path
 
@@ -298,6 +301,42 @@ def _cmd_write(args: argparse.Namespace) -> int:
     return status
 
 
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    """Sweep the multi-tenant scan server and print latency/cache/$ figures."""
+    from repro import bench
+
+    sweep = tuple(int(t) for t in args.tenants.split(",") if t.strip())
+    report = bench.bench_serve(
+        tenant_sweep=sweep,
+        rows=args.rows,
+        tables=args.tables,
+        requests_per_tenant=args.requests,
+        seed=args.seed,
+        max_concurrency=args.concurrency,
+        queue_limit=args.queue_limit,
+    )
+    print(f"serve-bench: seed {report['seed']}, {report['tables']} tables x "
+          f"{report['rows']:,} rows, concurrency {report['max_concurrency']}, "
+          f"queue limit {report['queue_limit']}")
+    for level in report["levels"]:
+        print(f"  {level['tenants']:3d} tenant(s): "
+              f"p50 {1e3 * level['p50_latency_seconds']:7.2f} ms  "
+              f"p99 {1e3 * level['p99_latency_seconds']:7.2f} ms  "
+              f"cache hit {100.0 * level['cache_hit_rate']:5.1f}%  "
+              f"${level['cost_usd_per_query']:.3e}/query  "
+              f"({level['completed']}/{level['requests']} served, "
+              f"{level['rejected']} rejected)")
+    ratio = report.get("cost_ratio_16_vs_1")
+    if ratio is not None:
+        print(f"  $/query at 16 tenants vs 1: {ratio:.2f}x")
+    if args.output:
+        Path(args.output).write_text(
+            json.dumps(report, indent=2, sort_keys=True), encoding="utf-8"
+        )
+        print(f"serve-bench report -> {args.output}")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     """Run the performance harness; optionally gate against a baseline."""
     from repro import bench
@@ -536,6 +575,32 @@ def build_parser() -> argparse.ArgumentParser:
                             "at 1/10/50/100%% selectivity); the section is always "
                             "in the JSON report")
     bench.set_defaults(func=_cmd_bench)
+
+    serve_bench = sub.add_parser(
+        "serve-bench",
+        help="sweep the multi-tenant scan server: p50/p99 latency, cache "
+             "hit rate and $/query as tenancy scales",
+    )
+    serve_bench.add_argument("--tenants", default="1,4,16", metavar="LIST",
+                             help="comma-separated tenant counts to sweep "
+                                  "(default 1,4,16)")
+    serve_bench.add_argument("--rows", type=int, default=4000,
+                             help="rows per catalog table (default 4000)")
+    serve_bench.add_argument("--tables", type=int, default=3,
+                             help="tables in the served catalog (default 3)")
+    serve_bench.add_argument("--requests", type=int, default=8,
+                             help="requests per tenant (default 8)")
+    serve_bench.add_argument("--seed", type=int,
+                             default=int(os.environ.get("REPRO_SERVE_SEED", "202408"), 0),
+                             help="workload seed (default $REPRO_SERVE_SEED or 202408)")
+    serve_bench.add_argument("--concurrency", type=int, default=4,
+                             help="max concurrent scans in service (default 4)")
+    serve_bench.add_argument("--queue-limit", type=int, default=64,
+                             help="admission queue bound; beyond it requests "
+                                  "are rejected (default 64)")
+    serve_bench.add_argument("--output", "-o", metavar="PATH",
+                             help="also write the JSON report to PATH")
+    serve_bench.set_defaults(func=_cmd_serve_bench)
 
     return parser
 

@@ -57,7 +57,26 @@ __all__ = [
     "PipelinedScanReport",
     "pipeline_schedule",
     "pipelined_fetch_column",
+    "simulated_fetch_seconds",
 ]
+
+
+def simulated_fetch_seconds(
+    pricing, nbytes: int, requests: int = 1, backoff_seconds: float = 0.0
+) -> float:
+    """Deterministic transfer time for one fetch under the pricing model:
+    bandwidth + per-request latency + any retry backoff already accrued.
+
+    The single formula shared by the chunk pipeline's per-step fetch times
+    and the scan server's service-time model, so scheduled latencies and
+    pipelined walls stay mutually consistent (and replayable — nothing here
+    measures real time).
+    """
+    return (
+        nbytes / pricing.s3_bytes_per_second
+        + requests * pricing.request_latency_seconds
+        + backoff_seconds
+    )
 
 
 @dataclass(frozen=True)
@@ -255,7 +274,6 @@ def pipelined_fetch_column(
         raise FormatError(f"no such object: {key}") from None
     pricing = store.pricing
     chunk_bytes = pricing.chunk_bytes
-    bandwidth = pricing.s3_bytes_per_second
     offsets = list(range(0, size, chunk_bytes)) if size else []
 
     def fetch(offset: int):
@@ -333,7 +351,7 @@ def pipelined_fetch_column(
             bytes_fetched += len(data)
             retry_seconds += chunk_backoff
             fetch_times.append(
-                len(data) / bandwidth + pricing.request_latency_seconds + chunk_backoff
+                simulated_fetch_seconds(pricing, len(data), 1, chunk_backoff)
             )
             started = time.perf_counter()
             first_blocks = not parser.header_ready

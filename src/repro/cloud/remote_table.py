@@ -28,8 +28,9 @@ from __future__ import annotations
 
 import json
 import re
-from dataclasses import dataclass
-from typing import Callable, Iterable, Mapping
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Mapping
 
 import numpy as np
 
@@ -40,6 +41,7 @@ from repro.cloud.pipeline import (
     PipelinedScanReport,
     pipelined_fetch_column,
 )
+from repro.cloud.retry import SimulatedClock
 from repro.core.access import read_rows
 from repro.core.blocks import CompressedBlock, CompressedColumn, CompressedRelation
 from repro.core.blockstats import stats_from_json
@@ -112,6 +114,76 @@ def _record_transfer(store: SimulatedObjectStore, requests: int, nbytes: int) ->
     )
 
 
+@dataclass
+class ScanStep:
+    """One atomic stage of a scan, with everything the stage consumed.
+
+    :meth:`RemoteTable.scan_steps` yields one of these after each stage so
+    a *driver* — the synchronous :meth:`RemoteTable.scan`, or a serving
+    loop interleaving many scans — decides how the stage's simulated time
+    is applied to the shared clock. All fields are captured while the
+    stage ran with a private clock swapped in, so concurrent scans never
+    see each other's time and a stage's accounting is exactly its own.
+
+    ``clock_seconds`` is the simulated time the stage itself accrued
+    (retry backoff, timeout waits, pipelined wall time). The transfer
+    fields let a scheduler price the stage deterministically instead:
+    ``decode_bytes`` is the compressed payload the stage actually decoded
+    (cache hits already discounted).
+    """
+
+    kind: str  # "filter" | "materialise" | "fetch" | "decode" | "pipeline"
+    column: "str | None" = None
+    clock_seconds: float = 0.0
+    requests: int = 0
+    bytes_fetched: int = 0
+    retries: int = 0
+    backoff_seconds: float = 0.0
+    decode_bytes: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+
+@contextmanager
+def capture_step(
+    store: SimulatedObjectStore, kind: str, column: "str | None" = None
+) -> Iterator[ScanStep]:
+    """Run one scan stage with a private clock; capture what it consumed.
+
+    The store's shared clock is swapped for a fresh capture clock for the
+    duration of the block, so retry backoff and timeout waits inside the
+    stage accrue on the step instead of advancing shared time mid-stage
+    (which would race other coroutines' timers). Store transfer counters
+    and decode-cache hit/miss counters are diffed around the stage — the
+    stage runs atomically (no awaits inside), so the diffs are exactly
+    this stage's traffic even when many scans interleave at step
+    boundaries.
+    """
+    registry = get_registry()
+    stats = store.stats
+    before_requests = stats.get_requests
+    before_bytes = stats.bytes_downloaded
+    before_retries = stats.retries
+    before_backoff = stats.backoff_seconds
+    before_hits = registry.get("decode.cache.hit")
+    before_misses = registry.get("decode.cache.miss")
+    outer_clock = store.clock
+    capture = SimulatedClock(now_seconds=outer_clock.now_seconds)
+    store.clock = capture
+    step = ScanStep(kind=kind, column=column)
+    try:
+        yield step
+    finally:
+        store.clock = outer_clock
+        step.clock_seconds += capture.now_seconds - outer_clock.now_seconds
+        step.requests += stats.get_requests - before_requests
+        step.bytes_fetched += stats.bytes_downloaded - before_bytes
+        step.retries += stats.retries - before_retries
+        step.backoff_seconds += stats.backoff_seconds - before_backoff
+        step.cache_hits += int(registry.get("decode.cache.hit") - before_hits)
+        step.cache_misses += int(registry.get("decode.cache.miss") - before_misses)
+
+
 class _PrunedPathUnavailable(Exception):
     """Internal control flow: abandon block-level pruning for one column and
     fall back to the plain fetch-and-filter path (never escapes this module)."""
@@ -148,19 +220,28 @@ class RemoteTable:
         readahead: "int | None" = None,
         parallel_backend: "str | None" = None,
         decode_workers: "int | None" = None,
+        column_cache: "ByteBudgetLRU | None" = None,
+        decode_cache: "DecodeCache | None" = None,
     ) -> None:
         self._store = store
         self.name = name
         self._metadata = metadata
         #: Downloaded compressed columns, bounded by byte budget (LRU).
-        self._columns = ByteBudgetLRU(
+        #: Injectable so a multi-tenant server shares one budget across
+        #: handles; keys embed the object key (and so the table + version),
+        #: which keeps shared entries collision-free.
+        self._columns = column_cache if column_cache is not None else ByteBudgetLRU(
             DEFAULT_COLUMN_CACHE_BYTES if column_cache_bytes is None else column_cache_bytes,
             metric_prefix="cloud.table.column_cache",
         )
         if decode_cache_bytes is None:
             decode_cache_bytes = DEFAULT_DECODE_CACHE_BYTES
-        #: Decoded-block cache shared by every scan through this handle.
-        self.decode_cache = DecodeCache(decode_cache_bytes) if decode_cache_bytes > 0 else None
+        #: Decoded-block cache shared by every scan through this handle
+        #: (injectable across handles the same way as the column cache).
+        if decode_cache is not None:
+            self.decode_cache = decode_cache
+        else:
+            self.decode_cache = DecodeCache(decode_cache_bytes) if decode_cache_bytes > 0 else None
         self.readahead = DEFAULT_SCAN_READAHEAD if readahead is None else readahead
         self.on_corrupt = on_corrupt
         #: Committed version this handle reads, or ``None`` for the legacy
@@ -215,6 +296,8 @@ class RemoteTable:
         readahead: "int | None" = None,
         parallel_backend: "str | None" = None,
         decode_workers: "int | None" = None,
+        column_cache: "ByteBudgetLRU | None" = None,
+        decode_cache: "DecodeCache | None" = None,
     ) -> "RemoteTable":
         """Resolve the table's commit point; no column data is transferred.
 
@@ -253,6 +336,8 @@ class RemoteTable:
                 readahead=readahead,
                 parallel_backend=parallel_backend,
                 decode_workers=decode_workers,
+                column_cache=column_cache,
+                decode_cache=decode_cache,
             )
 
         def validate_manifest(metadata: dict) -> None:
@@ -272,6 +357,8 @@ class RemoteTable:
             readahead=readahead,
             parallel_backend=parallel_backend,
             decode_workers=decode_workers,
+            column_cache=column_cache,
+            decode_cache=decode_cache,
         )
 
     # -- schema ----------------------------------------------------------------
@@ -292,7 +379,7 @@ class RemoteTable:
 
     # -- data ------------------------------------------------------------------
 
-    def _download_column(self, entry: dict) -> CompressedColumn:
+    def _download_column_verified(self, entry: dict) -> "tuple[CompressedColumn, bool]":
         """Fetch + parse + checksum-verify one column file, refetching damage.
 
         Bit flips pass the transport layer silently (a truncated or errored
@@ -301,6 +388,12 @@ class RemoteTable:
         the store's retry budget — each refetch is billed like any other GET
         — before the column is handed to the decode-side ``on_corrupt``
         policy (or raised, when the policy is ``"raise"``).
+
+        Returns ``(column, verified)``. ``verified`` is ``False`` only on
+        the lenient-policy path where refetching never produced a clean
+        copy: that column must not enter any cache a handle with a
+        different ``on_corrupt`` policy might share (a ``null_block``
+        tenant's damaged bytes would surface as another tenant's data).
         """
         registry = get_registry()
         attempts = max(1, self._store.retry.max_attempts)
@@ -316,7 +409,7 @@ class RemoteTable:
             try:
                 column = column_from_bytes(payload, limits=self.decode_limits)
                 verify_column(column)
-                return column
+                return column, True
             except (IntegrityError, FormatError) as exc:
                 last_error = exc
                 registry.incr("cloud.table.integrity_refetches")
@@ -326,7 +419,11 @@ class RemoteTable:
             # block -- there are no blocks to degrade -- so they raise even
             # under a lenient policy.
             raise last_error
-        return column_from_bytes(payload, limits=self.decode_limits)
+        return column_from_bytes(payload, limits=self.decode_limits), False
+
+    def _download_column(self, entry: dict) -> CompressedColumn:
+        column, _verified = self._download_column_verified(entry)
+        return column
 
     def _column_cache_key(self, entry: dict):
         """Cache identity for one column's bytes: object key + version."""
@@ -338,13 +435,17 @@ class RemoteTable:
         The cache is an LRU bounded by ``column_cache_bytes`` of compressed
         data (``cloud.table.column_cache.{hit,miss,evict}`` metrics), so
         scanning a table wider than the budget re-downloads cold columns
-        instead of growing without bound.
+        instead of growing without bound. Only checksum-clean downloads are
+        cached: a damaged column that survived refetching serves *this*
+        call's degradation policy and is then dropped, so no later reader —
+        in particular another tenant sharing the cache — can observe it.
         """
         entry = self.column_entry(name)
         column = self._columns.get(entry["file"])
         if column is None:
-            column = self._download_column(entry)
-            self._columns.put(entry["file"], column, column.nbytes)
+            column, verified = self._download_column_verified(entry)
+            if verified:
+                self._columns.put(entry["file"], column, column.nbytes)
         return column
 
     # -- manifest-level zone maps ----------------------------------------------
@@ -580,6 +681,18 @@ class RemoteTable:
 
     # -- predicate evaluation --------------------------------------------------
 
+    def _column_matches(self, column_name: str, predicate: Predicate) -> RoaringBitmap:
+        """One filter column's matching rows: pruned path first, full scan
+        in the compressed domain as fallback."""
+        entry = self.column_entry(column_name)
+        try:
+            matches = self._pruned_matching_rows(entry, predicate)
+        except _PrunedPathUnavailable:
+            matches = None
+        if matches is None:
+            matches = scan_column(self.fetch_column(column_name), predicate)
+        return matches
+
     def matching_rows(self, where: Mapping[str, Predicate]) -> RoaringBitmap:
         """Conjunctive predicate evaluation; downloads only the filter columns.
 
@@ -589,13 +702,7 @@ class RemoteTable:
         """
         result: RoaringBitmap | None = None
         for column_name, predicate in where.items():
-            entry = self.column_entry(column_name)
-            try:
-                matches = self._pruned_matching_rows(entry, predicate)
-            except _PrunedPathUnavailable:
-                matches = None
-            if matches is None:
-                matches = scan_column(self.fetch_column(column_name), predicate)
+            matches = self._column_matches(column_name, predicate)
             result = matches if result is None else (result & matches)
             if result is not None and len(result) == 0:
                 return result
@@ -634,6 +741,180 @@ class RemoteTable:
             cache_key=cache_key,
         )
 
+    def scan_steps(
+        self,
+        columns: "Iterable[str] | None" = None,
+        where: "Mapping[str, Predicate] | None" = None,
+        pipelined: bool = False,
+        readahead: "int | None" = None,
+    ):
+        """The scan as a reentrant generator of atomic stages.
+
+        Yields one :class:`ScanStep` per stage — a filter column evaluated,
+        a projection column materialised, a column fetched, decoded, or
+        streamed through the chunk pipeline — and *returns* (as the
+        generator's ``StopIteration`` value) the finished
+        :class:`~repro.core.relation.Relation`, or ``(relation, report)``
+        when ``pipelined``. Each stage runs synchronously with a private
+        clock (see :func:`capture_step`); the driver decides how the
+        captured time reaches the shared clock: :meth:`scan` replays it
+        immediately, a serving loop suspends between stages so many scans
+        interleave deterministically without sharing mid-stage state.
+        """
+        registry = get_registry()
+        registry.incr("cloud.table.scans")
+        names = list(columns) if columns is not None else self.column_names()
+        if readahead is None:
+            readahead = self.readahead
+        if where:
+            result: RoaringBitmap | None = None
+            for column_name, predicate in where.items():
+                with capture_step(self._store, "filter", column_name) as step:
+                    matches = self._column_matches(column_name, predicate)
+                    result = matches if result is None else (result & matches)
+                    step.decode_bytes = step.bytes_fetched
+                yield step
+                if result is not None and len(result) == 0:
+                    break
+            if result is None:
+                result = RoaringBitmap.from_positions(np.arange(self.row_count))
+            rows = result.to_array().astype(np.int64)
+            out = []
+            for name in names:
+                with capture_step(self._store, "materialise", name) as step:
+                    out.append(self._materialise_rows(name, rows))
+                    step.decode_bytes = step.bytes_fetched
+                yield step
+            relation = Relation(self.name, out)
+            if pipelined:
+                return relation, PipelinedScanReport.from_columns([], readahead)
+            return relation
+        if pipelined:
+            return (yield from self._pipelined_steps(names, readahead))
+        out = []
+        for name in names:
+            entry = self.column_entry(name)
+            with capture_step(self._store, "fetch", name) as step:
+                compressed = self.fetch_column(name)
+            yield step
+            with capture_step(self._store, "decode", name) as step:
+                out.append(
+                    self._decompress_remote_column(
+                        compressed, self._column_cache_key(entry)
+                    )
+                )
+                decoded = step.cache_hits + step.cache_misses
+                step.decode_bytes = (
+                    compressed.nbytes * step.cache_misses // decoded
+                    if decoded
+                    else compressed.nbytes
+                )
+            yield step
+        return Relation(self.name, out)
+
+    def _pipelined_steps(self, names: "list[str]", readahead: int):
+        """Full-column projection stages with readahead GETs overlapped with
+        decode; one :class:`ScanStep` per column (see :meth:`scan_pipelined`
+        for the semantics each stage preserves)."""
+        registry = get_registry()
+        out = []
+        stats: list[ColumnPipelineStats] = []
+        fallbacks = 0
+        cache_hits = 0
+        cache_misses = 0
+        for name in names:
+            entry = self.column_entry(name)
+            cache_key = self._column_cache_key(entry)
+            with capture_step(self._store, "pipeline", name) as step:
+                cached = self._columns.get(entry["file"])
+                if cached is not None:
+                    out.append(self._decompress_remote_column(cached, cache_key))
+                    step.decode_bytes = cached.nbytes
+                else:
+                    try:
+                        column, compressed, column_stats = pipelined_fetch_column(
+                            self._store,
+                            entry["file"],
+                            readahead=readahead,
+                            rows_hint=entry.get("rows"),
+                            limits=self.decode_limits,
+                            cache=self.decode_cache,
+                            cache_key=cache_key,
+                            backend=self.parallel_backend,
+                            max_workers=self.decode_workers,
+                        )
+                    except (
+                        IntegrityError,
+                        FormatError,
+                        CorruptBlockError,
+                        TypeMismatchError,
+                        UnknownSchemeError,
+                    ):
+                        # Streamed bytes were damaged (or the metadata row
+                        # count lied): refetch through the retrying download
+                        # path, which owns the refetch budget and final
+                        # on_corrupt decision — exactly what the batch path
+                        # does with a damaged download.
+                        registry.incr("cloud.scan.pipeline.fallbacks")
+                        fallbacks += 1
+                        compressed, verified = self._download_column_verified(entry)
+                        if verified:
+                            self._columns.put(
+                                entry["file"], compressed, compressed.nbytes
+                            )
+                        out.append(
+                            self._decompress_remote_column(compressed, cache_key)
+                        )
+                        step.decode_bytes = compressed.nbytes
+                    else:
+                        self._columns.put(entry["file"], compressed, compressed.nbytes)
+                        _record_transfer(
+                            self._store,
+                            column_stats.requests,
+                            column_stats.bytes_fetched,
+                        )
+                        stats.append(column_stats)
+                        out.append(column)
+                        step.decode_bytes = compressed.nbytes
+                        # The chunk pipeline's wall time beyond its retry
+                        # backoff (which the capture clock already holds).
+                        step.clock_seconds += max(
+                            0.0,
+                            column_stats.wall_seconds - column_stats.retry_seconds,
+                        )
+            cache_hits += step.cache_hits
+            cache_misses += step.cache_misses
+            yield step
+        report = PipelinedScanReport.from_columns(
+            stats,
+            readahead,
+            fallbacks=fallbacks,
+            cache_hits=cache_hits,
+            cache_misses=cache_misses,
+        )
+        registry.incr_many(
+            [
+                ("cloud.scan.pipeline.scans", 1),
+                ("cloud.scan.pipeline.chunks", report.chunks),
+                ("cloud.scan.pipeline.fetch_seconds", report.fetch_seconds),
+                ("cloud.scan.pipeline.decode_seconds", report.decode_seconds),
+                ("cloud.scan.pipeline.wall_seconds", report.wall_seconds),
+                ("cloud.scan.pipeline.overlap_seconds", report.overlap_seconds),
+            ]
+        )
+        return Relation(self.name, out), report
+
+    def _drive_steps(self, gen):
+        """Run a :meth:`scan_steps` generator to completion synchronously,
+        replaying each stage's captured simulated time onto the shared
+        clock — the single-reader behaviour scans always had."""
+        while True:
+            try:
+                step = next(gen)
+            except StopIteration as stop:
+                return stop.value
+            self._store.clock.sleep(step.clock_seconds)
+
     def scan(
         self,
         columns: "Iterable[str] | None" = None,
@@ -646,20 +927,7 @@ class RemoteTable:
         matching rows are range-GET'd, so bytes moved scale with selectivity
         rather than table size.
         """
-        get_registry().incr("cloud.table.scans")
-        names = list(columns) if columns is not None else self.column_names()
-        if where:
-            rows = self.matching_rows(where).to_array().astype(np.int64)
-            out = [self._materialise_rows(name, rows) for name in names]
-        else:
-            out = [
-                self._decompress_remote_column(
-                    self.fetch_column(name),
-                    self._column_cache_key(self.column_entry(name)),
-                )
-                for name in names
-            ]
-        return Relation(self.name, out)
+        return self._drive_steps(self.scan_steps(columns, where=where))
 
     def _materialise_rows(self, name: str, rows: np.ndarray) -> Column:
         """Rows of one column: block-pruned when possible, else full fetch."""
@@ -692,88 +960,9 @@ class RemoteTable:
         ``cloud.scan.pipeline.fallbacks``), so results are identical to
         :meth:`scan` under every ``on_corrupt`` policy.
         """
-        registry = get_registry()
-        registry.incr("cloud.table.scans")
-        if readahead is None:
-            readahead = self.readahead
-        names = list(columns) if columns is not None else self.column_names()
-        if where:
-            # Predicate scans consult the manifest zone maps first: pruned
-            # blocks cost no GETs at all, surviving blocks arrive through
-            # ranged GETs (see matching_rows). Those selective fetches are
-            # already minimal, so no chunk pipeline runs; columns without
-            # usable statistics fall back to the batch fetch-and-filter
-            # path, identical to :meth:`scan`.
-            rows = self.matching_rows(where).to_array().astype(np.int64)
-            out = [self._materialise_rows(name, rows) for name in names]
-            report = PipelinedScanReport.from_columns([], readahead)
-            return Relation(self.name, out), report
-        hits_before = registry.get("decode.cache.hit")
-        misses_before = registry.get("decode.cache.miss")
-        out = []
-        stats: list[ColumnPipelineStats] = []
-        fallbacks = 0
-        for name in names:
-            entry = self.column_entry(name)
-            cache_key = self._column_cache_key(entry)
-            cached = self._columns.get(entry["file"])
-            if cached is not None:
-                out.append(self._decompress_remote_column(cached, cache_key))
-                continue
-            try:
-                column, compressed, column_stats = pipelined_fetch_column(
-                    self._store,
-                    entry["file"],
-                    readahead=readahead,
-                    rows_hint=entry.get("rows"),
-                    limits=self.decode_limits,
-                    cache=self.decode_cache,
-                    cache_key=cache_key,
-                    backend=self.parallel_backend,
-                    max_workers=self.decode_workers,
-                )
-            except (
-                IntegrityError,
-                FormatError,
-                CorruptBlockError,
-                TypeMismatchError,
-                UnknownSchemeError,
-            ):
-                # Streamed bytes were damaged (or the metadata row count
-                # lied): refetch through the retrying download path, which
-                # owns the refetch budget and final on_corrupt decision —
-                # exactly what the batch path does with a damaged download.
-                registry.incr("cloud.scan.pipeline.fallbacks")
-                fallbacks += 1
-                compressed = self._download_column(entry)
-                self._columns.put(entry["file"], compressed, compressed.nbytes)
-                out.append(self._decompress_remote_column(compressed, cache_key))
-                continue
-            self._columns.put(entry["file"], compressed, compressed.nbytes)
-            _record_transfer(self._store, column_stats.requests, column_stats.bytes_fetched)
-            stats.append(column_stats)
-            out.append(column)
-        report = PipelinedScanReport.from_columns(
-            stats,
-            readahead,
-            fallbacks=fallbacks,
-            cache_hits=int(registry.get("decode.cache.hit") - hits_before),
-            cache_misses=int(registry.get("decode.cache.miss") - misses_before),
+        return self._drive_steps(
+            self.scan_steps(columns, where=where, pipelined=True, readahead=readahead)
         )
-        # Retry backoff already advanced the clock inside call_with_retry;
-        # advance it by the rest of the pipelined wall time.
-        self._store.clock.sleep(max(0.0, report.wall_seconds - report.retry_seconds))
-        registry.incr_many(
-            [
-                ("cloud.scan.pipeline.scans", 1),
-                ("cloud.scan.pipeline.chunks", report.chunks),
-                ("cloud.scan.pipeline.fetch_seconds", report.fetch_seconds),
-                ("cloud.scan.pipeline.decode_seconds", report.decode_seconds),
-                ("cloud.scan.pipeline.wall_seconds", report.wall_seconds),
-                ("cloud.scan.pipeline.overlap_seconds", report.overlap_seconds),
-            ]
-        )
-        return Relation(self.name, out), report
 
     def count(self, where: Mapping[str, Predicate]) -> int:
         return len(self.matching_rows(where))

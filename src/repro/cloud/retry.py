@@ -12,6 +12,7 @@ model as extra scan wall-time (see ``ScanMetrics.retry_seconds``).
 
 from __future__ import annotations
 
+import heapq
 import random
 from dataclasses import dataclass, field
 from typing import Callable, TypeVar
@@ -26,17 +27,101 @@ from repro.observe import get_registry
 T = TypeVar("T")
 
 
+@dataclass(order=True)
+class _Timer:
+    """A pending wake-up on a :class:`SimulatedClock`.
+
+    Ordered by ``(deadline, seq)`` so two timers due at the same instant
+    fire in the order they were scheduled — ties never depend on callback
+    identity, which keeps multi-coroutine schedules deterministic.
+    """
+
+    deadline: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
 @dataclass
 class SimulatedClock:
-    """A clock that accumulates sleeps instead of taking them."""
+    """A clock that accumulates sleeps instead of taking them.
+
+    Historically single-owner: one caller advancing time with :meth:`sleep`.
+    Concurrent coroutines racing on sleeps need more — each wants to wake at
+    its own deadline, and whoever advances the clock must not silently jump
+    past everyone else's. The clock therefore also keeps a min-heap of
+    pending timers (:meth:`call_at` / :meth:`call_later`); any advance —
+    a legacy synchronous :meth:`sleep` included — fires every timer whose
+    deadline it crosses, in deterministic ``(deadline, seq)`` order.
+    """
 
     now_seconds: float = 0.0
+    _timers: list[_Timer] = field(default_factory=list, repr=False)
+    _timer_seq: int = field(default=0, repr=False)
 
     def sleep(self, seconds: float) -> None:
-        self.now_seconds += seconds
+        self.advance(seconds)
+
+    def advance(self, seconds: float) -> None:
+        """Advance by ``seconds``, firing every timer the advance crosses."""
+        self.advance_to(self.now_seconds + max(0.0, seconds))
+
+    def advance_to(self, deadline: float) -> None:
+        """Advance to an absolute instant, firing due timers in order.
+
+        Time is advanced timer-by-timer (not in one jump) so a callback
+        that schedules a new timer inside the window still fires at its
+        proper position in the same advance.
+        """
+        while True:
+            timer = self._next_live_timer()
+            if timer is None or timer.deadline > deadline:
+                break
+            heapq.heappop(self._timers)
+            self.now_seconds = max(self.now_seconds, timer.deadline)
+            timer.callback()
+        self.now_seconds = max(self.now_seconds, deadline)
+
+    def call_at(self, deadline: float, callback: Callable[[], None]) -> _Timer:
+        """Schedule ``callback`` to fire when the clock reaches ``deadline``.
+
+        A deadline at or before *now* still goes through the heap: it fires
+        on the next advance (or :meth:`advance_to_next`), never re-entrantly
+        inside ``call_at`` itself.
+        """
+        timer = _Timer(deadline=deadline, seq=self._timer_seq, callback=callback)
+        self._timer_seq += 1
+        heapq.heappush(self._timers, timer)
+        return timer
+
+    def call_later(self, delay: float, callback: Callable[[], None]) -> _Timer:
+        return self.call_at(self.now_seconds + max(0.0, delay), callback)
+
+    def next_deadline(self) -> float | None:
+        """Deadline of the earliest pending timer, or ``None`` if idle."""
+        timer = self._next_live_timer()
+        return None if timer is None else timer.deadline
+
+    def advance_to_next(self) -> bool:
+        """Jump to (and fire) the earliest pending timer. False if none."""
+        timer = self._next_live_timer()
+        if timer is None:
+            return False
+        self.advance_to(timer.deadline)
+        return True
+
+    def _next_live_timer(self) -> _Timer | None:
+        while self._timers and self._timers[0].cancelled:
+            heapq.heappop(self._timers)
+        return self._timers[0] if self._timers else None
 
     def reset(self) -> None:
         self.now_seconds = 0.0
+        self._timers.clear()
+        self._timer_seq = 0
 
 
 @dataclass(frozen=True)
@@ -111,3 +196,4 @@ def call_with_retry(
 
 
 __all__ = ["RetryPolicy", "SimulatedClock", "call_with_retry"]
+

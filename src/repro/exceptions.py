@@ -100,3 +100,21 @@ class WorkerDiedError(BtrBlocksError):
     error (``on_corrupt="raise"``) or falls back to the thread/inline
     execution path, which recomputes the whole call from the still-intact
     inputs. Never a hang, never a torn column."""
+
+
+class ServeError(BtrBlocksError):
+    """Base class for scan-server scheduling and admission failures."""
+
+
+class AdmissionRejectedError(ServeError):
+    """The server's bounded wait queue was full when the request arrived.
+
+    Backpressure, not a crash: the request never touched the object store,
+    so it is billed zero and the tenant is expected to back off and retry.
+    """
+
+
+class ServeDeadlockError(ServeError):
+    """The deterministic event loop ran out of runnable tasks and pending
+    timers while coroutines were still suspended — a genuine deadlock in
+    the schedule, surfaced instead of hanging forever."""

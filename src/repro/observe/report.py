@@ -50,6 +50,9 @@ def build_report(
     parallel = _parallel_section(snapshot["counters"])
     if parallel:
         report["parallel"] = parallel
+    server = _server_section(snapshot["counters"])
+    if server:
+        report["server"] = server
     if include_decisions:
         report["decisions"] = [d.to_dict() for d in trace.decisions()]
     return report
@@ -166,6 +169,48 @@ def _parallel_section(counters: dict) -> dict:
             "segments": counters.get("parallel.shm.segments", 0),
             "bytes": counters.get("parallel.shm.bytes", 0),
             "unlinked": counters.get("parallel.shm.unlinked", 0),
+        },
+    }
+
+
+def _server_section(counters: dict) -> dict:
+    """Multi-tenant serving rolled up: admission outcomes, what the fleet of
+    tenants consumed, and shared-cache effectiveness. Present only when a
+    :class:`~repro.serve.server.ScanServer` handled at least one request."""
+    if not counters.get("server.requests"):
+        return {}
+    hits = counters.get("server.cache_hits", 0)
+    misses = counters.get("server.cache_misses", 0)
+    return {
+        "requests": counters.get("server.requests", 0),
+        "point_requests": counters.get("server.point_requests", 0),
+        "scan_requests": counters.get("server.scan_requests", 0),
+        "admission": {
+            "admitted": counters.get("server.admitted", 0),
+            "queued": counters.get("server.queued", 0),
+            "rejected": counters.get("server.rejected", 0),
+            "completed": counters.get("server.completed", 0),
+            "failed": counters.get("server.failed", 0),
+        },
+        "consumed": {
+            "get_requests": counters.get("server.get_requests", 0),
+            "bytes_fetched": counters.get("server.bytes_fetched", 0),
+            "retries": counters.get("server.retries", 0),
+            "backoff_seconds": counters.get("server.backoff_seconds", 0),
+            "cost_usd": counters.get("server.cost_usd", 0),
+        },
+        "latency": {
+            "queue_seconds": counters.get("server.queue_seconds", 0),
+            "service_seconds": counters.get("server.service_seconds", 0),
+            "latency_seconds": counters.get("server.latency_seconds", 0),
+        },
+        "cache": {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+            "column_cache_hits": counters.get("server.column_cache.hit", 0),
+            "column_cache_misses": counters.get("server.column_cache.miss", 0),
+            "column_cache_evictions": counters.get("server.column_cache.evict", 0),
         },
     }
 

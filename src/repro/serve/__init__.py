@@ -1,0 +1,49 @@
+"""Multi-tenant scan serving over :class:`~repro.cloud.remote_table.RemoteTable`.
+
+BtrBlocks targets data lakes where many readers hammer the same compressed
+objects at once; this package is that consumer. It layers three pieces over
+the existing cloud simulation:
+
+* :mod:`repro.serve.loop` — a deterministic discrete-event loop that drives
+  ordinary ``async``/``await`` coroutines on the store's
+  :class:`~repro.cloud.retry.SimulatedClock` (its timer heap is the loop's
+  scheduler), so thousand-request schedules replay bit-identically from a
+  seed.
+* :mod:`repro.serve.server` — :class:`ScanServer`: weighted-fair admission
+  of point reads and full scans over shared bounded caches, with
+  backpressure (typed, zero-billed rejections) and per-tenant ledgers that
+  sum exactly to the store's global transfer accounting.
+* :mod:`repro.serve.workload` / :mod:`repro.serve.bench` — a seeded Zipfian
+  workload generator (hot tables, hot columns, bursty open-loop arrivals)
+  and the ``repro serve-bench`` sweep reporting p50/p99 latency, cache hit
+  rate and $/query as tenancy scales.
+"""
+
+from repro.serve.bench import build_catalog, run_serve_bench, serve_workload
+from repro.serve.loop import Event, EventLoop, Task, gather, sleep
+from repro.serve.server import ScanRequest, ScanResponse, ScanServer, TenantLedger
+from repro.serve.workload import (
+    TableProfile,
+    TimedRequest,
+    WorkloadSpec,
+    generate_workload,
+)
+
+__all__ = [
+    "Event",
+    "EventLoop",
+    "ScanRequest",
+    "ScanResponse",
+    "ScanServer",
+    "Task",
+    "TableProfile",
+    "TenantLedger",
+    "TimedRequest",
+    "WorkloadSpec",
+    "build_catalog",
+    "gather",
+    "generate_workload",
+    "run_serve_bench",
+    "serve_workload",
+    "sleep",
+]

@@ -1,0 +1,205 @@
+"""``repro serve-bench``: concurrent-scan latency, cache behaviour, $/query.
+
+The question Zeng et al. pose of every lake format — and the ROADMAP's
+"millions of users" north star — is not single-reader throughput but what
+happens when N tenants hit the same objects: p50/p99 latency under fair
+scheduling, how far shared caches cut the bill, and whether $/query holds
+as tenancy scales. This harness answers it deterministically:
+
+1. build a small catalog of compressed tables (hot-column shapes from
+   :mod:`repro.datagen.distributions`), committed through
+   :class:`~repro.cloud.remote_table.TableWriter`;
+2. for each tenant count in the sweep, run the same seeded Zipfian
+   workload through a fresh :class:`~repro.serve.server.ScanServer` on a
+   fresh simulated clock (cold caches every level, so levels compare
+   fairly);
+3. report, per level: p50/p99/mean latency, decode-cache hit rate,
+   rejections, and aggregate $/query.
+
+Everything runs on simulated time — the sweep takes milliseconds of real
+time regardless of the simulated load.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.cloud.objectstore import SimulatedObjectStore
+from repro.cloud.remote_table import TableWriter
+from repro.core.compressor import compress_relation
+from repro.core.config import BtrBlocksConfig
+from repro.core.relation import Relation
+from repro.datagen.distributions import city_names, price_doubles, zipf_int
+from repro.exceptions import AdmissionRejectedError
+from repro.observe import get_registry
+from repro.serve.loop import EventLoop, sleep
+from repro.serve.server import ScanServer
+from repro.serve.workload import TableProfile, WorkloadSpec, generate_workload
+from repro.types import Column
+
+__all__ = ["build_catalog", "run_serve_bench", "serve_workload"]
+
+
+def build_catalog(
+    store: SimulatedObjectStore,
+    tables: int = 3,
+    rows: int = 4000,
+    block_size: int = 1000,
+    seed: int = 2024_08,
+) -> "list[TableProfile]":
+    """Commit ``tables`` small tables and return their workload profiles.
+
+    Each table carries the shapes serving cares about: a skewed categorical
+    (``code``), a low-cardinality string (``city``) — both good point-read
+    targets with zone maps — plus a decimal payload and a sequential key.
+    """
+    profiles: "list[TableProfile]" = []
+    writer = TableWriter(store)
+    for index in range(tables):
+        rng = np.random.default_rng([seed, index])
+        codes = zipf_int(rows, rng, distinct=100)
+        cities = city_names(rows, rng, pool_size=50)
+        relation = Relation(
+            f"served-{index:02d}",
+            [
+                Column.ints("code", codes),
+                Column.strings("city", cities),
+                Column.doubles("price", price_doubles(rows, rng)),
+                Column.ints("id", np.arange(rows, dtype=np.int32)),
+            ],
+        )
+        writer.write(compress_relation(relation, BtrBlocksConfig(block_size=block_size)))
+        hot_codes = tuple(int(v) for v in np.unique(codes)[:8])
+        hot_cities = tuple(sorted(set(cities))[:8])
+        profiles.append(
+            TableProfile(
+                name=relation.name,
+                columns=("code", "city", "price", "id"),
+                point_values={"code": hot_codes, "city": hot_cities},
+            )
+        )
+    return profiles
+
+
+def serve_workload(
+    store: SimulatedObjectStore,
+    profiles: "list[TableProfile]",
+    spec: WorkloadSpec,
+    **server_kwargs,
+) -> dict:
+    """Run one workload through a fresh server; returns results + server.
+
+    The store's clock is reset and becomes the event loop's clock, so the
+    run starts at t=0 and every latency is in simulated seconds.
+    """
+    store.clock.reset()
+    loop = EventLoop(clock=store.clock)
+    server = ScanServer(store, loop, **server_kwargs)
+    schedule = generate_workload(spec, profiles)
+    by_tenant: "dict[str, list]" = defaultdict(list)
+    for timed in schedule:
+        by_tenant[timed.request.tenant].append(timed)
+    responses: list = []
+    rejected: list = []
+
+    async def fire(request):
+        try:
+            responses.append(await server.submit(request))
+        except AdmissionRejectedError:
+            rejected.append(request)
+
+    async def tenant_driver(items):
+        for n, timed in enumerate(items):
+            delay = timed.arrival_seconds - loop.now_seconds
+            if delay > 0:
+                await sleep(delay)
+            loop.create_task(
+                fire(timed.request), f"{timed.request.tenant}:{n}"
+            )
+
+    for tenant in sorted(by_tenant):
+        loop.create_task(tenant_driver(by_tenant[tenant]), tenant)
+    loop.run()
+    return {
+        "responses": responses,
+        "rejected": rejected,
+        "server": server,
+        "loop": loop,
+    }
+
+
+def _level_report(run: dict, spec: WorkloadSpec) -> dict:
+    responses = run["responses"]
+    server: ScanServer = run["server"]
+    latencies = np.array([r.latency_seconds for r in responses]) if responses else np.zeros(0)
+    hits = sum(r.cache_hits for r in responses)
+    misses = sum(r.cache_misses for r in responses)
+    total_cost = sum(ledger.cost_usd for ledger in server.ledgers.values())
+    completed = len(responses)
+    return {
+        "tenants": spec.tenants,
+        "requests": spec.tenants * spec.requests_per_tenant,
+        "completed": completed,
+        "rejected": len(run["rejected"]),
+        "p50_latency_seconds": float(np.percentile(latencies, 50)) if completed else 0.0,
+        "p99_latency_seconds": float(np.percentile(latencies, 99)) if completed else 0.0,
+        "mean_latency_seconds": float(latencies.mean()) if completed else 0.0,
+        "cache_hits": int(hits),
+        "cache_misses": int(misses),
+        "cache_hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+        "bytes_fetched": int(sum(r.bytes_fetched for r in responses)),
+        "cost_usd": total_cost,
+        "cost_usd_per_query": total_cost / completed if completed else 0.0,
+        "simulated_seconds": run["loop"].now_seconds,
+        "queue_peak": server.queue_peak,
+        "active_peak": server.active_peak,
+    }
+
+
+def run_serve_bench(
+    tenant_sweep: "tuple[int, ...]" = (1, 4, 16),
+    rows: int = 4000,
+    tables: int = 3,
+    requests_per_tenant: int = 8,
+    seed: int = 2024_08,
+    max_concurrency: int = 4,
+    queue_limit: int = 64,
+    point_fraction: float = 0.75,
+) -> dict:
+    """The full sweep; one catalog, one fresh server per tenant count."""
+    store = SimulatedObjectStore()
+    profiles = build_catalog(store, tables=tables, rows=rows, seed=seed)
+    levels = []
+    for tenants in tenant_sweep:
+        store.stats.reset()
+        spec = WorkloadSpec(
+            tenants=tenants,
+            requests_per_tenant=requests_per_tenant,
+            point_fraction=point_fraction,
+            seed=seed,
+        )
+        run = serve_workload(
+            store,
+            profiles,
+            spec,
+            max_concurrency=max_concurrency,
+            queue_limit=queue_limit,
+        )
+        levels.append(_level_report(run, spec))
+    report = {
+        "rows": rows,
+        "tables": tables,
+        "seed": seed,
+        "max_concurrency": max_concurrency,
+        "queue_limit": queue_limit,
+        "levels": levels,
+    }
+    by_tenants = {level["tenants"]: level for level in levels}
+    if 1 in by_tenants and 16 in by_tenants and by_tenants[1]["cost_usd_per_query"]:
+        report["cost_ratio_16_vs_1"] = (
+            by_tenants[16]["cost_usd_per_query"] / by_tenants[1]["cost_usd_per_query"]
+        )
+    get_registry().incr("server.bench_runs")
+    return report

@@ -1,0 +1,205 @@
+"""A deterministic discrete-event loop for coroutines on simulated time.
+
+``asyncio``'s event loop schedules against the wall clock and (across
+versions) makes no ordering promises we could pin a regression suite to.
+Serving experiments need the opposite: thousands of interleaved scans whose
+schedule — and therefore whose latencies, cache interleavings and fairness
+outcomes — replays bit-identically from a seed. So this module drives plain
+``async``/``await`` coroutines itself:
+
+* Tasks suspend only through :func:`sleep` and :class:`Event` (plus
+  awaiting other tasks). Each suspension yields a small command tuple that
+  the loop interprets; between suspensions a task runs atomically.
+* Ready tasks run strictly FIFO. When nothing is runnable the loop jumps
+  the :class:`~repro.cloud.retry.SimulatedClock` to its earliest pending
+  timer (``advance_to_next``) — the clock's min-heap of timers, ordered by
+  ``(deadline, seq)``, is the single source of wake-up ordering.
+* A schedule with suspended tasks but no pending timers is a deadlock; the
+  loop raises :class:`~repro.exceptions.ServeDeadlockError` naming the
+  stuck tasks instead of spinning or hanging.
+
+No wall-clock time, no thread scheduling, no iteration-order ambiguity:
+the same coroutines on the same clock always produce the same history.
+"""
+
+from __future__ import annotations
+
+import types
+from collections import deque
+from typing import Any, Coroutine
+
+from repro.cloud.retry import SimulatedClock
+from repro.exceptions import ServeDeadlockError
+
+__all__ = ["Event", "EventLoop", "Task", "gather", "sleep"]
+
+
+@types.coroutine
+def _suspend(command: tuple):
+    """Yield one scheduler command from inside an ``async def``."""
+    yield command
+
+
+async def sleep(seconds: float) -> None:
+    """Suspend the current task for ``seconds`` of simulated time.
+
+    ``sleep(0)`` still suspends — the task re-queues behind every currently
+    ready task (via a timer at the present instant), which is the loop's
+    cooperative yield point.
+    """
+    await _suspend(("sleep", float(seconds)))
+
+
+class Task:
+    """One coroutine scheduled on an :class:`EventLoop`; awaitable."""
+
+    def __init__(self, coro: Coroutine, name: "str | None" = None) -> None:
+        self.coro = coro
+        self.name = name or getattr(coro, "__name__", "task")
+        self.done = False
+        self.result: Any = None
+        self.exception: "BaseException | None" = None
+        self._loop: "EventLoop | None" = None
+        self._waiters: "list[Task]" = []
+        self._observed = False
+
+    def _wake(self) -> None:
+        if not self.done:
+            self._loop._ready.append(self)
+
+    def __await__(self):
+        if not self.done:
+            yield ("join", self)
+        self._observed = True
+        if self.exception is not None:
+            raise self.exception
+        return self.result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.done else "pending"
+        return f"Task({self.name!r}, {state})"
+
+
+class Event:
+    """A one-shot level-triggered event (like ``asyncio.Event``)."""
+
+    def __init__(self) -> None:
+        self._flag = False
+        self._waiters: "list[Task]" = []
+
+    def is_set(self) -> bool:
+        return self._flag
+
+    def set(self) -> None:
+        self._flag = True
+        # Waiters move to the ready queue in wait-order on the next loop
+        # iteration; the setter keeps running uninterrupted.
+        for task in self._waiters:
+            task._wake()
+        self._waiters.clear()
+
+    async def wait(self) -> None:
+        if not self._flag:
+            await _suspend(("wait", self))
+
+
+async def gather(*tasks: Task) -> list:
+    """Await every task, in order; returns their results as a list."""
+    return [await task for task in tasks]
+
+
+class EventLoop:
+    """Run tasks until everything completes, on a simulated clock."""
+
+    def __init__(self, clock: "SimulatedClock | None" = None) -> None:
+        self.clock = clock if clock is not None else SimulatedClock()
+        self._ready: "deque[Task]" = deque()
+        self._alive: "list[Task]" = []
+        self._failed: "list[Task]" = []
+
+    @property
+    def now_seconds(self) -> float:
+        return self.clock.now_seconds
+
+    def create_task(self, coro: Coroutine, name: "str | None" = None) -> Task:
+        task = Task(coro, name)
+        task._loop = self
+        self._alive.append(task)
+        self._ready.append(task)
+        return task
+
+    def run(self) -> None:
+        """Drive every task to completion.
+
+        Raises the first exception of any task nobody awaited (errors must
+        never vanish into an abandoned coroutine), and
+        :class:`~repro.exceptions.ServeDeadlockError` when suspended tasks
+        remain but no timer can ever wake them.
+        """
+        while self._alive:
+            while self._ready:
+                self._step(self._ready.popleft())
+            if not self._alive:
+                break
+            if not self._ready and not self.clock.advance_to_next():
+                stuck = ", ".join(t.name for t in self._alive)
+                raise ServeDeadlockError(
+                    f"{len(self._alive)} task(s) suspended with no pending "
+                    f"timers: {stuck}"
+                )
+        self._raise_unobserved()
+
+    def run_until_complete(self, coro: "Coroutine | Task") -> Any:
+        """Schedule ``coro`` (with every other pending task) and run all."""
+        task = coro if isinstance(coro, Task) else self.create_task(coro, "main")
+        self.run()
+        task._observed = True
+        if task.exception is not None:
+            raise task.exception
+        return task.result
+
+    # -- internals -------------------------------------------------------------
+
+    def _step(self, task: Task) -> None:
+        if task.done:
+            return
+        try:
+            command = task.coro.send(None)
+        except StopIteration as stop:
+            self._finish(task, stop.value, None)
+            return
+        except BaseException as error:  # noqa: BLE001 - recorded, re-raised later
+            self._finish(task, None, error)
+            return
+        kind = command[0]
+        if kind == "sleep":
+            self.clock.call_later(command[1], task._wake)
+        elif kind == "wait":
+            command[1]._waiters.append(task)
+        elif kind == "join":
+            other = command[1]
+            if other.done:
+                self._ready.append(task)
+            else:
+                other._waiters.append(task)
+        else:  # pragma: no cover - future-proofing
+            raise RuntimeError(f"unknown scheduler command {command!r}")
+
+    def _finish(self, task: Task, result: Any, error: "BaseException | None") -> None:
+        task.done = True
+        task.result = result
+        task.exception = error
+        if error is not None:
+            self._failed.append(task)
+        self._alive.remove(task)
+        for waiter in task._waiters:
+            waiter._wake()
+        task._waiters.clear()
+
+    def _raise_unobserved(self) -> None:
+        """Surface the first unawaited failure (tasks finish in schedule
+        order, so "first" is deterministic); errors never vanish into an
+        abandoned coroutine."""
+        for task in self._failed:
+            if not task._observed:
+                raise task.exception

@@ -1,0 +1,528 @@
+"""The multi-tenant scan server: weighted-fair admission over shared caches.
+
+:class:`ScanServer` sits between tenant coroutines and
+:class:`~repro.cloud.remote_table.RemoteTable`. Its contract:
+
+* **Concurrency bound.** At most ``max_concurrency`` scans execute at once;
+  everything else waits in a bounded queue.
+* **Backpressure.** When the queue is full a request is rejected with
+  :class:`~repro.exceptions.AdmissionRejectedError` *before* touching the
+  store — rejections are typed and billed zero.
+* **Weighted fair scheduling** (start-time fair queuing). Each request gets
+  a virtual start tag ``max(V, flow_finish)`` and finish tag
+  ``start + cost / weight``; the queue serves the smallest finish tag.
+  Flows are ``(tenant, class)`` pairs and point reads carry a higher
+  weight than full scans, so a cheap ``where=`` lookup is never starved
+  behind a convoy of large scans.
+* **Shared caches.** All tenants share one bounded column cache and one
+  decode cache. Handles are keyed ``(table, on_corrupt)`` —
+  degradation policy is per-request — and the fetch path guarantees
+  damaged columns never enter the shared caches, so one tenant's
+  ``null_block`` degradation can never surface as another tenant's data.
+* **Deterministic service times.** A scan executes stage by stage through
+  :meth:`RemoteTable.scan_steps`; each stage runs atomically with a
+  private clock, then the task suspends for a *modeled* duration — bytes
+  over bandwidth, per-request latency, captured backoff, decoded bytes
+  over a fixed decode rate — never a measured one. Identical seeds give
+  identical schedules, latencies and ledgers.
+* **Exact accounting.** Every store byte moved during serving is captured
+  inside exactly one request's stages, so per-tenant ledgers sum to the
+  store's global :class:`~repro.cloud.objectstore.TransferStats` deltas
+  field by field, and dollar costs follow the same
+  :class:`~repro.cloud.pricing.PricingModel` formulas the rest of the
+  reproduction uses.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.cloud.objectstore import SimulatedObjectStore
+from repro.cloud.pipeline import simulated_fetch_seconds
+from repro.cloud.remote_table import RemoteTable, ScanStep, capture_step
+from repro.core.cache import ByteBudgetLRU, DecodeCache
+from repro.core.config import DEFAULT_COLUMN_CACHE_BYTES, DEFAULT_DECODE_CACHE_BYTES
+from repro.core.relation import Relation
+from repro.exceptions import AdmissionRejectedError
+from repro.observe import get_registry
+from repro.query.predicates import Predicate
+from repro.serve.loop import Event, EventLoop, sleep
+
+__all__ = [
+    "DEFAULT_DECODE_BYTES_PER_SECOND",
+    "ScanRequest",
+    "ScanResponse",
+    "ScanServer",
+    "TenantLedger",
+]
+
+#: Fixed modeled decode throughput (compressed bytes per second). Real decode
+#: speed is machine-dependent; serving latencies must not be, so the model
+#: uses one constant in the ballpark of the paper's single-core decompression
+#: rates. Override per server via ``decode_bytes_per_second``.
+DEFAULT_DECODE_BYTES_PER_SECOND = 1.0e9
+
+
+@dataclass(frozen=True)
+class ScanRequest:
+    """One tenant's scan: a point read (``where=`` pushdown) or full scan."""
+
+    tenant: str
+    table: str
+    columns: "tuple[str, ...] | None" = None
+    where: "Mapping[str, Predicate] | None" = None
+    on_corrupt: str = "raise"
+
+    @property
+    def kind(self) -> str:
+        """Scheduling class: ``"point"`` when predicated, else ``"scan"``."""
+        return "point" if self.where else "scan"
+
+
+@dataclass
+class ScanResponse:
+    """The served result plus everything the request consumed."""
+
+    request: ScanRequest
+    relation: "Relation | None"
+    arrived_seconds: float
+    started_seconds: float
+    finished_seconds: float
+    requests: int = 0
+    bytes_fetched: int = 0
+    retries: int = 0
+    backoff_seconds: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cost_usd: float = 0.0
+
+    @property
+    def queue_seconds(self) -> float:
+        return self.started_seconds - self.arrived_seconds
+
+    @property
+    def service_seconds(self) -> float:
+        return self.finished_seconds - self.started_seconds
+
+    @property
+    def latency_seconds(self) -> float:
+        return self.finished_seconds - self.arrived_seconds
+
+
+@dataclass
+class TenantLedger:
+    """Per-tenant accounting; integer fields sum exactly to the store's
+    :class:`~repro.cloud.objectstore.TransferStats` deltas across tenants."""
+
+    tenant: str
+    submitted: int = 0
+    completed: int = 0
+    rejected: int = 0
+    failed: int = 0
+    points: int = 0
+    scans: int = 0
+    get_requests: int = 0
+    bytes_fetched: int = 0
+    retries: int = 0
+    backoff_seconds: float = 0.0
+    queue_seconds: float = 0.0
+    service_seconds: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cost_usd: float = 0.0
+
+    @property
+    def cost_per_query(self) -> float:
+        return self.cost_usd / self.completed if self.completed else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "tenant": self.tenant,
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "failed": self.failed,
+            "points": self.points,
+            "scans": self.scans,
+            "get_requests": self.get_requests,
+            "bytes_fetched": self.bytes_fetched,
+            "retries": self.retries,
+            "backoff_seconds": self.backoff_seconds,
+            "queue_seconds": self.queue_seconds,
+            "service_seconds": self.service_seconds,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cost_usd": self.cost_usd,
+            "cost_per_query": self.cost_per_query,
+        }
+
+
+@dataclass
+class _Consumed:
+    """Store traffic one request actually caused (success or failure)."""
+
+    requests: int = 0
+    bytes_fetched: int = 0
+    retries: int = 0
+    backoff_seconds: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def add_step(self, step: ScanStep) -> None:
+        self.add(
+            step.requests,
+            step.bytes_fetched,
+            step.retries,
+            step.backoff_seconds,
+            step.cache_hits,
+            step.cache_misses,
+        )
+
+    def add(
+        self,
+        requests: int,
+        nbytes: int,
+        retries: int,
+        backoff_seconds: float,
+        cache_hits: int,
+        cache_misses: int,
+    ) -> None:
+        self.requests += requests
+        self.bytes_fetched += nbytes
+        self.retries += retries
+        self.backoff_seconds += backoff_seconds
+        self.cache_hits += cache_hits
+        self.cache_misses += cache_misses
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    """A waiting request ordered by its WFQ finish tag (ties by arrival)."""
+
+    finish_tag: float
+    seq: int
+    start_tag: float = field(compare=False)
+    request: ScanRequest = field(compare=False)
+    granted: Event = field(compare=False)
+
+
+class ScanServer:
+    """Admit, schedule and execute concurrent scans on one event loop."""
+
+    def __init__(
+        self,
+        store: SimulatedObjectStore,
+        loop: EventLoop,
+        max_concurrency: int = 4,
+        queue_limit: int = 16,
+        point_weight: float = 4.0,
+        scan_weight: float = 1.0,
+        column_cache_bytes: int = DEFAULT_COLUMN_CACHE_BYTES,
+        decode_cache_bytes: int = DEFAULT_DECODE_CACHE_BYTES,
+        decode_bytes_per_second: float = DEFAULT_DECODE_BYTES_PER_SECOND,
+    ) -> None:
+        if max_concurrency < 1:
+            raise ValueError(f"max_concurrency must be >= 1, got {max_concurrency}")
+        if queue_limit < 0:
+            raise ValueError(f"queue_limit must be >= 0, got {queue_limit}")
+        self._store = store
+        self._loop = loop
+        self.max_concurrency = max_concurrency
+        self.queue_limit = queue_limit
+        self.point_weight = point_weight
+        self.scan_weight = scan_weight
+        self.decode_bytes_per_second = decode_bytes_per_second
+        #: One bounded compressed-column cache and one decoded-block cache
+        #: shared by every handle the server opens (all tenants, all
+        #: policies); keys embed object key + version so entries are
+        #: collision-free across tables.
+        self.column_cache = ByteBudgetLRU(
+            column_cache_bytes, metric_prefix="server.column_cache"
+        )
+        self.decode_cache = (
+            DecodeCache(decode_cache_bytes) if decode_cache_bytes > 0 else None
+        )
+        self.ledgers: "dict[str, TenantLedger]" = {}
+        self._handles: "dict[tuple[str, str], RemoteTable]" = {}
+        self._queue: "list[_QueueEntry]" = []
+        self._seq = itertools.count()
+        self._active = 0
+        self._virtual = 0.0
+        self._flow_finish: "dict[tuple[str, str], float]" = {}
+        self.queue_peak = 0
+        self.active_peak = 0
+
+    # -- public API ------------------------------------------------------------
+
+    async def submit(self, request: ScanRequest) -> ScanResponse:
+        """Admit (or reject) one scan and run it to completion.
+
+        Raises :class:`~repro.exceptions.AdmissionRejectedError` when the
+        wait queue is at its bound — without a single store request, so a
+        rejected call costs the tenant nothing.
+        """
+        registry = get_registry()
+        ledger = self._ledger(request.tenant)
+        ledger.submitted += 1
+        ledger.points += request.kind == "point"
+        ledger.scans += request.kind == "scan"
+        registry.incr("server.requests")
+        registry.incr(f"server.{request.kind}_requests")
+        arrived = self._loop.now_seconds
+        if self._active < self.max_concurrency and not self._queue:
+            self._grant_tags(request)  # keep flow tags flowing for fairness
+            self._active += 1
+        else:
+            if len(self._queue) >= self.queue_limit:
+                ledger.rejected += 1
+                registry.incr("server.rejected")
+                raise AdmissionRejectedError(
+                    f"tenant {request.tenant!r}: wait queue at its bound "
+                    f"({self.queue_limit}); retry with backoff"
+                )
+            start, finish = self._grant_tags(request)
+            entry = _QueueEntry(
+                finish_tag=finish,
+                seq=next(self._seq),
+                start_tag=start,
+                request=request,
+                granted=Event(),
+            )
+            heapq.heappush(self._queue, entry)
+            self.queue_peak = max(self.queue_peak, len(self._queue))
+            registry.incr("server.queued")
+            await entry.granted.wait()
+        self.active_peak = max(self.active_peak, self._active)
+        registry.incr("server.admitted")
+        started = self._loop.now_seconds
+        consumed = _Consumed()
+        try:
+            response = await self._execute(request, arrived, started, consumed)
+        except BaseException:
+            # A failing scan (e.g. integrity damage under on_corrupt="raise")
+            # still moved bytes before it died: bill what it consumed, so
+            # ledgers stay exact against the store's global accounting.
+            ledger.failed += 1
+            registry.incr("server.failed")
+            self._bill(ledger, consumed)
+            raise
+        finally:
+            self._active -= 1
+            self._dispatch()
+        ledger.completed += 1
+        registry.incr("server.completed")
+        self._bill(ledger, consumed, response)
+        return response
+
+    def report(self) -> dict:
+        """Server-level accounting, JSON-ready (see ``server`` report section)."""
+        tenants = sorted(self.ledgers)
+        return {
+            "max_concurrency": self.max_concurrency,
+            "queue_limit": self.queue_limit,
+            "queue_peak": self.queue_peak,
+            "active_peak": self.active_peak,
+            "tenants": len(tenants),
+            "ledgers": [self.ledgers[t].to_dict() for t in tenants],
+        }
+
+    # -- scheduling ------------------------------------------------------------
+
+    def _ledger(self, tenant: str) -> TenantLedger:
+        ledger = self.ledgers.get(tenant)
+        if ledger is None:
+            ledger = self.ledgers[tenant] = TenantLedger(tenant)
+        return ledger
+
+    def _weight(self, request: ScanRequest) -> float:
+        return self.point_weight if request.kind == "point" else self.scan_weight
+
+    def _cost_estimate(self, request: ScanRequest) -> float:
+        """A-priori relative cost for fair-queuing tags. Point reads prune
+        to a handful of blocks; full scans move every projected column."""
+        if request.kind == "point":
+            return 1.0
+        if request.columns is not None:
+            return float(max(1, len(request.columns)))
+        entry = self._handles.get((request.table, request.on_corrupt))
+        if entry is not None:
+            return float(max(1, len(entry.column_names())))
+        return 4.0  # unopened table: assume a few columns
+
+    def _grant_tags(self, request: ScanRequest) -> "tuple[float, float]":
+        """Start-time fair queuing tags for one admitted request."""
+        flow = (request.tenant, request.kind)
+        start = max(self._virtual, self._flow_finish.get(flow, 0.0))
+        finish = start + self._cost_estimate(request) / self._weight(request)
+        self._flow_finish[flow] = finish
+        return start, finish
+
+    def _dispatch(self) -> None:
+        """Grant freed slots to the smallest finish tags in the queue."""
+        while self._active < self.max_concurrency and self._queue:
+            entry = heapq.heappop(self._queue)
+            self._virtual = max(self._virtual, entry.start_tag)
+            self._active += 1
+            entry.granted.set()
+
+    # -- execution -------------------------------------------------------------
+
+    def _handle(self, request: ScanRequest) -> "tuple[RemoteTable, ScanStep | None]":
+        """The (table, policy) handle, opened lazily over the shared caches.
+
+        The metadata GETs of a first open are captured and billed to the
+        opening request — every byte the server moves belongs to exactly
+        one tenant.
+        """
+        key = (request.table, request.on_corrupt)
+        table = self._handles.get(key)
+        if table is not None:
+            return table, None
+        with capture_step(self._store, "open") as step:
+            table = RemoteTable.open(
+                self._store,
+                request.table,
+                on_corrupt=request.on_corrupt,
+                column_cache=self.column_cache,
+                decode_cache=self.decode_cache,
+            )
+        self._handles[key] = table
+        return table, step
+
+    def _service_seconds(self, step: ScanStep) -> float:
+        """Deterministic modeled duration of one scan stage."""
+        pricing = self._store.pricing
+        fetch = (
+            simulated_fetch_seconds(
+                pricing, step.bytes_fetched, step.requests, step.backoff_seconds
+            )
+            if step.requests
+            else step.backoff_seconds
+        )
+        decode = step.decode_bytes / self.decode_bytes_per_second
+        if step.kind == "pipeline":
+            # The chunk pipeline overlaps transfer with decode.
+            return max(fetch - step.backoff_seconds, decode) + step.backoff_seconds
+        return fetch + decode
+
+    async def _execute(
+        self,
+        request: ScanRequest,
+        arrived: float,
+        started: float,
+        consumed: _Consumed,
+    ) -> ScanResponse:
+        columns = list(request.columns) if request.columns is not None else None
+        stats = self._store.stats
+        registry = get_registry()
+
+        def snapshot() -> tuple:
+            return (
+                stats.get_requests,
+                stats.bytes_downloaded,
+                stats.retries,
+                stats.backoff_seconds,
+                registry.get("decode.cache.hit"),
+                registry.get("decode.cache.miss"),
+            )
+
+        def bill_diff(before: tuple) -> None:
+            consumed.add(
+                stats.get_requests - before[0],
+                stats.bytes_downloaded - before[1],
+                stats.retries - before[2],
+                stats.backoff_seconds - before[3],
+                int(registry.get("decode.cache.hit") - before[4]),
+                int(registry.get("decode.cache.miss") - before[5]),
+            )
+
+        # A failing open (missing table, retries exhausted on the manifest)
+        # still moved bytes before it died; diff the store counters around
+        # it so that traffic lands in this request's bill.
+        before = snapshot()
+        try:
+            table, open_step = self._handle(request)
+        except BaseException:
+            bill_diff(before)
+            raise
+        if open_step is not None:
+            consumed.add_step(open_step)
+            await sleep(self._service_seconds(open_step))
+        gen = table.scan_steps(
+            columns, where=request.where, pipelined=request.kind == "scan"
+        )
+        while True:
+            # Diff the store counters around each stage so a stage that
+            # *raises* (its ScanStep is never yielded) still has its
+            # traffic attributed to this request.
+            before = snapshot()
+            try:
+                step = next(gen)
+            except StopIteration as stop:
+                outcome = stop.value
+                break
+            except BaseException:
+                bill_diff(before)
+                raise
+            consumed.add_step(step)
+            await sleep(self._service_seconds(step))
+        relation = outcome[0] if isinstance(outcome, tuple) else outcome
+        return ScanResponse(
+            request=request,
+            relation=relation,
+            arrived_seconds=arrived,
+            started_seconds=started,
+            finished_seconds=self._loop.now_seconds,
+            requests=consumed.requests,
+            bytes_fetched=consumed.bytes_fetched,
+            retries=consumed.retries,
+            backoff_seconds=consumed.backoff_seconds,
+            cache_hits=consumed.cache_hits,
+            cache_misses=consumed.cache_misses,
+            cost_usd=self._cost_usd(consumed),
+        )
+
+    def _cost_usd(self, consumed: _Consumed) -> float:
+        """$ for what one request moved: GET requests + the compute time its
+        transfer occupied, by the same linear formulas as the global
+        accounting — so per-tenant sums and the global total agree."""
+        pricing = self._store.pricing
+        return pricing.request_cost(consumed.requests) + pricing.compute_cost(
+            consumed.bytes_fetched / pricing.s3_bytes_per_second
+        )
+
+    def _bill(
+        self,
+        ledger: TenantLedger,
+        consumed: _Consumed,
+        response: "ScanResponse | None" = None,
+    ) -> None:
+        cost = response.cost_usd if response is not None else self._cost_usd(consumed)
+        ledger.get_requests += consumed.requests
+        ledger.bytes_fetched += consumed.bytes_fetched
+        ledger.retries += consumed.retries
+        ledger.backoff_seconds += consumed.backoff_seconds
+        ledger.cache_hits += consumed.cache_hits
+        ledger.cache_misses += consumed.cache_misses
+        ledger.cost_usd += cost
+        items = [
+            ("server.get_requests", consumed.requests),
+            ("server.bytes_fetched", consumed.bytes_fetched),
+            ("server.retries", consumed.retries),
+            ("server.backoff_seconds", consumed.backoff_seconds),
+            ("server.cache_hits", consumed.cache_hits),
+            ("server.cache_misses", consumed.cache_misses),
+            ("server.cost_usd", cost),
+        ]
+        if response is not None:
+            ledger.queue_seconds += response.queue_seconds
+            ledger.service_seconds += response.service_seconds
+            items += [
+                ("server.queue_seconds", response.queue_seconds),
+                ("server.service_seconds", response.service_seconds),
+                ("server.latency_seconds", response.latency_seconds),
+            ]
+        get_registry().incr_many(items)

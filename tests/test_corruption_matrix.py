@@ -525,3 +525,180 @@ class TestZoneMapCorruption:
             registry = MetricsRegistry()
             self._scan_clean_equal(self._tampered_store(strip), policy, registry)
             assert registry.get("cloud.scan.zonemap.invalid") == 0
+
+
+# -- concurrent readers over shared caches ------------------------------------
+#
+# Serving multiplexes tenants with *different* degradation policies over one
+# shared column cache and one shared decode cache. The contract extends the
+# trichotomy across tenants: one tenant scanning damage under a lenient
+# policy ("null_block"/"skip") gets degraded rows for itself, but nothing it
+# pulled through the shared caches may ever surface as another tenant's
+# *clean* data. A strict ("raise") tenant racing it sees either a typed
+# error or bit-identical clean values — never the lenient tenant's nulls,
+# never the damaged bytes.
+
+
+def _served_store():
+    """One committed table plus its pristine relation, small blocks."""
+    from repro.cloud import SimulatedObjectStore
+    from repro.cloud.remote_table import TableWriter
+    from repro.core.compressor import compress_relation
+    from repro.core.config import BtrBlocksConfig
+
+    rng = np.random.default_rng(MATRIX_SEED)
+    n = 1200
+    relation = Relation(
+        "shared",
+        [
+            Column.ints("code", rng.integers(0, 50, n).astype(np.int32)),
+            Column.doubles("price", np.round(rng.random(n) * 100, 2)),
+        ],
+    )
+    store = SimulatedObjectStore()
+    TableWriter(store).write(
+        compress_relation(relation, BtrBlocksConfig(block_size=256))
+    )
+    return store, relation
+
+
+def _damage_column_object(store, table, column):
+    """Flip one byte deep inside a column object *at rest* (every refetch
+    sees the same damage, so retries cannot heal it). Returns an undo."""
+    from repro.cloud.remote_table import RemoteTable
+
+    entry = RemoteTable.open(store, table).column_entry(column)
+    key = entry["file"]
+    pristine = store._objects[key]
+    position = len(pristine) // 2  # payload-ish; CRC32 catches any flip
+    damaged = bytearray(pristine)
+    damaged[position] ^= 0xFF
+    store._objects[key] = bytes(damaged)
+
+    def undo():
+        store._objects[key] = pristine
+
+    return undo
+
+
+class TestConcurrentReadersShareCachesSafely:
+    @pytest.mark.parametrize("lenient_mode", ["null_block", "skip"])
+    def test_degraded_blocks_never_cross_tenants(self, lenient_mode):
+        from repro.cloud.remote_table import RemoteTable
+        from repro.cloud.retry import RetryPolicy
+        from repro.core.cache import ByteBudgetLRU, DecodeCache
+        from repro.observe import MetricsRegistry, use_registry
+        from repro.types import columns_equal
+
+        with use_registry(MetricsRegistry()):
+            store, relation = _served_store()
+            store.retry = RetryPolicy(max_attempts=2)
+            column_cache = ByteBudgetLRU(1 << 24)
+            decode_cache = DecodeCache(1 << 24)
+            lenient = RemoteTable.open(
+                store,
+                "shared",
+                on_corrupt=lenient_mode,
+                column_cache=column_cache,
+                decode_cache=decode_cache,
+            )
+            strict = RemoteTable.open(
+                store,
+                "shared",
+                on_corrupt="raise",
+                column_cache=column_cache,
+                decode_cache=decode_cache,
+            )
+            undo = _damage_column_object(store, "shared", "code")
+
+            # The lenient tenant scans the damage: degraded rows (or, for
+            # flips outside any checksummed payload, a typed parse error) —
+            # and primes the shared caches either way.
+            try:
+                degraded = lenient.scan(["code"]).column("code")
+            except ACCEPTABLE:
+                degraded = None
+            if degraded is not None:
+                assert not columns_equal(degraded, relation.column("code")), (
+                    "a checksummed flip decoded bit-identically -- the "
+                    "damage helper missed every payload"
+                )
+
+            # The strict tenant racing it: typed error or clean, never the
+            # lenient tenant's degradation served as data.
+            try:
+                racing = strict.scan(["code"]).column("code")
+            except ACCEPTABLE:
+                racing = None
+            if racing is not None:
+                assert columns_equal(racing, relation.column("code"))
+
+            # Repair the object. The strict tenant must now read pristine
+            # values -- nothing damaged or degraded lingered in the shared
+            # caches from the lenient tenant's scan.
+            undo()
+            healed = strict.scan(["code"]).column("code")
+            assert columns_equal(healed, relation.column("code"))
+            # And the lenient tenant heals too (its degraded column was
+            # never cached, not even for itself).
+            healed_lenient = lenient.scan(["code"]).column("code")
+            assert columns_equal(healed_lenient, relation.column("code"))
+
+    @pytest.mark.parametrize("lenient_mode", ["null_block", "skip"])
+    def test_scan_server_isolates_degradation_between_tenants(self, lenient_mode):
+        from repro.exceptions import BtrBlocksError
+        from repro.observe import MetricsRegistry, use_registry
+        from repro.serve import EventLoop, ScanRequest, ScanServer
+        from repro.types import columns_equal
+
+        with use_registry(MetricsRegistry()):
+            store, relation = _served_store()
+            loop = EventLoop(clock=store.clock)
+            store.clock.reset()
+            server = ScanServer(store, loop, max_concurrency=2, queue_limit=8)
+            undo = _damage_column_object(store, "shared", "code")
+            results: dict = {}
+
+            async def tenant(name, on_corrupt):
+                request = ScanRequest(
+                    tenant=name,
+                    table="shared",
+                    columns=("code",),
+                    on_corrupt=on_corrupt,
+                )
+                try:
+                    response = await server.submit(request)
+                    results[name] = response.relation.column("code")
+                except (BtrBlocksError, *ACCEPTABLE):
+                    results[name] = None
+
+            loop.create_task(tenant("lenient", lenient_mode), "lenient")
+            loop.create_task(tenant("strict", "raise"), "strict")
+            loop.run()
+
+            # Strict under damage: typed failure or bit-identical values.
+            if results["strict"] is not None:
+                assert columns_equal(results["strict"], relation.column("code"))
+
+            # Repair, then re-read through the *same* server (same shared
+            # caches): the strict tenant gets pristine data, proving the
+            # lenient tenant's degraded blocks never entered the caches.
+            undo()
+
+            async def reread():
+                response = await server.submit(
+                    ScanRequest(
+                        tenant="strict",
+                        table="shared",
+                        columns=("code", "price"),
+                        on_corrupt="raise",
+                    )
+                )
+                results["healed"] = response.relation
+
+            loop.create_task(reread(), "reread")
+            loop.run()
+
+        healed = results["healed"]
+        for name in ("code", "price"):
+            assert columns_equal(healed.column(name), relation.column(name))

@@ -1,0 +1,298 @@
+"""Exactness of the server's per-tenant accounting.
+
+The property under test: every byte the store moves while the server is
+serving belongs to exactly one tenant's ledger. Summed across tenants, the
+ledgers must equal the store's global
+:class:`~repro.cloud.objectstore.TransferStats` deltas — *exactly* for the
+integer fields (GET requests, bytes, retries), to float round-off for the
+accumulated seconds — and dollar costs must reproduce the global
+:class:`~repro.cloud.pricing.PricingModel` formulas. This has to survive
+the hard cases:
+
+* concurrent interleavings (stages of different tenants alternate),
+* retried requests (backoff and re-GETs bill to the retrying tenant),
+* failed requests (a scan that dies mid-flight still pays for what it
+  moved, including a failing *open*),
+* rejected requests (billed exactly zero — not one GET).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.cloud.faults import FaultProfile
+from repro.cloud.objectstore import SimulatedObjectStore
+from repro.cloud.retry import RetryPolicy
+from repro.exceptions import AdmissionRejectedError, BtrBlocksError, FormatError
+from repro.observe import MetricsRegistry, use_registry
+from repro.serve import (
+    EventLoop,
+    ScanRequest,
+    ScanServer,
+    WorkloadSpec,
+    build_catalog,
+    serve_workload,
+)
+
+SERVE_SEED = int(os.environ.get("REPRO_SERVE_SEED", "202408"), 0)
+
+#: Float accumulations (seconds, dollars) may differ from the closed-form
+#: total by round-off only.
+FLOAT_TOL = 1e-9
+
+
+def _ledger_sums(server: ScanServer) -> dict:
+    ledgers = server.ledgers.values()
+    return {
+        "get_requests": sum(l.get_requests for l in ledgers),
+        "bytes_fetched": sum(l.bytes_fetched for l in ledgers),
+        "retries": sum(l.retries for l in ledgers),
+        "backoff_seconds": sum(l.backoff_seconds for l in ledgers),
+        "cost_usd": sum(l.cost_usd for l in ledgers),
+    }
+
+
+def _assert_ledgers_match_store(store: SimulatedObjectStore, server: ScanServer):
+    """Ledger sums == TransferStats (reset before serving) field by field."""
+    stats = store.stats
+    sums = _ledger_sums(server)
+    assert sums["get_requests"] == stats.get_requests
+    assert sums["bytes_fetched"] == stats.bytes_downloaded
+    assert sums["retries"] == stats.retries
+    assert sums["backoff_seconds"] == pytest.approx(
+        stats.backoff_seconds, abs=FLOAT_TOL
+    )
+    pricing = store.pricing
+    global_cost = pricing.request_cost(stats.get_requests) + pricing.compute_cost(
+        stats.bytes_downloaded / pricing.s3_bytes_per_second
+    )
+    assert sums["cost_usd"] == pytest.approx(global_cost, abs=FLOAT_TOL)
+
+
+def _run_workload(spec: WorkloadSpec, faults=None, retry=None, **server_kwargs):
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        store = SimulatedObjectStore()
+        profiles = build_catalog(store, tables=2, rows=1000, seed=SERVE_SEED)
+        if retry is not None:
+            store.retry = retry
+        store.stats.reset()  # serving-only deltas; catalog writes don't count
+        store.set_faults(faults)
+        run = serve_workload(store, profiles, spec, **server_kwargs)
+    return registry, store, run
+
+
+class TestLedgerSumsAreExact:
+    def test_clean_concurrent_interleavings(self):
+        _, store, run = _run_workload(
+            WorkloadSpec(tenants=8, requests_per_tenant=4, seed=SERVE_SEED),
+            max_concurrency=4,
+            queue_limit=64,
+        )
+        assert len(run["responses"]) == 32
+        _assert_ledgers_match_store(store, run["server"])
+
+    def test_retried_requests_bill_their_tenant(self):
+        _, store, run = _run_workload(
+            WorkloadSpec(tenants=6, requests_per_tenant=4, seed=SERVE_SEED),
+            faults=FaultProfile(seed=5, transient_error_rate=0.2, throttle_rate=0.1),
+            retry=RetryPolicy(max_attempts=8),
+            max_concurrency=3,
+            queue_limit=64,
+        )
+        server = run["server"]
+        assert store.stats.retries > 0, "the fault profile never fired"
+        assert sum(l.retries for l in server.ledgers.values()) == store.stats.retries
+        assert sum(l.backoff_seconds for l in server.ledgers.values()) > 0
+        _assert_ledgers_match_store(store, server)
+
+    def test_rejected_requests_bill_zero(self):
+        _, store, run = _run_workload(
+            WorkloadSpec(tenants=16, requests_per_tenant=6, seed=SERVE_SEED),
+            max_concurrency=1,
+            queue_limit=2,
+        )
+        server = run["server"]
+        assert run["rejected"], "backpressure never triggered"
+        rejected_total = sum(l.rejected for l in server.ledgers.values())
+        assert rejected_total == len(run["rejected"])
+        # Even with rejections in the mix, sums stay exact: rejections added
+        # nothing, so the served requests account for every byte.
+        _assert_ledgers_match_store(store, server)
+
+    def test_exactness_holds_at_every_interleaving_depth(self):
+        # The same workload at different concurrency levels interleaves
+        # stages completely differently — and with shared caches, *which*
+        # tenant pays for a cold fetch legitimately shifts with the
+        # schedule. What must not shift: every level serves the same
+        # requests, and at every level the ledgers sum exactly to that
+        # level's store deltas.
+        spec = WorkloadSpec(tenants=5, requests_per_tenant=4, seed=SERVE_SEED)
+        served = []
+        for max_concurrency in (1, 2, 5):
+            _, store, run = _run_workload(
+                spec, max_concurrency=max_concurrency, queue_limit=64
+            )
+            assert not run["rejected"]
+            _assert_ledgers_match_store(store, run["server"])
+            served.append(
+                sorted(
+                    (r.request.tenant, r.request.table, r.request.kind)
+                    for r in run["responses"]
+                )
+            )
+        assert served[0] == served[1] == served[2]
+
+
+class TestFailuresStillBalance:
+    def _server(self, store):
+        loop = EventLoop(clock=store.clock)
+        store.clock.reset()
+        return loop, ScanServer(store, loop, max_concurrency=2, queue_limit=16)
+
+    def test_failed_open_bills_what_it_moved(self):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            store = SimulatedObjectStore()
+            profiles = build_catalog(store, tables=1, rows=600, seed=SERVE_SEED)
+            store.stats.reset()
+            loop, server = self._server(store)
+            outcomes = []
+
+            async def missing():
+                try:
+                    await server.submit(
+                        ScanRequest(tenant="lost", table="no-such-table")
+                    )
+                except (FormatError, BtrBlocksError) as error:
+                    outcomes.append(type(error).__name__)
+
+            async def fine():
+                await server.submit(
+                    ScanRequest(
+                        tenant="ok", table=profiles[0].name, columns=("code",)
+                    )
+                )
+
+            loop.create_task(missing(), "missing")
+            loop.create_task(fine(), "fine")
+            loop.run()
+
+        assert outcomes, "the missing table was silently served"
+        assert server.ledgers["lost"].failed == 1
+        _assert_ledgers_match_store(store, server)
+
+    def test_mid_scan_failure_bills_partial_consumption(self):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            store = SimulatedObjectStore()
+            profiles = build_catalog(store, tables=1, rows=600, seed=SERVE_SEED)
+            store.stats.reset()
+            # Permanent damage + strict policy: the scan dies mid-flight
+            # after real bytes moved.
+            store.retry = RetryPolicy(max_attempts=2)
+            loop, server = self._server(store)
+            failures = []
+
+            async def doomed():
+                store.set_faults(FaultProfile(seed=9, corrupt_rate=1.0))
+                try:
+                    await server.submit(
+                        ScanRequest(
+                            tenant="victim",
+                            table=profiles[0].name,
+                            columns=profiles[0].columns,
+                            on_corrupt="raise",
+                        )
+                    )
+                except BtrBlocksError as error:
+                    failures.append(type(error).__name__)
+                finally:
+                    store.set_faults(None)
+
+            loop.create_task(doomed(), "doomed")
+            loop.run()
+
+        assert failures, "permanent corruption did not surface"
+        victim = server.ledgers["victim"]
+        assert victim.failed == 1
+        assert victim.bytes_fetched > 0, "the failed scan moved bytes; bill them"
+        _assert_ledgers_match_store(store, server)
+
+    def test_rejection_is_typed_and_zero_before_any_traffic(self):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            store = SimulatedObjectStore()
+            profiles = build_catalog(store, tables=1, rows=600, seed=SERVE_SEED)
+            store.stats.reset()
+            loop = EventLoop(clock=store.clock)
+            store.clock.reset()
+            server = ScanServer(store, loop, max_concurrency=1, queue_limit=0)
+            errors = []
+
+            async def first():
+                await server.submit(
+                    ScanRequest(tenant="a", table=profiles[0].name, columns=("id",))
+                )
+
+            async def second():
+                try:
+                    await server.submit(
+                        ScanRequest(
+                            tenant="b", table=profiles[0].name, columns=("id",)
+                        )
+                    )
+                except AdmissionRejectedError as error:
+                    errors.append(error)
+
+            loop.create_task(first(), "first")
+            loop.create_task(second(), "second")
+            loop.run()
+
+        assert len(errors) == 1
+        b = server.ledgers["b"]
+        assert (b.get_requests, b.bytes_fetched, b.cost_usd) == (0, 0, 0.0)
+        _assert_ledgers_match_store(store, server)
+
+
+class TestRegistryMirrorsLedgers:
+    def test_server_counters_equal_ledger_sums(self):
+        registry, store, run = _run_workload(
+            WorkloadSpec(tenants=6, requests_per_tenant=4, seed=SERVE_SEED),
+            max_concurrency=3,
+            queue_limit=64,
+        )
+        server = run["server"]
+        sums = _ledger_sums(server)
+        assert registry.get("server.get_requests") == sums["get_requests"]
+        assert registry.get("server.bytes_fetched") == sums["bytes_fetched"]
+        assert registry.get("server.retries") == sums["retries"]
+        assert registry.get("server.cost_usd") == pytest.approx(
+            sums["cost_usd"], abs=FLOAT_TOL
+        )
+        assert registry.get("server.completed") == sum(
+            l.completed for l in server.ledgers.values()
+        )
+
+    def test_report_section_appears_after_serving(self):
+        from repro.observe.report import build_report
+
+        registry, _, run = _run_workload(
+            WorkloadSpec(tenants=3, requests_per_tenant=3, seed=SERVE_SEED),
+            max_concurrency=2,
+            queue_limit=64,
+        )
+        report = build_report(registry)
+        assert "server" in report
+        section = report["server"]
+        assert section["requests"] == 9
+        assert section["admission"]["completed"] == len(run["responses"])
+        server_report = run["server"].report()
+        assert len(server_report["ledgers"]) == 3
+        assert {l["tenant"] for l in server_report["ledgers"]} == {
+            "tenant-00",
+            "tenant-01",
+            "tenant-02",
+        }
