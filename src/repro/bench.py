@@ -407,6 +407,7 @@ def bench_serve(
     seed: int = 2024_08,
     max_concurrency: int = 4,
     queue_limit: int = 64,
+    deadline_seconds: "float | None" = None,
 ) -> dict:
     """Multi-tenant serving sweep (``repro serve-bench``): p50/p99 latency,
     shared-cache hit rate and $/query per tenant count, all on simulated
@@ -420,6 +421,37 @@ def bench_serve(
         tables=tables,
         requests_per_tenant=requests_per_tenant,
         seed=seed,
+        max_concurrency=max_concurrency,
+        queue_limit=queue_limit,
+        deadline_seconds=deadline_seconds,
+    )
+
+
+def bench_serve_brownout(
+    tenants: int = 16,
+    requests_per_tenant: int = 8,
+    rows: int = 4000,
+    tables: int = 3,
+    seed: int = 2024_08,
+    chaos_seed: int = 7,
+    deadline_seconds: float = 0.75,
+    max_concurrency: int = 4,
+    queue_limit: int = 32,
+) -> dict:
+    """Brownout chaos sweep (``repro serve-bench --brownout``): the overload
+    layer (deadlines, retry budgets, circuit breaker, shedding) on vs off
+    under one seeded brownout episode set, plus a fault-free control pair.
+    Thin façade over :func:`repro.serve.bench.run_brownout_bench`."""
+    from repro.serve.bench import run_brownout_bench
+
+    return run_brownout_bench(
+        tenants=tenants,
+        requests_per_tenant=requests_per_tenant,
+        rows=rows,
+        tables=tables,
+        seed=seed,
+        chaos_seed=chaos_seed,
+        deadline_seconds=deadline_seconds,
         max_concurrency=max_concurrency,
         queue_limit=queue_limit,
     )

@@ -305,15 +305,49 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     """Sweep the multi-tenant scan server and print latency/cache/$ figures."""
     from repro import bench
 
-    sweep = tuple(int(t) for t in args.tenants.split(",") if t.strip())
+    deadline_seconds = args.deadline_ms / 1e3 if args.deadline_ms else None
+    if args.brownout:
+        report = bench.bench_serve_brownout(
+            rows=args.rows,
+            tables=args.tables,
+            requests_per_tenant=args.requests,
+            seed=args.seed,
+            chaos_seed=args.chaos_seed,
+            deadline_seconds=deadline_seconds if deadline_seconds else 0.75,
+            max_concurrency=args.concurrency,
+            queue_limit=min(args.queue_limit, 32),
+        )
+        print(f"serve-bench --brownout: seed {report['seed']}, chaos seed "
+              f"{report['chaos_seed']}, {len(report['episodes'])} episode(s), "
+              f"deadline {1e3 * report['deadline_seconds']:.0f} ms")
+        for phase in ("brownout", "fault_free"):
+            for name in ("hardened", "unhardened"):
+                m = report[phase][name]
+                print(f"  {phase:10s} {name:10s}: "
+                      f"{m['completed_on_time']:3d} on time, "
+                      f"{m['completed_late']:3d} late, "
+                      f"{m['shed']:3d} shed, "
+                      f"{m['retries']:3d} retries, "
+                      f"{m['wasted_bytes_total']:8,d} wasted B, "
+                      f"goodput {m['goodput_per_second']:6.1f}/s, "
+                      f"p99 {1e3 * m['p99_latency_seconds']:7.2f} ms")
+        print(f"  overload layer saved {report['retries_saved']} retrie(s) and "
+              f"{report['wasted_bytes_saved']:,} wasted byte(s) under brownout")
+        if args.output:
+            Path(args.output).write_text(
+                json.dumps(report, indent=2, sort_keys=True), encoding="utf-8"
+            )
+            print(f"serve-bench report -> {args.output}")
+        return 0
     report = bench.bench_serve(
-        tenant_sweep=sweep,
+        tenant_sweep=tuple(int(t) for t in args.tenants.split(",") if t.strip()),
         rows=args.rows,
         tables=args.tables,
         requests_per_tenant=args.requests,
         seed=args.seed,
         max_concurrency=args.concurrency,
         queue_limit=args.queue_limit,
+        deadline_seconds=deadline_seconds,
     )
     print(f"serve-bench: seed {report['seed']}, {report['tables']} tables x "
           f"{report['rows']:,} rows, concurrency {report['max_concurrency']}, "
@@ -326,6 +360,14 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
               f"${level['cost_usd_per_query']:.3e}/query  "
               f"({level['completed']}/{level['requests']} served, "
               f"{level['rejected']} rejected)")
+        if level["rejected"] or level["shed"]:
+            print(f"                retry-after hint: "
+                  f"mean {1e3 * level['retry_after_mean_seconds']:.1f} ms, "
+                  f"max {1e3 * level['retry_after_max_seconds']:.1f} ms "
+                  f"over {level['retry_after_hints']} rejection(s)")
+        if level["deadline_exceeded"] or level["shed"]:
+            print(f"                deadlines: {level['deadline_exceeded']} "
+                  f"exceeded, {level['shed']} shed at admission")
     ratio = report.get("cost_ratio_16_vs_1")
     if ratio is not None:
         print(f"  $/query at 16 tenants vs 1: {ratio:.2f}x")
@@ -598,6 +640,20 @@ def build_parser() -> argparse.ArgumentParser:
     serve_bench.add_argument("--queue-limit", type=int, default=64,
                              help="admission queue bound; beyond it requests "
                                   "are rejected (default 64)")
+    serve_bench.add_argument("--deadline-ms", type=float, default=None,
+                             metavar="MS",
+                             help="per-request latency budget in milliseconds; "
+                                  "enables deadline propagation and doomed-work "
+                                  "shedding (default: no deadline)")
+    serve_bench.add_argument("--brownout", action="store_true",
+                             help="run the brownout chaos sweep instead: the "
+                                  "overload layer (deadlines, retry budgets, "
+                                  "circuit breaker) on vs off under seeded "
+                                  "brownout episodes plus a fault-free control")
+    serve_bench.add_argument("--chaos-seed", type=int,
+                             default=int(os.environ.get("REPRO_CHAOS_SEED", "7"), 0),
+                             help="brownout episode seed (default "
+                                  "$REPRO_CHAOS_SEED or 7)")
     serve_bench.add_argument("--output", "-o", metavar="PATH",
                              help="also write the JSON report to PATH")
     serve_bench.set_defaults(func=_cmd_serve_bench)

@@ -1,0 +1,128 @@
+"""A circuit breaker for the simulated object store's GET/metadata paths.
+
+When the store browns out — sustained elevated error rates, the failure
+mode object stores actually exhibit (see ``docs/RELIABILITY.md``) — retry
+loops turn every doomed request into several doomed attempts plus backoff.
+The breaker converts that amplification into fast, typed, zero-billed
+failures:
+
+* **closed** — requests pass through; consecutive *request-level* failures
+  (retry exhaustion, budget exhaustion — i.e. the retry layer itself gave
+  up) are counted, and ``failure_threshold`` of them in a row open the
+  circuit.
+* **open** — every request fails immediately with
+  :class:`~repro.exceptions.CircuitOpenError` carrying a
+  ``retry_after_seconds`` hint; nothing reaches the store, nothing is
+  billed. The open interval is ``reset_timeout_seconds`` stretched by a
+  seeded jitter factor so a fleet of breakers does not re-probe in
+  lockstep — deterministic per seed, like every other simulated component.
+* **half-open** — after the interval, up to ``half_open_probes`` requests
+  are admitted as probes. ``success_threshold`` successes close the
+  circuit; any probe failure re-opens it for a fresh (re-jittered)
+  interval. Non-probe requests keep fast-failing while probes are out.
+
+All transitions are driven by the :class:`~repro.cloud.retry.SimulatedClock`
+the caller passes in, so breaker histories replay bit-identically from a
+seed. Events land on ``cloud.breaker.*`` counters.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.exceptions import CircuitOpenError
+from repro.observe import get_registry
+
+__all__ = ["BreakerPolicy", "CircuitBreaker"]
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """Thresholds and timing for one :class:`CircuitBreaker`."""
+
+    #: Consecutive request-level failures (in closed state) that open it.
+    failure_threshold: int = 5
+    #: Base open interval before the first half-open probe is admitted.
+    reset_timeout_seconds: float = 1.0
+    #: Probes admitted concurrently while half-open.
+    half_open_probes: int = 2
+    #: Probe successes required to close again.
+    success_threshold: int = 2
+    #: Open intervals are stretched by ``1 + jitter * U[0, 1)`` (seeded).
+    jitter: float = 0.25
+    seed: int = 0
+
+
+class CircuitBreaker:
+    """Closed/open/half-open state machine on a simulated clock."""
+
+    def __init__(self, policy: "BreakerPolicy | None" = None) -> None:
+        self.policy = policy if policy is not None else BreakerPolicy()
+        self._rng = random.Random(self.policy.seed)
+        self.state = "closed"
+        self._failures = 0
+        self._open_until = 0.0
+        self._probes_in_flight = 0
+        self._probe_successes = 0
+
+    def before_request(self, clock) -> None:
+        """Admit, probe, or fast-fail one request at ``clock.now_seconds``.
+
+        Raises :class:`~repro.exceptions.CircuitOpenError` (with a
+        ``retry_after_seconds`` hint) when the request must not reach the
+        store. A request that passes must later report
+        :meth:`record_success` or :meth:`record_failure` exactly once.
+        """
+        registry = get_registry()
+        now = clock.now_seconds
+        if self.state == "open":
+            if now < self._open_until:
+                registry.incr("cloud.breaker.fast_fail")
+                raise CircuitOpenError(
+                    f"circuit open for another {self._open_until - now:.3f}s",
+                    retry_after_seconds=self._open_until - now,
+                )
+            self.state = "half_open"
+            self._probes_in_flight = 0
+            self._probe_successes = 0
+            registry.incr("cloud.breaker.half_open")
+        if self.state == "half_open":
+            if self._probes_in_flight >= self.policy.half_open_probes:
+                registry.incr("cloud.breaker.fast_fail")
+                raise CircuitOpenError(
+                    "circuit half-open with all probe slots in use",
+                    retry_after_seconds=self.policy.reset_timeout_seconds,
+                )
+            self._probes_in_flight += 1
+            registry.incr("cloud.breaker.probes")
+
+    def record_success(self, clock) -> None:
+        if self.state == "half_open":
+            self._probes_in_flight = max(0, self._probes_in_flight - 1)
+            self._probe_successes += 1
+            if self._probe_successes >= self.policy.success_threshold:
+                self.state = "closed"
+                self._failures = 0
+                get_registry().incr("cloud.breaker.closed")
+        elif self.state == "closed":
+            self._failures = 0
+
+    def record_failure(self, clock) -> None:
+        registry = get_registry()
+        if self.state == "half_open":
+            registry.incr("cloud.breaker.reopened")
+            self._open(clock.now_seconds)
+        elif self.state == "closed":
+            self._failures += 1
+            if self._failures >= self.policy.failure_threshold:
+                registry.incr("cloud.breaker.opened")
+                self._open(clock.now_seconds)
+
+    def _open(self, now: float) -> None:
+        self.state = "open"
+        self._probes_in_flight = 0
+        interval = self.policy.reset_timeout_seconds * (
+            1.0 + self.policy.jitter * self._rng.random()
+        )
+        self._open_until = now + interval

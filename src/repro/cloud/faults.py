@@ -52,6 +52,81 @@ from repro.observe import get_registry
 
 
 @dataclass(frozen=True)
+class BrownoutEpisode:
+    """A time-windowed store degradation: elevated rates + extra latency.
+
+    Real object-store incidents are not uniform noise — they are *episodes*:
+    minutes-long windows of elevated error rates and latency ("brownouts")
+    that end. While the simulated clock is inside ``[start_seconds,
+    start_seconds + duration_seconds)`` the episode's rates are *added* to
+    the profile's base GET rates (capped at 1.0) and every attempt burns
+    ``extra_latency_seconds`` of simulated time before its fault roll —
+    failed attempts included, which is exactly what makes naive retry loops
+    amplify an outage.
+    """
+
+    start_seconds: float
+    duration_seconds: float
+    transient_error_rate: float = 0.0
+    timeout_rate: float = 0.0
+    throttle_rate: float = 0.0
+    extra_latency_seconds: float = 0.0
+
+    @property
+    def end_seconds(self) -> float:
+        return self.start_seconds + self.duration_seconds
+
+    def active(self, now_seconds: float) -> bool:
+        return self.start_seconds <= now_seconds < self.end_seconds
+
+    def to_dict(self) -> dict:
+        return {
+            "start_seconds": self.start_seconds,
+            "duration_seconds": self.duration_seconds,
+            "transient_error_rate": self.transient_error_rate,
+            "timeout_rate": self.timeout_rate,
+            "throttle_rate": self.throttle_rate,
+            "extra_latency_seconds": self.extra_latency_seconds,
+        }
+
+
+def seeded_brownouts(
+    seed: int,
+    horizon_seconds: float,
+    episodes: int = 2,
+) -> "tuple[BrownoutEpisode, ...]":
+    """Deterministic brownout episodes for a workload of ``horizon_seconds``.
+
+    The first episode always opens near t=0 and covers roughly half the
+    horizon, so any seed produces a sweep where the workload's arrival
+    burst actually meets degraded service (a chaos run that randomly
+    missed the brownout would assert nothing). Later episodes land in the
+    back half with independent seeded shapes.
+    """
+    rng = random.Random(seed)
+    out = [
+        BrownoutEpisode(
+            start_seconds=rng.uniform(0.0, 0.05) * horizon_seconds,
+            duration_seconds=rng.uniform(0.45, 0.65) * horizon_seconds,
+            transient_error_rate=rng.uniform(0.45, 0.65),
+            throttle_rate=rng.uniform(0.05, 0.15),
+            extra_latency_seconds=rng.uniform(0.01, 0.04),
+        )
+    ]
+    for _ in range(max(0, episodes - 1)):
+        out.append(
+            BrownoutEpisode(
+                start_seconds=rng.uniform(0.7, 0.9) * horizon_seconds,
+                duration_seconds=rng.uniform(0.1, 0.2) * horizon_seconds,
+                transient_error_rate=rng.uniform(0.2, 0.4),
+                timeout_rate=rng.uniform(0.0, 0.05),
+                extra_latency_seconds=rng.uniform(0.005, 0.02),
+            )
+        )
+    return tuple(sorted(out, key=lambda e: e.start_seconds))
+
+
+@dataclass(frozen=True)
 class FaultProfile:
     """Per-request fault probabilities for a simulated store.
 
@@ -59,7 +134,8 @@ class FaultProfile:
     transient → timeout → throttle → (serve) → truncate → corrupt; a request
     fault short-circuits the attempt, payload faults compose with the served
     bytes. All rates default to zero, i.e. a profile injects nothing unless
-    asked to.
+    asked to. ``episodes`` adds clock-driven brownout windows on top of the
+    base GET rates (see :class:`BrownoutEpisode`).
     """
 
     seed: int = 0
@@ -91,6 +167,9 @@ class FaultProfile:
     #: PUT-class operations have completed; every later PUT-class op also
     #: fails. Negative = disabled. 0 kills the very first operation.
     crash_after_put_ops: int = -1
+    #: Time-windowed brownouts layered over the base GET rates, evaluated
+    #: against the simulated clock the store passes to the injector.
+    episodes: "tuple[BrownoutEpisode, ...]" = ()
 
     def rng(self) -> random.Random:
         """A fresh RNG positioned at the profile's seed."""
@@ -110,16 +189,50 @@ class FaultInjector:
     def _roll(self, rate: float) -> bool:
         return rate > 0.0 and self._rng.random() < rate
 
-    def before_serve(self, key: str) -> None:
-        """Roll the request faults; raises a transient error to abort."""
+    def _episode(self, now_seconds: float) -> "BrownoutEpisode | None":
+        for episode in self.profile.episodes:
+            if episode.active(now_seconds):
+                return episode
+        return None
+
+    def episode_latency(self, now_seconds: float) -> float:
+        """Extra per-attempt latency the active brownout (if any) injects.
+
+        The store applies it to its clock *before* the fault roll, so even
+        attempts that go on to fail burn the degraded store's slowness.
+        """
+        episode = self._episode(now_seconds)
+        if episode is None or episode.extra_latency_seconds <= 0.0:
+            return 0.0
         registry = get_registry()
-        if self._roll(self.profile.transient_error_rate):
+        registry.incr("cloud.faults.brownout_requests")
+        registry.incr(
+            "cloud.faults.brownout_latency_seconds", episode.extra_latency_seconds
+        )
+        return episode.extra_latency_seconds
+
+    def before_serve(self, key: str, now_seconds: float = 0.0) -> None:
+        """Roll the request faults; raises a transient error to abort.
+
+        ``now_seconds`` positions the roll against any brownout episodes:
+        inside a window, episode rates add to the base rates (capped at 1).
+        """
+        registry = get_registry()
+        episode = self._episode(now_seconds)
+        transient = self.profile.transient_error_rate
+        timeout = self.profile.timeout_rate
+        throttle = self.profile.throttle_rate
+        if episode is not None:
+            transient = min(1.0, transient + episode.transient_error_rate)
+            timeout = min(1.0, timeout + episode.timeout_rate)
+            throttle = min(1.0, throttle + episode.throttle_rate)
+        if self._roll(transient):
             registry.incr("cloud.faults.transient")
             raise TransientRequestError(f"injected transient error on GET {key}")
-        if self._roll(self.profile.timeout_rate):
+        if self._roll(timeout):
             registry.incr("cloud.faults.timeout")
             raise RequestTimeoutError(f"injected timeout on GET {key}")
-        if self._roll(self.profile.throttle_rate):
+        if self._roll(throttle):
             registry.incr("cloud.faults.throttle")
             raise ThrottledError(f"injected throttle (SlowDown) on GET {key}")
 
@@ -197,4 +310,10 @@ class PutOutcome:
         return not (self.torn or self.duplicate)
 
 
-__all__ = ["FaultInjector", "FaultProfile", "PutOutcome"]
+__all__ = [
+    "BrownoutEpisode",
+    "FaultInjector",
+    "FaultProfile",
+    "PutOutcome",
+    "seeded_brownouts",
+]

@@ -42,14 +42,17 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
+from repro.cloud.breaker import CircuitBreaker
 from repro.cloud.faults import FaultInjector, FaultProfile
 from repro.cloud.pricing import DEFAULT_PRICING, PricingModel
-from repro.cloud.retry import RetryPolicy, SimulatedClock, call_with_retry
+from repro.cloud.retry import RetryBudget, RetryPolicy, SimulatedClock, call_with_retry
 from repro.exceptions import (
     FormatError,
     MultipartUploadError,
     NoSuchUploadError,
     RangeNotSatisfiableError,
+    RetryBudgetExhaustedError,
+    RetryExhaustedError,
     TornWriteError,
     TransientRequestError,
     TruncatedReadError,
@@ -67,6 +70,8 @@ class TransferStats:
     retries: int = 0
     #: Simulated seconds spent backing off (and waiting out timeouts).
     backoff_seconds: float = 0.0
+    #: Extra per-attempt latency injected by brownout episodes.
+    brownout_seconds: float = 0.0
     #: Billed PUT-class requests (simple PUTs, initiates, parts, completes).
     put_requests: int = 0
     #: Bytes the server durably applied across billed PUT-class attempts.
@@ -81,6 +86,7 @@ class TransferStats:
         self.bytes_downloaded = 0
         self.retries = 0
         self.backoff_seconds = 0.0
+        self.brownout_seconds = 0.0
         self.put_requests = 0
         self.bytes_uploaded = 0
         self.put_retries = 0
@@ -142,6 +148,13 @@ class SimulatedObjectStore:
     faults: FaultProfile | None = None
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     clock: SimulatedClock = field(default_factory=SimulatedClock)
+    #: Optional circuit breaker guarding every GET/metadata path.
+    breaker: CircuitBreaker | None = None
+    #: Per-request context a driver installs for the duration of an atomic
+    #: scan stage (see ``capture_step``): the absolute deadline the current
+    #: request's backoff must not cross, and the tenant's retry budget.
+    deadline_seconds: float | None = None
+    retry_budget: RetryBudget | None = None
 
     def __post_init__(self) -> None:
         self._injector = FaultInjector(self.faults) if self.faults else None
@@ -408,7 +421,13 @@ class SimulatedObjectStore:
         """
         expected = min(length, len(self._objects[key]) - start)
         if self._injector is not None:
-            self._injector.before_serve(key)
+            # Brownout latency burns simulated time on every attempt —
+            # before the fault roll, so even rejected attempts are slow.
+            extra = self._injector.episode_latency(self.clock.now_seconds)
+            if extra > 0.0:
+                self.clock.sleep(extra)
+                self.stats.brownout_seconds += extra
+            self._injector.before_serve(key, self.clock.now_seconds)
         data = self._objects[key][start : start + length]
         if self._injector is not None:
             data = self._injector.damage_payload(data, ranged=ranged)
@@ -428,15 +447,31 @@ class SimulatedObjectStore:
         def on_wait(delay: float) -> None:
             self.stats.backoff_seconds += delay
 
-        return call_with_retry(
-            lambda: self._attempt(key, start, length, ranged),
-            self.retry,
-            self.clock,
-            self._retry_rng,
-            on_backoff=on_backoff,
-            on_wait=on_wait,
-            label=f"GET {key}",
-        )
+        if self.breaker is not None:
+            # Fast-fail before any attempt: an open circuit bills nothing.
+            self.breaker.before_request(self.clock)
+        try:
+            data = call_with_retry(
+                lambda: self._attempt(key, start, length, ranged),
+                self.retry,
+                self.clock,
+                self._retry_rng,
+                on_backoff=on_backoff,
+                on_wait=on_wait,
+                label=f"GET {key}",
+                deadline_seconds=self.deadline_seconds,
+                budget=self.retry_budget,
+            )
+        except (RetryExhaustedError, RetryBudgetExhaustedError, TransientRequestError):
+            # The retry layer gave up on the store — breaker-visible failure.
+            # (Deadline cancellations are the client's problem, not the
+            # store's health, and don't count against the circuit.)
+            if self.breaker is not None:
+                self.breaker.record_failure(self.clock)
+            raise
+        if self.breaker is not None:
+            self.breaker.record_success(self.clock)
+        return data
 
     def get(self, key: str) -> bytes:
         """Full-object GET: one request regardless of object size."""

@@ -66,6 +66,7 @@ from repro.core.relation import Relation
 from repro.exceptions import (
     CommitConflictError,
     CorruptBlockError,
+    DeadlineExceededError,
     FormatError,
     IntegrityError,
     NoSuchUploadError,
@@ -139,6 +140,7 @@ class ScanStep:
     bytes_fetched: int = 0
     retries: int = 0
     backoff_seconds: float = 0.0
+    brownout_seconds: float = 0.0
     decode_bytes: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
@@ -146,7 +148,11 @@ class ScanStep:
 
 @contextmanager
 def capture_step(
-    store: SimulatedObjectStore, kind: str, column: "str | None" = None
+    store: SimulatedObjectStore,
+    kind: str,
+    column: "str | None" = None,
+    deadline_seconds: "float | None" = None,
+    retry_budget=None,
 ) -> Iterator[ScanStep]:
     """Run one scan stage with a private clock; capture what it consumed.
 
@@ -158,6 +164,14 @@ def capture_step(
     stage runs atomically (no awaits inside), so the diffs are exactly
     this stage's traffic even when many scans interleave at step
     boundaries.
+
+    ``deadline_seconds`` / ``retry_budget`` install the current request's
+    overload context on the store for the stage's duration: the retry
+    layer's backoff becomes interruptible against the (absolute) deadline
+    and retries spend the owning tenant's token bucket. The capture clock
+    starts at the shared instant, so absolute deadlines stay comparable
+    inside the stage. Both are restored on exit — stages run atomically,
+    so the swap can never leak into another request's stage.
     """
     registry = get_registry()
     stats = store.stats
@@ -165,21 +179,29 @@ def capture_step(
     before_bytes = stats.bytes_downloaded
     before_retries = stats.retries
     before_backoff = stats.backoff_seconds
+    before_brownout = stats.brownout_seconds
     before_hits = registry.get("decode.cache.hit")
     before_misses = registry.get("decode.cache.miss")
     outer_clock = store.clock
+    outer_deadline = store.deadline_seconds
+    outer_budget = store.retry_budget
     capture = SimulatedClock(now_seconds=outer_clock.now_seconds)
     store.clock = capture
+    store.deadline_seconds = deadline_seconds
+    store.retry_budget = retry_budget
     step = ScanStep(kind=kind, column=column)
     try:
         yield step
     finally:
         store.clock = outer_clock
+        store.deadline_seconds = outer_deadline
+        store.retry_budget = outer_budget
         step.clock_seconds += capture.now_seconds - outer_clock.now_seconds
         step.requests += stats.get_requests - before_requests
         step.bytes_fetched += stats.bytes_downloaded - before_bytes
         step.retries += stats.retries - before_retries
         step.backoff_seconds += stats.backoff_seconds - before_backoff
+        step.brownout_seconds += stats.brownout_seconds - before_brownout
         step.cache_hits += int(registry.get("decode.cache.hit") - before_hits)
         step.cache_misses += int(registry.get("decode.cache.miss") - before_misses)
 
@@ -741,12 +763,33 @@ class RemoteTable:
             cache_key=cache_key,
         )
 
+    def _check_deadline(self, deadline_seconds: "float | None") -> None:
+        """Stage-boundary deadline check: cancel before starting more work.
+
+        Stages are atomic, so this is the scan's cancellation point — a
+        request past its deadline stops here with a typed error before the
+        next stage can touch the store, and everything already consumed
+        stays exactly billed.
+        """
+        if (
+            deadline_seconds is not None
+            and self._store.clock.now_seconds >= deadline_seconds
+        ):
+            get_registry().incr("cloud.scan.deadline_cancelled")
+            raise DeadlineExceededError(
+                f"scan of {self.name!r} cancelled at stage boundary: deadline "
+                f"t={deadline_seconds:.3f}s reached at "
+                f"t={self._store.clock.now_seconds:.3f}s"
+            )
+
     def scan_steps(
         self,
         columns: "Iterable[str] | None" = None,
         where: "Mapping[str, Predicate] | None" = None,
         pipelined: bool = False,
         readahead: "int | None" = None,
+        deadline_seconds: "float | None" = None,
+        retry_budget=None,
     ):
         """The scan as a reentrant generator of atomic stages.
 
@@ -760,16 +803,32 @@ class RemoteTable:
         captured time reaches the shared clock: :meth:`scan` replays it
         immediately, a serving loop suspends between stages so many scans
         interleave deterministically without sharing mid-stage state.
+
+        ``deadline_seconds`` is an *absolute* instant on the store's shared
+        clock: the remaining budget is checked at every stage boundary
+        (raising :class:`~repro.exceptions.DeadlineExceededError` instead
+        of starting a stage that can no longer be used) and carried into
+        each stage so retry backoff inside it is interruptible too.
+        ``retry_budget`` is the owning tenant's
+        :class:`~repro.cloud.retry.RetryBudget`, spent by every retried
+        attempt the scan causes.
         """
         registry = get_registry()
         registry.incr("cloud.table.scans")
         names = list(columns) if columns is not None else self.column_names()
         if readahead is None:
             readahead = self.readahead
+        context = {
+            "deadline_seconds": deadline_seconds,
+            "retry_budget": retry_budget,
+        }
         if where:
             result: RoaringBitmap | None = None
             for column_name, predicate in where.items():
-                with capture_step(self._store, "filter", column_name) as step:
+                self._check_deadline(deadline_seconds)
+                with capture_step(
+                    self._store, "filter", column_name, **context
+                ) as step:
                     matches = self._column_matches(column_name, predicate)
                     result = matches if result is None else (result & matches)
                     step.decode_bytes = step.bytes_fetched
@@ -781,7 +840,10 @@ class RemoteTable:
             rows = result.to_array().astype(np.int64)
             out = []
             for name in names:
-                with capture_step(self._store, "materialise", name) as step:
+                self._check_deadline(deadline_seconds)
+                with capture_step(
+                    self._store, "materialise", name, **context
+                ) as step:
                     out.append(self._materialise_rows(name, rows))
                     step.decode_bytes = step.bytes_fetched
                 yield step
@@ -790,14 +852,16 @@ class RemoteTable:
                 return relation, PipelinedScanReport.from_columns([], readahead)
             return relation
         if pipelined:
-            return (yield from self._pipelined_steps(names, readahead))
+            return (yield from self._pipelined_steps(names, readahead, context))
         out = []
         for name in names:
             entry = self.column_entry(name)
-            with capture_step(self._store, "fetch", name) as step:
+            self._check_deadline(deadline_seconds)
+            with capture_step(self._store, "fetch", name, **context) as step:
                 compressed = self.fetch_column(name)
             yield step
-            with capture_step(self._store, "decode", name) as step:
+            self._check_deadline(deadline_seconds)
+            with capture_step(self._store, "decode", name, **context) as step:
                 out.append(
                     self._decompress_remote_column(
                         compressed, self._column_cache_key(entry)
@@ -812,11 +876,15 @@ class RemoteTable:
             yield step
         return Relation(self.name, out)
 
-    def _pipelined_steps(self, names: "list[str]", readahead: int):
+    def _pipelined_steps(
+        self, names: "list[str]", readahead: int, context: "dict | None" = None
+    ):
         """Full-column projection stages with readahead GETs overlapped with
         decode; one :class:`ScanStep` per column (see :meth:`scan_pipelined`
         for the semantics each stage preserves)."""
         registry = get_registry()
+        context = context or {}
+        deadline_seconds = context.get("deadline_seconds")
         out = []
         stats: list[ColumnPipelineStats] = []
         fallbacks = 0
@@ -825,7 +893,8 @@ class RemoteTable:
         for name in names:
             entry = self.column_entry(name)
             cache_key = self._column_cache_key(entry)
-            with capture_step(self._store, "pipeline", name) as step:
+            self._check_deadline(deadline_seconds)
+            with capture_step(self._store, "pipeline", name, **context) as step:
                 cached = self._columns.get(entry["file"])
                 if cached is not None:
                     out.append(self._decompress_remote_column(cached, cache_key))

@@ -18,7 +18,9 @@ from dataclasses import dataclass, field
 from typing import Callable, TypeVar
 
 from repro.exceptions import (
+    DeadlineExceededError,
     RequestTimeoutError,
+    RetryBudgetExhaustedError,
     RetryExhaustedError,
     TransientRequestError,
 )
@@ -147,6 +149,42 @@ class RetryPolicy:
         return delay * (1.0 - self.jitter * rng.random())
 
 
+@dataclass
+class RetryBudget:
+    """A token bucket limiting *retried* attempts, refilled on simulated time.
+
+    One tenant hammering a browned-out store must not amplify the outage
+    for everyone: each retry (never the first attempt) spends one token,
+    and an empty bucket turns the next would-be retry into a typed
+    :class:`~repro.exceptions.RetryBudgetExhaustedError` fast-fail instead
+    of another backoff-and-storm cycle. Tokens refill continuously at
+    ``refill_per_second`` against the clock the caller passes in, so a
+    tenant that backs off genuinely recovers its budget.
+    """
+
+    capacity: float = 8.0
+    refill_per_second: float = 1.0
+    tokens: float = -1.0  # -1 sentinel: start full
+    last_refill_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.tokens < 0:
+            self.tokens = self.capacity
+
+    def _refill(self, now_seconds: float) -> None:
+        elapsed = max(0.0, now_seconds - self.last_refill_seconds)
+        self.tokens = min(self.capacity, self.tokens + elapsed * self.refill_per_second)
+        self.last_refill_seconds = now_seconds
+
+    def try_spend(self, now_seconds: float, tokens: float = 1.0) -> bool:
+        """Spend ``tokens`` if available; False (and no spend) otherwise."""
+        self._refill(now_seconds)
+        if self.tokens + 1e-12 < tokens:
+            return False
+        self.tokens -= tokens
+        return True
+
+
 def call_with_retry(
     fn: Callable[[], T],
     policy: RetryPolicy,
@@ -155,6 +193,8 @@ def call_with_retry(
     on_backoff: "Callable[[float], None] | None" = None,
     on_wait: "Callable[[float], None] | None" = None,
     label: str = "request",
+    deadline_seconds: "float | None" = None,
+    budget: "RetryBudget | None" = None,
 ) -> T:
     """Run ``fn`` until it succeeds or the policy's attempts run out.
 
@@ -166,12 +206,37 @@ def call_with_retry(
     ``on_backoff`` fires once per retry with its backoff delay; ``on_wait``
     fires for *any* extra simulated wait (backoff and timed-out attempts'
     client waits), so callers can count retries and account time separately.
+
+    ``deadline_seconds`` (absolute, on ``clock``) makes the backoff
+    interruptible: a retry whose delay would cross the deadline raises
+    :class:`~repro.exceptions.DeadlineExceededError` immediately instead of
+    burning backoff on work that can never be used. ``budget`` charges one
+    token per retry and fast-fails with
+    :class:`~repro.exceptions.RetryBudgetExhaustedError` when the bucket is
+    empty — both chained to the transient failure that provoked the retry.
     """
     registry = get_registry()
     failure: TransientRequestError | None = None
     for attempt in range(max(1, policy.max_attempts)):
         if attempt:
             delay = policy.backoff_seconds(attempt - 1, rng)
+            if (
+                deadline_seconds is not None
+                and clock.now_seconds + delay > deadline_seconds
+            ):
+                registry.incr("cloud.retry.deadline_cancelled")
+                raise DeadlineExceededError(
+                    f"{label}: backoff of {delay:.3f}s would cross the "
+                    f"deadline at t={deadline_seconds:.3f}s"
+                ) from failure
+            if budget is not None:
+                if not budget.try_spend(clock.now_seconds):
+                    registry.incr("retry.budget.exhausted")
+                    raise RetryBudgetExhaustedError(
+                        f"{label}: retry budget exhausted "
+                        f"(refills at {budget.refill_per_second}/s)"
+                    ) from failure
+                registry.incr("retry.budget.spent")
             clock.sleep(delay)
             registry.incr("cloud.retry.attempts")
             registry.incr("cloud.retry.backoff_seconds", delay)
@@ -195,5 +260,5 @@ def call_with_retry(
     ) from failure
 
 
-__all__ = ["RetryPolicy", "SimulatedClock", "call_with_retry"]
+__all__ = ["RetryBudget", "RetryPolicy", "SimulatedClock", "call_with_retry"]
 

@@ -102,16 +102,65 @@ class WorkerDiedError(BtrBlocksError):
     inputs. Never a hang, never a torn column."""
 
 
+class DeadlineExceededError(BtrBlocksError):
+    """A request's deadline passed before its scan could finish.
+
+    Raised at an atomic stage boundary (or while a queued waiter was still
+    unadmitted, or when a retry backoff would cross the deadline) — never
+    mid-stage — so cancellation is clean: whatever the request already
+    moved is billed, nothing after the cancellation point is, and the
+    request's queue slot is released. Deliberately *not* a
+    :class:`TransientRequestError`: a dead deadline cannot be retried.
+    """
+
+
+class RetryBudgetExhaustedError(ObjectStoreError):
+    """A tenant's retry-budget token bucket was empty when a retry was due.
+
+    Fast-fail instead of backoff: one tenant's failing workload must not
+    storm the store with retries. The bucket refills over simulated time
+    (see :class:`~repro.cloud.retry.RetryBudget`), so the tenant recovers
+    by waiting, not by hammering.
+    """
+
+
+class CircuitOpenError(ObjectStoreError):
+    """The circuit breaker around the store's GET/metadata paths is open.
+
+    The request failed *before any attempt*, so it is billed zero bytes
+    and zero requests. ``retry_after_seconds`` hints when the breaker will
+    next admit a probe.
+    """
+
+    def __init__(self, message: str, retry_after_seconds: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after_seconds = retry_after_seconds
+
+
 class ServeError(BtrBlocksError):
     """Base class for scan-server scheduling and admission failures."""
 
 
 class AdmissionRejectedError(ServeError):
-    """The server's bounded wait queue was full when the request arrived.
+    """The server refused a request at admission — billed exactly zero.
 
-    Backpressure, not a crash: the request never touched the object store,
-    so it is billed zero and the tenant is expected to back off and retry.
+    Two reasons, both backpressure rather than crashes: ``"queue_full"``
+    (the bounded wait queue is at its limit) and ``"doomed"`` (the
+    request's projected queue wait already exceeds its deadline, so
+    queuing it would only burn a slot on work that can never finish).
+    ``retry_after_seconds`` hints how long the tenant should back off,
+    computed from the current queue depth and observed service times.
     """
+
+    def __init__(
+        self,
+        message: str,
+        retry_after_seconds: float = 0.0,
+        reason: str = "queue_full",
+    ) -> None:
+        super().__init__(message)
+        self.retry_after_seconds = retry_after_seconds
+        self.reason = reason
 
 
 class ServeDeadlockError(ServeError):

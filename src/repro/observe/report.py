@@ -101,6 +101,16 @@ def _reliability_section(counters: dict) -> dict:
         for name, value in counters.items()
         if name.startswith("compressor.fallback.")
     }
+    breaker = {
+        name.split(".")[-1]: value
+        for name, value in counters.items()
+        if name.startswith("cloud.breaker.")
+    }
+    retry_budget = {
+        name.split(".")[-1]: value
+        for name, value in counters.items()
+        if name.startswith("retry.budget.")
+    }
     events = {
         name: value
         for name, value in integrity.items()
@@ -112,13 +122,17 @@ def _reliability_section(counters: dict) -> dict:
         if name in ("recovered_uploads", "recovered_objects", "recovered_bytes", "commit_conflicts")
         and value
     }
-    if not (faults or retries or events or write_events or fallbacks):
+    if not (faults or retries or events or write_events or fallbacks or breaker or retry_budget):
         return {}
     section = {"faults": faults, "retries": retries, "integrity": integrity}
     if write:
         section["write"] = write
     if fallbacks:
         section["fallbacks"] = fallbacks
+    if breaker:
+        section["breaker"] = breaker
+    if retry_budget:
+        section["retry_budget"] = retry_budget
     return section
 
 
@@ -211,6 +225,18 @@ def _server_section(counters: dict) -> dict:
             "column_cache_hits": counters.get("server.column_cache.hit", 0),
             "column_cache_misses": counters.get("server.column_cache.miss", 0),
             "column_cache_evictions": counters.get("server.column_cache.evict", 0),
+        },
+        "overload": {
+            "deadline_exceeded": counters.get("server.deadline.exceeded", 0),
+            "deadline_queue_expired": counters.get("server.deadline.queue_expired", 0),
+            "deadline_shed": counters.get("server.deadline.shed", 0),
+            "scan_deadline_cancelled": counters.get("cloud.scan.deadline_cancelled", 0),
+            "retry_deadline_cancelled": counters.get("cloud.retry.deadline_cancelled", 0),
+            "retry_budget_spent": counters.get("retry.budget.spent", 0),
+            "retry_budget_exhausted": counters.get("retry.budget.exhausted", 0),
+            "breaker_fast_fails": counters.get("cloud.breaker.fast_fail", 0),
+            "wasted_bytes": counters.get("server.wasted_bytes", 0),
+            "brownout_seconds": counters.get("server.brownout_seconds", 0),
         },
     }
 

@@ -12,14 +12,22 @@ the existing cloud simulation:
 * :mod:`repro.serve.server` — :class:`ScanServer`: weighted-fair admission
   of point reads and full scans over shared bounded caches, with
   backpressure (typed, zero-billed rejections) and per-tenant ledgers that
-  sum exactly to the store's global transfer accounting.
+  sum exactly to the store's global transfer accounting — including under
+  the overload layer: deadline propagation with stage-boundary
+  cancellation, per-tenant retry budgets, a circuit breaker on the store
+  path and doomed-work shedding (see ``docs/SERVING.md``).
 * :mod:`repro.serve.workload` / :mod:`repro.serve.bench` — a seeded Zipfian
   workload generator (hot tables, hot columns, bursty open-loop arrivals)
   and the ``repro serve-bench`` sweep reporting p50/p99 latency, cache hit
   rate and $/query as tenancy scales.
 """
 
-from repro.serve.bench import build_catalog, run_serve_bench, serve_workload
+from repro.serve.bench import (
+    build_catalog,
+    run_brownout_bench,
+    run_serve_bench,
+    serve_workload,
+)
 from repro.serve.loop import Event, EventLoop, Task, gather, sleep
 from repro.serve.server import ScanRequest, ScanResponse, ScanServer, TenantLedger
 from repro.serve.workload import (
@@ -43,6 +51,7 @@ __all__ = [
     "build_catalog",
     "gather",
     "generate_workload",
+    "run_brownout_bench",
     "run_serve_bench",
     "serve_workload",
     "sleep",

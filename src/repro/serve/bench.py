@@ -26,20 +26,34 @@ from collections import defaultdict
 
 import numpy as np
 
+from repro.cloud.breaker import BreakerPolicy, CircuitBreaker
+from repro.cloud.faults import FaultProfile, seeded_brownouts
 from repro.cloud.objectstore import SimulatedObjectStore
 from repro.cloud.remote_table import TableWriter
+from repro.cloud.retry import RetryPolicy
 from repro.core.compressor import compress_relation
 from repro.core.config import BtrBlocksConfig
 from repro.core.relation import Relation
 from repro.datagen.distributions import city_names, price_doubles, zipf_int
-from repro.exceptions import AdmissionRejectedError
+from repro.exceptions import (
+    AdmissionRejectedError,
+    CircuitOpenError,
+    DeadlineExceededError,
+    RetryBudgetExhaustedError,
+    RetryExhaustedError,
+)
 from repro.observe import get_registry
 from repro.serve.loop import EventLoop, sleep
 from repro.serve.server import ScanServer
 from repro.serve.workload import TableProfile, WorkloadSpec, generate_workload
 from repro.types import Column
 
-__all__ = ["build_catalog", "run_serve_bench", "serve_workload"]
+__all__ = [
+    "build_catalog",
+    "run_brownout_bench",
+    "run_serve_bench",
+    "serve_workload",
+]
 
 
 def build_catalog(
@@ -87,12 +101,20 @@ def serve_workload(
     store: SimulatedObjectStore,
     profiles: "list[TableProfile]",
     spec: WorkloadSpec,
+    catch_errors: bool = False,
     **server_kwargs,
 ) -> dict:
     """Run one workload through a fresh server; returns results + server.
 
     The store's clock is reset and becomes the event loop's clock, so the
     run starts at t=0 and every latency is in simulated seconds.
+
+    ``catch_errors`` additionally absorbs the overload layer's typed
+    in-flight failures (deadline, retry budget, open circuit) into the
+    run's ``failures`` list — anything *else* still propagates, so a chaos
+    run can only end a request in a typed error or a completion, never a
+    silent drop. Admission rejections are always caught; their
+    ``retry_after_seconds`` hints are collected in ``retry_after_hints``.
     """
     store.clock.reset()
     loop = EventLoop(clock=store.clock)
@@ -103,12 +125,29 @@ def serve_workload(
         by_tenant[timed.request.tenant].append(timed)
     responses: list = []
     rejected: list = []
+    rejections: list = []
+    failures: list = []
+    retry_after_hints: "list[float]" = []
+    caught = (
+        (
+            DeadlineExceededError,
+            RetryBudgetExhaustedError,
+            CircuitOpenError,
+            RetryExhaustedError,
+        )
+        if catch_errors
+        else ()
+    )
 
     async def fire(request):
         try:
             responses.append(await server.submit(request))
-        except AdmissionRejectedError:
+        except AdmissionRejectedError as error:
             rejected.append(request)
+            rejections.append((request, error))
+            retry_after_hints.append(error.retry_after_seconds)
+        except caught as error:
+            failures.append((request, error))
 
     async def tenant_driver(items):
         for n, timed in enumerate(items):
@@ -125,6 +164,9 @@ def serve_workload(
     return {
         "responses": responses,
         "rejected": rejected,
+        "rejections": rejections,
+        "failures": failures,
+        "retry_after_hints": retry_after_hints,
         "server": server,
         "loop": loop,
     }
@@ -138,11 +180,22 @@ def _level_report(run: dict, spec: WorkloadSpec) -> dict:
     misses = sum(r.cache_misses for r in responses)
     total_cost = sum(ledger.cost_usd for ledger in server.ledgers.values())
     completed = len(responses)
+    ledgers = server.ledgers.values()
+    hints = run.get("retry_after_hints", [])
     return {
         "tenants": spec.tenants,
         "requests": spec.tenants * spec.requests_per_tenant,
         "completed": completed,
         "rejected": len(run["rejected"]),
+        "shed": sum(l.shed for l in ledgers),
+        "failed": sum(l.failed for l in ledgers),
+        "deadline_exceeded": sum(l.deadline_exceeded for l in ledgers),
+        "retry_budget_exhausted": sum(l.retry_budget_exhausted for l in ledgers),
+        "circuit_open": sum(l.circuit_open for l in ledgers),
+        "wasted_bytes": sum(l.wasted_bytes for l in ledgers),
+        "retry_after_hints": len(hints),
+        "retry_after_mean_seconds": float(np.mean(hints)) if hints else 0.0,
+        "retry_after_max_seconds": float(np.max(hints)) if hints else 0.0,
         "p50_latency_seconds": float(np.percentile(latencies, 50)) if completed else 0.0,
         "p99_latency_seconds": float(np.percentile(latencies, 99)) if completed else 0.0,
         "mean_latency_seconds": float(latencies.mean()) if completed else 0.0,
@@ -167,8 +220,14 @@ def run_serve_bench(
     max_concurrency: int = 4,
     queue_limit: int = 64,
     point_fraction: float = 0.75,
+    deadline_seconds: "float | None" = None,
 ) -> dict:
-    """The full sweep; one catalog, one fresh server per tenant count."""
+    """The full sweep; one catalog, one fresh server per tenant count.
+
+    ``deadline_seconds`` puts the same latency budget on every generated
+    request (errors are then caught into the level's failure counts rather
+    than aborting the sweep).
+    """
     store = SimulatedObjectStore()
     profiles = build_catalog(store, tables=tables, rows=rows, seed=seed)
     levels = []
@@ -178,12 +237,14 @@ def run_serve_bench(
             tenants=tenants,
             requests_per_tenant=requests_per_tenant,
             point_fraction=point_fraction,
+            deadline_seconds=deadline_seconds,
             seed=seed,
         )
         run = serve_workload(
             store,
             profiles,
             spec,
+            catch_errors=deadline_seconds is not None,
             max_concurrency=max_concurrency,
             queue_limit=queue_limit,
         )
@@ -194,6 +255,7 @@ def run_serve_bench(
         "seed": seed,
         "max_concurrency": max_concurrency,
         "queue_limit": queue_limit,
+        "deadline_seconds": deadline_seconds,
         "levels": levels,
     }
     by_tenants = {level["tenants"]: level for level in levels}
@@ -203,3 +265,144 @@ def run_serve_bench(
         )
     get_registry().incr("server.bench_runs")
     return report
+
+
+def _mode_metrics(
+    run: dict, store: SimulatedObjectStore, deadline_seconds: float
+) -> dict:
+    """Goodput/latency/waste for one chaos mode, computed from the run's
+    responses, ledgers and the store's stats (not the global registry, so
+    modes in one sweep never bleed into each other).
+
+    Waste is judged against the *client's* deadline in every mode, enforced
+    or not: bytes billed to requests that never completed, plus bytes
+    billed to completions the client had already given up on
+    (``latency > deadline``). An unhardened server bills both kinds in
+    full; the hardened one cancels early, so the comparison is the layer's
+    whole value, not just its failure bookkeeping.
+    """
+    responses = run["responses"]
+    server: ScanServer = run["server"]
+    ledgers = server.ledgers.values()
+    failures: "dict[str, int]" = {}
+    for _request, error in run["failures"]:
+        name = type(error).__name__
+        failures[name] = failures.get(name, 0) + 1
+    latencies = (
+        np.array([r.latency_seconds for r in responses]) if responses else np.zeros(0)
+    )
+    sim_seconds = run["loop"].now_seconds
+    completed = len(responses)
+    on_time = [r for r in responses if r.latency_seconds <= deadline_seconds]
+    late = [r for r in responses if r.latency_seconds > deadline_seconds]
+    late_bytes = sum(r.bytes_fetched for r in late)
+    wasted = sum(l.wasted_bytes for l in ledgers)
+    return {
+        "completed": completed,
+        "completed_on_time": len(on_time),
+        "completed_late": len(late),
+        "rejected": len(run["rejected"]),
+        "shed": sum(l.shed for l in ledgers),
+        "deadline_exceeded": sum(l.deadline_exceeded for l in ledgers),
+        "retry_budget_exhausted": sum(l.retry_budget_exhausted for l in ledgers),
+        "circuit_open": sum(l.circuit_open for l in ledgers),
+        "failures": failures,
+        "retries": store.stats.retries,
+        "bytes_fetched": store.stats.bytes_downloaded,
+        "wasted_bytes": wasted,
+        "late_bytes": late_bytes,
+        "wasted_bytes_total": wasted + late_bytes,
+        "brownout_seconds": sum(l.brownout_seconds for l in ledgers),
+        "goodput_per_second": len(on_time) / sim_seconds if sim_seconds else 0.0,
+        "p50_latency_seconds": float(np.percentile(latencies, 50)) if completed else 0.0,
+        "p99_latency_seconds": float(np.percentile(latencies, 99)) if completed else 0.0,
+        "simulated_seconds": sim_seconds,
+    }
+
+
+def run_brownout_bench(
+    tenants: int = 16,
+    requests_per_tenant: int = 8,
+    rows: int = 4000,
+    tables: int = 3,
+    seed: int = 2024_08,
+    chaos_seed: int = 7,
+    deadline_seconds: float = 0.75,
+    retry_budget_tokens: float = 2.0,
+    retry_attempts: int = 8,
+    max_concurrency: int = 4,
+    queue_limit: int = 32,
+) -> dict:
+    """Brownout chaos sweep: the overload layer on vs off, same seeded faults.
+
+    Four runs of the *identical* workload schedule: a seeded brownout
+    episode set with the hardening layer (deadlines + per-tenant retry
+    budgets + circuit breaker + doomed-work shedding) on and off, plus a
+    fault-free control pair showing the layer costs nothing when the store
+    is healthy. Hardening is purely server-side configuration — the
+    workload carries no deadlines itself — so any difference between modes
+    is the layer's doing.
+    """
+
+    def mode(hardened: bool, faulted: bool) -> "tuple[dict, list]":
+        # A fresh store per mode: breaker state, caches and fault history
+        # must not leak between modes (the catalog is reseeded identically).
+        store = SimulatedObjectStore()
+        profiles = build_catalog(store, tables=tables, rows=rows, seed=seed)
+        # An ample per-GET retry budget is what makes brownouts metastable:
+        # without the overload layer every doomed GET burns up to
+        # ``retry_attempts`` billed attempts plus backoff before failing.
+        store.retry = RetryPolicy(max_attempts=retry_attempts)
+        spec = WorkloadSpec(
+            tenants=tenants,
+            requests_per_tenant=requests_per_tenant,
+            seed=seed,
+        )
+        episodes: list = []
+        if faulted:
+            horizon = (
+                max(t.arrival_seconds for t in generate_workload(spec, profiles))
+                + 1.0
+            )
+            episodes = list(seeded_brownouts(chaos_seed, horizon))
+            store.set_faults(FaultProfile(seed=chaos_seed, episodes=tuple(episodes)))
+        server_kwargs: dict = {
+            "max_concurrency": max_concurrency,
+            "queue_limit": queue_limit,
+        }
+        if hardened:
+            server_kwargs.update(
+                default_deadline_seconds=deadline_seconds,
+                retry_budget_tokens=retry_budget_tokens,
+                breaker=CircuitBreaker(BreakerPolicy(seed=chaos_seed)),
+            )
+        store.stats.reset()
+        run = serve_workload(store, profiles, spec, catch_errors=True, **server_kwargs)
+        return _mode_metrics(run, store, deadline_seconds), episodes
+
+    hardened_chaos, episodes = mode(hardened=True, faulted=True)
+    unhardened_chaos, _ = mode(hardened=False, faulted=True)
+    hardened_clean, _ = mode(hardened=True, faulted=False)
+    unhardened_clean, _ = mode(hardened=False, faulted=False)
+    get_registry().incr("server.brownout_bench_runs")
+    return {
+        "tenants": tenants,
+        "requests": tenants * requests_per_tenant,
+        "rows": rows,
+        "tables": tables,
+        "seed": seed,
+        "chaos_seed": chaos_seed,
+        "deadline_seconds": deadline_seconds,
+        "retry_budget_tokens": retry_budget_tokens,
+        "retry_attempts": retry_attempts,
+        "max_concurrency": max_concurrency,
+        "queue_limit": queue_limit,
+        "episodes": [e.to_dict() for e in episodes],
+        "brownout": {"hardened": hardened_chaos, "unhardened": unhardened_chaos},
+        "fault_free": {"hardened": hardened_clean, "unhardened": unhardened_clean},
+        "retries_saved": unhardened_chaos["retries"] - hardened_chaos["retries"],
+        "wasted_bytes_saved": (
+            unhardened_chaos["wasted_bytes_total"]
+            - hardened_chaos["wasted_bytes_total"]
+        ),
+    }

@@ -36,8 +36,12 @@ __all__ = ["Event", "EventLoop", "Task", "gather", "sleep"]
 
 @types.coroutine
 def _suspend(command: tuple):
-    """Yield one scheduler command from inside an ``async def``."""
-    yield command
+    """Yield one scheduler command from inside an ``async def``.
+
+    Returns the value the waker passed to :meth:`Task._wake` — ``None`` for
+    plain sleeps and joins, ``True``/``False`` for timed waits.
+    """
+    return (yield command)
 
 
 async def sleep(seconds: float) -> None:
@@ -62,9 +66,11 @@ class Task:
         self._loop: "EventLoop | None" = None
         self._waiters: "list[Task]" = []
         self._observed = False
+        self._send_value: Any = None
 
-    def _wake(self) -> None:
+    def _wake(self, value: Any = None) -> None:
         if not self.done:
+            self._send_value = value
             self._loop._ready.append(self)
 
     def __await__(self):
@@ -80,12 +86,39 @@ class Task:
         return f"Task({self.name!r}, {state})"
 
 
+class _TimedWaiter:
+    """One task's timed wait on an :class:`Event`: whichever of the event
+    and the deadline fires first wins, cancels the loser, and wakes the
+    task with ``True`` (set) or ``False`` (timed out). The race is settled
+    inside scheduler callbacks — never after the task resumes — so a
+    same-instant set/timeout tie resolves in deterministic timer order."""
+
+    def __init__(self, task: Task) -> None:
+        self.task = task
+        self.timer = None
+        self.settled = False
+
+    def _wake(self) -> None:  # duck-types Task in Event._waiters
+        if self.settled:
+            return
+        self.settled = True
+        if self.timer is not None:
+            self.timer.cancel()
+        self.task._wake(True)
+
+    def _timeout(self) -> None:
+        if self.settled:
+            return
+        self.settled = True
+        self.task._wake(False)
+
+
 class Event:
     """A one-shot level-triggered event (like ``asyncio.Event``)."""
 
     def __init__(self) -> None:
         self._flag = False
-        self._waiters: "list[Task]" = []
+        self._waiters: "list[Task | _TimedWaiter]" = []
 
     def is_set(self) -> bool:
         return self._flag
@@ -98,9 +131,21 @@ class Event:
             task._wake()
         self._waiters.clear()
 
-    async def wait(self) -> None:
-        if not self._flag:
+    async def wait(self, timeout: "float | None" = None) -> bool:
+        """Wait for the event; True when set, False on timeout.
+
+        Without a timeout this never returns False. With one, the wait is
+        a cancellable timer on the loop's clock: set-before-deadline
+        cancels the timer, deadline-before-set abandons the wait (the
+        waiter stays in the list as a settled no-op until the event fires,
+        if ever).
+        """
+        if self._flag:
+            return True
+        if timeout is None:
             await _suspend(("wait", self))
+            return True
+        return await _suspend(("wait_timeout", self, float(timeout)))
 
 
 async def gather(*tasks: Task) -> list:
@@ -163,8 +208,9 @@ class EventLoop:
     def _step(self, task: Task) -> None:
         if task.done:
             return
+        send_value, task._send_value = task._send_value, None
         try:
-            command = task.coro.send(None)
+            command = task.coro.send(send_value)
         except StopIteration as stop:
             self._finish(task, stop.value, None)
             return
@@ -176,6 +222,11 @@ class EventLoop:
             self.clock.call_later(command[1], task._wake)
         elif kind == "wait":
             command[1]._waiters.append(task)
+        elif kind == "wait_timeout":
+            event, timeout = command[1], command[2]
+            waiter = _TimedWaiter(task)
+            waiter.timer = self.clock.call_later(timeout, waiter._timeout)
+            event._waiters.append(waiter)
         elif kind == "join":
             other = command[1]
             if other.done:

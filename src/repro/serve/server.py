@@ -40,13 +40,20 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Mapping
 
+from repro.cloud.breaker import CircuitBreaker
 from repro.cloud.objectstore import SimulatedObjectStore
 from repro.cloud.pipeline import simulated_fetch_seconds
 from repro.cloud.remote_table import RemoteTable, ScanStep, capture_step
+from repro.cloud.retry import RetryBudget
 from repro.core.cache import ByteBudgetLRU, DecodeCache
 from repro.core.config import DEFAULT_COLUMN_CACHE_BYTES, DEFAULT_DECODE_CACHE_BYTES
 from repro.core.relation import Relation
-from repro.exceptions import AdmissionRejectedError
+from repro.exceptions import (
+    AdmissionRejectedError,
+    CircuitOpenError,
+    DeadlineExceededError,
+    RetryBudgetExhaustedError,
+)
 from repro.observe import get_registry
 from repro.query.predicates import Predicate
 from repro.serve.loop import Event, EventLoop, sleep
@@ -75,6 +82,9 @@ class ScanRequest:
     columns: "tuple[str, ...] | None" = None
     where: "Mapping[str, Predicate] | None" = None
     on_corrupt: str = "raise"
+    #: Latency budget in simulated seconds, relative to arrival. ``None``
+    #: (or the server's ``default_deadline_seconds``) = no deadline.
+    deadline_seconds: "float | None" = None
 
     @property
     def kind(self) -> str:
@@ -95,6 +105,7 @@ class ScanResponse:
     bytes_fetched: int = 0
     retries: int = 0
     backoff_seconds: float = 0.0
+    brownout_seconds: float = 0.0
     cache_hits: int = 0
     cache_misses: int = 0
     cost_usd: float = 0.0
@@ -122,12 +133,25 @@ class TenantLedger:
     completed: int = 0
     rejected: int = 0
     failed: int = 0
+    #: Doomed-work rejections: projected queue wait already exceeded the
+    #: request's deadline, so it was refused at admission, billed zero.
+    shed: int = 0
+    #: Requests that ended with DeadlineExceededError (queued or in flight).
+    deadline_exceeded: int = 0
+    #: In-flight failures fast-failed by the tenant's empty retry budget.
+    retry_budget_exhausted: int = 0
+    #: In-flight failures fast-failed by the open circuit breaker.
+    circuit_open: int = 0
     points: int = 0
     scans: int = 0
     get_requests: int = 0
     bytes_fetched: int = 0
+    #: Bytes billed to requests that did not complete — the overload
+    #: layer's target metric (work paid for but never served).
+    wasted_bytes: int = 0
     retries: int = 0
     backoff_seconds: float = 0.0
+    brownout_seconds: float = 0.0
     queue_seconds: float = 0.0
     service_seconds: float = 0.0
     cache_hits: int = 0
@@ -145,12 +169,18 @@ class TenantLedger:
             "completed": self.completed,
             "rejected": self.rejected,
             "failed": self.failed,
+            "shed": self.shed,
+            "deadline_exceeded": self.deadline_exceeded,
+            "retry_budget_exhausted": self.retry_budget_exhausted,
+            "circuit_open": self.circuit_open,
             "points": self.points,
             "scans": self.scans,
             "get_requests": self.get_requests,
             "bytes_fetched": self.bytes_fetched,
+            "wasted_bytes": self.wasted_bytes,
             "retries": self.retries,
             "backoff_seconds": self.backoff_seconds,
+            "brownout_seconds": self.brownout_seconds,
             "queue_seconds": self.queue_seconds,
             "service_seconds": self.service_seconds,
             "cache_hits": self.cache_hits,
@@ -168,6 +198,7 @@ class _Consumed:
     bytes_fetched: int = 0
     retries: int = 0
     backoff_seconds: float = 0.0
+    brownout_seconds: float = 0.0
     cache_hits: int = 0
     cache_misses: int = 0
 
@@ -177,6 +208,7 @@ class _Consumed:
             step.bytes_fetched,
             step.retries,
             step.backoff_seconds,
+            step.brownout_seconds,
             step.cache_hits,
             step.cache_misses,
         )
@@ -187,6 +219,7 @@ class _Consumed:
         nbytes: int,
         retries: int,
         backoff_seconds: float,
+        brownout_seconds: float,
         cache_hits: int,
         cache_misses: int,
     ) -> None:
@@ -194,19 +227,30 @@ class _Consumed:
         self.bytes_fetched += nbytes
         self.retries += retries
         self.backoff_seconds += backoff_seconds
+        self.brownout_seconds += brownout_seconds
         self.cache_hits += cache_hits
         self.cache_misses += cache_misses
 
 
 @dataclass(order=True)
 class _QueueEntry:
-    """A waiting request ordered by its WFQ finish tag (ties by arrival)."""
+    """A waiting request ordered by its WFQ finish tag (ties by arrival).
+
+    ``outcome`` settles the grant/expiry race atomically inside scheduler
+    callbacks: the deadline timer marks ``"expired"`` (releasing the live
+    queue slot immediately), ``_dispatch`` marks ``"granted"`` (cancelling
+    the timer). Whichever runs first wins; the loser sees a settled entry
+    and does nothing — expired corpses are skipped lazily when the heap
+    pops them.
+    """
 
     finish_tag: float
     seq: int
     start_tag: float = field(compare=False)
     request: ScanRequest = field(compare=False)
     granted: Event = field(compare=False)
+    outcome: "str | None" = field(default=None, compare=False)
+    timer: object = field(default=None, compare=False)
 
 
 class ScanServer:
@@ -223,6 +267,10 @@ class ScanServer:
         column_cache_bytes: int = DEFAULT_COLUMN_CACHE_BYTES,
         decode_cache_bytes: int = DEFAULT_DECODE_CACHE_BYTES,
         decode_bytes_per_second: float = DEFAULT_DECODE_BYTES_PER_SECOND,
+        default_deadline_seconds: "float | None" = None,
+        retry_budget_tokens: "float | None" = None,
+        retry_budget_refill_per_second: float = 1.0,
+        breaker: "CircuitBreaker | None" = None,
     ) -> None:
         if max_concurrency < 1:
             raise ValueError(f"max_concurrency must be >= 1, got {max_concurrency}")
@@ -235,6 +283,19 @@ class ScanServer:
         self.point_weight = point_weight
         self.scan_weight = scan_weight
         self.decode_bytes_per_second = decode_bytes_per_second
+        #: Deadline applied to requests that carry none (``None`` = no
+        #: deadline). Relative to arrival, like ``ScanRequest.deadline_seconds``.
+        self.default_deadline_seconds = default_deadline_seconds
+        #: ``None`` disables retry budgets; otherwise each tenant gets a
+        #: token bucket of this capacity, spent by retried attempts only.
+        self.retry_budget_tokens = retry_budget_tokens
+        self.retry_budget_refill_per_second = retry_budget_refill_per_second
+        #: Installed on the store so every GET this server causes flows
+        #: through one shared breaker (brownouts are a store-wide condition,
+        #: not a per-tenant one).
+        self.breaker = breaker
+        if breaker is not None:
+            store.breaker = breaker
         #: One bounded compressed-column cache and one decoded-block cache
         #: shared by every handle the server opens (all tenants, all
         #: policies); keys embed object key + version so entries are
@@ -248,10 +309,18 @@ class ScanServer:
         self.ledgers: "dict[str, TenantLedger]" = {}
         self._handles: "dict[tuple[str, str], RemoteTable]" = {}
         self._queue: "list[_QueueEntry]" = []
+        #: Live (unsettled) queue entries. The heap itself may also hold
+        #: expired corpses — a cancelled entry cannot be removed from the
+        #: middle of a heapq — so every capacity decision uses this count,
+        #: never ``len(self._queue)``.
+        self._queued = 0
         self._seq = itertools.count()
         self._active = 0
         self._virtual = 0.0
         self._flow_finish: "dict[tuple[str, str], float]" = {}
+        self._retry_budgets: "dict[str, RetryBudget]" = {}
+        self._service_total = 0.0
+        self._service_count = 0
         self.queue_peak = 0
         self.active_peak = 0
 
@@ -260,9 +329,19 @@ class ScanServer:
     async def submit(self, request: ScanRequest) -> ScanResponse:
         """Admit (or reject) one scan and run it to completion.
 
-        Raises :class:`~repro.exceptions.AdmissionRejectedError` when the
-        wait queue is at its bound — without a single store request, so a
-        rejected call costs the tenant nothing.
+        The admission ladder, in order:
+
+        1. free slot and empty queue — run immediately;
+        2. queue at its bound — :class:`AdmissionRejectedError`
+           (``reason="queue_full"``) with a retry-after hint, billed zero;
+        3. deadline already unmeetable (projected queue wait exceeds the
+           remaining budget) — :class:`AdmissionRejectedError`
+           (``reason="doomed"``), billed zero: the overload layer refuses
+           work it would only cancel after paying for it;
+        4. otherwise wait in the WFQ queue. A deadline that expires while
+           waiting releases the queue slot *immediately* (in the timer
+           callback, so admission sees real capacity) and the request fails
+           with :class:`DeadlineExceededError`, billed zero.
         """
         registry = get_registry()
         ledger = self._ledger(request.tenant)
@@ -272,16 +351,35 @@ class ScanServer:
         registry.incr("server.requests")
         registry.incr(f"server.{request.kind}_requests")
         arrived = self._loop.now_seconds
-        if self._active < self.max_concurrency and not self._queue:
+        budget_seconds = (
+            request.deadline_seconds
+            if request.deadline_seconds is not None
+            else self.default_deadline_seconds
+        )
+        deadline = arrived + budget_seconds if budget_seconds is not None else None
+        if self._active < self.max_concurrency and not self._queued:
             self._grant_tags(request)  # keep flow tags flowing for fairness
             self._active += 1
         else:
-            if len(self._queue) >= self.queue_limit:
+            wait_hint = self._projected_wait_seconds()
+            if self._queued >= self.queue_limit:
                 ledger.rejected += 1
                 registry.incr("server.rejected")
                 raise AdmissionRejectedError(
                     f"tenant {request.tenant!r}: wait queue at its bound "
-                    f"({self.queue_limit}); retry with backoff"
+                    f"({self.queue_limit}); retry with backoff",
+                    retry_after_seconds=wait_hint,
+                    reason="queue_full",
+                )
+            if deadline is not None and arrived + wait_hint >= deadline:
+                ledger.shed += 1
+                registry.incr("server.deadline.shed")
+                raise AdmissionRejectedError(
+                    f"tenant {request.tenant!r}: projected queue wait "
+                    f"{wait_hint:.3f}s exceeds the {deadline - arrived:.3f}s "
+                    f"deadline budget; shed at admission",
+                    retry_after_seconds=wait_hint,
+                    reason="doomed",
                 )
             start, finish = self._grant_tags(request)
             entry = _QueueEntry(
@@ -292,21 +390,47 @@ class ScanServer:
                 granted=Event(),
             )
             heapq.heappush(self._queue, entry)
-            self.queue_peak = max(self.queue_peak, len(self._queue))
+            self._queued += 1
+            self.queue_peak = max(self.queue_peak, self._queued)
             registry.incr("server.queued")
+            if deadline is not None:
+                entry.timer = self._loop.clock.call_later(
+                    deadline - arrived, lambda: self._expire(entry)
+                )
             await entry.granted.wait()
+            if entry.outcome == "expired":
+                # The timer callback already released the queue slot; no
+                # _active slot was ever held and nothing was billed.
+                ledger.failed += 1
+                ledger.deadline_exceeded += 1
+                registry.incr("server.failed")
+                registry.incr("server.deadline.queue_expired")
+                raise DeadlineExceededError(
+                    f"tenant {request.tenant!r}: deadline expired after "
+                    f"{self._loop.now_seconds - arrived:.3f}s in the queue"
+                )
         self.active_peak = max(self.active_peak, self._active)
         registry.incr("server.admitted")
         started = self._loop.now_seconds
         consumed = _Consumed()
         try:
-            response = await self._execute(request, arrived, started, consumed)
-        except BaseException:
-            # A failing scan (e.g. integrity damage under on_corrupt="raise")
-            # still moved bytes before it died: bill what it consumed, so
-            # ledgers stay exact against the store's global accounting.
+            response = await self._execute(
+                request, arrived, started, consumed, deadline
+            )
+        except BaseException as error:
+            # A failing scan (integrity damage, a mid-flight deadline, an
+            # exhausted retry budget, an open breaker) still moved bytes
+            # before it died: bill what it consumed — and count it wasted —
+            # so ledgers stay exact against the store's global accounting.
             ledger.failed += 1
             registry.incr("server.failed")
+            if isinstance(error, DeadlineExceededError):
+                ledger.deadline_exceeded += 1
+                registry.incr("server.deadline.exceeded")
+            elif isinstance(error, RetryBudgetExhaustedError):
+                ledger.retry_budget_exhausted += 1
+            elif isinstance(error, CircuitOpenError):
+                ledger.circuit_open += 1
             self._bill(ledger, consumed)
             raise
         finally:
@@ -314,19 +438,32 @@ class ScanServer:
             self._dispatch()
         ledger.completed += 1
         registry.incr("server.completed")
+        self._service_total += response.service_seconds
+        self._service_count += 1
         self._bill(ledger, consumed, response)
         return response
 
     def report(self) -> dict:
         """Server-level accounting, JSON-ready (see ``server`` report section)."""
         tenants = sorted(self.ledgers)
+        ledgers = [self.ledgers[t] for t in tenants]
         return {
             "max_concurrency": self.max_concurrency,
             "queue_limit": self.queue_limit,
             "queue_peak": self.queue_peak,
             "active_peak": self.active_peak,
+            "default_deadline_seconds": self.default_deadline_seconds,
+            "retry_budget_tokens": self.retry_budget_tokens,
+            "breaker_state": self.breaker.state if self.breaker else None,
+            "shed": sum(l.shed for l in ledgers),
+            "deadline_exceeded": sum(l.deadline_exceeded for l in ledgers),
+            "retry_budget_exhausted": sum(
+                l.retry_budget_exhausted for l in ledgers
+            ),
+            "circuit_open": sum(l.circuit_open for l in ledgers),
+            "wasted_bytes": sum(l.wasted_bytes for l in ledgers),
             "tenants": len(tenants),
-            "ledgers": [self.ledgers[t].to_dict() for t in tenants],
+            "ledgers": [ledger.to_dict() for ledger in ledgers],
         }
 
     # -- scheduling ------------------------------------------------------------
@@ -360,28 +497,87 @@ class ScanServer:
         self._flow_finish[flow] = finish
         return start, finish
 
+    def _budget(self, tenant: str) -> "RetryBudget | None":
+        """The tenant's retry token bucket (created on demand), or ``None``
+        when budgets are disabled."""
+        if self.retry_budget_tokens is None:
+            return None
+        budget = self._retry_budgets.get(tenant)
+        if budget is None:
+            budget = self._retry_budgets[tenant] = RetryBudget(
+                capacity=self.retry_budget_tokens,
+                refill_per_second=self.retry_budget_refill_per_second,
+            )
+        return budget
+
+    def _avg_service_seconds(self) -> float:
+        """Observed mean service time of completed scans; an optimistic
+        floor before any history exists, so a cold server sheds nothing."""
+        if self._service_count:
+            return self._service_total / self._service_count
+        return 0.05
+
+    def _projected_wait_seconds(self) -> float:
+        """Expected queue wait for a request arriving now: queue depth in
+        units of mean service time, spread across the worker slots. This is
+        the retry-after hint on rejections and the estimate doomed-work
+        shedding holds against the deadline budget — a hint, not a promise.
+        """
+        if self._active < self.max_concurrency and not self._queued:
+            return 0.0
+        return (self._queued + 1) * self._avg_service_seconds() / self.max_concurrency
+
+    def _expire(self, entry: _QueueEntry) -> None:
+        """Timer callback: a queued request's deadline passed unserved.
+
+        Runs in scheduler context (atomic with respect to tasks), so it
+        settles the grant/expiry race: the live queue slot is released here
+        — admission must see real capacity the instant the waiter is doomed,
+        not when it happens to run — and the waiter wakes to fail with a
+        typed error, billed zero.
+        """
+        if entry.outcome is not None:
+            return
+        entry.outcome = "expired"
+        self._queued -= 1
+        entry.granted.set()
+
     def _dispatch(self) -> None:
         """Grant freed slots to the smallest finish tags in the queue."""
         while self._active < self.max_concurrency and self._queue:
             entry = heapq.heappop(self._queue)
+            if entry.outcome is not None:
+                continue  # expired corpse: its live slot was already released
+            entry.outcome = "granted"
+            if entry.timer is not None:
+                entry.timer.cancel()
+            self._queued -= 1
             self._virtual = max(self._virtual, entry.start_tag)
             self._active += 1
             entry.granted.set()
 
     # -- execution -------------------------------------------------------------
 
-    def _handle(self, request: ScanRequest) -> "tuple[RemoteTable, ScanStep | None]":
+    def _handle(
+        self,
+        request: ScanRequest,
+        deadline: "float | None" = None,
+        budget: "RetryBudget | None" = None,
+    ) -> "tuple[RemoteTable, ScanStep | None]":
         """The (table, policy) handle, opened lazily over the shared caches.
 
         The metadata GETs of a first open are captured and billed to the
         opening request — every byte the server moves belongs to exactly
-        one tenant.
+        one tenant — and run under that request's overload context, so an
+        open stalled by a brownout is deadline-cancellable like any stage.
         """
         key = (request.table, request.on_corrupt)
         table = self._handles.get(key)
         if table is not None:
             return table, None
-        with capture_step(self._store, "open") as step:
+        with capture_step(
+            self._store, "open", deadline_seconds=deadline, retry_budget=budget
+        ) as step:
             table = RemoteTable.open(
                 self._store,
                 request.table,
@@ -403,10 +599,36 @@ class ScanServer:
             else step.backoff_seconds
         )
         decode = step.decode_bytes / self.decode_bytes_per_second
+        # Brownout-elevated latency the store injected during the stage is
+        # pure added wall time — it overlaps with nothing.
+        extra = step.brownout_seconds
         if step.kind == "pipeline":
             # The chunk pipeline overlaps transfer with decode.
-            return max(fetch - step.backoff_seconds, decode) + step.backoff_seconds
-        return fetch + decode
+            return (
+                max(fetch - step.backoff_seconds, decode)
+                + step.backoff_seconds
+                + extra
+            )
+        return fetch + decode + extra
+
+    async def _stage_sleep(self, seconds: float, deadline: "float | None") -> None:
+        """Suspend for one stage's modeled duration, stopping at the deadline.
+
+        The sleep is effectively a cancellable timer: a request never
+        occupies its slot past the deadline instant — it wakes exactly
+        there and cancels with the typed error, freeing the slot at the
+        deadline rather than at the end of a stage whose result is already
+        unusable.
+        """
+        if deadline is not None and self._loop.now_seconds + seconds > deadline:
+            remaining = deadline - self._loop.now_seconds
+            if remaining > 0.0:
+                await sleep(remaining)
+            raise DeadlineExceededError(
+                f"stage duration crosses the deadline; cancelled at "
+                f"t={self._loop.now_seconds:.3f}s"
+            )
+        await sleep(seconds)
 
     async def _execute(
         self,
@@ -414,10 +636,12 @@ class ScanServer:
         arrived: float,
         started: float,
         consumed: _Consumed,
+        deadline: "float | None" = None,
     ) -> ScanResponse:
         columns = list(request.columns) if request.columns is not None else None
         stats = self._store.stats
         registry = get_registry()
+        budget = self._budget(request.tenant)
 
         def snapshot() -> tuple:
             return (
@@ -425,6 +649,7 @@ class ScanServer:
                 stats.bytes_downloaded,
                 stats.retries,
                 stats.backoff_seconds,
+                stats.brownout_seconds,
                 registry.get("decode.cache.hit"),
                 registry.get("decode.cache.miss"),
             )
@@ -435,8 +660,9 @@ class ScanServer:
                 stats.bytes_downloaded - before[1],
                 stats.retries - before[2],
                 stats.backoff_seconds - before[3],
-                int(registry.get("decode.cache.hit") - before[4]),
-                int(registry.get("decode.cache.miss") - before[5]),
+                stats.brownout_seconds - before[4],
+                int(registry.get("decode.cache.hit") - before[5]),
+                int(registry.get("decode.cache.miss") - before[6]),
             )
 
         # A failing open (missing table, retries exhausted on the manifest)
@@ -444,15 +670,19 @@ class ScanServer:
         # it so that traffic lands in this request's bill.
         before = snapshot()
         try:
-            table, open_step = self._handle(request)
+            table, open_step = self._handle(request, deadline, budget)
         except BaseException:
             bill_diff(before)
             raise
         if open_step is not None:
             consumed.add_step(open_step)
-            await sleep(self._service_seconds(open_step))
+            await self._stage_sleep(self._service_seconds(open_step), deadline)
         gen = table.scan_steps(
-            columns, where=request.where, pipelined=request.kind == "scan"
+            columns,
+            where=request.where,
+            pipelined=request.kind == "scan",
+            deadline_seconds=deadline,
+            retry_budget=budget,
         )
         while True:
             # Diff the store counters around each stage so a stage that
@@ -468,7 +698,7 @@ class ScanServer:
                 bill_diff(before)
                 raise
             consumed.add_step(step)
-            await sleep(self._service_seconds(step))
+            await self._stage_sleep(self._service_seconds(step), deadline)
         relation = outcome[0] if isinstance(outcome, tuple) else outcome
         return ScanResponse(
             request=request,
@@ -480,6 +710,7 @@ class ScanServer:
             bytes_fetched=consumed.bytes_fetched,
             retries=consumed.retries,
             backoff_seconds=consumed.backoff_seconds,
+            brownout_seconds=consumed.brownout_seconds,
             cache_hits=consumed.cache_hits,
             cache_misses=consumed.cache_misses,
             cost_usd=self._cost_usd(consumed),
@@ -505,6 +736,7 @@ class ScanServer:
         ledger.bytes_fetched += consumed.bytes_fetched
         ledger.retries += consumed.retries
         ledger.backoff_seconds += consumed.backoff_seconds
+        ledger.brownout_seconds += consumed.brownout_seconds
         ledger.cache_hits += consumed.cache_hits
         ledger.cache_misses += consumed.cache_misses
         ledger.cost_usd += cost
@@ -513,6 +745,7 @@ class ScanServer:
             ("server.bytes_fetched", consumed.bytes_fetched),
             ("server.retries", consumed.retries),
             ("server.backoff_seconds", consumed.backoff_seconds),
+            ("server.brownout_seconds", consumed.brownout_seconds),
             ("server.cache_hits", consumed.cache_hits),
             ("server.cache_misses", consumed.cache_misses),
             ("server.cost_usd", cost),
@@ -525,4 +758,9 @@ class ScanServer:
                 ("server.service_seconds", response.service_seconds),
                 ("server.latency_seconds", response.latency_seconds),
             ]
+        else:
+            # The request did not complete: whatever it moved was paid for
+            # but never served — the overload layer's target metric.
+            ledger.wasted_bytes += consumed.bytes_fetched
+            items.append(("server.wasted_bytes", consumed.bytes_fetched))
         get_registry().incr_many(items)

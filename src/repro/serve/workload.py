@@ -61,6 +61,9 @@ class WorkloadSpec:
     #: Columns projected by a full scan (capped at the table's width).
     scan_columns: int = 2
     on_corrupt: str = "raise"
+    #: Per-request latency budget (simulated seconds from arrival) carried
+    #: on every generated request; ``None`` = no deadline.
+    deadline_seconds: "float | None" = None
     seed: int = 2024_08
 
 
@@ -107,6 +110,7 @@ def generate_workload(
                     columns=tuple(profile.columns[: max(1, spec.scan_columns)]),
                     where={hot_column: Equals(value)},
                     on_corrupt=spec.on_corrupt,
+                    deadline_seconds=spec.deadline_seconds,
                 )
             else:
                 take = min(width, max(1, spec.scan_columns))
@@ -117,6 +121,7 @@ def generate_workload(
                     columns=tuple(profile.columns[start : start + take]),
                     where=None,
                     on_corrupt=spec.on_corrupt,
+                    deadline_seconds=spec.deadline_seconds,
                 )
             out.append(TimedRequest(arrival, request))
     out.sort(key=lambda t: (t.arrival_seconds, t.request.tenant))

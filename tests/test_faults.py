@@ -378,6 +378,110 @@ class TestRemoteTableIntegrity:
 # -- reports -------------------------------------------------------------------
 
 
+class TestBrownoutEpisodes:
+    def test_active_window_is_half_open(self):
+        from repro.cloud.faults import BrownoutEpisode
+
+        episode = BrownoutEpisode(start_seconds=1.0, duration_seconds=2.0)
+        assert not episode.active(0.999999)
+        assert episode.active(1.0)  # inclusive start
+        assert episode.active(2.5)
+        assert not episode.active(3.0)  # exclusive end
+        assert episode.end_seconds == 3.0
+
+    @pytest.mark.parametrize("seed", [0, 7, 202408])
+    def test_seeded_episodes_are_deterministic_and_cover_the_burst(self, seed):
+        from repro.cloud.faults import seeded_brownouts
+
+        horizon = 10.0
+        episodes = seeded_brownouts(seed, horizon)
+        assert episodes == seeded_brownouts(seed, horizon)
+        assert len(episodes) == 2
+        # The contract chaos runs rely on, for *any* seed: the first episode
+        # opens near t=0 and spans roughly half the horizon, so a workload's
+        # arrival burst always meets degraded service.
+        first = episodes[0]
+        assert first.start_seconds <= 0.05 * horizon
+        assert 0.45 * horizon <= first.duration_seconds <= 0.65 * horizon
+        assert first.transient_error_rate >= 0.45
+        assert first.extra_latency_seconds > 0
+
+    def test_episode_latency_is_counted_and_only_inside_the_window(self):
+        from repro.cloud.faults import BrownoutEpisode
+
+        registry = MetricsRegistry()
+        profile = FaultProfile(
+            seed=3,
+            episodes=(
+                BrownoutEpisode(
+                    start_seconds=1.0,
+                    duration_seconds=1.0,
+                    extra_latency_seconds=0.02,
+                ),
+            ),
+        )
+        injector = FaultInjector(profile)
+        with use_registry(registry):
+            assert injector.episode_latency(0.5) == 0.0  # before the window
+            assert injector.episode_latency(1.5) == pytest.approx(0.02)
+            assert injector.episode_latency(2.5) == 0.0  # after the window
+        assert registry.get("cloud.faults.brownout_requests") == 1
+        assert registry.get("cloud.faults.brownout_latency_seconds") == pytest.approx(
+            0.02
+        )
+
+    def test_before_serve_rates_elevate_only_inside_the_window(self):
+        from repro.cloud.faults import BrownoutEpisode
+
+        # Base rates are zero; the episode saturates the transient rate, so
+        # the roll's outcome depends purely on where the clock stands.
+        profile = FaultProfile(
+            seed=3,
+            episodes=(
+                BrownoutEpisode(
+                    start_seconds=1.0,
+                    duration_seconds=1.0,
+                    transient_error_rate=1.0,
+                ),
+            ),
+        )
+        injector = FaultInjector(profile)
+        with use_registry(MetricsRegistry()):
+            injector.before_serve("k", now_seconds=0.5)  # quiet before
+            with pytest.raises(TransientRequestError):
+                injector.before_serve("k", now_seconds=1.5)
+            injector.before_serve("k", now_seconds=2.5)  # quiet after
+
+    def test_store_accrues_brownout_seconds_inside_the_window(self, relation):
+        from repro.cloud.faults import BrownoutEpisode
+
+        registry = MetricsRegistry()
+        # A long, fault-free episode that only injects latency: every GET of
+        # the scan lands inside it and must bill its extra seconds to the
+        # store's transfer accounting.
+        store = make_store(
+            FaultProfile(
+                seed=5,
+                episodes=(
+                    BrownoutEpisode(
+                        start_seconds=0.0,
+                        duration_seconds=1e6,
+                        extra_latency_seconds=0.05,
+                    ),
+                ),
+            )
+        )
+        with use_registry(registry):
+            upload_btrblocks(store, compress_relation(relation))
+            store.stats.reset()
+            store.clock.reset()
+            RemoteTable.open(store, "t").scan()
+        gets = store.stats.get_requests
+        assert gets > 0
+        assert store.stats.brownout_seconds == pytest.approx(0.05 * gets)
+        assert registry.get("cloud.faults.brownout_requests") == gets
+
+
 class TestReliabilityReport:
     def test_fault_free_report_has_no_reliability_section(self, relation):
         registry = MetricsRegistry()
@@ -402,3 +506,15 @@ class TestReliabilityReport:
         assert reliability["faults"]["transient"] > 0
         assert reliability["retries"]["attempts"] > 0
         assert reliability["retries"]["backoff_seconds"] > 0.0
+
+    def test_breaker_and_budget_counters_roll_up(self):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            registry.incr("cloud.breaker.opened")
+            registry.incr("cloud.breaker.fast_fail", 3)
+            registry.incr("retry.budget.spent", 5)
+            registry.incr("retry.budget.exhausted")
+            report = build_report(registry)
+        reliability = report["reliability"]
+        assert reliability["breaker"] == {"opened": 1, "fast_fail": 3}
+        assert reliability["retry_budget"] == {"spent": 5, "exhausted": 1}

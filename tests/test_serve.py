@@ -112,6 +112,30 @@ class TestSimulatedClockTimers:
         assert fired == ["past"]
         assert clock.now_seconds == 1.0
 
+    def test_cancel_at_the_same_deadline_settles_in_timer_order(self):
+        # Two timers tied at t=1.0; the first one's callback cancels the
+        # second. Ties resolve in schedule order, so the cancellation wins
+        # and the second must not fire — this is the race the server's
+        # queue-expiry timers depend on.
+        clock = SimulatedClock()
+        fired = []
+        timers = {}
+        timers["first"] = clock.call_at(
+            1.0, lambda: (fired.append("first"), timers["second"].cancel())
+        )
+        timers["second"] = clock.call_at(1.0, lambda: fired.append("second"))
+        clock.advance_to(1.0)
+        assert fired == ["first"]
+
+    def test_cancel_after_fire_is_a_noop(self):
+        clock = SimulatedClock()
+        fired = []
+        timer = clock.call_later(0.1, lambda: fired.append("fired"))
+        clock.advance(0.2)
+        timer.cancel()  # already fired: cancelling must not blow up
+        clock.advance(1.0)
+        assert fired == ["fired"]
+
     def test_legacy_sleep_still_accumulates(self):
         clock = SimulatedClock()
         clock.sleep(1.5)
@@ -218,6 +242,71 @@ class TestEventLoop:
 
         loop.run_until_complete(main())
         assert caught == ["expected"]
+
+    def test_event_wait_timeout_returns_false_at_the_deadline(self):
+        loop = EventLoop()
+        event = Event()
+        results = []
+
+        async def waiter():
+            results.append(await event.wait(timeout=0.5))
+
+        loop.create_task(waiter(), "waiter")
+        loop.run()
+        assert results == [False]
+        assert loop.now_seconds == 0.5
+
+    def test_event_set_before_deadline_cancels_the_timeout_timer(self):
+        loop = EventLoop()
+        event = Event()
+        results = []
+
+        async def waiter():
+            results.append(await event.wait(timeout=0.5))
+
+        async def setter():
+            await sleep(0.2)
+            event.set()
+
+        loop.create_task(waiter(), "waiter")
+        loop.create_task(setter(), "setter")
+        loop.run()
+        assert results == [True]
+        # The timeout timer was cancelled: the clock never had a reason to
+        # advance to 0.5.
+        assert loop.now_seconds == 0.2
+
+    def test_same_instant_set_and_timeout_resolve_in_timer_order(self):
+        # Both the set and the timeout land at t=0.5. Whichever *timer* was
+        # scheduled first wins and cancels the loser inside the scheduler
+        # callback — the racing coroutine always observes a settled result,
+        # deterministically, never a double wake.
+        def race(set_first: bool):
+            loop = EventLoop()
+            event = Event()
+            results = []
+
+            async def waiter():
+                results.append(await event.wait(timeout=0.5))
+
+            async def arm():
+                loop.clock.call_at(0.5, event.set)
+
+            if set_first:
+                # Registered before the waiter even starts: lower timer seq.
+                loop.clock.call_at(0.5, event.set)
+                loop.create_task(waiter(), "waiter")
+            else:
+                # The waiter's timeout timer is armed when it first runs,
+                # before arm() schedules the set: the timeout wins the tie.
+                loop.create_task(waiter(), "waiter")
+                loop.create_task(arm(), "arm")
+            loop.run()
+            assert event.is_set()  # the set always happens; the *wait* races
+            return results
+
+        assert race(set_first=True) == [True]
+        assert race(set_first=False) == [False]
 
     def test_replays_identically(self):
         def history():

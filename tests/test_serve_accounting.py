@@ -50,6 +50,8 @@ def _ledger_sums(server: ScanServer) -> dict:
         "bytes_fetched": sum(l.bytes_fetched for l in ledgers),
         "retries": sum(l.retries for l in ledgers),
         "backoff_seconds": sum(l.backoff_seconds for l in ledgers),
+        "brownout_seconds": sum(l.brownout_seconds for l in ledgers),
+        "wasted_bytes": sum(l.wasted_bytes for l in ledgers),
         "cost_usd": sum(l.cost_usd for l in ledgers),
     }
 
@@ -64,6 +66,12 @@ def _assert_ledgers_match_store(store: SimulatedObjectStore, server: ScanServer)
     assert sums["backoff_seconds"] == pytest.approx(
         stats.backoff_seconds, abs=FLOAT_TOL
     )
+    assert sums["brownout_seconds"] == pytest.approx(
+        stats.brownout_seconds, abs=FLOAT_TOL
+    )
+    # Waste is a *view* of billed bytes (those billed to non-completions),
+    # never an addition to them.
+    assert 0 <= sums["wasted_bytes"] <= sums["bytes_fetched"]
     pricing = store.pricing
     global_cost = pricing.request_cost(stats.get_requests) + pricing.compute_cost(
         stats.bytes_downloaded / pricing.s3_bytes_per_second
@@ -254,6 +262,63 @@ class TestFailuresStillBalance:
         assert len(errors) == 1
         b = server.ledgers["b"]
         assert (b.get_requests, b.bytes_fetched, b.cost_usd) == (0, 0, 0.0)
+        _assert_ledgers_match_store(store, server)
+
+
+class TestOverloadLedgersStayExact:
+    """Exactness must survive every cancellation point the overload layer
+    adds: mid-flight deadline cancels, queue expiries, doomed-work sheds,
+    budget fast-fails and open-breaker fast-fails — all on top of the
+    brownout's injected latency, which bills to the tenants that burned it."""
+
+    def test_chaos_with_the_full_layer_still_balances(self):
+        from repro.cloud.breaker import BreakerPolicy, CircuitBreaker
+        from repro.cloud.faults import seeded_brownouts
+
+        episodes = seeded_brownouts(SERVE_SEED, horizon_seconds=1.5)
+        registry, store, run = _run_workload(
+            WorkloadSpec(tenants=10, requests_per_tenant=4, seed=SERVE_SEED),
+            faults=FaultProfile(seed=SERVE_SEED, episodes=episodes),
+            retry=RetryPolicy(max_attempts=8),
+            catch_errors=True,
+            max_concurrency=3,
+            queue_limit=64,
+            default_deadline_seconds=0.5,
+            retry_budget_tokens=2.0,
+            # Caches off: every scan meets the degraded store, so every
+            # cancellation point gets real traffic to account for.
+            column_cache_bytes=0,
+            decode_cache_bytes=0,
+            breaker=CircuitBreaker(BreakerPolicy(seed=SERVE_SEED)),
+        )
+        server = run["server"]
+        # The layer actually exercised its cancellation points.
+        assert run["failures"], "chaos never produced a typed in-flight failure"
+        assert registry.get("server.deadline.queue_expired") > 0
+        assert registry.get("server.deadline.shed") > 0
+        assert store.stats.brownout_seconds > 0, "the brownout never bit"
+        sums = _ledger_sums(server)
+        assert sums["wasted_bytes"] > 0, "no failed request was mid-flight"
+        _assert_ledgers_match_store(store, server)
+
+    def test_tight_deadlines_shed_and_expire_billed_zero(self):
+        registry, store, run = _run_workload(
+            WorkloadSpec(
+                tenants=12,
+                requests_per_tenant=4,
+                deadline_seconds=0.05,
+                seed=SERVE_SEED,
+            ),
+            catch_errors=True,
+            max_concurrency=1,
+            queue_limit=4,
+        )
+        server = run["server"]
+        shed = registry.get("server.deadline.shed")
+        expired = registry.get("server.deadline.queue_expired")
+        assert shed + expired > 0, "the 50 ms budget never doomed anything"
+        # Shed and queue-expired requests were billed exactly zero, so the
+        # survivors account for every byte the store moved.
         _assert_ledgers_match_store(store, server)
 
 
