@@ -61,6 +61,29 @@ from repro.observe import (
 )
 
 
+#: ``--brownout`` runs a deliberately small queue so the sweep actually
+#: exercises admission shedding; larger ``--queue-limit`` values are capped
+#: (with a note on stderr) rather than silently honored-then-ignored.
+_BROWNOUT_QUEUE_CAP = 32
+
+
+def _int_from_env(name: str, fallback: int) -> int:
+    """Parse an integer environment variable lazily, at command run time.
+
+    Parsing in an ``argparse`` default would run at parser *build* time,
+    so a malformed value would crash every subcommand with a traceback;
+    here only the command that consumes the variable fails, with a
+    message. Unset or blank falls back; base prefixes (``0x…``) work.
+    """
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return fallback
+    try:
+        return int(raw, 0)
+    except ValueError:
+        raise SystemExit(f"repro: ${name}={raw!r} is not an integer") from None
+
+
 def _shutdown_process_pool(backend: "str | None") -> None:
     """Tear down the warm worker pool after a one-shot CLI command."""
     if backend in ("process", "auto"):
@@ -305,17 +328,38 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     """Sweep the multi-tenant scan server and print latency/cache/$ figures."""
     from repro import bench
 
-    deadline_seconds = args.deadline_ms / 1e3 if args.deadline_ms else None
+    if args.deadline_ms is not None and args.deadline_ms <= 0:
+        raise SystemExit(
+            f"repro serve-bench: --deadline-ms must be a positive number of "
+            f"milliseconds (got {args.deadline_ms:g})"
+        )
+    deadline_seconds = args.deadline_ms / 1e3 if args.deadline_ms is not None else None
+    seed = args.seed if args.seed is not None else _int_from_env("REPRO_SERVE_SEED", 202408)
     if args.brownout:
+        queue_limit = (
+            _BROWNOUT_QUEUE_CAP if args.queue_limit is None else args.queue_limit
+        )
+        if queue_limit > _BROWNOUT_QUEUE_CAP:
+            print(
+                f"note: --brownout caps --queue-limit at {_BROWNOUT_QUEUE_CAP} "
+                f"(requested {queue_limit}) so the sweep exercises shedding",
+                file=sys.stderr,
+            )
+            queue_limit = _BROWNOUT_QUEUE_CAP
+        chaos_seed = (
+            args.chaos_seed
+            if args.chaos_seed is not None
+            else _int_from_env("REPRO_CHAOS_SEED", 7)
+        )
         report = bench.bench_serve_brownout(
             rows=args.rows,
             tables=args.tables,
             requests_per_tenant=args.requests,
-            seed=args.seed,
-            chaos_seed=args.chaos_seed,
-            deadline_seconds=deadline_seconds if deadline_seconds else 0.75,
+            seed=seed,
+            chaos_seed=chaos_seed,
+            deadline_seconds=0.75 if deadline_seconds is None else deadline_seconds,
             max_concurrency=args.concurrency,
-            queue_limit=min(args.queue_limit, 32),
+            queue_limit=queue_limit,
         )
         print(f"serve-bench --brownout: seed {report['seed']}, chaos seed "
               f"{report['chaos_seed']}, {len(report['episodes'])} episode(s), "
@@ -344,9 +388,9 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         rows=args.rows,
         tables=args.tables,
         requests_per_tenant=args.requests,
-        seed=args.seed,
+        seed=seed,
         max_concurrency=args.concurrency,
-        queue_limit=args.queue_limit,
+        queue_limit=64 if args.queue_limit is None else args.queue_limit,
         deadline_seconds=deadline_seconds,
     )
     print(f"serve-bench: seed {report['seed']}, {report['tables']} tables x "
@@ -632,14 +676,14 @@ def build_parser() -> argparse.ArgumentParser:
                              help="tables in the served catalog (default 3)")
     serve_bench.add_argument("--requests", type=int, default=8,
                              help="requests per tenant (default 8)")
-    serve_bench.add_argument("--seed", type=int,
-                             default=int(os.environ.get("REPRO_SERVE_SEED", "202408"), 0),
+    serve_bench.add_argument("--seed", type=int, default=None,
                              help="workload seed (default $REPRO_SERVE_SEED or 202408)")
     serve_bench.add_argument("--concurrency", type=int, default=4,
                              help="max concurrent scans in service (default 4)")
-    serve_bench.add_argument("--queue-limit", type=int, default=64,
+    serve_bench.add_argument("--queue-limit", type=int, default=None,
                              help="admission queue bound; beyond it requests "
-                                  "are rejected (default 64)")
+                                  "are rejected (default 64, capped at 32 "
+                                  "under --brownout)")
     serve_bench.add_argument("--deadline-ms", type=float, default=None,
                              metavar="MS",
                              help="per-request latency budget in milliseconds; "
@@ -650,8 +694,7 @@ def build_parser() -> argparse.ArgumentParser:
                                   "overload layer (deadlines, retry budgets, "
                                   "circuit breaker) on vs off under seeded "
                                   "brownout episodes plus a fault-free control")
-    serve_bench.add_argument("--chaos-seed", type=int,
-                             default=int(os.environ.get("REPRO_CHAOS_SEED", "7"), 0),
+    serve_bench.add_argument("--chaos-seed", type=int, default=None,
                              help="brownout episode seed (default "
                                   "$REPRO_CHAOS_SEED or 7)")
     serve_bench.add_argument("--output", "-o", metavar="PATH",

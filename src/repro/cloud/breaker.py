@@ -71,8 +71,10 @@ class CircuitBreaker:
 
         Raises :class:`~repro.exceptions.CircuitOpenError` (with a
         ``retry_after_seconds`` hint) when the request must not reach the
-        store. A request that passes must later report
-        :meth:`record_success` or :meth:`record_failure` exactly once.
+        store. A request that passes must later report exactly one of
+        :meth:`record_success`, :meth:`record_failure`, or
+        :meth:`record_cancelled` — leaking the outcome leaks a half-open
+        probe slot, and enough leaks wedge the breaker half-open forever.
         """
         registry = get_registry()
         now = clock.now_seconds
@@ -107,6 +109,18 @@ class CircuitBreaker:
                 get_registry().incr("cloud.breaker.closed")
         elif self.state == "closed":
             self._failures = 0
+
+    def record_cancelled(self, clock) -> None:
+        """The request ended without the store answering — e.g. the client's
+        deadline cancelled it mid-backoff. That says nothing about the
+        store's health, so it is neither a success nor a failure: the
+        failure streak and probe-success count are untouched, but an
+        admitted half-open probe slot must be released so later requests
+        can still probe once the store heals.
+        """
+        if self.state == "half_open":
+            self._probes_in_flight = max(0, self._probes_in_flight - 1)
+            get_registry().incr("cloud.breaker.probe_cancelled")
 
     def record_failure(self, clock) -> None:
         registry = get_registry()

@@ -464,10 +464,17 @@ class SimulatedObjectStore:
             )
         except (RetryExhaustedError, RetryBudgetExhaustedError, TransientRequestError):
             # The retry layer gave up on the store — breaker-visible failure.
-            # (Deadline cancellations are the client's problem, not the
-            # store's health, and don't count against the circuit.)
             if self.breaker is not None:
                 self.breaker.record_failure(self.clock)
+            raise
+        except BaseException:
+            # Anything else — a DeadlineExceededError from an interrupted
+            # backoff, above all — is the client's problem, not the store's
+            # health: neither success nor failure, but the outcome must
+            # still be reported or an admitted half-open probe slot leaks
+            # and the breaker wedges half-open.
+            if self.breaker is not None:
+                self.breaker.record_cancelled(self.clock)
             raise
         if self.breaker is not None:
             self.breaker.record_success(self.clock)

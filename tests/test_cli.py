@@ -104,6 +104,48 @@ class TestScan:
         assert "integrity:" in output
 
 
+class TestServeBenchGuards:
+    def test_malformed_chaos_seed_env_fails_only_its_consumer(
+        self, monkeypatch, tmp_path, csv_file, capsys
+    ):
+        # Regression: the seed envs used to be parsed in argparse defaults
+        # at parser *build* time, so a malformed value crashed every
+        # subcommand with a ValueError traceback.
+        monkeypatch.setenv("REPRO_CHAOS_SEED", "seven")
+        csv_path, _ = csv_file
+        assert main(["compress", str(csv_path), str(tmp_path / "x.btr")]) == 0
+        with pytest.raises(SystemExit) as caught:
+            main(["serve-bench", "--brownout"])
+        assert "REPRO_CHAOS_SEED" in str(caught.value)
+
+    def test_blank_seed_envs_fall_back_to_defaults(self, monkeypatch):
+        from repro.cli import _int_from_env
+
+        monkeypatch.setenv("REPRO_SERVE_SEED", "")
+        monkeypatch.setenv("REPRO_CHAOS_SEED", " ")
+        assert _int_from_env("REPRO_SERVE_SEED", 202408) == 202408
+        assert _int_from_env("REPRO_CHAOS_SEED", 7) == 7
+        monkeypatch.setenv("REPRO_CHAOS_SEED", "0x10")
+        assert _int_from_env("REPRO_CHAOS_SEED", 7) == 16
+
+    def test_zero_deadline_is_rejected_not_silently_dropped(self):
+        # Regression: `if args.deadline_ms` treated 0 as "no deadline".
+        with pytest.raises(SystemExit) as caught:
+            main(["serve-bench", "--deadline-ms", "0"])
+        assert "--deadline-ms" in str(caught.value)
+
+    def test_brownout_queue_limit_clamp_is_announced(self, monkeypatch, capsys):
+        # Regression: --queue-limit above the brownout cap was silently
+        # clamped. (The malformed chaos seed stops the run right after the
+        # clamp note, keeping this test cheap.)
+        monkeypatch.setenv("REPRO_CHAOS_SEED", "nope")
+        with pytest.raises(SystemExit):
+            main(["serve-bench", "--brownout", "--queue-limit", "64"])
+        err = capsys.readouterr().err
+        assert "caps --queue-limit at 32" in err
+        assert "requested 64" in err
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

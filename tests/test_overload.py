@@ -186,6 +186,68 @@ class TestCircuitBreaker:
         assert registry.get("cloud.breaker.reopened") == 1
         assert 1.0 <= caught.value.retry_after_seconds <= 1.25
 
+    def test_a_cancelled_probe_releases_its_slot(self):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            clock = SimulatedClock()
+            breaker = _breaker()
+            _trip(breaker, clock)
+            clock.advance(1.3)
+            breaker.before_request(clock)  # both probe slots out
+            breaker.before_request(clock)
+            breaker.record_cancelled(clock)  # both die client-side (deadline)
+            breaker.record_cancelled(clock)
+            assert breaker.state == "half_open"
+            # Slots were released, not leaked: probing resumes and the
+            # circuit can still close once the store answers.
+            breaker.before_request(clock)
+            breaker.record_success(clock)
+            breaker.before_request(clock)
+            breaker.record_success(clock)
+            assert breaker.state == "closed"
+        assert registry.get("cloud.breaker.probe_cancelled") == 2
+
+    def test_a_cancellation_is_not_a_success_for_the_failure_streak(self):
+        with use_registry(MetricsRegistry()):
+            clock = SimulatedClock()
+            breaker = _breaker()
+            breaker.record_failure(clock)
+            breaker.record_failure(clock)
+            breaker.record_cancelled(clock)  # says nothing about the store
+            breaker.record_failure(clock)
+            assert breaker.state == "open"  # streak survived the cancellation
+
+    def test_deadline_cancelled_probe_does_not_wedge_the_store_breaker(self):
+        # Regression: a half-open probe GET whose backoff crossed the
+        # client's deadline raised DeadlineExceededError past the breaker
+        # bookkeeping, leaking its probe slot; after half_open_probes such
+        # leaks every request fast-failed with CircuitOpenError forever,
+        # even after the store healed.
+        with use_registry(MetricsRegistry()):
+            store = SimulatedObjectStore(breaker=_breaker(seed=CHAOS_SEED))
+            payload = b"\x5a" * 64
+            store.put("obj", payload)
+            store.set_faults(
+                FaultProfile(transient_error_rate=1.0, seed=CHAOS_SEED)
+            )
+            for _ in range(store.breaker.policy.failure_threshold):
+                with pytest.raises(RetryExhaustedError):
+                    store.get("obj")
+            assert store.breaker.state == "open"
+            store.clock.advance(1.3)  # past any jittered open interval
+            for _ in range(store.breaker.policy.half_open_probes):
+                # A deadline at "now" makes the first backoff cross it.
+                store.deadline_seconds = store.clock.now_seconds
+                with pytest.raises(DeadlineExceededError):
+                    store.get("obj")
+            assert store.breaker.state == "half_open"
+            # The store heals; the breaker must still have probe slots.
+            store.deadline_seconds = None
+            store.set_faults(None)
+            assert store.get("obj") == payload
+            assert store.get("obj") == payload
+            assert store.breaker.state == "closed"
+
     def test_open_interval_jitter_is_seeded_deterministic(self):
         def open_interval(seed):
             with use_registry(MetricsRegistry()):
