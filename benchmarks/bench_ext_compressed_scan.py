@@ -16,7 +16,9 @@ from repro.core.compressor import compress_column
 from repro.core.config import BtrBlocksConfig
 from repro.core.decompressor import decompress_column
 from repro.metadata import build_zone_map, pruned_scan
+from repro.observe import MetricsRegistry, use_registry
 from repro.query import Between, Equals, scan_column
+from repro.query.executor import filter_column
 from repro.types import Column
 
 
@@ -62,6 +64,74 @@ def test_compressed_domain_dictionary_scan(benchmark):
     matches = benchmark(lambda: scan_column(compressed, Equals("shipped")))
     expected = sum(v == "shipped" for v in values)
     assert len(matches) == expected
+
+
+def test_filtered_scan_partial_decode_bitpack(benchmark, sorted_ints):
+    """1%-selectivity filter on bit-packed data: page headers reject almost
+    every page, and surviving blocks decode only their hit rows."""
+    values, compressed, _zone_map = sorted_ints
+    lo, hi = 5_000_000, 5_050_000
+    predicate = Between(lo, hi)
+
+    result = benchmark(lambda: filter_column(compressed, predicate))
+    expected = values[(values >= lo) & (values <= hi)]
+    assert np.array_equal(np.asarray(result.data), expected)
+
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        filter_column(compressed, predicate)
+    decoded = registry.get("query.cdomain.filtered.rows_selected")
+    surviving = registry.get("query.cdomain.filtered.rows_total")
+    assert decoded == expected.size
+    assert registry.get("query.cdomain.pages_skipped") > 0
+    print(f"\ndecoded {decoded} of {surviving} surviving-block rows "
+          f"({100.0 * decoded / surviving:.1f}%), "
+          f"pages skipped {registry.get('query.cdomain.pages_skipped')}"
+          f"/{registry.get('query.cdomain.pages')}")
+
+
+def test_code_space_dictionary_filter(benchmark):
+    """Categorical equality compiles into code space: the predicate runs on
+    the packed code stream and only matching codes gather their strings."""
+    rng = np.random.default_rng(11)
+    vocab = [f"category-{i:03d}" for i in range(100)]
+    values = [vocab[i] for i in rng.integers(0, len(vocab), 128_000)]
+    column = Column.strings("category", values)
+    compressed = compress_column(column, BtrBlocksConfig(block_size=16_000))
+    predicate = Equals("category-007")
+
+    result = benchmark(lambda: filter_column(compressed, predicate))
+    expected = sum(v == "category-007" for v in values)
+    assert len(result.data) == expected
+
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        filter_column(compressed, predicate)
+    assert registry.get("query.cdomain.code_compiled") > 0
+    assert registry.get("query.cdomain.filtered.rows_selected") == expected
+
+
+def test_rle_filtered_decode_matching_runs_only(benchmark):
+    """On run-heavy clustered data a selective filter decodes only the runs
+    that hold matches; whole blocks with no matching run are skipped."""
+    rng = np.random.default_rng(12)
+    run_values = np.sort(rng.integers(0, 50_000, 12_800)).astype(np.int32)
+    values = np.repeat(run_values, 20)
+    column = Column.ints("metric", values)
+    compressed = compress_column(column, BtrBlocksConfig(block_size=16_000))
+    lo, hi = int(values.min()), int(np.quantile(values, 0.01))
+    predicate = Between(lo, hi)
+
+    result = benchmark(lambda: filter_column(compressed, predicate))
+    expected = values[(values >= lo) & (values <= hi)]
+    assert np.array_equal(np.asarray(result.data), expected)
+
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        filter_column(compressed, predicate)
+    surviving = registry.get("query.cdomain.filtered.rows_total")
+    assert surviving < values.size  # non-matching blocks never materialise
+    assert registry.get("query.cdomain.filtered.rows_selected") == expected.size
 
 
 def test_scan_speedup_summary(benchmark, sorted_ints):

@@ -10,7 +10,11 @@ the pipelined-scan fetch-vs-decode overlap breakdown is additionally
 written there as its own JSON artifact, making the network/CPU-bound
 crossover visible per CI run; ``REPRO_BENCH_SELECTIVE`` likewise writes
 the zone-map selectivity sweep (bytes fetched at 1/10/50/100%
-selectivity) as its own artifact.
+selectivity) as its own artifact, and ``REPRO_BENCH_CDOMAIN`` the
+compressed-domain filtered-scan sweep. The compressed-domain sweep is also
+*gated*: a 1%-selectivity filtered scan must decode fewer than 25% of the
+rows in its surviving blocks (``REPRO_BENCH_CDOMAIN_MAX_DECODE``) — decode
+work has to scale with selectivity, not block size.
 
 Regenerate the baseline after an intentional performance change::
 
@@ -108,7 +112,39 @@ def test_perf_regression_vs_baseline():
                       fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"selective-scan sweep -> {selective_path}")
+    cdomain = report["compressed_scan"]
+    print_table(
+        f"Compressed-domain filtered scan (rows={cdomain['rows']}, "
+        f"block_size={cdomain['block_size']})",
+        ["workload", "selectivity", "rows", "filtered s", "naive s", "speedup",
+         "decode %"],
+        [
+            [name, label, point["rows_matched"], point["filtered_s"],
+             point["naive_s"], point["speedup"],
+             100.0 * point["decode_fraction"]]
+            for name, sweep in cdomain["workloads"].items()
+            for label, point in sweep.items()
+        ],
+    )
+    cdomain_path = os.environ.get("REPRO_BENCH_CDOMAIN")
+    if cdomain_path:
+        import json
+
+        with open(cdomain_path, "w", encoding="utf-8") as fh:
+            json.dump({"meta": report["meta"], "compressed_scan": cdomain},
+                      fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"compressed-scan sweep -> {cdomain_path}")
     print(f"\nreport -> {output}")
+
+    max_decode = float(os.environ.get("REPRO_BENCH_CDOMAIN_MAX_DECODE", "0.25"))
+    rollup = cdomain["at_1pct"]
+    assert rollup["decode_fraction"] < max_decode, (
+        f"1%-selectivity filtered scans decoded "
+        f"{100.0 * rollup['decode_fraction']:.1f}% of surviving-block rows "
+        f"({rollup['rows_decoded']}/{rollup['surviving_rows']}); "
+        f"gate is < {100.0 * max_decode:.0f}%"
+    )
 
     if not BASELINE_PATH.exists():
         pytest.skip(f"no committed baseline at {BASELINE_PATH}")

@@ -16,7 +16,13 @@ single ``BENCH_<date>.json`` report:
 * a selectivity sweep of the zone-map-pruned remote scan (``selective_scan``
   section, printed by ``repro bench --selective-scan``): bytes fetched and
   wall seconds at ~1/10/50/100% selectivity over a clustered table, showing
-  bytes moved scaling with selectivity rather than table size.
+  bytes moved scaling with selectivity rather than table size;
+* a selectivity sweep of the compressed-domain filtered scan
+  (``compressed_scan`` section, printed by ``repro bench
+  --compressed-scan``): :func:`repro.query.executor.filter_column` vs
+  decompress-then-filter at ~1/10/50/100% selectivity over bit-packed, RLE
+  and dictionary data, with the ``query.cdomain.*`` counters showing decode
+  work scaling with selectivity rather than block size.
 
 CI runs this scaled down (``--rows``) and compares the fresh report against
 the committed ``benchmarks/BENCH_baseline.json``: any throughput metric more
@@ -399,6 +405,112 @@ def bench_selective_scan(rows: int, seed: int, block_size: int = 4000) -> dict:
     }
 
 
+def bench_compressed_scan(
+    rows: int, seed: int, block_size: int = 4000, repeats: int = 3
+) -> dict:
+    """Compressed-domain filtered scan vs decompress-then-filter, swept over
+    selectivity.
+
+    Three workloads pick the scheme families with selection-vector kernels:
+    sorted ints (FastBP128 — page headers reject whole pages), run-heavy
+    ints (RLE — only matching runs decode) and low-cardinality strings
+    (dictionary — the predicate compiles into code space and only matching
+    codes gather their strings). Each runs
+    :func:`repro.query.executor.filter_column` against the naive
+    decompress-evaluate-gather baseline at ~1% / 10% / 50% / 100%
+    selectivity, recording wall time and the ``query.cdomain.filtered.*``
+    counters. The ``at_1pct`` rollup (total rows decoded vs rows in
+    surviving blocks, worst-case speedup) is what CI gates — decode work
+    must scale with selectivity, not block size.
+    """
+    from repro.core.compressor import compress_column
+    from repro.core.decompressor import decompress_column
+    from repro.encodings import strutil
+    from repro.query.executor import filter_column
+    from repro.query.predicates import Between, In
+    from repro.types import ColumnType
+
+    rng = np.random.default_rng(seed)
+    fractions = (("1%", 0.01), ("10%", 0.10), ("50%", 0.50), ("100%", 1.0))
+
+    sorted_ints = np.sort(rng.integers(0, 1 << 16, rows)).astype(np.int32)
+    run_values = np.sort(rng.integers(0, 50_000, (rows + 19) // 20)).astype(np.int32)
+    rle_ints = np.repeat(run_values, 20)[:rows]
+    vocab = [f"category-{i:03d}" for i in range(100)]
+    cat_ids = rng.integers(0, len(vocab), rows)
+
+    def int_predicate(values: np.ndarray, fraction: float) -> Between:
+        return Between(int(values.min()), int(np.quantile(values, fraction)))
+
+    workloads = {
+        "bitpack": (
+            Column.ints("v", sorted_ints),
+            lambda fraction: int_predicate(sorted_ints, fraction),
+        ),
+        "rle": (
+            Column.ints("v", rle_ints),
+            lambda fraction: int_predicate(rle_ints, fraction),
+        ),
+        "dictionary": (
+            Column.strings("v", [vocab[i] for i in cat_ids]),
+            lambda fraction: In(vocab[: max(1, round(len(vocab) * fraction))]),
+        ),
+    }
+    config = BtrBlocksConfig(block_size=block_size)
+    report: dict = {"rows": rows, "block_size": block_size, "workloads": {}}
+    decoded_1pct = 0
+    surviving_1pct = 0
+    speedups_1pct = []
+    for name, (column, make_predicate) in workloads.items():
+        compressed = compress_column(column, config)
+        sweep = {}
+        for label, fraction in fractions:
+            predicate = make_predicate(fraction)
+            registry = MetricsRegistry()
+            with use_registry(registry):
+                filtered = filter_column(compressed, predicate)
+            rows_decoded = int(registry.get("query.cdomain.filtered.rows_selected"))
+            surviving_rows = int(registry.get("query.cdomain.filtered.rows_total"))
+            filtered_s = _best_seconds(
+                lambda: filter_column(compressed, predicate), repeats
+            )
+
+            def naive():
+                full = decompress_column(compressed)
+                hits = np.nonzero(np.asarray(predicate.evaluate(full.data)))[0]
+                if compressed.ctype is ColumnType.STRING:
+                    return strutil.gather(full.data, hits)
+                return np.asarray(full.data)[hits]
+
+            naive_s = _best_seconds(naive, repeats)
+            sweep[label] = {
+                "selectivity": fraction,
+                "rows_matched": len(filtered.data),
+                "filtered_s": filtered_s,
+                "naive_s": naive_s,
+                "speedup": naive_s / filtered_s if filtered_s else 0.0,
+                "rows_decoded": rows_decoded,
+                "surviving_rows": surviving_rows,
+                "decode_fraction": (
+                    rows_decoded / surviving_rows if surviving_rows else 0.0
+                ),
+                "pages": int(registry.get("query.cdomain.pages")),
+                "pages_skipped": int(registry.get("query.cdomain.pages_skipped")),
+            }
+            if label == "1%":
+                decoded_1pct += rows_decoded
+                surviving_1pct += surviving_rows
+                speedups_1pct.append(sweep[label]["speedup"])
+        report["workloads"][name] = sweep
+    report["at_1pct"] = {
+        "rows_decoded": decoded_1pct,
+        "surviving_rows": surviving_1pct,
+        "decode_fraction": decoded_1pct / surviving_1pct if surviving_1pct else 0.0,
+        "min_speedup": min(speedups_1pct) if speedups_1pct else 0.0,
+    }
+    return report
+
+
 def bench_serve(
     tenant_sweep: "tuple[int, ...]" = (1, 4, 16),
     rows: int = 4000,
@@ -501,6 +613,7 @@ def run_bench(
         "schemes": bench_schemes(rows, repeats, seed, decode_only=decode_only),
         "pipeline": bench_pipeline(rows, seed),
         "selective_scan": bench_selective_scan(rows, seed),
+        "compressed_scan": bench_compressed_scan(rows, seed),
     }
     if not decode_only:
         report["parallel"] = bench_parallel(
@@ -542,7 +655,9 @@ def compare(current: dict, baseline: dict, threshold: float = DEFAULT_THRESHOLD)
     base = dict(_throughput_metrics(baseline))
     regressions = []
     for path, value in _throughput_metrics(current):
-        if path.startswith(("parallel.", "pipeline.", "selective_scan.")):
+        if path.startswith(
+            ("parallel.", "pipeline.", "selective_scan.", "compressed_scan.")
+        ):
             continue
         reference = base.get(path)
         if reference is None or reference <= 0:

@@ -18,7 +18,7 @@ Usage (also via ``python -m repro``)::
     python -m repro serve-bench [--tenants 1,4,16] [--requests N] [--output serve.json]
                               [--backend thread,process] [--parallel-rows N]
                               [--compare BASELINE.json] [--threshold 0.30]
-                              [--decode-only] [--selective-scan]
+                              [--decode-only] [--selective-scan] [--compressed-scan]
 
 ``compress`` ingests a CSV (with type inference), compresses it and writes
 the single-buffer BtrBlocks serialization; ``--trace`` additionally dumps
@@ -479,6 +479,21 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                   f"{point['bytes_fetched']:>10,} bytes fetched "
                   f"({100.0 * point['bytes_fetched'] / full:5.1f}% of full), "
                   f"{point['get_requests']} GETs, {point['decode_s']:.4f}s")
+    if args.compressed_scan:
+        cdomain = report["compressed_scan"]
+        print(f"  compressed-domain scan ({cdomain['rows']:,} rows, "
+              f"block size {cdomain['block_size']:,}):")
+        for name, sweep in cdomain["workloads"].items():
+            for label, point in sweep.items():
+                print(f"    {name:>10s} {label:>4s}: {point['rows_matched']:>8,} rows, "
+                      f"filtered {point['filtered_s'] * 1000:8.2f} ms vs naive "
+                      f"{point['naive_s'] * 1000:8.2f} ms ({point['speedup']:5.1f}x), "
+                      f"decoded {100.0 * point['decode_fraction']:5.1f}% of surviving rows")
+        rollup = cdomain["at_1pct"]
+        print(f"    at 1%: decoded {rollup['rows_decoded']:,} of "
+              f"{rollup['surviving_rows']:,} surviving rows "
+              f"({100.0 * rollup['decode_fraction']:.1f}%), "
+              f"min speedup {rollup['min_speedup']:.1f}x")
     if args.compare:
         regressions = bench.compare(
             report, bench.load_report(args.compare), threshold=args.threshold
@@ -659,6 +674,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--selective-scan", action="store_true",
                        help="print the zone-map selectivity sweep (bytes fetched "
                             "at 1/10/50/100%% selectivity); the section is always "
+                            "in the JSON report")
+    bench.add_argument("--compressed-scan", action="store_true",
+                       help="print the compressed-domain filtered-scan sweep "
+                            "(filter_column vs decompress-then-filter at "
+                            "1/10/50/100%% selectivity); the section is always "
                             "in the JSON report")
     bench.set_defaults(func=_cmd_bench)
 

@@ -77,7 +77,7 @@ from repro.exceptions import (
 )
 from repro.metadata import ColumnZoneMap
 from repro.observe import get_registry
-from repro.query.executor import scan_block, scan_column
+from repro.query.executor import iter_matching_positions, scan_column
 from repro.query.predicates import Predicate
 from repro.types import Column, ColumnType
 
@@ -648,9 +648,32 @@ class RemoteTable:
         cached = self._columns.get(entry["file"])
         if cached is None and ranges is None:
             return None  # nothing cached and no extents to range-GET with
-        offsets = zone_map.block_offsets()
         ctype = ColumnType(entry["type"])
-        positions = []
+        # The shared scan driver consumes (block, offset) pairs; this
+        # generator feeds it only the zone-map survivors, validated or
+        # ranged-GET on the way through.
+        positions = [
+            hits + offset
+            for _block, offset, hits in iter_matching_positions(
+                self._survivor_blocks(entry, survivors, cached, ranges, zone_map),
+                ctype,
+                predicate,
+            )
+        ]
+        if not positions:
+            return RoaringBitmap()
+        return RoaringBitmap.from_positions(np.concatenate(positions))
+
+    def _survivor_blocks(self, entry, survivors, cached, ranges, zone_map):
+        """Yield ``(block, column-row offset)`` for zone-map survivors.
+
+        Cached columns serve blocks after re-validation against their
+        statistics entry; uncached ones arrive by ranged GET. Either way a
+        structural mismatch rejects the zone map (``_PrunedPathUnavailable``
+        propagates out of the consuming driver mid-iteration, before any
+        further block is fetched).
+        """
+        offsets = zone_map.block_offsets()
         for index in survivors:
             if cached is not None:
                 if index >= len(cached.blocks):
@@ -664,14 +687,7 @@ class RemoteTable:
                 )
             else:
                 block = self._fetch_pruned_block(entry, index, ranges, zone_map)
-            nulls = RoaringBitmap.deserialize(block.nulls) if block.nulls else None
-            mask = scan_block(block.data, ctype, predicate, nulls)
-            hits = np.nonzero(mask)[0]
-            if hits.size:
-                positions.append(hits + offsets[index])
-        if not positions:
-            return RoaringBitmap()
-        return RoaringBitmap.from_positions(np.concatenate(positions))
+            yield block, offsets[index]
 
     def _read_rows_pruned(self, entry: dict, rows: np.ndarray) -> "Column | None":
         """Materialise specific rows of one column fetching only their blocks.

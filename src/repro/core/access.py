@@ -4,21 +4,23 @@ BtrBlocks optimises for scan throughput, not point access (the paper's
 Section 7 contrasts this with HyPer Data Blocks, which keeps data
 byte-addressable precisely to serve point queries). Still, block-based
 storage gives a natural unit of selective decompression: to read a handful
-of rows only the blocks containing them are decoded. That is what these
-helpers implement — and they make the cost model of the trade-off explicit:
-one point read costs one block decompression.
+of rows only the blocks containing them are decoded — and within each
+block, only the *selected* rows materialise, through the same
+selection-vector kernels the filtered scan path uses (RLE touches only the
+runs holding requested rows, dictionaries gather only their codes,
+bit-packing unpacks only their pages). One point read costs one partial
+block decode, not a full one.
 """
 
 from __future__ import annotations
-
-from bisect import bisect_right
 
 import numpy as np
 
 from repro.bitmap import RoaringBitmap
 from repro.core.blocks import CompressedColumn
-from repro.core.decompressor import make_context, _decompress_node
+from repro.core.decompressor import make_context, _decompress_node_filtered
 from repro.encodings import strutil
+from repro.observe import get_registry
 from repro.types import Column, ColumnType, StringArray
 
 
@@ -37,30 +39,61 @@ def read_rows(
 ) -> Column:
     """Materialise the given rows (any order, duplicates allowed).
 
-    Only blocks containing requested rows are decompressed, each at most
-    once; results come back in the order requested.
+    Only blocks containing requested rows are touched, each at most once,
+    and each decodes only its requested rows; results come back in the
+    order requested.
     """
     indices = np.asarray(row_indices, dtype=np.int64)
-    offsets = _block_offsets(compressed)
-    total = offsets[-1]
+    offsets = np.asarray(_block_offsets(compressed), dtype=np.int64)
+    total = int(offsets[-1])
     if indices.size and (indices.min() < 0 or indices.max() >= total):
         raise IndexError(f"row index out of range 0..{total - 1}")
     ctx = make_context(vectorized)
-    block_cache: dict[int, object] = {}
+    block_ids = np.searchsorted(offsets, indices, side="right") - 1
+    local = indices - offsets[block_ids]
+    uniq_blocks = np.unique(block_ids)
+
+    # Decode each touched block's requested rows once (sorted unique), then
+    # concatenate the partial decodes into one pool addressed by
+    # ``base[block] + rank`` so duplicates and arbitrary order cost one
+    # gather, not one decode each.
+    pools: list = []
+    bases: dict[int, int] = {}
+    selections: dict[int, np.ndarray] = {}
     null_cache: dict[int, RoaringBitmap | None] = {}
-
-    def block_of(row: int) -> int:
-        return bisect_right(offsets, row) - 1
-
-    block_ids = np.array([block_of(int(r)) for r in indices], dtype=np.int64)
-    for block_id in np.unique(block_ids):
-        block = compressed.blocks[block_id]
-        block_cache[block_id] = _decompress_node(block.data, compressed.ctype, ctx)
-        null_cache[block_id] = (
+    base = 0
+    rows_selected = 0
+    rows_total = 0
+    for block_id in uniq_blocks:
+        block = compressed.blocks[int(block_id)]
+        sel = np.unique(local[block_ids == block_id])
+        selections[int(block_id)] = sel
+        bases[int(block_id)] = base
+        base += int(sel.size)
+        rows_selected += int(sel.size)
+        rows_total += block.count
+        pools.append(
+            _decompress_node_filtered(block.data, compressed.ctype, ctx, sel)
+        )
+        null_cache[int(block_id)] = (
             RoaringBitmap.deserialize(block.nulls) if block.nulls else None
         )
+    if uniq_blocks.size:
+        get_registry().incr_many(
+            [
+                ("query.cdomain.filtered.blocks", int(uniq_blocks.size)),
+                ("query.cdomain.filtered.rows_selected", rows_selected),
+                ("query.cdomain.filtered.rows_total", rows_total),
+            ]
+        )
 
-    local = indices - np.asarray(offsets, dtype=np.int64)[block_ids]
+    rank = np.empty(indices.size, dtype=np.int64)
+    for block_id in uniq_blocks:
+        member = block_ids == block_id
+        rank[member] = bases[int(block_id)] + np.searchsorted(
+            selections[int(block_id)], local[member]
+        )
+
     null_positions = [
         i
         for i, (block_id, row) in enumerate(zip(block_ids, local))
@@ -69,17 +102,17 @@ def read_rows(
     nulls = RoaringBitmap.from_positions(null_positions) if null_positions else None
 
     if compressed.ctype is ColumnType.STRING:
-        parts = [
-            strutil.gather(block_cache[int(b)], np.array([int(r)]))
-            for b, r in zip(block_ids, local)
-        ]
-        data = strutil.concat(parts) if parts else StringArray.empty(0)
-        return Column(compressed.name, compressed.ctype, data, nulls)
+        if not pools:
+            return Column(compressed.name, compressed.ctype, StringArray.empty(0), nulls)
+        combined = strutil.concat([p for p in pools if isinstance(p, StringArray)])
+        return Column(
+            compressed.name, compressed.ctype, strutil.gather(combined, rank), nulls
+        )
     dtype = np.int32 if compressed.ctype is ColumnType.INTEGER else np.float64
-    out = np.empty(indices.size, dtype=dtype)
-    for position, (block_id, row) in enumerate(zip(block_ids, local)):
-        out[position] = block_cache[int(block_id)][int(row)]
-    return Column(compressed.name, compressed.ctype, out, nulls)
+    if not pools:
+        return Column(compressed.name, compressed.ctype, np.empty(0, dtype=dtype), nulls)
+    combined = np.concatenate([np.asarray(p) for p in pools])
+    return Column(compressed.name, compressed.ctype, combined[rank], nulls)
 
 
 def read_value(compressed: CompressedColumn, row: int):

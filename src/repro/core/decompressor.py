@@ -128,6 +128,56 @@ def _decompress_node_into(
         ) from exc
 
 
+def _decompress_node_filtered(
+    blob: bytes, ctype: ColumnType, ctx: DecompressionContext, positions: np.ndarray
+) -> Values:
+    """Selection-vector variant of :func:`_decompress_node`.
+
+    ``positions`` are the sorted unique row indices to materialise, each in
+    ``[0, declared count)``. The same untrusted-input gates run first — the
+    positions themselves are held to the declared count, because inner
+    cascade levels *derive* child positions from decoded geometry (RLE run
+    ends, frequency bitmaps) and corrupt geometry must surface as a typed
+    error here, not as an out-of-bounds crash inside a kernel. Schemes then
+    decode only what the selection needs.
+    """
+    scheme_id, count, payload = unwrap(blob)
+    if count > ctx.limits.max_rows_per_block:
+        raise DecodeLimitError(
+            f"block declares {count} values, limit is {ctx.limits.max_rows_per_block}"
+        )
+    if len(payload) > ctx.limits.max_bytes_per_block:
+        raise DecodeLimitError(
+            f"block payload of {len(payload)} bytes exceeds limit "
+            f"{ctx.limits.max_bytes_per_block}"
+        )
+    positions = np.asarray(positions, dtype=np.int64)
+    if positions.size and (int(positions[0]) < 0 or int(positions[-1]) >= count):
+        raise CorruptBlockError(
+            f"selection rows span [{int(positions[0])}, {int(positions[-1])}] "
+            f"but the block declares {count} values"
+        )
+    scheme = get_scheme(scheme_id)
+    if scheme.ctype is not ctype:
+        raise TypeMismatchError(
+            f"block encoded as {scheme.ctype.value} but read as {ctype.value}"
+        )
+    try:
+        values = scheme.decompress_filtered(payload, count, ctx, positions)
+    except (BtrBlocksError, MemoryError):
+        raise
+    except Exception as exc:
+        raise CorruptBlockError(
+            f"{scheme.name} failed on malformed payload: {exc!r}"
+        ) from exc
+    if len(values) != positions.size:
+        raise FormatError(
+            f"selection asked for {positions.size} values but {scheme.name} "
+            f"decoded {len(values)}"
+        )
+    return values
+
+
 #: Contexts are immutable and stateless, so default-limit ones are shared.
 _DEFAULT_CONTEXTS: dict[tuple[bool, bool], DecompressionContext] = {}
 
@@ -146,6 +196,7 @@ def make_context(
                 vectorized=vectorized,
                 fuse_rle_dict=fuse_rle_dict,
                 decompress_into_fn=_decompress_node_into,
+                decompress_filtered_fn=_decompress_node_filtered,
             )
             _DEFAULT_CONTEXTS[(vectorized, fuse_rle_dict)] = ctx
         return ctx
@@ -155,6 +206,7 @@ def make_context(
         fuse_rle_dict=fuse_rle_dict,
         limits=limits,
         decompress_into_fn=_decompress_node_into,
+        decompress_filtered_fn=_decompress_node_filtered,
     )
 
 
@@ -232,6 +284,55 @@ def decode_block(
         # failing to parse; degrade those the same way.
         return CorruptBlockResult(
             block.count if on_corrupt == "null_block" else 0, reason="decode failure"
+        )
+
+
+def decode_block_filtered(
+    block: CompressedBlock,
+    ctype: ColumnType,
+    ctx: DecompressionContext,
+    positions: np.ndarray,
+    on_corrupt: str = "raise",
+) -> "Values | CorruptBlockResult":
+    """Decode only the rows at ``positions`` (sorted unique, block-local).
+
+    The selection-vector analog of :func:`decode_block`: identical CRC32
+    verification order, error types and degrade semantics, but schemes
+    decode only what the selection needs — RLE touches only matching runs,
+    dictionaries gather only selected codes, bit-packing unpacks only pages
+    holding selected rows. A degraded damaged block emits ``len(positions)``
+    NULL placeholders under ``"null_block"`` and nothing under ``"skip"``.
+    Records ``query.cdomain.filtered.*`` counters (rows decoded vs the
+    block's total) so selectivity scaling is observable.
+    """
+    if on_corrupt not in ON_CORRUPT_MODES:
+        raise ValueError(f"on_corrupt must be one of {ON_CORRUPT_MODES}, got {on_corrupt!r}")
+    if block.count > ctx.limits.max_rows_per_block:
+        raise DecodeLimitError(
+            f"block declares {block.count} values, limit is "
+            f"{ctx.limits.max_rows_per_block}"
+        )
+    positions = np.asarray(positions, dtype=np.int64)
+    get_registry().incr_many(
+        [
+            ("query.cdomain.filtered.blocks", 1),
+            ("query.cdomain.filtered.rows_selected", int(positions.size)),
+            ("query.cdomain.filtered.rows_total", block.count),
+        ]
+    )
+    if not verify_block(block):
+        if on_corrupt == "raise":
+            raise IntegrityError(
+                f"block of {block.count} values: payload does not match stored CRC32"
+            )
+        return CorruptBlockResult(positions.size if on_corrupt == "null_block" else 0)
+    if on_corrupt == "raise":
+        return _decompress_node_filtered(block.data, ctype, ctx, positions)
+    try:
+        return _decompress_node_filtered(block.data, ctype, ctx, positions)
+    except BtrBlocksError:
+        return CorruptBlockResult(
+            positions.size if on_corrupt == "null_block" else 0, reason="decode failure"
         )
 
 
@@ -531,6 +632,7 @@ __all__ = [
     "assemble_column",
     "assemble_column_preallocated",
     "decode_block",
+    "decode_block_filtered",
     "decode_block_into",
     "decompress_block",
     "decompress_column",

@@ -93,11 +93,13 @@ class DecompressionContext:
         fuse_rle_dict: bool = True,
         limits: "DecodeLimits | None" = None,
         decompress_into_fn: "Callable[[bytes, ColumnType, DecompressionContext, np.ndarray], None] | None" = None,
+        decompress_filtered_fn: "Callable[[bytes, ColumnType, DecompressionContext, np.ndarray], Values] | None" = None,
     ) -> None:
         from repro.core.config import DEFAULT_DECODE_LIMITS
 
         self._decompress_fn = decompress_fn
         self._decompress_into_fn = decompress_into_fn
+        self._decompress_filtered_fn = decompress_filtered_fn
         self.vectorized = vectorized
         self.fuse_rle_dict = fuse_rle_dict
         self.limits = limits if limits is not None else DEFAULT_DECODE_LIMITS
@@ -121,6 +123,21 @@ class DecompressionContext:
                 f"child block decoded {len(values)} values into a {len(out)}-value slot"
             )
         np.copyto(out, np.asarray(values), casting="unsafe")
+
+    def decompress_child_filtered(
+        self, blob: bytes, ctype: ColumnType, positions: np.ndarray
+    ) -> Values:
+        """Decode only the child values at sorted row ``positions``.
+
+        Cascades the selection vector one level deeper when the context was
+        built with a filtered dispatcher (so e.g. dictionary codes packed
+        with FastBP128 unpack only the pages that hold selected rows);
+        otherwise decodes the child fully and takes the positions.
+        """
+        if self._decompress_filtered_fn is not None:
+            return self._decompress_filtered_fn(blob, ctype, self, positions)
+        values = self._decompress_fn(blob, ctype, self)
+        return take_values(values, positions)
 
 
 class Scheme(ABC):
@@ -178,6 +195,42 @@ class Scheme(ABC):
     def decompress(self, payload: bytes, count: int, ctx: DecompressionContext) -> Values:
         """Inverse of :meth:`compress`; must return bitwise-identical values."""
 
+    def header_bounds(
+        self, payload: bytes, count: int, ctx: DecompressionContext
+    ) -> "tuple[int, int] | None":
+        """Conservative ``(minimum, maximum)`` of the decoded values, derived
+        from header metadata alone — no payload words are unpacked.
+
+        The interval must *contain* every decoded value but need not be
+        tight: a range predicate that rejects (or accepts) the whole interval
+        can then reject (or accept) the block without decoding it, even when
+        no zone map is available. ``None`` (the default) means the scheme
+        cannot bound its output cheaply. Only frame-of-reference integer
+        schemes override this — their ``(reference, bit_width)`` page headers
+        are exactly such bounds.
+        """
+        return None
+
+    def decompress_filtered(
+        self, payload: bytes, count: int, ctx: DecompressionContext, positions: np.ndarray
+    ) -> Values:
+        """Decode only the values at ``positions`` (sorted, unique, in
+        ``[0, count)``), returning them in position order.
+
+        This is the selection-vector partial-decode surface: RLE decodes only
+        the runs that intersect the selection, dictionaries gather only the
+        selected codes, bit-packing unpacks only the pages containing
+        selected rows. The default decodes fully and takes — bit-identical,
+        no savings — so every scheme participates correctly and only hot
+        schemes need a real kernel.
+        """
+        values = self.decompress(payload, count, ctx)
+        if len(values) != count:
+            raise FormatError(
+                f"block declared {count} values but {self.name} decoded {len(values)}"
+            )
+        return take_values(values, positions)
+
     def decompress_into(
         self, payload: bytes, count: int, ctx: DecompressionContext, out: np.ndarray
     ) -> None:
@@ -200,6 +253,15 @@ class Scheme(ABC):
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} id={self.scheme_id} {self.ctype.value}>"
+
+
+def take_values(values: Values, positions: np.ndarray) -> Values:
+    """Gather ``values`` at ``positions``, preserving the sequence type."""
+    if isinstance(values, StringArray):
+        from repro.encodings import strutil
+
+        return strutil.gather(values, np.asarray(positions, dtype=np.int64))
+    return np.asarray(values)[positions]
 
 
 def _sample_nbytes(values: Values) -> int:

@@ -226,6 +226,51 @@ def unpack_pages(payload: bytes, widths: np.ndarray) -> np.ndarray:
     return out
 
 
+def unpack_pages_subset(payload: bytes, widths: np.ndarray, page_ids: np.ndarray) -> np.ndarray:
+    """Unpack only the pages in ``page_ids`` (sorted unique) from
+    :func:`pack_pages` output; returns ``(len(page_ids), 128)`` uint64 deltas.
+
+    Decode cost scales with the number of *selected* pages, not the block's
+    page count — the selection-vector analog of the full unpack.
+    """
+    widths = widths.astype(np.int64, copy=False)
+    page_count = widths.size
+    out = np.zeros((page_ids.size, PAGE), dtype=np.uint64)
+    if page_ids.size == 0:
+        return out
+    raw = np.frombuffer(payload, dtype=np.uint8)
+    offsets = np.zeros(page_count + 1, dtype=np.int64)
+    np.cumsum(16 * widths, out=offsets[1:])
+    if int(offsets[-1]) > raw.size:
+        raise CorruptBlockError(
+            f"bit-packed payload holds {raw.size} bytes, pages declare {int(offsets[-1])}"
+        )
+    sel_widths = widths[page_ids]
+    for width in np.unique(sel_widths):
+        w = int(width)
+        if w == 0:
+            continue
+        rows = np.nonzero(sel_widths == width)[0]
+        src = offsets[page_ids[rows]][:, None] + np.arange(16 * w, dtype=np.int64)
+        out[rows] = _decode_lane(raw[src], w)
+    return out
+
+
+def page_header_bounds(refs: np.ndarray, widths: np.ndarray) -> "tuple[int, int]":
+    """Conservative (min, max) of FOR/bit-packed data from page headers alone.
+
+    Page *i* holds values in ``[refs[i], refs[i] + 2**widths[i] - 1]``; the
+    hull over pages bounds the block. Exact on the low side (references are
+    page minima), conservative on the high side (the width covers the page's
+    max delta but other values may sit lower). Shifts are clipped at 62 so a
+    hostile width byte cannot overflow int64 — clipping only widens the
+    interval, which stays valid for both reject and accept decisions.
+    """
+    refs64 = refs.astype(np.int64)
+    spans = (np.int64(1) << np.minimum(widths.astype(np.int64), 62)) - 1
+    return int(refs64.min()), int((refs64 + spans).max())
+
+
 def unpack_pages_scalar(payload: bytes, widths: np.ndarray) -> np.ndarray:
     """Pure-Python per-value unpacking (Section 6.8 scalar ablation)."""
     out = np.zeros((widths.size, PAGE), dtype=np.uint64)
@@ -291,6 +336,48 @@ class FastBP128(Scheme):
                 f"bit-packed pages hold {values.size} values, {count} declared"
             )
         np.copyto(out, values[:count], casting="unsafe")
+
+    def header_bounds(
+        self, payload: bytes, count: int, ctx: DecompressionContext
+    ) -> "tuple[int, int] | None":
+        try:
+            reader = Reader(payload)
+            refs = reader.array()
+            widths = reader.array()
+        except Exception:
+            return None
+        if refs.size == 0 or refs.size != widths.size:
+            return None
+        return page_header_bounds(refs, widths)
+
+    def decompress_filtered(
+        self, payload: bytes, count: int, ctx: DecompressionContext, positions: np.ndarray
+    ) -> np.ndarray:
+        if not ctx.vectorized:
+            return super().decompress_filtered(payload, count, ctx, positions)
+        reader = Reader(payload)
+        refs = reader.array()
+        widths = reader.array()
+        packed = reader.blob()
+        positions = np.asarray(positions, dtype=np.int64)
+        if positions.size == 0:
+            return np.empty(0, dtype=np.int32)
+        if refs.size != widths.size:
+            raise CorruptBlockError(
+                f"bit-packed header declares {refs.size} references for {widths.size} pages"
+            )
+        page_ids = positions // PAGE
+        uniq_pages = np.unique(page_ids)
+        if widths.size <= int(uniq_pages[-1]):
+            raise CorruptBlockError(
+                f"bit-packed pages hold {widths.size * PAGE} values, row {int(positions[-1])} selected"
+            )
+        deltas = unpack_pages_subset(packed, widths, uniq_pages)
+        # Same modular add + int32 cast as the full decode, restricted to the
+        # selected pages, so results stay bit-identical.
+        np.add(deltas, refs[uniq_pages][:, None], out=deltas, casting="unsafe")
+        rows = np.searchsorted(uniq_pages, page_ids)
+        return deltas[rows, positions % PAGE].astype(np.int32)
 
 
 FASTBP128_SCHEME = register_scheme(FastBP128())

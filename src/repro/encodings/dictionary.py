@@ -15,6 +15,8 @@ replicated, skipping the intermediate code array.
 
 from __future__ import annotations
 
+import zlib
+
 import numpy as np
 
 from repro.encodings import strutil
@@ -32,6 +34,32 @@ from repro.types import ColumnType, StringArray
 
 _POOL_RAW = 0
 _POOL_FSST = 1
+
+#: Decoded string pools keyed by pool-blob content, shared across scans so a
+#: second predicate against the same block skips ``_decompress_pool``. Keyed
+#: by CRC + length + declared count of the *compressed* pool bytes — content
+#: addressed, so identical pools in different blocks share one entry and a
+#: rewritten block can never alias a stale pool. Byte-budgeted like
+#: :class:`~repro.core.cache.DecodeCache`; lazily built so importing this
+#: module never touches the metrics registry.
+_POOL_CACHE_BYTES = 32 << 20
+_pool_cache = None
+
+
+def string_pool_cache():
+    """The process-wide decoded-pool cache (created on first use)."""
+    global _pool_cache
+    if _pool_cache is None:
+        from repro.core.cache import ByteBudgetLRU
+
+        _pool_cache = ByteBudgetLRU(_POOL_CACHE_BYTES, "query.cdomain.pool_cache")
+    return _pool_cache
+
+
+def clear_string_pool_cache() -> None:
+    """Drop all cached pools (tests and long-running servers)."""
+    if _pool_cache is not None:
+        _pool_cache.clear()
 
 
 def _unique_with_codes(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -122,6 +150,19 @@ class _NumericDict(Scheme):
                 f"block declared {count} values but {self.name} decoded {len(codes)}"
             )
         np.take(uniq, codes, out=out)
+
+    def decompress_filtered(
+        self, payload: bytes, count: int, ctx: DecompressionContext, positions: np.ndarray
+    ) -> np.ndarray:
+        if not ctx.vectorized:
+            return super().decompress_filtered(payload, count, ctx, positions)
+        reader = Reader(payload)
+        uniq = reader.array()
+        codes_blob = reader.blob()
+        codes = np.asarray(
+            ctx.decompress_child_filtered(codes_blob, ColumnType.INTEGER, positions)
+        )
+        return np.asarray(uniq)[codes]
 
 
 def _try_fused_rle(codes_blob: bytes, ctx: DecompressionContext):
@@ -221,6 +262,22 @@ class DictString(Scheme):
         reader = Reader(data)
         return strutil.untrusted_strings(reader.array(), reader.array())
 
+    def cached_pool(self, kind: int, data: bytes, count: int, ctx) -> StringArray:
+        """The decoded pool, served from the content-addressed cache.
+
+        Used by the scan/filtered paths, where the same block's pool is
+        decoded once per predicate; the full ``decompress`` path keeps its
+        cache-free behaviour (one decode per materialisation is already
+        optimal there, and skipping the cache keeps its memory profile).
+        """
+        cache = string_pool_cache()
+        key = (kind, zlib.crc32(data), len(data), count)
+        pool = cache.get(key)
+        if pool is None:
+            pool = self._decompress_pool(kind, data, count, ctx)
+            cache.put(key, pool, pool.nbytes)
+        return pool
+
     def decompress(self, payload: bytes, count: int, ctx: DecompressionContext) -> StringArray:
         reader = Reader(payload)
         pool_kind = reader.u8()
@@ -237,7 +294,48 @@ class DictString(Scheme):
             return strutil.gather(pool, codes)
         return pool.take(codes)
 
+    def decompress_filtered(
+        self, payload: bytes, count: int, ctx: DecompressionContext, positions: np.ndarray
+    ) -> StringArray:
+        if not ctx.vectorized:
+            return super().decompress_filtered(payload, count, ctx, positions)
+        reader = Reader(payload)
+        pool_kind = reader.u8()
+        pool_count = reader.u32()
+        pool = self.cached_pool(pool_kind, reader.blob(), pool_count, ctx)
+        codes_blob = reader.blob()
+        codes = np.asarray(
+            ctx.decompress_child_filtered(codes_blob, ColumnType.INTEGER, positions)
+        )
+        if codes.size and (int(codes.min()) < 0 or int(codes.max()) >= len(pool)):
+            raise FormatError("dictionary code out of pool range")
+        return strutil.gather(pool, codes)
+
+
+def read_numeric_dict(payload: bytes) -> "tuple[np.ndarray, bytes]":
+    """Split a numeric dictionary payload into (sorted pool, codes blob).
+
+    The compressed-domain executor uses this to compile predicates into code
+    space without materialising any values.
+    """
+    reader = Reader(payload)
+    uniq = reader.array()
+    return uniq, reader.blob()
+
+
+def read_string_dict(payload: bytes, ctx: DecompressionContext) -> "tuple[StringArray, bytes]":
+    """Split a string dictionary payload into (decoded pool, codes blob).
+
+    The pool comes from the content-addressed cache, so repeated predicates
+    against the same block decode it once.
+    """
+    reader = Reader(payload)
+    pool_kind = reader.u8()
+    pool_count = reader.u32()
+    pool = DICT_STRING_SCHEME.cached_pool(pool_kind, reader.blob(), pool_count, ctx)
+    return pool, reader.blob()
+
 
 register_scheme(DictInt())
 register_scheme(DictDouble())
-register_scheme(DictString())
+DICT_STRING_SCHEME = register_scheme(DictString())

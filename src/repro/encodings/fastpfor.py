@@ -28,9 +28,11 @@ from repro.encodings.bitpack import (
     PAGE,
     bit_lengths,
     pack_pages,
+    page_header_bounds,
     paginate,
     unpack_pages,
     unpack_pages_scalar,
+    unpack_pages_subset,
 )
 from repro.encodings.wire import Reader, Writer
 from repro.exceptions import CorruptBlockError
@@ -136,6 +138,75 @@ class FastPFOR(Scheme):
                 f"bit-packed pages hold {values.size} values, {count} declared"
             )
         np.copyto(out, values[:count], casting="unsafe")
+
+    def header_bounds(
+        self, payload: bytes, count: int, ctx: DecompressionContext
+    ) -> "tuple[int, int] | None":
+        try:
+            reader = Reader(payload)
+            refs = reader.array()
+            widths = reader.array()
+            exc_per_page = reader.array()
+            reader.array()  # exc_slots: positions do not move the hull
+            exc_values = reader.array()
+        except Exception:
+            return None
+        if (
+            refs.size == 0
+            or refs.size != widths.size
+            or exc_per_page.size != widths.size
+            or int(exc_per_page.sum()) != exc_values.size
+        ):
+            return None
+        lo, hi = page_header_bounds(refs, widths)
+        if exc_values.size:
+            # Exceptions store the *full* delta, so they can sit above the
+            # packed lane's 2**width - 1 ceiling; raise the hull to cover
+            # them (clipped like the width spans so hostile values cannot
+            # overflow int64 — clipping only widens the interval).
+            exc_pages = np.repeat(np.arange(widths.size), exc_per_page)
+            exc_deltas = np.minimum(exc_values, np.uint64(1) << np.uint64(62)).astype(
+                np.int64
+            )
+            hi = max(hi, int((refs[exc_pages].astype(np.int64) + exc_deltas).max()))
+        return lo, hi
+
+    def decompress_filtered(
+        self, payload: bytes, count: int, ctx: DecompressionContext, positions: np.ndarray
+    ) -> np.ndarray:
+        if not ctx.vectorized:
+            return super().decompress_filtered(payload, count, ctx, positions)
+        reader = Reader(payload)
+        refs = reader.array()
+        widths = reader.array()
+        exc_per_page = reader.array()
+        exc_slots = reader.array()
+        exc_values = reader.array()
+        packed = reader.blob()
+        positions = np.asarray(positions, dtype=np.int64)
+        if positions.size == 0:
+            return np.empty(0, dtype=np.int32)
+        if refs.size != widths.size or exc_per_page.size != widths.size:
+            raise CorruptBlockError(
+                f"patched header declares {refs.size} references / "
+                f"{exc_per_page.size} exception counts for {widths.size} pages"
+            )
+        page_ids = positions // PAGE
+        uniq_pages = np.unique(page_ids)
+        if widths.size <= int(uniq_pages[-1]):
+            raise CorruptBlockError(
+                f"patched pages hold {widths.size * PAGE} values, row {int(positions[-1])} selected"
+            )
+        deltas = unpack_pages_subset(packed, widths, uniq_pages)
+        if exc_values.size:
+            exc_pages = np.repeat(np.arange(widths.size), exc_per_page)
+            sel = np.isin(exc_pages, uniq_pages)
+            if sel.any():
+                exc_rows = np.searchsorted(uniq_pages, exc_pages[sel])
+                deltas[exc_rows, exc_slots[sel]] = exc_values[sel]
+        np.add(deltas, refs[uniq_pages][:, None], out=deltas, casting="unsafe")
+        rows = np.searchsorted(uniq_pages, page_ids)
+        return deltas[rows, positions % PAGE].astype(np.int32)
 
 
 FASTPFOR_SCHEME = register_scheme(FastPFOR())

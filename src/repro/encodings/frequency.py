@@ -75,6 +75,31 @@ class _FrequencyBase(Scheme):
                 exc_pos += 1
         return out
 
+    def decompress_filtered(
+        self, payload: bytes, count: int, ctx: DecompressionContext, positions: np.ndarray
+    ) -> np.ndarray:
+        if not ctx.vectorized:
+            return super().decompress_filtered(payload, count, ctx, positions)
+        reader = Reader(payload)
+        top_value = reader.array()
+        bitmap = RoaringBitmap.deserialize(reader.blob())
+        exc_blob = reader.blob()
+        mask = bitmap.to_mask(count)
+        positions = np.asarray(positions, dtype=np.int64)
+        sel_top = mask[positions]
+        out = np.empty(positions.size, dtype=top_value.dtype)
+        if sel_top.any():
+            out[sel_top] = top_value[0]
+        exc_positions = positions[~sel_top]
+        if exc_positions.size:
+            # Rank of each selected exception among all exceptions = its row
+            # in the cascaded exceptions child; the child then decodes only
+            # those rows.
+            exc_ranks = np.cumsum(~mask)[exc_positions] - 1
+            exceptions = ctx.decompress_child_filtered(exc_blob, self.ctype, exc_ranks)
+            out[~sel_top] = np.asarray(exceptions)
+        return out
+
 
 class FrequencyInt(_FrequencyBase):
     scheme_id = SchemeId.FREQUENCY_INT
@@ -125,6 +150,26 @@ class FrequencyString(Scheme):
         if ctx.vectorized:
             return strutil.gather(pool, codes)
         return pool.take(codes)
+
+    def decompress_filtered(
+        self, payload: bytes, count: int, ctx: DecompressionContext, positions: np.ndarray
+    ) -> StringArray:
+        if not ctx.vectorized:
+            return super().decompress_filtered(payload, count, ctx, positions)
+        reader = Reader(payload)
+        top = reader.blob()
+        bitmap = RoaringBitmap.deserialize(reader.blob())
+        exc_blob = reader.blob()
+        mask = bitmap.to_mask(count)
+        positions = np.asarray(positions, dtype=np.int64)
+        sel_top = mask[positions]
+        exc_positions = positions[~sel_top]
+        exc_ranks = np.cumsum(~mask)[exc_positions] - 1
+        exceptions = ctx.decompress_child_filtered(exc_blob, ColumnType.STRING, exc_ranks)
+        pool = strutil.concat([StringArray.from_pylist([top]), exceptions])
+        codes = np.zeros(positions.size, dtype=np.int64)
+        codes[~sel_top] = 1 + np.arange(len(exceptions), dtype=np.int64)
+        return strutil.gather(pool, codes)
 
 
 register_scheme(FrequencyInt())

@@ -41,6 +41,21 @@ class OneValueInt(Scheme):
     ) -> None:
         out.fill(np.int32(Reader(payload).i64()))
 
+    def header_bounds(
+        self, payload: bytes, count: int, ctx: DecompressionContext
+    ) -> "tuple[int, int] | None":
+        try:
+            value = int(np.int32(Reader(payload).i64()))
+        except Exception:
+            return None
+        return value, value
+
+    def decompress_filtered(
+        self, payload: bytes, count: int, ctx: DecompressionContext, positions: np.ndarray
+    ) -> np.ndarray:
+        value = Reader(payload).i64()
+        return np.full(len(positions), value, dtype=np.int32)
+
 
 class OneValueDouble(Scheme):
     scheme_id = SchemeId.ONE_VALUE_DOUBLE
@@ -58,6 +73,18 @@ class OneValueDouble(Scheme):
         value = Reader(payload).array()
         return np.repeat(value, count)
 
+    def header_bounds(
+        self, payload: bytes, count: int, ctx: DecompressionContext
+    ) -> "tuple[float, float] | None":
+        try:
+            value = Reader(payload).array()
+        except Exception:
+            return None
+        if value.size != 1 or value.dtype != np.float64 or np.isnan(value[0]):
+            return None
+        v = float(value[0])
+        return v, v
+
     def decompress_into(
         self, payload: bytes, count: int, ctx: DecompressionContext, out: np.ndarray
     ) -> None:
@@ -67,6 +94,16 @@ class OneValueDouble(Scheme):
                 f"one_value payload holds {value.size} values, expected 1"
             )
         out.fill(value[0])
+
+    def decompress_filtered(
+        self, payload: bytes, count: int, ctx: DecompressionContext, positions: np.ndarray
+    ) -> np.ndarray:
+        value = Reader(payload).array()
+        if value.size != 1:
+            raise CorruptBlockError(
+                f"one_value payload holds {value.size} values, expected 1"
+            )
+        return np.repeat(value, len(positions))
 
 
 class OneValueString(Scheme):
@@ -84,6 +121,15 @@ class OneValueString(Scheme):
         value = Reader(payload).blob()
         buffer = np.frombuffer(value * count, dtype=np.uint8)
         offsets = np.arange(count + 1, dtype=np.int64) * len(value)
+        return StringArray(buffer, offsets)
+
+    def decompress_filtered(
+        self, payload: bytes, count: int, ctx: DecompressionContext, positions: np.ndarray
+    ) -> StringArray:
+        value = Reader(payload).blob()
+        n = len(positions)
+        buffer = np.frombuffer(value * n, dtype=np.uint8)
+        offsets = np.arange(n + 1, dtype=np.int64) * len(value)
         return StringArray(buffer, offsets)
 
 

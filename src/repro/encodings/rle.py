@@ -110,6 +110,34 @@ class _RLEBase(Scheme):
         run_values, run_lengths = self.decode_runs(payload, ctx, self.ctype)
         repeat_into(np.asarray(run_values), np.asarray(run_lengths), count, out)
 
+    def decompress_filtered(
+        self, payload: bytes, count: int, ctx: DecompressionContext, positions: np.ndarray
+    ) -> np.ndarray:
+        if not ctx.vectorized:
+            return super().decompress_filtered(payload, count, ctx, positions)
+        reader = Reader(payload)
+        run_count = reader.u32()
+        values_blob = reader.blob()
+        lengths_blob = reader.blob()
+        # Lengths must decode fully (they define the run geometry), but the
+        # run *values* decode filtered: only runs intersecting the selection.
+        run_lengths = np.asarray(ctx.decompress_child(lengths_blob, ColumnType.INTEGER))
+        if len(run_lengths) != run_count:
+            raise CorruptBlockError("RLE run arrays do not match the run count")
+        if run_lengths.size and bool((run_lengths < 0).any()):
+            raise CorruptBlockError("RLE run lengths are negative")
+        ends = np.cumsum(run_lengths, dtype=np.int64)
+        total = int(ends[-1]) if ends.size else 0
+        if total != count:
+            raise FormatError(
+                f"block declared {count} values but rle runs cover {total}"
+            )
+        positions = np.asarray(positions, dtype=np.int64)
+        run_ids = np.searchsorted(ends, positions, side="right")
+        uniq_runs = np.unique(run_ids)
+        run_values = ctx.decompress_child_filtered(values_blob, self.ctype, uniq_runs)
+        return np.asarray(run_values)[np.searchsorted(uniq_runs, run_ids)]
+
 
 class RLEInt(_RLEBase):
     scheme_id = SchemeId.RLE_INT

@@ -18,10 +18,31 @@ from repro.encodings.base import (
     register_scheme,
 )
 from repro.encodings.wire import Reader, Writer
+from repro.exceptions import FormatError
 from repro.types import ColumnType, StringArray
 
 
-class UncompressedInt(Scheme):
+class _UncompressedNumeric(Scheme):
+    """Shared raw-array behaviour for the two numeric terminators."""
+
+    def decompress(self, payload: bytes, count: int, ctx: DecompressionContext) -> np.ndarray:
+        return Reader(payload).array()
+
+    def decompress_filtered(
+        self, payload: bytes, count: int, ctx: DecompressionContext, positions: np.ndarray
+    ) -> np.ndarray:
+        # The take itself is the only possible saving here; the point of
+        # overriding is the cheap length check (the default would decode,
+        # check and take identically, but through one extra dispatch).
+        values = Reader(payload).array()
+        if values.size != count:
+            raise FormatError(
+                f"block declared {count} values but {self.name} decoded {values.size}"
+            )
+        return values[positions]
+
+
+class UncompressedInt(_UncompressedNumeric):
     """Raw int32 values."""
 
     scheme_id = SchemeId.UNCOMPRESSED_INT
@@ -31,11 +52,8 @@ class UncompressedInt(Scheme):
     def compress(self, values: np.ndarray, ctx: CompressionContext) -> bytes:
         return Writer().array(np.asarray(values, dtype=np.int32)).getvalue()
 
-    def decompress(self, payload: bytes, count: int, ctx: DecompressionContext) -> np.ndarray:
-        return Reader(payload).array()
 
-
-class UncompressedDouble(Scheme):
+class UncompressedDouble(_UncompressedNumeric):
     """Raw float64 values."""
 
     scheme_id = SchemeId.UNCOMPRESSED_DOUBLE
@@ -44,9 +62,6 @@ class UncompressedDouble(Scheme):
 
     def compress(self, values: np.ndarray, ctx: CompressionContext) -> bytes:
         return Writer().array(np.asarray(values, dtype=np.float64)).getvalue()
-
-    def decompress(self, payload: bytes, count: int, ctx: DecompressionContext) -> np.ndarray:
-        return Reader(payload).array()
 
 
 class UncompressedString(Scheme):

@@ -53,6 +53,9 @@ def build_report(
     server = _server_section(snapshot["counters"])
     if server:
         report["server"] = server
+    cdomain = _cdomain_section(snapshot["counters"])
+    if cdomain:
+        report["compressed_domain"] = cdomain
     if include_decisions:
         report["decisions"] = [d.to_dict() for d in trace.decisions()]
     return report
@@ -237,6 +240,43 @@ def _server_section(counters: dict) -> dict:
             "breaker_fast_fails": counters.get("cloud.breaker.fast_fail", 0),
             "wasted_bytes": counters.get("server.wasted_bytes", 0),
             "brownout_seconds": counters.get("server.brownout_seconds", 0),
+        },
+    }
+
+
+def _cdomain_section(counters: dict) -> dict:
+    """Compressed-domain execution rolled up: how much work the scan path
+    avoided by evaluating predicates on encoded data. Present only when a
+    compressed-domain scan or a filtered (selection-vector) decode ran."""
+    if not counters.get("query.cdomain.blocks") and not counters.get(
+        "query.cdomain.filtered.blocks"
+    ):
+        return {}
+    selected = counters.get("query.cdomain.filtered.rows_selected", 0)
+    total = counters.get("query.cdomain.filtered.rows_total", 0)
+    pages = counters.get("query.cdomain.pages", 0)
+    return {
+        "blocks_scanned": counters.get("query.cdomain.blocks", 0),
+        "rows_scanned": counters.get("query.cdomain.rows", 0),
+        "code_space": {
+            "compiled": counters.get("query.cdomain.code_compiled", 0),
+            "fallbacks": counters.get("query.cdomain.code_fallbacks", 0),
+        },
+        "pages": {
+            "considered": pages,
+            "skipped": counters.get("query.cdomain.pages_skipped", 0),
+            "accepted": counters.get("query.cdomain.pages_accepted", 0),
+        },
+        "filtered_decode": {
+            "blocks": counters.get("query.cdomain.filtered.blocks", 0),
+            "rows_selected": selected,
+            "rows_total": total,
+            "decode_fraction": selected / total if total else 0.0,
+        },
+        "pool_cache": {
+            "hits": counters.get("query.cdomain.pool_cache.hit", 0),
+            "misses": counters.get("query.cdomain.pool_cache.miss", 0),
+            "evictions": counters.get("query.cdomain.pool_cache.evict", 0),
         },
     }
 

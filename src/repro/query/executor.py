@@ -1,40 +1,72 @@
-"""Predicate evaluation over compressed blocks.
+"""Predicate evaluation over compressed blocks — in the compressed domain.
 
-``scan_block`` inspects the root scheme of a compressed node and, where the
-encoding permits, answers the predicate without materialising the column:
+``scan_block`` walks the cascade tree of a compressed node and, at every
+level, answers the predicate with as little decoding as the encoding
+permits (the paper's Section 7 direction and Rozenberg's computational
+model for processing compressed data):
 
 =============  =============================================================
-Root scheme    Fast path
+Node scheme    Fast path
 =============  =============================================================
 One Value      one comparison decides the whole block
-Dictionary     evaluate on the (small) dictionary, map results over codes;
-               with RLE-compressed codes the mapping runs per *run*
-RLE            evaluate on run values, replicate per run length
-Frequency      one comparison for the top value + exceptions only
+Dictionary     compile the predicate into *code space* once (binary search
+               the sorted pool / evaluate the small pool), then recurse on
+               the packed/RLE code stream without materialising values
+RLE            recurse on the run values, replicate per run length
+Frequency      one comparison for the top value + recurse on exceptions
+FastBP128 /    reject or accept whole pages from the ``(reference,
+FastPFOR       bit_width)`` headers alone; unpack only undecided pages
 others         decompress, then evaluate (the paper's default position)
 =============  =============================================================
 
+Because the fast paths recurse, they compose: a dictionary whose code
+stream is RLE over bit-packed run values evaluates the compiled code
+predicate per *run*, and the run values' page headers can reject runs
+without unpacking a word.
+
 NULL semantics follow SQL: NULL rows never match a value predicate, and the
 dedicated :class:`~repro.query.predicates.IsNull` matches exactly them.
+
+``query.cdomain.*`` counters record what the compressed domain saved; see
+docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
 
+from typing import Iterable, Iterator
+
 import numpy as np
 
 from repro.bitmap import RoaringBitmap
-from repro.core.blocks import CompressedColumn
-from repro.core.decompressor import make_context
-from repro.encodings.base import SchemeId
+from repro.core.blocks import CompressedBlock, CompressedColumn
+from repro.core.decompressor import decode_block_filtered, make_context
+from repro.encodings.base import DecompressionContext, SchemeId, get_scheme
+from repro.encodings.bitpack import PAGE
 from repro.encodings.rle import _RLEBase
 from repro.encodings.wire import Reader, unwrap
-from repro.query.predicates import IsNull, Predicate
+from repro.exceptions import CorruptBlockError
+from repro.observe import get_registry
+from repro.query.predicates import (
+    Between,
+    Equals,
+    GreaterThan,
+    In,
+    IsNull,
+    LessThan,
+    Predicate,
+)
 from repro.types import Column, ColumnType, StringArray
 
 _ONE_VALUE = {SchemeId.ONE_VALUE_INT, SchemeId.ONE_VALUE_DOUBLE, SchemeId.ONE_VALUE_STRING}
 _DICT = {SchemeId.DICT_INT, SchemeId.DICT_DOUBLE, SchemeId.DICT_STRING}
 _RLE = {SchemeId.RLE_INT, SchemeId.RLE_DOUBLE}
 _FREQUENCY = {SchemeId.FREQUENCY_INT, SchemeId.FREQUENCY_DOUBLE, SchemeId.FREQUENCY_STRING}
+_BITPACKED = {SchemeId.FAST_BP128, SchemeId.FAST_PFOR}
+
+#: Sentinel results of code-space compilation: the predicate matches no /
+#: every dictionary entry, so no code ever needs materialising.
+_NONE_MATCH = "none"
+_ALL_MATCH = "all"
 
 
 def scan_block(
@@ -44,33 +76,48 @@ def scan_block(
     nulls: RoaringBitmap | None = None,
 ) -> np.ndarray:
     """Evaluate a predicate over one compressed block, returning a row mask."""
-    scheme_id, count, payload = unwrap(blob)
+    _, count, _ = unwrap(blob)
+    registry = get_registry()
+    registry.incr_many([("query.cdomain.blocks", 1), ("query.cdomain.rows", count)])
     if isinstance(predicate, IsNull):
         mask = np.zeros(count, dtype=bool)
         if nulls is not None:
             mask = nulls.to_mask(count)
         return mask
-    if scheme_id in _ONE_VALUE:
-        mask = _scan_one_value(payload, count, ctype, predicate)
-    elif scheme_id in _DICT:
-        mask = _scan_dictionary(scheme_id, payload, count, ctype, predicate)
-    elif scheme_id in _RLE:
-        mask = _scan_rle(payload, count, ctype, predicate)
-    elif scheme_id in _FREQUENCY:
-        mask = _scan_frequency(scheme_id, payload, count, ctype, predicate)
-    else:
-        ctx = make_context()
-        values = ctx.decompress_child(blob, ctype)
-        mask = np.asarray(predicate.evaluate(values), dtype=bool)
+    mask = _scan_node(blob, ctype, predicate, make_context())
     if nulls is not None and len(nulls):
         mask &= ~nulls.to_mask(count)
     return mask
 
 
-def _scan_one_value(payload: bytes, count: int, ctype: ColumnType, predicate: Predicate) -> np.ndarray:
+def _scan_node(
+    blob: bytes, ctype: ColumnType, predicate: Predicate, ctx: DecompressionContext
+) -> np.ndarray:
+    """Recursive compressed-domain evaluation; returns a block-length mask."""
+    scheme_id, count, payload = unwrap(blob)
+    if scheme_id in _ONE_VALUE:
+        return _scan_one_value(payload, count, ctype, predicate)
+    if scheme_id in _DICT:
+        return _scan_dictionary(scheme_id, payload, count, ctype, predicate, ctx)
+    if scheme_id in _RLE:
+        return _scan_rle(payload, count, ctype, predicate, ctx)
+    if scheme_id in _FREQUENCY:
+        return _scan_frequency(payload, count, ctype, predicate, ctx)
+    if scheme_id in _BITPACKED:
+        return _scan_bitpacked(scheme_id, payload, count, predicate, ctx)
+    values = ctx.decompress_child(blob, ctype)
+    return np.asarray(predicate.evaluate(values), dtype=bool)
+
+
+# -- leaf fast paths -----------------------------------------------------------
+
+
+def _scan_one_value(
+    payload: bytes, count: int, ctype: ColumnType, predicate: Predicate
+) -> np.ndarray:
     reader = Reader(payload)
     if ctype is ColumnType.INTEGER:
-        value = reader.i64()
+        value: object = reader.i64()
     elif ctype is ColumnType.DOUBLE:
         value = float(reader.array()[0])
     else:
@@ -78,40 +125,35 @@ def _scan_one_value(payload: bytes, count: int, ctype: ColumnType, predicate: Pr
     return np.full(count, predicate.evaluate_scalar(value), dtype=bool)
 
 
-def _scan_dictionary(scheme_id, payload: bytes, count: int, ctype: ColumnType,
-                     predicate: Predicate) -> np.ndarray:
-    ctx = make_context()
+def _scan_rle(
+    payload: bytes, count: int, ctype: ColumnType, predicate: Predicate,
+    ctx: DecompressionContext,
+) -> np.ndarray:
+    """Evaluate on the run values (recursively), replicate per run length."""
     reader = Reader(payload)
-    if ctype is ColumnType.STRING:
-        from repro.encodings.dictionary import DictString
-
-        pool_kind = reader.u8()
-        pool_count = reader.u32()
-        pool = DictString()._decompress_pool(pool_kind, reader.blob(), pool_count, ctx)
-        dict_matches = np.asarray(predicate.evaluate(pool), dtype=bool)
-    else:
-        uniques = reader.array()
-        dict_matches = np.asarray(predicate.evaluate(uniques), dtype=bool)
-    codes_blob = reader.blob()
-    code_scheme, run_count, code_payload = unwrap(codes_blob)
-    if code_scheme == SchemeId.RLE_INT:
-        # Evaluate per run, replicate — never materialise the code array.
-        run_values, run_lengths = _RLEBase.decode_runs(code_payload, ctx, ColumnType.INTEGER)
-        return np.repeat(dict_matches[run_values], run_lengths)
-    codes = ctx.decompress_child(codes_blob, ColumnType.INTEGER)
-    return dict_matches[codes]
-
-
-def _scan_rle(payload: bytes, count: int, ctype: ColumnType, predicate: Predicate) -> np.ndarray:
-    ctx = make_context()
-    run_values, run_lengths = _RLEBase.decode_runs(payload, ctx, ctype)
-    run_matches = np.asarray(predicate.evaluate(run_values), dtype=bool)
-    return np.repeat(run_matches, run_lengths)
+    run_count = reader.u32()
+    values_blob = reader.blob()
+    lengths_blob = reader.blob()
+    run_mask = _scan_node(values_blob, ctype, predicate, ctx)
+    if len(run_mask) != run_count:
+        raise CorruptBlockError("RLE run arrays do not match the run count")
+    # A uniform run verdict needs no lengths: every row inherits it. This is
+    # the common case for selective predicates (most blocks have no matching
+    # run) and skips the lengths child entirely.
+    if not run_mask.any():
+        return np.zeros(count, dtype=bool)
+    if run_mask.all():
+        return np.ones(count, dtype=bool)
+    run_lengths = ctx.decompress_child(lengths_blob, ColumnType.INTEGER)
+    if len(run_lengths) != run_count:
+        raise CorruptBlockError("RLE run arrays do not match the run count")
+    return np.repeat(run_mask, run_lengths)
 
 
-def _scan_frequency(scheme_id, payload: bytes, count: int, ctype: ColumnType,
-                    predicate: Predicate) -> np.ndarray:
-    ctx = make_context()
+def _scan_frequency(
+    payload: bytes, count: int, ctype: ColumnType, predicate: Predicate,
+    ctx: DecompressionContext,
+) -> np.ndarray:
     reader = Reader(payload)
     if ctype is ColumnType.STRING:
         top: object = reader.blob()
@@ -119,11 +161,289 @@ def _scan_frequency(scheme_id, payload: bytes, count: int, ctype: ColumnType,
         top = reader.array()[0]
     bitmap = RoaringBitmap.deserialize(reader.blob())
     top_mask = bitmap.to_mask(count)
-    exceptions = ctx.decompress_child(reader.blob(), ctype)
     out = np.empty(count, dtype=bool)
     out[top_mask] = predicate.evaluate_scalar(top)
-    out[~top_mask] = np.asarray(predicate.evaluate(exceptions), dtype=bool)
+    out[~top_mask] = _scan_node(reader.blob(), ctype, predicate, ctx)
     return out
+
+
+# -- code-space predicate compilation (dictionary blocks) ----------------------
+
+
+def _compile_sorted_int(pool: np.ndarray, predicate: Predicate):
+    """Binary-search compilation against a sorted int pool, or None.
+
+    Numeric dictionary pools for int32 are value-sorted and unique
+    (``np.unique``), so Eq/In/range constants translate to code ids /
+    contiguous code ranges in O(log n) without touching the pool mask.
+    (Double pools are sorted by *bit pattern*, not numeric order, so they
+    take the pool-mask route instead.)
+    """
+    n = int(pool.size)
+    if isinstance(predicate, Equals):
+        if isinstance(predicate.value, (bytes, str)):
+            return None
+        i = int(np.searchsorted(pool, predicate.value))
+        if i < n and pool[i] == predicate.value:
+            return Equals(i)
+        return _NONE_MATCH
+    if isinstance(predicate, Between):
+        if isinstance(predicate.low, (bytes, str)):
+            return None
+        lo = int(np.searchsorted(pool, predicate.low, side="left"))
+        hi = int(np.searchsorted(pool, predicate.high, side="right")) - 1
+        if lo > hi:
+            return _NONE_MATCH
+        if lo == 0 and hi == n - 1:
+            return _ALL_MATCH
+        return Between(lo, hi)
+    if isinstance(predicate, GreaterThan):
+        if isinstance(predicate.value, (bytes, str)):
+            return None
+        side = "left" if predicate.inclusive else "right"
+        lo = int(np.searchsorted(pool, predicate.value, side=side))
+        if lo >= n:
+            return _NONE_MATCH
+        if lo == 0:
+            return _ALL_MATCH
+        return Between(lo, n - 1)
+    if isinstance(predicate, LessThan):
+        if isinstance(predicate.value, (bytes, str)):
+            return None
+        side = "right" if predicate.inclusive else "left"
+        hi = int(np.searchsorted(pool, predicate.value, side=side)) - 1
+        if hi < 0:
+            return _NONE_MATCH
+        if hi == n - 1:
+            return _ALL_MATCH
+        return Between(0, hi)
+    if isinstance(predicate, In):
+        if any(isinstance(v, (bytes, str)) for v in predicate.values):
+            return None
+        ids = np.searchsorted(pool, np.asarray(predicate.values))
+        ids = np.unique(ids[(ids < n)])
+        present = ids[np.isin(pool[ids], np.asarray(predicate.values))]
+        if present.size == 0:
+            return _NONE_MATCH
+        if present.size == n:
+            return _ALL_MATCH
+        return In([int(i) for i in present])
+    return None
+
+
+def _compile_pool_mask(dict_matches: np.ndarray):
+    """Translate a pool match mask into a code-space predicate when compact.
+
+    A contiguous hit range becomes ``Between``; a small scattered set
+    becomes ``In``; everything else stays a mask mapping (the fallback).
+    """
+    hits = np.nonzero(dict_matches)[0]
+    if hits.size == 0:
+        return _NONE_MATCH
+    if hits.size == dict_matches.size:
+        return _ALL_MATCH
+    if int(hits[-1]) - int(hits[0]) + 1 == hits.size:
+        if hits.size == 1:
+            return Equals(int(hits[0]))
+        return Between(int(hits[0]), int(hits[-1]))
+    if hits.size <= 32:
+        return In([int(i) for i in hits])
+    return None
+
+
+def _scan_dictionary(
+    scheme_id: int, payload: bytes, count: int, ctype: ColumnType,
+    predicate: Predicate, ctx: DecompressionContext,
+) -> np.ndarray:
+    registry = get_registry()
+    if ctype is ColumnType.STRING:
+        from repro.encodings.dictionary import read_string_dict
+
+        pool, codes_blob = read_string_dict(payload, ctx)
+        compiled = _compile_pool_mask(np.asarray(predicate.evaluate(pool), dtype=bool))
+        dict_matches = None
+    else:
+        from repro.encodings.dictionary import read_numeric_dict
+
+        pool, codes_blob = read_numeric_dict(payload)
+        compiled = None
+        if scheme_id == SchemeId.DICT_INT:
+            compiled = _compile_sorted_int(pool, predicate)
+        dict_matches = None
+        if compiled is None:
+            dict_matches = np.asarray(predicate.evaluate(pool), dtype=bool)
+            compiled = _compile_pool_mask(dict_matches)
+    if compiled == _NONE_MATCH:
+        registry.incr("query.cdomain.code_compiled")
+        return np.zeros(count, dtype=bool)
+    if compiled == _ALL_MATCH:
+        registry.incr("query.cdomain.code_compiled")
+        return np.ones(count, dtype=bool)
+    if isinstance(compiled, Predicate):
+        # The compiled predicate recurses through the code stream, gaining
+        # the RLE per-run and bit-packed page-bound kernels on the codes.
+        registry.incr("query.cdomain.code_compiled")
+        return _scan_node(codes_blob, ColumnType.INTEGER, compiled, ctx)
+    # Fallback: map the pool mask over the codes (per run when RLE-coded).
+    registry.incr("query.cdomain.code_fallbacks")
+    if dict_matches is None:
+        dict_matches = np.asarray(predicate.evaluate(pool), dtype=bool)
+    code_scheme, _run_count, code_payload = unwrap(codes_blob)
+    if code_scheme == SchemeId.RLE_INT:
+        run_values, run_lengths = _RLEBase.decode_runs(code_payload, ctx, ColumnType.INTEGER)
+        return np.repeat(dict_matches[run_values], run_lengths)
+    codes = ctx.decompress_child(codes_blob, ColumnType.INTEGER)
+    return dict_matches[codes]
+
+
+# -- header-derived micro bounds (FOR / bit-packed pages) ----------------------
+
+
+def _pages_may_match(predicate: Predicate, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+    """Vectorised ``may_match_range`` over per-page [lo, hi] intervals.
+
+    ``None`` when the predicate has no vectorised form (the caller then
+    treats every page as undecided — always safe).
+    """
+    if isinstance(predicate, Equals) and not isinstance(predicate.value, (bytes, str)):
+        return (lo <= predicate.value) & (predicate.value <= hi)
+    if isinstance(predicate, Between) and not isinstance(predicate.low, (bytes, str)):
+        return ~((hi < predicate.low) | (lo > predicate.high))
+    if isinstance(predicate, GreaterThan) and not isinstance(predicate.value, (bytes, str)):
+        return hi >= predicate.value if predicate.inclusive else hi > predicate.value
+    if isinstance(predicate, LessThan) and not isinstance(predicate.value, (bytes, str)):
+        return lo <= predicate.value if predicate.inclusive else lo < predicate.value
+    if isinstance(predicate, In) and not any(
+        isinstance(v, (bytes, str)) for v in predicate.values
+    ):
+        out = np.zeros(lo.shape, dtype=bool)
+        for v in predicate.values:
+            out |= (lo <= v) & (v <= hi)
+        return out
+    return None
+
+
+def _pages_always_match(predicate: Predicate, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+    """Vectorised ``always_matches_range`` over per-page intervals."""
+    if isinstance(predicate, Between) and not isinstance(predicate.low, (bytes, str)):
+        return (predicate.low <= lo) & (hi <= predicate.high)
+    if isinstance(predicate, Equals) and not isinstance(predicate.value, (bytes, str)):
+        return (lo == hi) & (lo == predicate.value)
+    if isinstance(predicate, GreaterThan) and not isinstance(predicate.value, (bytes, str)):
+        return lo >= predicate.value if predicate.inclusive else lo > predicate.value
+    if isinstance(predicate, LessThan) and not isinstance(predicate.value, (bytes, str)):
+        return hi <= predicate.value if predicate.inclusive else hi < predicate.value
+    return np.zeros(lo.shape, dtype=bool)
+
+
+def _page_bounds(scheme_id: int, payload: bytes):
+    """Per-page conservative [lo, hi] from the FOR headers, or ``None``.
+
+    The low side is exact (references are page minima); the high side adds
+    the packed lane's ``2**width - 1`` span, and for FastPFOR additionally
+    the page's largest exception delta. Shifts/exceptions clip at ``2**62``
+    so hostile header bytes cannot overflow int64 — clipping only widens.
+    """
+    try:
+        reader = Reader(payload)
+        refs = reader.array()
+        widths = reader.array()
+        if refs.size == 0 or refs.size != widths.size:
+            return None
+        lo = refs.astype(np.int64)
+        spans = (np.int64(1) << np.minimum(widths.astype(np.int64), 62)) - 1
+        hi = lo + spans
+        if scheme_id == SchemeId.FAST_PFOR:
+            exc_per_page = reader.array()
+            reader.array()  # exc_slots: positions do not move the bounds
+            exc_values = reader.array()
+            if exc_per_page.size != widths.size or int(exc_per_page.sum()) != exc_values.size:
+                return None
+            if exc_values.size:
+                starts = np.zeros(exc_per_page.size, dtype=np.int64)
+                np.cumsum(exc_per_page[:-1], out=starts[1:])
+                has = np.asarray(exc_per_page) > 0
+                exc_deltas = np.minimum(exc_values, np.uint64(1) << np.uint64(62)).astype(np.int64)
+                exc_max = np.maximum.reduceat(exc_deltas, starts[has])
+                hi[has] = np.maximum(hi[has], lo[has] + exc_max)
+    except Exception:
+        return None
+    return lo, hi
+
+
+def _scan_bitpacked(
+    scheme_id: int, payload: bytes, count: int, predicate: Predicate,
+    ctx: DecompressionContext,
+) -> np.ndarray:
+    """Bit-packed scan with page-granular reject/accept from headers alone.
+
+    Pages whose conservative interval cannot match are skipped without
+    unpacking a word; pages whose interval always matches are accepted the
+    same way; only undecided pages are unpacked (and only they), through
+    the selection-vector kernel.
+    """
+    scheme = get_scheme(scheme_id)
+    bounds = _page_bounds(scheme_id, payload)
+    if bounds is None:
+        values = scheme.decompress(payload, count, ctx)
+        return np.asarray(predicate.evaluate(values), dtype=bool)
+    lo, hi = bounds
+    registry = get_registry()
+    may = _pages_may_match(predicate, lo, hi)
+    if may is None:
+        may = np.ones(lo.shape, dtype=bool)
+    always = _pages_always_match(predicate, lo, hi) & may
+    undecided = np.nonzero(may & ~always)[0]
+    registry.incr_many(
+        [
+            ("query.cdomain.pages", int(lo.size)),
+            ("query.cdomain.pages_skipped", int(lo.size - may.sum())),
+            ("query.cdomain.pages_accepted", int(always.sum())),
+        ]
+    )
+    mask = np.zeros(lo.size * PAGE, dtype=bool)
+    if always.any():
+        mask.reshape(-1, PAGE)[always] = True
+    if undecided.size:
+        rows = (undecided[:, None] * PAGE + np.arange(PAGE, dtype=np.int64)).reshape(-1)
+        rows = rows[rows < count]
+        values = scheme.decompress_filtered(payload, count, ctx, rows)
+        mask[rows] = predicate.evaluate(values)
+    return mask[:count]
+
+
+# -- shared block-iteration driver --------------------------------------------
+
+
+def enumerate_blocks(
+    compressed: CompressedColumn,
+) -> Iterator[tuple[CompressedBlock, int]]:
+    """Yield ``(block, column-row offset)`` for every block, in order."""
+    offset = 0
+    for block in compressed.blocks:
+        yield block, offset
+        offset += block.count
+
+
+def iter_matching_positions(
+    block_iter: Iterable[tuple[CompressedBlock, int]],
+    ctype: ColumnType,
+    predicate: Predicate,
+) -> Iterator[tuple[CompressedBlock, int, np.ndarray]]:
+    """The shared scan driver: yield ``(block, offset, hit rows)`` per block.
+
+    ``block_iter`` yields ``(block, column-row offset)`` pairs — callers
+    control which blocks are seen (zone-map pruning on the remote path skips
+    some) and what offsets they sit at. Blocks with no hits are consumed
+    silently; hit rows are block-local, sorted and unique, ready for
+    :func:`~repro.core.decompressor.decode_block_filtered`.
+    """
+    for block, offset in block_iter:
+        nulls = RoaringBitmap.deserialize(block.nulls) if block.nulls else None
+        mask = scan_block(block.data, ctype, predicate, nulls)
+        hits = np.nonzero(mask)[0]
+        if hits.size:
+            yield block, offset, hits
 
 
 def scan_column(compressed: CompressedColumn, predicate: Predicate) -> RoaringBitmap:
@@ -131,42 +451,62 @@ def scan_column(compressed: CompressedColumn, predicate: Predicate) -> RoaringBi
 
     Returns a Roaring bitmap of matching row positions.
     """
-    matches: list[np.ndarray] = []
-    offset = 0
-    positions = []
-    for block in compressed.blocks:
-        nulls = RoaringBitmap.deserialize(block.nulls) if block.nulls else None
-        mask = scan_block(block.data, compressed.ctype, predicate, nulls)
-        hit = np.nonzero(mask)[0]
-        if hit.size:
-            positions.append(hit + offset)
-        offset += block.count
+    positions = [
+        hits + offset
+        for _block, offset, hits in iter_matching_positions(
+            enumerate_blocks(compressed), compressed.ctype, predicate
+        )
+    ]
     if not positions:
         return RoaringBitmap()
     return RoaringBitmap.from_positions(np.concatenate(positions))
 
 
-def filter_column(compressed: CompressedColumn, predicate: Predicate) -> Column:
+def filter_column(
+    compressed: CompressedColumn,
+    predicate: Predicate,
+    on_corrupt: str = "raise",
+) -> Column:
     """Materialise only the rows matching the predicate.
 
-    Decompresses block by block; blocks whose mask is empty are skipped
-    entirely after the (cheap) compressed-domain scan.
+    The compressed-domain scan picks the matching rows per block; blocks
+    with no hits are skipped entirely, and surviving blocks materialise
+    *only* their hit rows through the selection-vector decode — RLE decodes
+    only matching runs, dictionaries gather only matching codes, bit-packed
+    pages unpack only where hits live. Decode work scales with selectivity.
+
+    Checksums are verified *before* the compressed-domain scan evaluates a
+    block (damaged bytes must not be parsed at all): a CRC mismatch raises
+    :class:`~repro.exceptions.IntegrityError` under ``"raise"`` and drops
+    the block's rows under either degrade policy.
     """
-    from repro.core.decompressor import _decompress_node
+    from repro.core.decompressor import CorruptBlockResult
+    from repro.core.file_format import verify_block
     from repro.encodings import strutil
+    from repro.exceptions import IntegrityError
+
+    def _verified_blocks():
+        for block, offset in enumerate_blocks(compressed):
+            if not verify_block(block):
+                if on_corrupt == "raise":
+                    raise IntegrityError(
+                        f"block of {block.count} values: payload does not "
+                        f"match stored CRC32"
+                    )
+                continue
+            yield block, offset
 
     ctx = make_context()
     parts = []
-    for block in compressed.blocks:
-        nulls = RoaringBitmap.deserialize(block.nulls) if block.nulls else None
-        mask = scan_block(block.data, compressed.ctype, predicate, nulls)
-        if not mask.any():
-            continue
-        values = _decompress_node(block.data, compressed.ctype, ctx)
-        if compressed.ctype is ColumnType.STRING:
-            parts.append(strutil.gather(values, np.nonzero(mask)[0]))
-        else:
-            parts.append(values[mask])
+    for block, _offset, hits in iter_matching_positions(
+        _verified_blocks(), compressed.ctype, predicate
+    ):
+        values = decode_block_filtered(
+            block, compressed.ctype, ctx, hits, on_corrupt=on_corrupt
+        )
+        if isinstance(values, CorruptBlockResult):
+            continue  # degrade policies drop the block's matches
+        parts.append(values)
     if compressed.ctype is ColumnType.STRING:
         data = strutil.concat(parts) if parts else StringArray.empty(0)
     else:

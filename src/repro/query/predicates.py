@@ -47,6 +47,17 @@ class Predicate(ABC):
         """Could any value in [minimum, maximum] match? Default: maybe."""
         return True
 
+    def always_matches_range(self, minimum, maximum) -> bool:
+        """Does *every* value in [minimum, maximum] match? Default: unknown.
+
+        The accept-side dual of :meth:`may_match_range`: ``True`` lets a
+        scan mark a whole block as matching without decoding it. Because the
+        bounds a caller holds are conservative supersets of the actual
+        values, ``True`` for the interval implies ``True`` for every value
+        in it — so ``False`` is always a safe answer and the default.
+        """
+        return False
+
     def may_match_bytes(self, minimum: bytes, maximum: "bytes | None") -> bool:
         """Conservative test against a block's *string* bounds.
 
@@ -83,6 +94,11 @@ class Equals(Predicate):
             return True
         return minimum <= self.value <= maximum
 
+    def always_matches_range(self, minimum, maximum) -> bool:
+        if minimum is None or maximum is None or isinstance(self.value, (bytes, str)):
+            return False
+        return minimum == maximum == self.value
+
     def may_match_bytes(self, minimum, maximum) -> bool:
         if not isinstance(self.value, (bytes, str)):
             return True
@@ -114,6 +130,11 @@ class GreaterThan(Predicate):
             return True
         return maximum >= self.value if self.inclusive else maximum > self.value
 
+    def always_matches_range(self, minimum, maximum) -> bool:
+        if minimum is None or isinstance(self.value, (bytes, str)):
+            return False
+        return minimum >= self.value if self.inclusive else minimum > self.value
+
     def may_match_bytes(self, minimum, maximum) -> bool:
         if maximum is None or not isinstance(self.value, (bytes, str)):
             return True
@@ -140,6 +161,11 @@ class LessThan(Predicate):
             return True
         return minimum <= self.value if self.inclusive else minimum < self.value
 
+    def always_matches_range(self, minimum, maximum) -> bool:
+        if maximum is None or isinstance(self.value, (bytes, str)):
+            return False
+        return maximum <= self.value if self.inclusive else maximum < self.value
+
     def may_match_bytes(self, minimum, maximum) -> bool:
         if not isinstance(self.value, (bytes, str)):
             return True
@@ -163,6 +189,11 @@ class Between(Predicate):
         if minimum is None or maximum is None or isinstance(self.low, (bytes, str)):
             return True
         return not (maximum < self.low or minimum > self.high)
+
+    def always_matches_range(self, minimum, maximum) -> bool:
+        if minimum is None or maximum is None or isinstance(self.low, (bytes, str)):
+            return False
+        return self.low <= minimum and maximum <= self.high
 
     def may_match_bytes(self, minimum, maximum) -> bool:
         if not isinstance(self.low, (bytes, str)):
@@ -192,6 +223,13 @@ class In(Predicate):
         if any(isinstance(v, (bytes, str)) for v in self.values):
             return True
         return any(minimum <= v <= maximum for v in self.values)
+
+    def always_matches_range(self, minimum, maximum) -> bool:
+        if minimum is None or maximum is None:
+            return False
+        if any(isinstance(v, (bytes, str)) for v in self.values):
+            return False
+        return minimum == maximum and any(v == minimum for v in self.values)
 
     def may_match_bytes(self, minimum, maximum) -> bool:
         if not all(isinstance(v, (bytes, str)) for v in self.values):

@@ -19,7 +19,8 @@ def report():
 class TestRunBench:
     def test_report_sections(self, report):
         assert set(report) == {
-            "meta", "schemes", "parallel", "selection", "pipeline", "selective_scan",
+            "meta", "schemes", "parallel", "selection", "pipeline",
+            "selective_scan", "compressed_scan",
         }
         assert report["meta"]["rows"] == 256
         assert report["meta"]["workers"] == [1, 2]
@@ -73,7 +74,9 @@ class TestRunBench:
 
     def test_decode_only_skips_compress_side(self):
         report = run_bench(rows=256, workers=(1,), repeats=1, decode_only=True)
-        assert set(report) == {"meta", "schemes", "pipeline", "selective_scan"}
+        assert set(report) == {
+            "meta", "schemes", "pipeline", "selective_scan", "compressed_scan",
+        }
         assert report["meta"]["decode_only"] is True
         for name, entry in report["schemes"].items():
             assert "compress_mb_s" not in entry, name
@@ -164,5 +167,7 @@ class TestBenchCli:
         assert main(["bench", "--rows", "256", "--workers", "1", "--repeats", "1",
                      "--decode-only", "--output", str(out)]) == 0
         report = json.loads(out.read_text())
-        assert set(report) == {"meta", "schemes", "pipeline", "selective_scan"}
+        assert set(report) == {
+            "meta", "schemes", "pipeline", "selective_scan", "compressed_scan",
+        }
         assert "pipelined scan" in capsys.readouterr().out
